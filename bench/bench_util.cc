@@ -1,0 +1,127 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "data/generators.h"
+
+namespace nmrs {
+namespace bench {
+
+Args Args::Parse(int argc, char** argv, double default_scale) {
+  Args args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--scale=")) {
+      args.scale = std::atof(v);
+    } else if (const char* v = value_of("--seed=")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--queries=")) {
+      args.queries = std::atoi(v);
+    } else if (const char* v = value_of("--tiles=")) {
+      args.tiles = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "flags: --scale=<f> --seed=<n> --queries=<n> --tiles=<n> "
+          "--quick\n");
+    }
+  }
+  return args;
+}
+
+AlgoMetrics RunPoint(const Dataset& data, const SimilaritySpace& space,
+                     Algorithm algo, double mem_fraction, const Args& args,
+                     const std::vector<AttrId>& selected) {
+  SimulatedDisk disk;  // 32 KiB pages (paper §5.1)
+  PrepareOptions prep_opts;
+  prep_opts.tiles_per_dim = args.tiles;
+  auto prepared = PrepareDataset(&disk, data, algo, prep_opts);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  RSOptions opts;
+  opts.memory =
+      MemoryBudget::FromFraction(mem_fraction, prepared->stored.num_pages());
+  opts.selected_attrs = selected;
+
+  AlgoMetrics avg;
+  Rng query_rng(args.seed * 7919 + 17);
+  const int queries = args.queries < 1 ? 1 : args.queries;
+  for (int qi = 0; qi < queries; ++qi) {
+    const Object q = SampleUniformQuery(data, query_rng);
+    auto result = RunReverseSkyline(*prepared, space, q, algo, opts);
+    NMRS_CHECK(result.ok()) << result.status();
+    const QueryStats& s = result->stats;
+    avg.compute_ms += s.compute_millis;
+    avg.response_ms += s.ResponseMillis();
+    avg.seq_io += static_cast<double>(s.io.TotalSequential());
+    avg.rand_io += static_cast<double>(s.io.TotalRandom());
+    avg.checks += static_cast<double>(s.checks);
+    avg.survivors += static_cast<double>(s.phase1_survivors);
+    avg.result_size += static_cast<double>(s.result_size);
+  }
+  const double n = queries;
+  avg.compute_ms /= n;
+  avg.response_ms /= n;
+  avg.seq_io /= n;
+  avg.rand_io /= n;
+  avg.checks /= n;
+  avg.survivors /= n;
+  avg.result_size /= n;
+  return avg;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  NMRS_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void ShapeCheck(const std::string& name, bool ok, const std::string& detail) {
+  std::printf("SHAPE-CHECK %s: %s (%s)\n", name.c_str(),
+              ok ? "OK" : "VIOLATED", detail.c_str());
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace nmrs

@@ -1,0 +1,78 @@
+#ifndef NMRS_BENCH_BENCH_UTIL_H_
+#define NMRS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+namespace bench {
+
+/// Shared CLI knobs. Every bench accepts:
+///   --scale=<f>   fraction of the paper's dataset sizes (default per bench)
+///   --seed=<n>    master RNG seed
+///   --queries=<n> query objects averaged per data point
+///   --quick       shrink everything for a smoke run
+///   --tiles=<n>   tiles per dimension for T-SRS / T-TRS
+struct Args {
+  double scale = 0.05;
+  uint64_t seed = 42;
+  int queries = 2;
+  bool quick = false;
+  size_t tiles = 4;
+
+  static Args Parse(int argc, char** argv, double default_scale);
+
+  uint64_t Rows(uint64_t paper_rows) const {
+    const double s = quick ? scale / 10.0 : scale;
+    const auto rows = static_cast<uint64_t>(static_cast<double>(paper_rows) * s);
+    return rows < 50 ? 50 : rows;
+  }
+};
+
+/// Averaged per-algorithm measurements for one experimental point.
+struct AlgoMetrics {
+  double compute_ms = 0;
+  double response_ms = 0;
+  double seq_io = 0;
+  double rand_io = 0;
+  double checks = 0;
+  double survivors = 0;
+  double result_size = 0;
+};
+
+/// Prepares `data` for `algo` on a fresh 32 KiB-page disk and runs
+/// `queries` uniform query objects (seeded), averaging the stats. Memory
+/// budget is `mem_fraction` of the dataset's on-disk size.
+AlgoMetrics RunPoint(const Dataset& data, const SimilaritySpace& space,
+                     Algorithm algo, double mem_fraction, const Args& args,
+                     const std::vector<AttrId>& selected = {});
+
+/// Aligned-column table printer for the figure/table reproductions.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(double v, int precision = 1);
+
+/// Prints "SHAPE-CHECK <name>: OK|VIOLATED (<detail>)" — the qualitative
+/// claim of the paper that this experiment is expected to reproduce.
+void ShapeCheck(const std::string& name, bool ok, const std::string& detail);
+
+/// Section banner.
+void Banner(const std::string& title);
+
+}  // namespace bench
+}  // namespace nmrs
+
+#endif  // NMRS_BENCH_BENCH_UTIL_H_

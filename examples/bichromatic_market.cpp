@@ -1,0 +1,97 @@
+// Bichromatic market analysis: customers and products are *different*
+// datasets sharing one attribute vocabulary. For a prospective product q,
+// the bichromatic reverse skyline over (customers C, catalog P) is the set
+// of customers for whom no existing product dominates q — the honest
+// version of the paper's §1 promotional-mailing scenario, where customer
+// preferences are compared against the product catalog rather than against
+// other customers.
+//
+// Run: ./build/examples/bichromatic_market [num_customers] [num_products]
+#include <cstdio>
+#include <cstdlib>
+
+#include "nmrs.h"
+
+using namespace nmrs;
+
+int main(int argc, char** argv) {
+  const uint64_t num_customers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const uint64_t num_products =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  // Shared vocabulary: category (10), brand tier (4), style (8),
+  // eco-label (3).
+  const std::vector<size_t> cards = {10, 4, 8, 3};
+  Rng rng(900);
+  Rng c_rng = rng.Fork();
+  Rng p_rng = rng.Fork();
+  Rng s_rng = rng.Fork();
+  Dataset customers = GenerateNormal(num_customers, cards, c_rng);
+  Dataset catalog = GenerateZipf(num_products, cards, 1.2, p_rng);
+  SimilaritySpace perception = MakeRandomSpace(cards, s_rng);
+
+  // Sort the customers once (query-independent) so the tree variant gets
+  // prefix sharing; the catalog is streamed as-is.
+  SimulatedDisk disk;
+  const auto attr_order = AscendingCardinalityOrder(customers.schema());
+  const auto order = MultiAttributeSortOrder(customers, attr_order);
+  FileId c_file = disk.CreateFile("customers");
+  {
+    RowWriter writer(&disk, c_file, customers.schema());
+    for (RowId src : order) {
+      if (!writer.Add(src, customers.RowValues(src), nullptr).ok()) return 1;
+    }
+    if (!writer.Finish().ok()) return 1;
+  }
+  StoredDataset stored_customers(&disk, c_file, customers.schema(),
+                                 customers.num_rows());
+  auto stored_catalog = StoredDataset::Create(&disk, catalog, "catalog");
+  if (!stored_catalog.ok()) {
+    std::fprintf(stderr, "%s\n", stored_catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  RSOptions opts;
+  opts.memory =
+      MemoryBudget::FromFraction(0.10, stored_customers.num_pages());
+  opts.attr_order = attr_order;
+
+  std::printf("customers: %llu, catalog: %llu products\n\n",
+              static_cast<unsigned long long>(num_customers),
+              static_cast<unsigned long long>(num_products));
+  std::printf("%-28s %-10s %-12s %-10s\n", "prospective product",
+              "audience", "checks", "ms");
+
+  // Candidate products the buyer is considering introducing.
+  const Object prospects[] = {
+      Object({2, 0, 1, 2}),  // popular category, premium tier, eco
+      Object({7, 3, 6, 0}),  // niche category, budget tier
+      Object({0, 1, 3, 1}),  // the catalog's most crowded corner
+  };
+  const char* labels[] = {"premium eco (cat 2)", "budget niche (cat 7)",
+                          "crowded corner (cat 0)"};
+  for (size_t i = 0; i < 3; ++i) {
+    auto tree = BichromaticTreeRS(stored_customers, *stored_catalog,
+                                  perception, prospects[i], opts);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s %-10llu %-12llu %.1f\n", labels[i],
+                static_cast<unsigned long long>(tree->stats.result_size),
+                static_cast<unsigned long long>(tree->stats.checks),
+                tree->stats.compute_millis);
+
+    // Cross-check the tree variant against the block variant.
+    auto block = BichromaticBlockRS(stored_customers, *stored_catalog,
+                                    perception, prospects[i], opts);
+    if (!block.ok() || block->rows != tree->rows) {
+      std::fprintf(stderr, "variant mismatch!\n");
+      return 1;
+    }
+  }
+  std::printf("\n(block and tree variants agree on every prospect; the\n"
+              " audience is the mailing list for that product's launch)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Retail promotional mailing (§1): pick the customers to mail about a new
+// product offer. Customers are profiled over mixed attributes — loyalty
+// tier and preferred category (categorical, expert-specified non-metric
+// similarities) plus average basket value and visits per month (numeric).
+// The reverse skyline of the offer over the customer base is the set of
+// customers whose affinity to the offer is not dominated by any other
+// product — exactly the "likely to respond" set the paper motivates.
+//
+// Demonstrates the §6 machinery: numeric attributes ride along in TRS via
+// discretization while staying exact in the answer, and the query can be
+// restricted to an attribute subset.
+//
+// Run: ./build/examples/retail_promotions [num_customers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "nmrs.h"
+
+using namespace nmrs;
+
+int main(int argc, char** argv) {
+  const uint64_t num_customers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+
+  // Schema: loyalty tier (4), preferred category (9) categorical; basket
+  // value in [0, 100] currency units and visits/month in [0, 100]
+  // (scaled), each discretized into 16 buckets for the TRS tree.
+  Rng rng(404);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  Dataset customers =
+      GenerateMixed(num_customers, {4, 9}, /*num_numeric=*/2,
+                    /*buckets_per_numeric=*/16, data_rng);
+
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(4, space_rng));
+  space.AddCategorical(MakeRandomMatrix(9, space_rng));
+  space.AddNumeric(NumericDissimilarity(1.0));   // basket value
+  space.AddNumeric(NumericDissimilarity(1.0));   // visit frequency
+
+  // The offer, expressed as an ideal customer profile: gold tier (2),
+  // category 5, basket ~70, ~12 visits/month.
+  const Object offer = customers.MakeObject({2, 5, 0, 0}, {0, 0, 70.0, 12.0});
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, customers, Algorithm::kTRS);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  RSOptions opts;
+  opts.memory = MemoryBudget::FromFraction(0.10, prepared->stored.num_pages());
+
+  auto mailing = RunReverseSkyline(*prepared, space, offer, Algorithm::kTRS,
+                                   opts);
+  if (!mailing.ok()) {
+    std::fprintf(stderr, "%s\n", mailing.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("customer base: %llu; mailing list: %llu customers "
+              "(%.2f%% of base)\n",
+              static_cast<unsigned long long>(customers.num_rows()),
+              static_cast<unsigned long long>(mailing->stats.result_size),
+              100.0 * static_cast<double>(mailing->stats.result_size) /
+                  static_cast<double>(customers.num_rows()));
+  std::printf("query: %.1f ms compute, %llu seq + %llu rand page IOs\n",
+              mailing->stats.compute_millis,
+              static_cast<unsigned long long>(
+                  mailing->stats.io.TotalSequential()),
+              static_cast<unsigned long long>(
+                  mailing->stats.io.TotalRandom()));
+
+  std::printf("\nfirst 10 recipients:\n");
+  for (size_t i = 0; i < mailing->rows.size() && i < 10; ++i) {
+    const RowId r = mailing->rows[i];
+    std::printf("  customer %-7llu tier=%u category=%u basket=%.0f "
+                "visits=%.0f\n",
+                static_cast<unsigned long long>(r), customers.Value(r, 0),
+                customers.Value(r, 1), customers.Numeric(r, 2),
+                customers.Numeric(r, 3));
+  }
+
+  // Campaign variant: the marketing team only cares about category
+  // affinity and basket value (attribute subset, §5.6).
+  RSOptions subset_opts = opts;
+  subset_opts.selected_attrs = {1, 2};
+  auto focused = RunReverseSkyline(*prepared, space, offer, Algorithm::kTRS,
+                                   subset_opts);
+  if (!focused.ok()) {
+    std::fprintf(stderr, "%s\n", focused.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nfocused campaign (category + basket only): %llu "
+              "customers\n",
+              static_cast<unsigned long long>(focused->stats.result_size));
+
+  // Sanity: the disk-based answer matches the in-memory oracle.
+  const auto oracle = ReverseSkylineOracle(customers, space, offer);
+  std::printf("oracle agrees on full query: %s\n",
+              oracle == mailing->rows ? "yes" : "NO (bug!)");
+  return oracle == mailing->rows ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// The paper's running scenario (§1): business-continuity planning for a
+// service-delivery organization. Servers are described by categorical
+// attributes (OS family, DB engine, network tier, hardware class) whose
+// pairwise similarities come from domain experts and are non-metric.
+// System administrators are profiled in the same space.
+//
+// For an admin A, the reverse skyline RS(A) over the server database is
+// the set of servers for which A is in the skyline of suitable admins —
+// the servers A "influences". Admins with large RS sets are critical;
+// skewed influence and the attrition risk of top admins are what the
+// business wants to see.
+//
+// Run: ./build/examples/server_admin_influence [num_servers] [num_admins]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nmrs.h"
+
+using namespace nmrs;
+
+int main(int argc, char** argv) {
+  const uint64_t num_servers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const int num_admins = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  // Server attribute domains: OS (6 flavors), DB (5 engines), network
+  // tier (4), hardware class (8).
+  const std::vector<size_t> cards = {6, 5, 4, 8};
+  Rng rng(2011);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  Rng admin_rng = rng.Fork();
+
+  Dataset servers = GenerateNormal(num_servers, cards, data_rng);
+  // Expert-assessed similarity matrices; random here, standing in for the
+  // hand-filled matrices of the paper's Figure 1.
+  SimilaritySpace expertise = MakeRandomSpace(cards, space_rng);
+
+  std::printf("server fleet: %llu servers, %zu attributes, density %.4f%%\n",
+              static_cast<unsigned long long>(servers.num_rows()),
+              cards.size(), servers.Density() * 100);
+
+  // Store once, sorted for TRS; the sort is query-independent.
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, servers, Algorithm::kTRS);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+
+  RSOptions opts;
+  opts.memory = MemoryBudget::FromFraction(0.10, prepared->stored.num_pages());
+
+  // Influence assessment: one reverse-skyline query per admin profile,
+  // ranked and summarized by the influence-analysis API.
+  std::vector<Object> profiles;
+  for (int a = 0; a < num_admins; ++a) {
+    profiles.push_back(SampleUniformQuery(servers, admin_rng));
+  }
+  auto report = AnalyzeInfluence(*prepared, expertise, profiles,
+                                 Algorithm::kTRS, opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-6s %-18s %-12s %s\n", "admin", "profile", "influence",
+              "query ms");
+  for (const auto& entry : report->ranking) {
+    std::printf("A%-5zu %-18s %-12llu %.1f\n", entry.query_index,
+                profiles[entry.query_index].ToString().c_str(),
+                static_cast<unsigned long long>(entry.influence),
+                entry.stats.compute_millis);
+  }
+
+  // Concentration diagnostics: the business-continuity red flags from the
+  // paper's intro.
+  if (report->total_influence > 0) {
+    const double top3 = report->TopShare(3);
+    std::printf("\ntop-3 admins hold %.1f%% of total influence "
+                "(Gini %.2f) -> %s\n",
+                top3 * 100, report->Gini(),
+                top3 > 0.5 ? "heavily skewed: attrition risk"
+                           : "reasonably balanced");
+  }
+  return 0;
+}

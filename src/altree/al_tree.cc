@@ -1,0 +1,152 @@
+#include "altree/al_tree.h"
+
+#include <algorithm>
+
+namespace nmrs {
+
+ALTree::ALTree(const Schema& schema, std::vector<AttrId> attr_order)
+    : schema_(schema),
+      attr_order_(std::move(attr_order)),
+      numeric_stride_(schema.NumNumeric() > 0 ? schema.num_attributes() : 0) {
+  NMRS_CHECK_GT(attr_order_.size(), 0u);
+  NMRS_CHECK_EQ(attr_order_.size(), schema.num_attributes());
+  Clear();
+}
+
+void ALTree::Clear() {
+  value_.assign(1, kInvalidValueId);
+  level_.assign(1, kRootLevel);
+  descendants_.assign(1, 0);
+  parent_.assign(1, kRootId);
+  temp_removed_.assign(1, 0);
+  children_.assign(1, {});
+  row_ids_.assign(1, {});
+  numerics_.assign(1, {});
+}
+
+ALTree::NodeId ALTree::FindChild(NodeId parent, ValueId value) const {
+  for (const ChildRef& c : children_[parent]) {
+    if (c.value == value) return c.id;
+  }
+  return kInvalidNode;
+}
+
+ALTree::NodeId ALTree::FindOrAddChild(NodeId parent, ValueId value,
+                                      uint32_t level) {
+  NodeId found = FindChild(parent, value);
+  if (found != kInvalidNode) return found;
+  NodeId id = static_cast<NodeId>(value_.size());
+  value_.push_back(value);
+  level_.push_back(level);
+  descendants_.push_back(0);
+  parent_.push_back(parent);
+  temp_removed_.push_back(0);
+  children_.emplace_back();
+  row_ids_.emplace_back();
+  numerics_.emplace_back();
+  children_[parent].push_back(ChildRef{id, value});
+  return id;
+}
+
+void ALTree::Insert(RowId id, const ValueId* values, const double* numerics) {
+  NodeId cur = kRootId;
+  ++descendants_[kRootId];
+  for (uint32_t level = 0; level < attr_order_.size(); ++level) {
+    cur = FindOrAddChild(cur, values[attr_order_[level]], level);
+    ++descendants_[cur];
+  }
+  row_ids_[cur].push_back(id);
+  if (numeric_stride_ > 0) {
+    NMRS_DCHECK(numerics != nullptr);
+    numerics_[cur].insert(numerics_[cur].end(), numerics,
+                          numerics + numeric_stride_);
+  }
+}
+
+size_t ALTree::MemoryBytes() const {
+  size_t bytes =
+      num_nodes() * (sizeof(ValueId) + sizeof(uint32_t) + sizeof(uint64_t) +
+                     sizeof(NodeId) + sizeof(uint32_t) +
+                     sizeof(std::vector<NodeId>) + sizeof(std::vector<RowId>) +
+                     sizeof(std::vector<double>));
+  for (size_t n = 0; n < num_nodes(); ++n) {
+    bytes += children_[n].capacity() * sizeof(ChildRef);
+    bytes += row_ids_[n].capacity() * sizeof(RowId);
+    bytes += numerics_[n].capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+void ALTree::PrepareForSearch() {
+  for (auto& kids : children_) {
+    std::sort(kids.begin(), kids.end(),
+              [this](const ChildRef& a, const ChildRef& b) {
+                return descendants_[a.id] < descendants_[b.id];
+              });
+  }
+}
+
+void ALTree::AddToPathCounts(NodeId leaf, int64_t delta) {
+  NodeId cur = leaf;
+  for (;;) {
+    const int64_t updated = static_cast<int64_t>(descendants_[cur]) + delta;
+    NMRS_DCHECK(updated >= 0);
+    descendants_[cur] = static_cast<uint64_t>(updated);
+    if (cur == kRootId) break;
+    cur = parent_[cur];
+  }
+}
+
+ALTree::NodeId ALTree::FindLeaf(const ValueId* values) const {
+  NodeId cur = kRootId;
+  for (uint32_t level = 0; level < attr_order_.size(); ++level) {
+    cur = FindChild(cur, values[attr_order_[level]]);
+    if (cur == kInvalidNode) return kInvalidNode;
+  }
+  return cur;
+}
+
+ALTree::NodeId ALTree::TempRemove(const ValueId* values) {
+  NodeId leaf = FindLeaf(values);
+  NMRS_CHECK(leaf != kInvalidNode) << "TempRemove of absent object";
+  TempRemoveLeaf(leaf);
+  return leaf;
+}
+
+void ALTree::TempRemoveLeaf(NodeId leaf) {
+  NMRS_CHECK_GT(descendants_[leaf], 0u);
+  ++temp_removed_[leaf];
+  AddToPathCounts(leaf, -1);
+}
+
+void ALTree::TempRestore(NodeId leaf) {
+  NMRS_CHECK_GT(temp_removed_[leaf], 0u);
+  --temp_removed_[leaf];
+  AddToPathCounts(leaf, +1);
+}
+
+void ALTree::RemoveLeaf(NodeId leaf) {
+  NMRS_DCHECK(IsLeaf(leaf));
+  NMRS_CHECK_EQ(temp_removed_[leaf], 0u);
+  const int64_t count = static_cast<int64_t>(descendants_[leaf]);
+  if (count > 0) AddToPathCounts(leaf, -count);
+  row_ids_[leaf].clear();
+  numerics_[leaf].clear();
+}
+
+void ALTree::RemoveLeafEntry(NodeId leaf, size_t entry) {
+  NMRS_DCHECK(IsLeaf(leaf));
+  NMRS_CHECK_EQ(temp_removed_[leaf], 0u);
+  auto& rows = row_ids_[leaf];
+  NMRS_CHECK_LT(entry, rows.size());
+  rows.erase(rows.begin() + static_cast<ptrdiff_t>(entry));
+  if (numeric_stride_ > 0) {
+    auto& nums = numerics_[leaf];
+    const auto begin =
+        nums.begin() + static_cast<ptrdiff_t>(entry * numeric_stride_);
+    nums.erase(begin, begin + static_cast<ptrdiff_t>(numeric_stride_));
+  }
+  AddToPathCounts(leaf, -1);
+}
+
+}  // namespace nmrs

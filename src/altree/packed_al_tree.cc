@@ -1,0 +1,295 @@
+#include "altree/packed_al_tree.h"
+
+#include <cstring>
+#include <deque>
+
+namespace nmrs {
+
+namespace {
+
+constexpr size_t kPageHeaderBytes = sizeof(uint16_t);
+
+template <typename T>
+void StoreRaw(uint8_t* dst, T v) {
+  std::memcpy(dst, &v, sizeof(T));
+}
+
+template <typename T>
+T LoadRaw(const uint8_t* src) {
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+// Streams records into pages (records never span pages) and appends full
+// pages to the file.
+class PageWriter {
+ public:
+  PageWriter(SimulatedDisk* disk, FileId file)
+      : disk_(disk), file_(file), page_(disk->page_size()) {}
+
+  // Reserves `bytes` in the current page (flushing first if needed) and
+  // returns the locator value for the record about to be written, plus the
+  // write pointer.
+  StatusOr<uint8_t*> Reserve(size_t bytes, uint64_t* locator) {
+    if (bytes + kPageHeaderBytes > page_.size()) {
+      return Status::InvalidArgument(
+          "record of " + std::to_string(bytes) +
+          " bytes does not fit a page of " + std::to_string(page_.size()));
+    }
+    if (offset_ + bytes > page_.size()) {
+      NMRS_RETURN_IF_ERROR(Flush());
+    }
+    *locator = (static_cast<uint64_t>(next_page_) << 32) |
+               static_cast<uint64_t>(offset_);
+    uint8_t* at = page_.data() + offset_;
+    offset_ += bytes;
+    ++records_;
+    return at;
+  }
+
+  Status Finish() {
+    if (records_ > 0) return Flush();
+    return Status::OK();
+  }
+
+ private:
+  Status Flush() {
+    StoreRaw<uint16_t>(page_.data(), static_cast<uint16_t>(records_));
+    NMRS_RETURN_IF_ERROR(disk_->AppendPage(file_, page_).status());
+    page_ = Page(disk_->page_size());
+    offset_ = kPageHeaderBytes;
+    records_ = 0;
+    ++next_page_;
+    return Status::OK();
+  }
+
+  SimulatedDisk* disk_;
+  FileId file_;
+  Page page_;
+  size_t offset_ = kPageHeaderBytes;
+  size_t records_ = 0;
+  PageId next_page_ = 0;
+};
+
+}  // namespace
+
+StatusOr<PackedALTree> PackedALTree::Write(const ALTree& tree,
+                                           SimulatedDisk* disk,
+                                           const std::string& name) {
+  // Pass 1: BFS over live nodes to assign contiguous indices level by
+  // level (children of a node form a contiguous index range).
+  const uint32_t m = static_cast<uint32_t>(tree.num_levels());
+  std::vector<ALTree::NodeId> bfs;            // new index -> old node id
+  std::vector<uint32_t> first_child;          // per new index
+  std::vector<uint32_t> level_start = {0, 1};  // root occupies level "-1"
+  bfs.push_back(ALTree::kRootId);
+  {
+    size_t level_begin = 0;
+    for (uint32_t level = 0; level < m; ++level) {
+      const size_t level_end = bfs.size();
+      for (size_t i = level_begin; i < level_end; ++i) {
+        for (const ALTree::ChildRef& c : tree.Children(bfs[i])) {
+          if (tree.Descendants(c.id) == 0) continue;
+          bfs.push_back(c.id);
+        }
+      }
+      level_begin = level_end;
+      level_start.push_back(static_cast<uint32_t>(bfs.size()));
+    }
+  }
+  // first_child per node: recompute by a second sweep.
+  first_child.assign(bfs.size(), 0);
+  {
+    uint32_t next = 1;
+    for (uint32_t i = 0; i < bfs.size(); ++i) {
+      if (i >= level_start[m]) break;  // leaves have no children
+      first_child[i] = next;
+      for (const ALTree::ChildRef& c : tree.Children(bfs[i])) {
+        if (tree.Descendants(c.id) == 0) continue;
+        ++next;
+      }
+    }
+  }
+
+  // Pass 2: write records in BFS order.
+  FileId file = disk->CreateFile(name);
+  PageWriter writer(disk, file);
+  std::vector<uint64_t> locator(bfs.size());
+  const size_t stride =
+      tree.has_numerics() ? tree.attr_order().size() : 0;
+  for (uint32_t i = 0; i < bfs.size(); ++i) {
+    const ALTree::NodeId old_id = bfs[i];
+    const bool leaf = i >= level_start[m];
+    if (!leaf) {
+      uint32_t live_children = 0;
+      for (const ALTree::ChildRef& c : tree.Children(old_id)) {
+        if (tree.Descendants(c.id) > 0) ++live_children;
+      }
+      NMRS_ASSIGN_OR_RETURN(uint8_t * at,
+                            writer.Reserve(12, &locator[i]));
+      StoreRaw<uint32_t>(at, tree.Value(old_id));
+      StoreRaw<uint32_t>(at + 4, first_child[i]);
+      StoreRaw<uint32_t>(at + 8, live_children);
+    } else {
+      const auto& rows = tree.LeafRows(old_id);
+      const size_t bytes =
+          8 + rows.size() * 8 + rows.size() * stride * sizeof(double);
+      NMRS_ASSIGN_OR_RETURN(uint8_t * at,
+                            writer.Reserve(bytes, &locator[i]));
+      StoreRaw<uint32_t>(at, tree.Value(old_id));
+      StoreRaw<uint32_t>(at + 4, static_cast<uint32_t>(rows.size()));
+      uint8_t* p = at + 8;
+      for (RowId r : rows) {
+        StoreRaw<uint64_t>(p, r);
+        p += 8;
+      }
+      for (size_t e = 0; e < rows.size(); ++e) {
+        const double* nums = stride > 0 ? tree.LeafNumerics(old_id, e)
+                                        : nullptr;
+        for (size_t d = 0; d < stride; ++d) {
+          StoreRaw<double>(p, nums[d]);
+          p += sizeof(double);
+        }
+      }
+    }
+  }
+  NMRS_RETURN_IF_ERROR(writer.Finish());
+
+  // Schema reconstruction: PackedALTree needs m + numeric flag; rebuild a
+  // minimal schema from the source tree's public surface. The caller's
+  // schema is what matters for distances; we only need attribute count and
+  // numeric stride here, so keep a categorical skeleton plus the stride.
+  Schema skeleton;
+  for (size_t a = 0; a < tree.attr_order().size(); ++a) {
+    AttributeInfo info;
+    info.name = "attr" + std::to_string(a);
+    info.cardinality = 1;
+    info.is_numeric = tree.has_numerics();
+    info.range = Interval{0.0, 1.0};
+    skeleton.AddAttribute(std::move(info));
+  }
+
+  return PackedALTree(disk, file, std::move(skeleton), tree.attr_order(),
+                      std::move(locator), std::move(level_start),
+                      tree.num_objects());
+}
+
+Status PackedALTree::ReadNode(uint32_t index, NodeView* out) const {
+  if (index >= locator_.size()) {
+    return Status::OutOfRange("node index " + std::to_string(index) +
+                              " out of range");
+  }
+  const uint64_t loc = locator_[index];
+  const PageId page = loc >> 32;
+  const size_t offset = loc & 0xffffffffu;
+  if (page != cached_page_) {
+    NMRS_RETURN_IF_ERROR(disk_->ReadPage(file_, page, &cache_));
+    cached_page_ = page;
+  }
+  const uint8_t* at = cache_.data() + offset;
+  out->value = LoadRaw<uint32_t>(at);
+  out->leaf = IsLeafIndex(index);
+  out->row_ids.clear();
+  out->numerics.clear();
+  if (!out->leaf) {
+    out->first_child = LoadRaw<uint32_t>(at + 4);
+    out->num_children = LoadRaw<uint32_t>(at + 8);
+  } else {
+    const uint32_t count = LoadRaw<uint32_t>(at + 4);
+    const uint8_t* p = at + 8;
+    out->row_ids.reserve(count);
+    for (uint32_t e = 0; e < count; ++e) {
+      out->row_ids.push_back(LoadRaw<uint64_t>(p));
+      p += 8;
+    }
+    const size_t stride =
+        schema_.NumNumeric() > 0 ? attr_order_.size() : 0;
+    if (stride > 0) {
+      out->numerics.reserve(count * stride);
+      for (size_t d = 0; d < count * stride; ++d) {
+        out->numerics.push_back(LoadRaw<double>(p));
+        p += sizeof(double);
+      }
+    }
+    out->first_child = 0;
+    out->num_children = 0;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<RowId>> PackedALTree::FindLeaf(
+    const ValueId* values) const {
+  NodeView node;
+  NMRS_RETURN_IF_ERROR(ReadNode(0, &node));
+  for (size_t level = 0; level < attr_order_.size(); ++level) {
+    const ValueId want = values[attr_order_[level]];
+    bool found = false;
+    const uint32_t first = node.first_child;
+    const uint32_t count = node.num_children;
+    for (uint32_t i = 0; i < count && !found; ++i) {
+      NodeView child;
+      NMRS_RETURN_IF_ERROR(ReadNode(first + i, &child));
+      if (child.value == want) {
+        node = std::move(child);
+        found = true;
+      }
+    }
+    if (!found) return std::vector<RowId>{};
+  }
+  return node.row_ids;
+}
+
+StatusOr<bool> PackedALTree::IsPrunable(const SimilaritySpace& space,
+                                        const Object& query,
+                                        const ValueId* c_values,
+                                        RowId self_id,
+                                        uint64_t* checks_out) const {
+  uint64_t checks = 0;
+  const size_t m = attr_order_.size();
+  // rhs[l] = d_l(q_l, c_l) per tree level.
+  std::vector<double> rhs(m);
+  for (size_t l = 0; l < m; ++l) {
+    const AttrId a = attr_order_[l];
+    rhs[l] = space.CatDist(a, query.values[a], c_values[a]);
+  }
+
+  struct Entry {
+    uint32_t index;
+    uint32_t level;  // level of this node's children
+    bool found_closer;
+  };
+  std::vector<Entry> stack = {{0, 0, false}};
+  bool prunable = false;
+  while (!stack.empty() && !prunable) {
+    const Entry s = stack.back();
+    stack.pop_back();
+    NodeView node;
+    NMRS_RETURN_IF_ERROR(ReadNode(s.index, &node));
+    for (uint32_t i = 0; i < node.num_children && !prunable; ++i) {
+      NodeView child;
+      NMRS_RETURN_IF_ERROR(ReadNode(node.first_child + i, &child));
+      const AttrId a = attr_order_[s.level];
+      const double lhs = space.CatDist(a, child.value, c_values[a]);
+      ++checks;
+      if (lhs > rhs[s.level]) continue;
+      const bool closer = s.found_closer || lhs < rhs[s.level];
+      if (child.leaf) {
+        if (!closer) continue;
+        // The candidate's own instance is not its own pruner; duplicates
+        // under other ids are.
+        size_t others = child.row_ids.size();
+        for (RowId r : child.row_ids) {
+          if (r == self_id) --others;
+        }
+        if (others > 0) prunable = true;
+      } else {
+        stack.push_back({node.first_child + i, s.level + 1, closer});
+      }
+    }
+  }
+  if (checks_out != nullptr) *checks_out = checks;
+  return prunable;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,64 @@
+#ifndef NMRS_COMMON_CHECK_H_
+#define NMRS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace nmrs {
+namespace internal_check {
+
+// Accumulates the failure message and aborts the process when destroyed.
+// Used only via the NMRS_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "NMRS_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace nmrs
+
+/// Aborts with a diagnostic when `cond` is false. Always on (release too):
+/// these guard invariants whose violation would corrupt query results.
+#define NMRS_CHECK(cond)                       \
+  (cond) ? (void)0                             \
+         : ::nmrs::internal_check::Voidify() & \
+               ::nmrs::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define NMRS_CHECK_EQ(a, b) NMRS_CHECK((a) == (b))
+#define NMRS_CHECK_NE(a, b) NMRS_CHECK((a) != (b))
+#define NMRS_CHECK_LT(a, b) NMRS_CHECK((a) < (b))
+#define NMRS_CHECK_LE(a, b) NMRS_CHECK((a) <= (b))
+#define NMRS_CHECK_GT(a, b) NMRS_CHECK((a) > (b))
+#define NMRS_CHECK_GE(a, b) NMRS_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define NMRS_DCHECK(cond) NMRS_CHECK(cond)
+#else
+#define NMRS_DCHECK(cond) \
+  while (false) NMRS_CHECK(cond)
+#endif
+
+#endif  // NMRS_COMMON_CHECK_H_

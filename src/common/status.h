@@ -1,0 +1,113 @@
+#ifndef NMRS_COMMON_STATUS_H_
+#define NMRS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nmrs {
+
+// Machine-readable category of a failure. Mirrors the usual database-engine
+// status taxonomy (RocksDB/Arrow style) so callers can branch on kind without
+// string matching.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Status is the error-handling currency of the library: every fallible
+/// operation returns a Status (or StatusOr<T>). The OK status is cheap to
+/// copy; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define NMRS_RETURN_IF_ERROR(expr)               \
+  do {                                           \
+    ::nmrs::Status _nmrs_status = (expr);        \
+    if (!_nmrs_status.ok()) return _nmrs_status; \
+  } while (false)
+
+}  // namespace nmrs
+
+#endif  // NMRS_COMMON_STATUS_H_

@@ -1,0 +1,72 @@
+#ifndef NMRS_COMMON_STATUSOR_H_
+#define NMRS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace nmrs {
+
+/// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+/// why the value is absent. Accessing the value of an errored StatusOr aborts
+/// the process (programming error), so callers must test ok() first or use
+/// NMRS_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Aborts if `status` is OK (an OK
+  /// StatusOr must carry a value).
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    NMRS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NMRS_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    NMRS_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    NMRS_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// NMRS_ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a StatusOr<T>); on error
+/// returns the status from the enclosing function, otherwise moves the value
+/// into lhs.
+#define NMRS_ASSIGN_OR_RETURN(lhs, expr)            \
+  NMRS_ASSIGN_OR_RETURN_IMPL_(                      \
+      NMRS_STATUS_MACRO_CONCAT_(_nmrs_sor, __LINE__), lhs, expr)
+
+#define NMRS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define NMRS_STATUS_MACRO_CONCAT_(x, y) NMRS_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define NMRS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace nmrs
+
+#endif  // NMRS_COMMON_STATUSOR_H_

@@ -1,0 +1,23 @@
+#ifndef NMRS_COMMON_STRING_UTIL_H_
+#define NMRS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nmrs {
+
+/// Splits `s` on `sep`, keeping empty tokens.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Human formatting helpers used by the bench harnesses.
+std::string FormatWithCommas(uint64_t v);
+std::string FormatDouble(double v, int precision);
+
+}  // namespace nmrs
+
+#endif  // NMRS_COMMON_STRING_UTIL_H_

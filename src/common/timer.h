@@ -1,0 +1,35 @@
+#ifndef NMRS_COMMON_TIMER_H_
+#define NMRS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace nmrs {
+
+/// Simple monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_COMMON_TIMER_H_

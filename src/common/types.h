@@ -1,0 +1,24 @@
+#ifndef NMRS_COMMON_TYPES_H_
+#define NMRS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nmrs {
+
+/// Index of a categorical value within its attribute's domain [0, card).
+using ValueId = uint32_t;
+
+/// Index of an attribute within a schema.
+using AttrId = uint32_t;
+
+/// Index of an object (row) within a dataset.
+using RowId = uint64_t;
+
+inline constexpr ValueId kInvalidValueId =
+    std::numeric_limits<ValueId>::max();
+inline constexpr RowId kInvalidRowId = std::numeric_limits<RowId>::max();
+
+}  // namespace nmrs
+
+#endif  // NMRS_COMMON_TYPES_H_

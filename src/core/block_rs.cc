@@ -1,0 +1,182 @@
+#include "core/block_rs.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/dominance.h"
+
+namespace nmrs {
+
+namespace {
+
+// Phase-1 pruner search order within a batch.
+enum class SearchOrder {
+  kForward,  // BRS: plain 0..n scan
+  kRing,     // SRS: offsets ±1, ±2, ... from the candidate's sorted position
+};
+
+// Intra-batch pruning of one loaded batch; appends survivors to *writer.
+// Pruned objects keep acting as pruners (paper Alg. 2 lines 4-7 iterate all
+// loaded Y).
+Status Phase1Batch(const RowBatch& batch, PruneContext& ctx,
+                   SearchOrder order, QueryStats* stats, RowWriter* writer) {
+  const size_t n = batch.size();
+  std::vector<bool> pruned(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
+    const RowId x_id = batch.id(i);
+    bool found = false;
+
+    auto try_pruner = [&](size_t j) {
+      if (batch.id(j) == x_id) return false;
+      ++stats->pair_tests;
+      return ctx.Prunes(batch.row_values(j), batch.row_numerics(j),
+                        &stats->checks);
+    };
+
+    if (order == SearchOrder::kForward) {
+      for (size_t j = 0; j < n && !found; ++j) {
+        if (j == i) continue;
+        found = try_pruner(j);
+      }
+    } else {
+      // Expanding ring around i: sorted data puts likely pruners nearby.
+      for (size_t off = 1; off < n && !found; ++off) {
+        if (off <= i) found = try_pruner(i - off);
+        if (!found && i + off < n) found = try_pruner(i + off);
+      }
+    }
+    pruned[i] = found;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!pruned[i]) {
+      NMRS_RETURN_IF_ERROR(writer->Add(batch.id(i), batch.row_values(i),
+                                       batch.row_numerics(i)));
+    }
+  }
+  return Status::OK();
+}
+
+// Phase 2 (paper Alg. 2 lines 9-19): survivors R are consumed in batches of
+// (memory-1) pages; each batch is refined by one full sequential scan of D.
+Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
+              PruneContext& ctx, uint64_t batch_pages, QueryStats* stats,
+              std::vector<RowId>* out) {
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+  const uint64_t r_pages = survivors.num_pages();
+  const uint64_t d_pages = data.num_pages();
+
+  for (PageId r_start = 0; r_start < r_pages; r_start += batch_pages) {
+    ++stats->phase2_batches;
+    const PageId r_end = std::min<PageId>(r_start + batch_pages, r_pages);
+    RowBatch batch(m, numerics);
+    for (PageId p = r_start; p < r_end; ++p) {
+      NMRS_RETURN_IF_ERROR(survivors.ReadPage(p, &batch));
+    }
+    std::vector<bool> alive(batch.size(), true);
+
+    RowBatch page(m, numerics);
+    for (PageId dp = 0; dp < d_pages; ++dp) {
+      page.Clear();
+      NMRS_RETURN_IF_ERROR(data.ReadPage(dp, &page));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!alive[i]) continue;
+        ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
+        const RowId x_id = batch.id(i);
+        for (size_t j = 0; j < page.size(); ++j) {
+          if (page.id(j) == x_id) continue;
+          ++stats->pair_tests;
+          if (ctx.Prunes(page.row_values(j), page.row_numerics(j),
+                         &stats->checks)) {
+            alive[i] = false;
+            break;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (alive[i]) out->push_back(batch.id(i));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
+    const StoredDataset& data, const SimilaritySpace& space,
+    const Object& query, const RSOptions& opts, SearchOrder order) {
+  SimulatedDisk* disk = data.disk();
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+  if (opts.memory.pages < 2) {
+    return Status::InvalidArgument(
+        "block algorithms need a memory budget of at least 2 pages");
+  }
+
+  Timer timer;
+  const IoStats io_before = disk->stats();
+  disk->InvalidateArmPosition();
+
+  PruneContext ctx(space, schema, query, opts.selected_attrs);
+  ReverseSkylineResult result;
+  QueryStats& stats = result.stats;
+
+  // ---- Phase 1: intra-batch pruning, spill survivors. ----
+  Timer phase1_timer;
+  FileId scratch = disk->CreateFile("rs-scratch");
+  RowWriter writer(disk, scratch, schema);
+  const uint64_t total_pages = data.num_pages();
+  for (PageId start = 0; start < total_pages; start += opts.memory.pages) {
+    ++stats.phase1_batches;
+    const PageId end =
+        std::min<PageId>(start + opts.memory.pages, total_pages);
+    RowBatch batch(m, numerics);
+    for (PageId p = start; p < end; ++p) {
+      NMRS_RETURN_IF_ERROR(data.ReadPage(p, &batch));
+    }
+    NMRS_RETURN_IF_ERROR(Phase1Batch(batch, ctx, order, &stats, &writer));
+    // Results are written out at the end of every batch (paper §4.1) —
+    // this is what makes the per-batch random IO visible.
+    NMRS_RETURN_IF_ERROR(writer.FlushPartial());
+  }
+  NMRS_RETURN_IF_ERROR(writer.Finish());
+  stats.phase1_survivors = writer.rows_written();
+  stats.phase1_checks = stats.checks;
+  stats.phase1_millis = phase1_timer.ElapsedMillis();
+
+  // ---- Phase 2: refine survivors against full scans of D. ----
+  Timer phase2_timer;
+  StoredDataset survivors(disk, scratch, schema, writer.rows_written());
+  const uint64_t batch_pages = opts.memory.pages - 1;  // 1 page scans D
+  NMRS_RETURN_IF_ERROR(
+      Phase2(data, survivors, ctx, batch_pages, &stats, &result.rows));
+  stats.phase2_checks = stats.checks - stats.phase1_checks;
+  stats.phase2_millis = phase2_timer.ElapsedMillis();
+
+  NMRS_RETURN_IF_ERROR(disk->DeleteFile(scratch));
+
+  std::sort(result.rows.begin(), result.rows.end());
+  stats.result_size = result.rows.size();
+  stats.io = disk->stats() - io_before;
+  stats.compute_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ReverseSkylineResult> BlockReverseSkyline(
+    const StoredDataset& data, const SimilaritySpace& space,
+    const Object& query, const RSOptions& opts) {
+  return RunBlockAlgorithm(data, space, query, opts, SearchOrder::kForward);
+}
+
+StatusOr<ReverseSkylineResult> SortReverseSkyline(
+    const StoredDataset& sorted_data, const SimilaritySpace& space,
+    const Object& query, const RSOptions& opts) {
+  return RunBlockAlgorithm(sorted_data, space, query, opts,
+                           SearchOrder::kRing);
+}
+
+}  // namespace nmrs

@@ -1,0 +1,33 @@
+#ifndef NMRS_CORE_BNL_DISK_H_
+#define NMRS_CORE_BNL_DISK_H_
+
+#include "common/statusor.h"
+#include "core/query.h"
+#include "data/stored_dataset.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Disk-based Block-Nested-Loops dynamic skyline (Börzsönyi et al., the
+/// algorithm the paper cites as the standard non-metric-capable skyline
+/// method): the skyline of `data` with respect to reference object `ref`,
+/// i.e. all rows not dominated w.r.t. `ref` by any other row.
+///
+/// Classic BNL structure: a memory-resident window of `opts.memory` pages
+/// of incomparable objects; objects that don't fit are spilled to a
+/// temporary file and processed in a further pass. Window objects are
+/// timestamped so an object is only emitted once it has been compared
+/// against the whole input of its pass. Statistics (checks, page IO,
+/// passes via phase1_batches) are reported like the RS algorithms'.
+///
+/// This is both a library feature (dynamic skylines under non-metric
+/// measures) and the building block of the "is Q in S(X)?" formulation of
+/// Definition 1.
+StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
+                                                 const SimilaritySpace& space,
+                                                 const Object& ref,
+                                                 const RSOptions& opts = {});
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_BNL_DISK_H_

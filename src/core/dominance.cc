@@ -1,0 +1,79 @@
+#include "core/dominance.h"
+
+#include <numeric>
+
+namespace nmrs {
+
+std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
+                                         const std::vector<AttrId>& selected) {
+  if (selected.empty()) {
+    std::vector<AttrId> all(schema.num_attributes());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  for (AttrId a : selected) {
+    NMRS_CHECK(a < schema.num_attributes())
+        << "selected attribute " << a << " out of range";
+  }
+  return selected;
+}
+
+PruneContext::PruneContext(const SimilaritySpace& space, const Schema& schema,
+                           const Object& query,
+                           const std::vector<AttrId>& selected)
+    : space_(&space),
+      schema_(&schema),
+      query_(query),
+      selected_(ResolveSelectedAttrs(schema, selected)) {
+  NMRS_CHECK_EQ(space.num_attributes(), schema.num_attributes());
+  NMRS_CHECK_EQ(query.values.size(), schema.num_attributes());
+  is_numeric_.reserve(selected_.size());
+  for (AttrId a : selected_) {
+    is_numeric_.push_back(schema.attribute(a).is_numeric);
+  }
+  qdist_.assign(selected_.size(), 0.0);
+}
+
+void PruneContext::SetCandidate(const ValueId* x_values,
+                                const double* x_numerics) {
+  x_values_ = x_values;
+  x_numerics_ = x_numerics;
+  for (size_t k = 0; k < selected_.size(); ++k) {
+    const AttrId a = selected_[k];
+    if (is_numeric_[k]) {
+      NMRS_DCHECK(x_numerics != nullptr);
+      qdist_[k] = space_->NumDist(a, query_.numerics[a], x_numerics[a]);
+    } else {
+      qdist_[k] = space_->CatDist(a, query_.values[a], x_values[a]);
+    }
+  }
+}
+
+bool PruneContext::QueryAtCandidate() const {
+  for (double d : qdist_) {
+    if (d != 0.0) return false;
+  }
+  return true;
+}
+
+bool PruneContext::Prunes(const ValueId* y_values, const double* y_numerics,
+                          uint64_t* checks) const {
+  NMRS_DCHECK(x_values_ != nullptr);
+  bool strict = false;
+  for (size_t k = 0; k < selected_.size(); ++k) {
+    const AttrId a = selected_[k];
+    double lhs;
+    if (is_numeric_[k]) {
+      NMRS_DCHECK(y_numerics != nullptr && x_numerics_ != nullptr);
+      lhs = space_->NumDist(a, y_numerics[a], x_numerics_[a]);
+    } else {
+      lhs = space_->CatDist(a, y_values[a], x_values_[a]);
+    }
+    ++*checks;
+    if (lhs > qdist_[k]) return false;
+    if (lhs < qdist_[k]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace nmrs

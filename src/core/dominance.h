@@ -1,0 +1,78 @@
+#ifndef NMRS_CORE_DOMINANCE_H_
+#define NMRS_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "data/object.h"
+#include "data/schema.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Resolves an attribute-subset selection: returns `selected` unchanged if
+/// non-empty (validated against the schema), otherwise all attributes.
+std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
+                                         const std::vector<AttrId>& selected);
+
+/// Evaluates the pruning condition of Definition 1: Y prunes candidate X
+/// (w.r.t. query Q) iff
+///     forall i: d_i(y_i, x_i) <= d_i(q_i, x_i)   and
+///     exists i: d_i(y_i, x_i) <  d_i(q_i, x_i),
+/// restricted to the selected attributes. The candidate X is set once and
+/// its query-side distances d_i(q_i, x_i) are cached; each Prunes() call
+/// early-aborts on the first violated attribute and reports how many
+/// attribute-level checks it performed.
+///
+/// Numeric attributes are compared on exact values (buckets are a TRS-tree
+/// concern only).
+class PruneContext {
+ public:
+  PruneContext(const SimilaritySpace& space, const Schema& schema,
+               const Object& query, const std::vector<AttrId>& selected);
+
+  size_t num_selected() const { return selected_.size(); }
+  const std::vector<AttrId>& selected() const { return selected_; }
+  const Object& query() const { return query_; }
+
+  /// Fixes the candidate X = (values, numerics); `numerics` may be null for
+  /// all-categorical schemas.
+  void SetCandidate(const ValueId* x_values, const double* x_numerics);
+
+  /// d_{selected_[k]}(q, x) for the current candidate.
+  double QueryDist(size_t k) const { return qdist_[k]; }
+
+  /// True when the query has distance 0 to the candidate on every selected
+  /// attribute (then only identity prevents everything from pruning X).
+  bool QueryAtCandidate() const;
+
+  /// Whether Y = (values, numerics) prunes the current candidate. Adds the
+  /// number of attribute-level comparisons made to *checks.
+  bool Prunes(const ValueId* y_values, const double* y_numerics,
+              uint64_t* checks) const;
+
+  /// Distance of value `v` (attr selected_[k]) from the candidate's value —
+  /// the left-hand side of a pruning check, exposed for tree traversals.
+  double CandidateDist(size_t k, ValueId v) const {
+    const AttrId a = selected_[k];
+    return space_->CatDist(a, v, x_values_[a]);
+  }
+
+  const ValueId* candidate_values() const { return x_values_; }
+  const double* candidate_numerics() const { return x_numerics_; }
+
+ private:
+  const SimilaritySpace* space_;
+  const Schema* schema_;
+  Object query_;
+  std::vector<AttrId> selected_;
+  std::vector<bool> is_numeric_;  // aligned with selected_
+  const ValueId* x_values_ = nullptr;
+  const double* x_numerics_ = nullptr;
+  std::vector<double> qdist_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_DOMINANCE_H_

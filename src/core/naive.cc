@@ -1,0 +1,62 @@
+#include "core/naive.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/dominance.h"
+
+namespace nmrs {
+
+StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
+    const StoredDataset& data, const SimilaritySpace& space,
+    const Object& query, const RSOptions& opts) {
+  SimulatedDisk* disk = data.disk();
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+
+  Timer timer;
+  const IoStats io_before = disk->stats();
+  disk->InvalidateArmPosition();
+
+  PruneContext ctx(space, schema, query, opts.selected_attrs);
+  ReverseSkylineResult result;
+  QueryStats& stats = result.stats;
+
+  const uint64_t total_pages = data.num_pages();
+  RowBatch outer(m, numerics);
+  RowBatch inner(m, numerics);
+  for (PageId op = 0; op < total_pages; ++op) {
+    outer.Clear();
+    NMRS_RETURN_IF_ERROR(data.ReadPage(op, &outer));
+    for (size_t i = 0; i < outer.size(); ++i) {
+      ctx.SetCandidate(outer.row_values(i), outer.row_numerics(i));
+      const RowId x_id = outer.id(i);
+      bool pruned = false;
+      // Scan D from the beginning, page by page, until a pruner shows up.
+      for (PageId ip = 0; ip < total_pages && !pruned; ++ip) {
+        inner.Clear();
+        NMRS_RETURN_IF_ERROR(data.ReadPage(ip, &inner));
+        for (size_t j = 0; j < inner.size(); ++j) {
+          if (inner.id(j) == x_id) continue;
+          ++stats.pair_tests;
+          if (ctx.Prunes(inner.row_values(j), inner.row_numerics(j),
+                         &stats.checks)) {
+            pruned = true;
+            break;
+          }
+        }
+      }
+      if (!pruned) result.rows.push_back(x_id);
+    }
+  }
+
+  std::sort(result.rows.begin(), result.rows.end());
+  stats.phase1_checks = stats.checks;
+  stats.result_size = result.rows.size();
+  stats.io = disk->stats() - io_before;
+  stats.compute_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace nmrs

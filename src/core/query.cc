@@ -1,0 +1,17 @@
+#include "core/query.h"
+
+#include <sstream>
+
+namespace nmrs {
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "QueryStats{checks=" << checks << ", pair_tests=" << pair_tests
+     << ", p1_batches=" << phase1_batches << ", survivors="
+     << phase1_survivors << ", p2_batches=" << phase2_batches
+     << ", io=" << io.ToString() << ", compute_ms=" << compute_millis
+     << ", result=" << result_size << "}";
+  return os.str();
+}
+
+}  // namespace nmrs

@@ -1,0 +1,79 @@
+#ifndef NMRS_CORE_QUERY_H_
+#define NMRS_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "data/object.h"
+#include "storage/io_stats.h"
+#include "storage/memory_budget.h"
+
+namespace nmrs {
+
+/// Options shared by all reverse-skyline algorithms.
+struct RSOptions {
+  /// Working memory for batches, in pages. Naive ignores it (it streams).
+  MemoryBudget memory{16};
+
+  /// Attribute subset to run the query on (paper §5.6); empty = all
+  /// attributes. Entries are physical AttrIds.
+  std::vector<AttrId> selected_attrs;
+
+  /// AL-Tree / sort attribute ordering (physical AttrIds, a permutation of
+  /// the schema). Empty = ascending-cardinality heuristic (paper §5.1).
+  std::vector<AttrId> attr_order;
+
+  /// TRS ablation switch: push children in ascending-descendant order
+  /// (paper Alg. 4 line 8) when true, insertion order when false.
+  bool order_children_by_descendants = true;
+};
+
+/// Everything the paper measures, per query.
+struct QueryStats {
+  /// Attribute-level pruning-condition evaluations ("checks", paper
+  /// Table 3). One check = one comparison of d(y,x) against d(q,x) on a
+  /// single attribute (or its group-level / bucket-level analogue).
+  uint64_t checks = 0;
+
+  /// Breakdown of `checks` by phase (phase1_checks + phase2_checks ==
+  /// checks for the two-phase algorithms; Naive reports all under
+  /// phase1_checks).
+  uint64_t phase1_checks = 0;
+  uint64_t phase2_checks = 0;
+
+  /// Candidate-pruner pair tests begun (each costs >= 1 check).
+  uint64_t pair_tests = 0;
+
+  uint64_t phase1_batches = 0;
+  uint64_t phase1_survivors = 0;  // |R| written between phases
+  uint64_t phase2_batches = 0;
+
+  /// Page IO charged to this query (excludes pre-processing sort).
+  IoStats io;
+
+  double phase1_millis = 0;
+  double phase2_millis = 0;
+  double compute_millis = 0;  // total wall time of the algorithm
+
+  uint64_t result_size = 0;
+
+  /// Response time = computation + modeled disk latency (the simulated
+  /// disk transfers pages memory-to-memory, so modeled IO time is added).
+  double ResponseMillis(const IoCostModel& model = {}) const {
+    return compute_millis + model.EstimateMillis(io);
+  }
+
+  std::string ToString() const;
+};
+
+/// A reverse-skyline answer: original RowIds (ascending) plus stats.
+struct ReverseSkylineResult {
+  std::vector<RowId> rows;
+  QueryStats stats;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_QUERY_H_

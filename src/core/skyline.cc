@@ -1,0 +1,254 @@
+#include "core/skyline.h"
+
+#include <algorithm>
+
+#include "altree/al_tree.h"
+#include "core/dominance.h"
+#include "order/attribute_order.h"
+
+namespace nmrs {
+
+bool DominatesWrt(const SimilaritySpace& space, const Schema& schema,
+                  const Object& ref, const Object& a, const Object& b,
+                  const std::vector<AttrId>& selected) {
+  const std::vector<AttrId> attrs = ResolveSelectedAttrs(schema, selected);
+  bool strict = false;
+  for (AttrId i : attrs) {
+    double da, db;
+    if (schema.attribute(i).is_numeric) {
+      da = space.NumDist(i, a.numerics[i], ref.numerics[i]);
+      db = space.NumDist(i, b.numerics[i], ref.numerics[i]);
+    } else {
+      da = space.CatDist(i, a.values[i], ref.values[i]);
+      db = space.CatDist(i, b.values[i], ref.values[i]);
+    }
+    if (da > db) return false;
+    if (da < db) strict = true;
+  }
+  return strict;
+}
+
+std::vector<RowId> DynamicSkylineBNL(const Dataset& data,
+                                     const SimilaritySpace& space,
+                                     const Object& ref,
+                                     const std::vector<AttrId>& selected) {
+  const Schema& schema = data.schema();
+  std::vector<RowId> window;  // current non-dominated set
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    const Object candidate = data.GetObject(r);
+    bool dominated = false;
+    // Compare against the window; drop window members the candidate
+    // dominates.
+    std::vector<RowId> next_window;
+    next_window.reserve(window.size() + 1);
+    for (RowId w : window) {
+      const Object other = data.GetObject(w);
+      if (!dominated && DominatesWrt(space, schema, ref, other, candidate,
+                                     selected)) {
+        dominated = true;
+      }
+      if (!DominatesWrt(space, schema, ref, candidate, other, selected)) {
+        next_window.push_back(w);
+      }
+    }
+    if (dominated) continue;  // window unchanged (nothing it dominates kept out)
+    window = std::move(next_window);
+    window.push_back(r);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+Status VerifyReverseSkyline(const Dataset& data, const SimilaritySpace& space,
+                            const Object& query,
+                            const std::vector<RowId>& rows,
+                            const std::vector<AttrId>& selected) {
+  PruneContext ctx(space, data.schema(), query, selected);
+  std::vector<bool> claimed(data.num_rows(), false);
+  for (RowId r : rows) {
+    if (r >= data.num_rows()) {
+      return Status::FailedPrecondition("claimed row " + std::to_string(r) +
+                                        " is not in the dataset");
+    }
+    if (claimed[r]) {
+      return Status::FailedPrecondition("row " + std::to_string(r) +
+                                        " claimed twice");
+    }
+    claimed[r] = true;
+  }
+  uint64_t checks = 0;
+  for (RowId x = 0; x < data.num_rows(); ++x) {
+    ctx.SetCandidate(data.RowValues(x), data.RowNumerics(x));
+    bool pruned = false;
+    for (RowId y = 0; y < data.num_rows() && !pruned; ++y) {
+      if (y == x) continue;
+      pruned = ctx.Prunes(data.RowValues(y), data.RowNumerics(y), &checks);
+    }
+    if (pruned && claimed[x]) {
+      return Status::FailedPrecondition(
+          "row " + std::to_string(x) +
+          " is claimed but has a pruner (not in RS)");
+    }
+    if (!pruned && !claimed[x]) {
+      return Status::FailedPrecondition(
+          "row " + std::to_string(x) +
+          " belongs to RS but is missing from the claim");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<RowId> ReverseSkylineOracle(const Dataset& data,
+                                        const SimilaritySpace& space,
+                                        const Object& query,
+                                        const std::vector<AttrId>& selected) {
+  PruneContext ctx(space, data.schema(), query, selected);
+  std::vector<RowId> result;
+  uint64_t checks = 0;
+  for (RowId x = 0; x < data.num_rows(); ++x) {
+    ctx.SetCandidate(data.RowValues(x), data.RowNumerics(x));
+    bool pruned = false;
+    for (RowId y = 0; y < data.num_rows(); ++y) {
+      if (y == x) continue;
+      if (ctx.Prunes(data.RowValues(y), data.RowNumerics(y), &checks)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) result.push_back(x);
+  }
+  return result;
+}
+
+std::vector<RowId> TreeDynamicSkyline(const Dataset& data,
+                                      const SimilaritySpace& space,
+                                      const Object& ref,
+                                      const std::vector<AttrId>& selected,
+                                      uint64_t* checks_out) {
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  NMRS_CHECK_EQ(schema.NumNumeric(), 0u)
+      << "TreeDynamicSkyline supports categorical attributes only";
+  uint64_t checks = 0;
+  std::vector<RowId> result;
+  if (data.num_rows() == 0 || m == 0) {
+    if (checks_out != nullptr) *checks_out = checks;
+    return result;
+  }
+
+  const auto attr_order = AscendingCardinalityOrder(schema);
+  ALTree tree(schema, attr_order);
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    tree.Insert(r, data.RowValues(r), nullptr);
+  }
+  tree.PrepareForSearch();
+
+  // Per tree level: the distances of every domain value to the reference
+  // (contiguous matrix column), or nullptr when the attribute is outside
+  // the selected subset. Candidate c is dominated iff the tree (minus one
+  // instance of c) holds an object Y with col[y_l] <= col[c_l] on every
+  // selected level and strictly smaller on one — the same traversal shape
+  // as TRS's IsPrunable with the roles of query and candidate swapped.
+  std::vector<const double*> col_by_level(m, nullptr);
+  {
+    std::vector<bool> is_selected(m, false);
+    for (AttrId a : ResolveSelectedAttrs(schema, selected)) {
+      is_selected[a] = true;
+    }
+    for (size_t l = 0; l < m; ++l) {
+      const AttrId a = attr_order[l];
+      if (is_selected[a]) {
+        col_by_level[l] = space.matrix(a).ColumnTo(ref.values[a]);
+      }
+    }
+  }
+
+  struct Entry {
+    ALTree::NodeId n;
+    uint32_t level;  // level of this node's children
+    bool found_closer;
+  };
+  std::vector<Entry> stack;
+  stack.reserve(256);
+  std::vector<ValueId> c_values(m, 0);
+  std::vector<double> rhs(m, 0.0);
+
+  std::vector<ALTree::NodeId> leaves;
+  tree.ForEachActiveLeaf([&](ALTree::NodeId l) { leaves.push_back(l); });
+  for (ALTree::NodeId leaf : leaves) {
+    // Reconstruct c's values and per-level thresholds.
+    {
+      ALTree::NodeId cur = leaf;
+      while (cur != ALTree::kRootId) {
+        c_values[tree.Level(cur)] = tree.Value(cur);  // level-indexed here
+        cur = tree.Parent(cur);
+      }
+      for (size_t l = 0; l < m; ++l) {
+        rhs[l] = col_by_level[l] != nullptr ? col_by_level[l][c_values[l]]
+                                            : 0.0;
+      }
+    }
+    tree.TempRemoveLeaf(leaf);
+    bool dominated = false;
+    stack.clear();
+    stack.push_back({ALTree::kRootId, 0, false});
+    while (!stack.empty() && !dominated) {
+      const Entry s = stack.back();
+      stack.pop_back();
+      const double* col = col_by_level[s.level];
+      for (const ALTree::ChildRef& child : tree.Children(s.n)) {
+        if (tree.Descendants(child.id) == 0) continue;
+        bool closer = s.found_closer;
+        if (col != nullptr) {
+          const double lhs = col[child.value];
+          ++checks;
+          if (lhs > rhs[s.level]) continue;
+          closer = closer || lhs < rhs[s.level];
+        }
+        if (s.level + 1 == m) {
+          if (closer) {
+            dominated = true;
+            break;
+          }
+          continue;
+        }
+        stack.push_back({child.id, s.level + 1, closer});
+      }
+    }
+    tree.TempRestore(leaf);
+    if (!dominated) {
+      for (RowId r : tree.LeafRows(leaf)) result.push_back(r);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  if (checks_out != nullptr) *checks_out = checks;
+  return result;
+}
+
+std::vector<RowId> ReverseSkylineViaSkylineMembership(
+    const Dataset& data, const SimilaritySpace& space, const Object& query,
+    const std::vector<AttrId>& selected) {
+  const Schema& schema = data.schema();
+  std::vector<RowId> result;
+  for (RowId x = 0; x < data.num_rows(); ++x) {
+    const Object ref = data.GetObject(x);
+    // Q is in the skyline of X over D ∪ {Q} iff nothing in D ∪ {Q}
+    // dominates Q w.r.t. X. (Q never dominates itself: no strict attr.)
+    // The dynamic skyline of X is taken over (D \ {X}) ∪ {Q}, matching
+    // Dellis & Seeger and the paper's Naive (Alg. 1, "∀Y ∈ D, Y ≠ X"):
+    // X is not its own pruner, but value-duplicates of X under other ids
+    // are. Q itself never dominates Q (no strict attribute).
+    bool q_dominated = false;
+    for (RowId z = 0; z < data.num_rows() && !q_dominated; ++z) {
+      if (z == x) continue;
+      const Object z_obj = data.GetObject(z);
+      if (DominatesWrt(space, schema, ref, z_obj, query, selected)) {
+        q_dominated = true;
+      }
+    }
+    if (!q_dominated) result.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace nmrs

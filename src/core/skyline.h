@@ -1,0 +1,72 @@
+#ifndef NMRS_CORE_SKYLINE_H_
+#define NMRS_CORE_SKYLINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/dataset.h"
+#include "data/object.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// A ≻_ref B: A dominates B with respect to reference object `ref`
+/// (Definition in §3), restricted to `selected` attributes (empty = all).
+bool DominatesWrt(const SimilaritySpace& space, const Schema& schema,
+                  const Object& ref, const Object& a, const Object& b,
+                  const std::vector<AttrId>& selected);
+
+/// Dynamic skyline of `data` w.r.t. reference object `ref` via
+/// block-nested-loops (Börzsönyi et al.): row ids of all objects not
+/// dominated by any other object w.r.t. `ref`. Handles arbitrary non-metric
+/// similarity measures. Duplicates never dominate each other, so all copies
+/// of a skyline point are returned.
+std::vector<RowId> DynamicSkylineBNL(const Dataset& data,
+                                     const SimilaritySpace& space,
+                                     const Object& ref,
+                                     const std::vector<AttrId>& selected = {});
+
+/// Validates a claimed reverse-skyline answer against the definition:
+/// returns OK when `rows` is exactly RS(Q) over `data` (restricted to
+/// `selected`), and FailedPrecondition naming the first discrepancy
+/// otherwise. O(n²); intended for downstream users' integration tests and
+/// for spot-checking results imported from elsewhere.
+Status VerifyReverseSkyline(const Dataset& data, const SimilaritySpace& space,
+                            const Object& query,
+                            const std::vector<RowId>& rows,
+                            const std::vector<AttrId>& selected = {});
+
+/// Reverse skyline straight from the definition (RS(Q) = rows X with no
+/// pruner Y ≻_X Q). O(n²); in-memory; the correctness oracle for every
+/// disk-based algorithm in this library.
+std::vector<RowId> ReverseSkylineOracle(const Dataset& data,
+                                        const SimilaritySpace& space,
+                                        const Object& query,
+                                        const std::vector<AttrId>& selected = {});
+
+/// Dynamic skyline via an AL-Tree with group-level reasoning (in the
+/// spirit of SkylineDFS, the paper's reference [21]): one distance check
+/// at an internal node settles domination potential for every object
+/// sharing that value prefix. Identical results to DynamicSkylineBNL,
+/// typically far fewer attribute-level checks on duplicate-rich data.
+/// Categorical attributes only (numeric attributes: use the BNL variants);
+/// `selected` restricts the comparison to an attribute subset.
+/// `checks_out` (optional) receives the attribute-level check count.
+std::vector<RowId> TreeDynamicSkyline(const Dataset& data,
+                                      const SimilaritySpace& space,
+                                      const Object& ref,
+                                      const std::vector<AttrId>& selected = {},
+                                      uint64_t* checks_out = nullptr);
+
+/// Reverse skyline via the *other* formulation — "X is in RS(Q) iff Q is in
+/// the skyline of X over D ∪ {Q}" — computing the full dynamic skyline of
+/// every row. O(n³): use only on tiny datasets to cross-validate the two
+/// formulations against each other.
+std::vector<RowId> ReverseSkylineViaSkylineMembership(
+    const Dataset& data, const SimilaritySpace& space, const Object& query,
+    const std::vector<AttrId>& selected = {});
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_SKYLINE_H_

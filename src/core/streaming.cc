@@ -1,0 +1,111 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+StreamingReverseSkyline::StreamingReverseSkyline(
+    const SimilaritySpace& space, const Schema& schema, Object query,
+    size_t window_capacity)
+    : space_(&space),
+      schema_(&schema),
+      query_(std::move(query)),
+      capacity_(window_capacity) {
+  NMRS_CHECK_GE(capacity_, 1u);
+  NMRS_CHECK_EQ(query_.values.size(), schema.num_attributes());
+}
+
+bool StreamingReverseSkyline::Prunes(const Object& pruner,
+                                     const Object& candidate) {
+  bool strict = false;
+  const size_t m = schema_->num_attributes();
+  for (AttrId a = 0; a < m; ++a) {
+    double lhs, rhs;
+    if (schema_->attribute(a).is_numeric) {
+      lhs = space_->NumDist(a, pruner.numerics[a], candidate.numerics[a]);
+      rhs = space_->NumDist(a, query_.numerics[a], candidate.numerics[a]);
+    } else {
+      lhs = space_->CatDist(a, pruner.values[a], candidate.values[a]);
+      rhs = space_->CatDist(a, query_.values[a], candidate.values[a]);
+    }
+    ++checks_;
+    if (lhs > rhs) return false;
+    if (lhs < rhs) strict = true;
+  }
+  return strict;
+}
+
+void StreamingReverseSkyline::Reverify(Entry& entry) {
+  // Scan newest-first so the remembered pruner expires as late as
+  // possible, minimizing future re-verifications.
+  entry.in_rs = true;
+  entry.pruner = kNoPruner;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (it->id == entry.id) continue;
+    if (Prunes(it->object, entry.object)) {
+      entry.in_rs = false;
+      entry.pruner = it->id;
+      return;
+    }
+  }
+}
+
+void StreamingReverseSkyline::Push(RowId id, const Object& object) {
+  NMRS_CHECK_EQ(object.values.size(), schema_->num_attributes());
+
+  // --- Expiry. ---
+  if (window_.size() == capacity_) {
+    const RowId expired = window_.front().id;
+    window_.pop_front();
+    // Objects that depended on the expired pruner must be re-verified.
+    for (Entry& entry : window_) {
+      if (entry.pruner == expired) Reverify(entry);
+    }
+  }
+
+  // --- Arrival: does the new object survive, and whom does it prune? ---
+  Entry entry{id, object, /*in_rs=*/true, kNoPruner};
+  for (Entry& other : window_) {
+    if (entry.in_rs && Prunes(other.object, entry.object)) {
+      entry.in_rs = false;
+      entry.pruner = other.id;  // overwritten below by a newer pruner if any
+    }
+  }
+  // Prefer the newest pruner (scan once more from the back only if pruned;
+  // cheap relative to the full scan above and keeps dependencies fresh).
+  if (!entry.in_rs) {
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+      if (Prunes(it->object, entry.object)) {
+        entry.pruner = it->id;
+        break;
+      }
+    }
+  }
+  for (Entry& other : window_) {
+    if (Prunes(entry.object, other.object)) {
+      other.in_rs = false;
+      other.pruner = entry.id;
+    }
+  }
+  window_.push_back(std::move(entry));
+}
+
+std::vector<RowId> StreamingReverseSkyline::CurrentRs() const {
+  std::vector<RowId> out;
+  for (const Entry& entry : window_) {
+    if (entry.in_rs) out.push_back(entry.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> StreamingReverseSkyline::WindowIds() const {
+  std::vector<RowId> out;
+  out.reserve(window_.size());
+  for (const Entry& entry : window_) out.push_back(entry.id);
+  return out;
+}
+
+}  // namespace nmrs

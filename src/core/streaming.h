@@ -1,0 +1,83 @@
+#ifndef NMRS_CORE_STREAMING_H_
+#define NMRS_CORE_STREAMING_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "data/object.h"
+#include "data/schema.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Continuous reverse skyline over a count-based sliding window (the
+/// streaming setting of the paper's related work [29], here under
+/// arbitrary non-metric measures): a fixed query Q, objects arriving one
+/// at a time, the oldest object expiring once the window is full, and
+/// RS_window(Q) maintained incrementally.
+///
+/// Maintenance logic per event:
+///  * arrival of o — (1) o enters the RS iff no window object prunes it;
+///    (2) o may prune current RS members, which then leave the RS.
+///  * expiry of p — objects whose *remembered pruner* was p must be
+///    re-verified against the remaining window; survivors rejoin the RS.
+///
+/// Each non-member remembers the latest-arriving pruner found for it, so
+/// an expiry only re-verifies the objects that actually depended on the
+/// expiring pruner (instead of rescanning everything). Amortized cost is
+/// O(window) per event in the worst case but far less on typical streams;
+/// `checks()` exposes the attribute-level comparison count for
+/// measurement.
+class StreamingReverseSkyline {
+ public:
+  /// `window_capacity` >= 1. The query is fixed for the lifetime of the
+  /// object (one instance per continuous query).
+  StreamingReverseSkyline(const SimilaritySpace& space, const Schema& schema,
+                          Object query, size_t window_capacity);
+
+  /// Pushes an arrival (expiring the oldest object first if the window is
+  /// full). `id` is the caller's identifier for the object (must be unique
+  /// among live window objects).
+  void Push(RowId id, const Object& object);
+
+  /// Ids of the current window's reverse skyline, ascending.
+  std::vector<RowId> CurrentRs() const;
+
+  /// Ids of all live window objects, oldest first.
+  std::vector<RowId> WindowIds() const;
+
+  size_t window_size() const { return window_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t checks() const { return checks_; }
+
+ private:
+  struct Entry {
+    RowId id;
+    Object object;
+    bool in_rs;
+    // The window id of the remembered pruner (kNoPruner when in_rs).
+    RowId pruner = kNoPruner;
+  };
+  static constexpr RowId kNoPruner = kInvalidRowId;
+
+  // Does `pruner` prune `candidate` w.r.t. the query? (candidate is the
+  // reference of the distance comparisons, §3.)
+  bool Prunes(const Object& pruner, const Object& candidate);
+
+  // Scans the window for a pruner of `entry` (excluding entry itself),
+  // preferring the latest-arriving one so the dependency survives longest.
+  // Updates entry.in_rs / entry.pruner.
+  void Reverify(Entry& entry);
+
+  const SimilaritySpace* space_;
+  const Schema* schema_;
+  Object query_;
+  size_t capacity_;
+  std::deque<Entry> window_;  // oldest first
+  uint64_t checks_ = 0;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_STREAMING_H_

@@ -1,0 +1,116 @@
+#ifndef NMRS_CORE_TREE_TRAVERSAL_H_
+#define NMRS_CORE_TREE_TRAVERSAL_H_
+
+// Internal shared machinery of the AL-Tree-based reverse-skyline
+// algorithms (TRS and the bichromatic tree variant). Not part of the
+// public API — include core/trs.h / core/bichromatic.h instead.
+
+#include <optional>
+#include <vector>
+
+#include "altree/al_tree.h"
+#include "core/query.h"
+#include "data/bucketizer.h"
+#include "data/stored_dataset.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+namespace internal_tree {
+
+/// Immutable per-query state shared by the tree traversals.
+struct TreeQueryContext {
+  const SimilaritySpace* space;
+  const Schema* schema;
+  Object query;
+  std::vector<AttrId> attr_order;      // tree level -> physical attr
+  std::vector<bool> attr_selected;     // by physical attr
+  std::vector<std::optional<Bucketizer>> buckets;  // by physical attr
+
+  /// True when the tight all-categorical / all-attributes traversal
+  /// specializations apply.
+  bool fast_path = false;
+  /// Per tree level: the matrix row of the query's value
+  /// (q_row_by_level[l][u] == d_l(q_l, u)); fast path only.
+  std::vector<const double*> q_row_by_level;
+
+  Interval BucketOf(AttrId a, ValueId bucket) const {
+    return buckets[a]->BucketInterval(bucket);
+  }
+};
+
+TreeQueryContext MakeTreeContext(const SimilaritySpace& space,
+                                 const Schema& schema, const Object& query,
+                                 const RSOptions& opts);
+
+/// Reconstructs the full value vector of a leaf by walking parents.
+void LeafValues(const ALTree& tree, ALTree::NodeId leaf,
+                const std::vector<AttrId>& attr_order,
+                std::vector<ValueId>* values);
+
+/// Stack entry shared by the traversals.
+struct TraversalEntry {
+  ALTree::NodeId n;
+  bool found_closer;
+};
+
+/// Stack entry of the fast-path traversals (carries the level).
+struct FastEntry {
+  ALTree::NodeId n;
+  uint32_t level;  // level of this node's children
+  bool found_closer;
+};
+
+/// Per-level candidate context for IsPrunableFast: col[v] = d_l(v, c_l),
+/// rhs = d_l(q_l, c_l).
+struct Phase1Level {
+  const double* col;
+  double rhs;
+};
+
+/// Per-level streamed-object context for PruneTreeFast: erow[u] =
+/// d_l(e_l, u), qrow[u] = d_l(q_l, u) — both contiguous matrix rows.
+struct Phase2Level {
+  const double* erow;
+  const double* qrow;
+};
+
+/// Paper Alg. 4: does any object in `tree` prune candidate c (= c_values,
+/// with query-side thresholds rhs[attr])? General version (subsets,
+/// numeric buckets).
+bool IsPrunable(const ALTree& tree, const TreeQueryContext& ctx,
+                const std::vector<ValueId>& c_values,
+                const std::vector<double>& rhs, QueryStats* stats,
+                std::vector<TraversalEntry>& stack);
+
+/// All-categorical/all-attributes specialization of IsPrunable.
+bool IsPrunableFast(const ALTree& tree, const std::vector<Phase1Level>& levels,
+                    QueryStats* stats, std::vector<FastEntry>& stack);
+
+/// Query-side thresholds for candidate c (see IsPrunable).
+void ComputeRhs(const TreeQueryContext& ctx,
+                const std::vector<ValueId>& c_values,
+                std::vector<double>* rhs);
+
+/// Paper Alg. 5: removes from `tree` every object prunable by streamed
+/// object e; entries whose row id equals `spare_id` are never evicted
+/// (pass kInvalidRowId for bichromatic pruning, where the streamed object
+/// can never be a candidate). General version.
+void PruneTree(ALTree& tree, const TreeQueryContext& ctx,
+               const ValueId* e_values, const double* e_numerics,
+               RowId spare_id, QueryStats* stats,
+               std::vector<TraversalEntry>& stack);
+
+/// All-categorical/all-attributes specialization of PruneTree.
+void PruneTreeFast(ALTree& tree, const std::vector<Phase2Level>& levels,
+                   RowId spare_id, QueryStats* stats,
+                   std::vector<FastEntry>& stack);
+
+/// Loads pages [*next_page, ...) of `data` into `tree` until the logical
+/// tree memory reaches `budget_bytes` (at least one page).
+Status LoadTreeBatch(const StoredDataset& data, uint64_t budget_bytes,
+                     PageId* next_page, ALTree* tree, RowBatch* scratch);
+
+}  // namespace internal_tree
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_TREE_TRAVERSAL_H_

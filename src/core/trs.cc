@@ -1,0 +1,166 @@
+#include "core/trs.h"
+
+#include <algorithm>
+
+#include "altree/al_tree.h"
+#include "common/timer.h"
+#include "core/tree_traversal.h"
+
+namespace nmrs {
+
+using internal_tree::FastEntry;
+using internal_tree::Phase1Level;
+using internal_tree::Phase2Level;
+using internal_tree::TraversalEntry;
+using internal_tree::TreeQueryContext;
+using NodeId = ALTree::NodeId;
+
+StatusOr<ReverseSkylineResult> TreeReverseSkyline(
+    const StoredDataset& sorted_data, const SimilaritySpace& space,
+    const Object& query, const RSOptions& opts) {
+  SimulatedDisk* disk = sorted_data.disk();
+  const Schema& schema = sorted_data.schema();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+  if (opts.memory.pages < 2) {
+    return Status::InvalidArgument(
+        "TRS needs a memory budget of at least 2 pages");
+  }
+
+  Timer timer;
+  const IoStats io_before = disk->stats();
+  disk->InvalidateArmPosition();
+
+  TreeQueryContext ctx =
+      internal_tree::MakeTreeContext(space, schema, query, opts);
+  ReverseSkylineResult result;
+  QueryStats& stats = result.stats;
+
+  const size_t page_size = disk->page_size();
+
+  // ---- Phase 1 (Alg. 3 lines 1-7). ----
+  Timer phase1_timer;
+  FileId scratch_file = disk->CreateFile("trs-scratch");
+  RowWriter writer(disk, scratch_file, schema);
+  {
+    ALTree tree(schema, ctx.attr_order);
+    RowBatch page_rows(m, numerics);
+    PageId next_page = 0;
+    const uint64_t budget = opts.memory.pages * page_size;
+    std::vector<ValueId> c_values(m, 0);
+    std::vector<double> rhs(m, 0.0);
+    std::vector<TraversalEntry> stack;
+    stack.reserve(256);
+    std::vector<FastEntry> fast_stack;
+    fast_stack.reserve(256);
+    std::vector<Phase1Level> p1_levels(m);
+    while (next_page < sorted_data.num_pages()) {
+      ++stats.phase1_batches;
+      tree.Clear();
+      NMRS_RETURN_IF_ERROR(internal_tree::LoadTreeBatch(
+          sorted_data, budget, &next_page, &tree, &page_rows));
+      if (opts.order_children_by_descendants) tree.PrepareForSearch();
+
+      std::vector<NodeId> leaves;
+      tree.ForEachActiveLeaf([&](NodeId l) { leaves.push_back(l); });
+      for (NodeId leaf : leaves) {
+        internal_tree::LeafValues(tree, leaf, ctx.attr_order, &c_values);
+        // Remove one instance of c so it cannot prune itself (Alg. 3
+        // line 5, "M \ c"); remaining duplicates still count as pruners.
+        tree.TempRemoveLeaf(leaf);
+        ++stats.pair_tests;
+        bool prunable;
+        if (ctx.fast_path) {
+          for (size_t l = 0; l < m; ++l) {
+            const AttrId a = ctx.attr_order[l];
+            p1_levels[l].col = space.matrix(a).ColumnTo(c_values[a]);
+            p1_levels[l].rhs = ctx.q_row_by_level[l][c_values[a]];
+          }
+          prunable = internal_tree::IsPrunableFast(tree, p1_levels, &stats,
+                                                   fast_stack);
+        } else {
+          internal_tree::ComputeRhs(ctx, c_values, &rhs);
+          prunable = internal_tree::IsPrunable(tree, ctx, c_values, rhs,
+                                               &stats, stack);
+        }
+        tree.TempRestore(leaf);
+        if (!prunable) {
+          const auto& rows = tree.LeafRows(leaf);
+          for (size_t i = 0; i < rows.size(); ++i) {
+            NMRS_RETURN_IF_ERROR(writer.Add(
+                rows[i], c_values.data(),
+                numerics ? tree.LeafNumerics(leaf, i) : nullptr));
+          }
+        }
+      }
+      // Survivors are written out at the end of every batch (paper §4.1).
+      NMRS_RETURN_IF_ERROR(writer.FlushPartial());
+    }
+  }
+  NMRS_RETURN_IF_ERROR(writer.Finish());
+  stats.phase1_survivors = writer.rows_written();
+  stats.phase1_checks = stats.checks;
+  stats.phase1_millis = phase1_timer.ElapsedMillis();
+
+  // ---- Phase 2 (Alg. 3 lines 8-16). ----
+  Timer phase2_timer;
+  StoredDataset survivors(disk, scratch_file, schema, writer.rows_written());
+  {
+    ALTree tree(schema, ctx.attr_order);
+    RowBatch page_rows(m, numerics);
+    PageId next_page = 0;
+    std::vector<TraversalEntry> stack;
+    stack.reserve(256);
+    std::vector<FastEntry> fast_stack;
+    fast_stack.reserve(256);
+    std::vector<Phase2Level> p2_levels(m);
+    // One page of the budget is reserved for streaming D (paper §4.1).
+    const uint64_t budget = (opts.memory.pages - 1) * page_size;
+    while (next_page < survivors.num_pages()) {
+      ++stats.phase2_batches;
+      tree.Clear();
+      NMRS_RETURN_IF_ERROR(internal_tree::LoadTreeBatch(
+          survivors, budget, &next_page, &tree, &page_rows));
+
+      RowBatch d_page(m, numerics);
+      for (PageId dp = 0; dp < sorted_data.num_pages(); ++dp) {
+        d_page.Clear();
+        NMRS_RETURN_IF_ERROR(sorted_data.ReadPage(dp, &d_page));
+        // The scan of D is run to completion even if the tree empties —
+        // the paper's Alg. 3 performs the full sequential scan per batch,
+        // and IO counts are kept faithful to it.
+        for (size_t j = 0; j < d_page.size(); ++j) {
+          if (ctx.fast_path) {
+            const ValueId* e = d_page.row_values(j);
+            for (size_t l = 0; l < m; ++l) {
+              const AttrId a = ctx.attr_order[l];
+              p2_levels[l].erow = space.matrix(a).RowFrom(e[a]);
+              p2_levels[l].qrow = ctx.q_row_by_level[l];
+            }
+            internal_tree::PruneTreeFast(tree, p2_levels, d_page.id(j),
+                                         &stats, fast_stack);
+          } else {
+            internal_tree::PruneTree(tree, ctx, d_page.row_values(j),
+                                     d_page.row_numerics(j), d_page.id(j),
+                                     &stats, stack);
+          }
+        }
+      }
+      tree.ForEachActiveLeaf([&](NodeId l) {
+        for (RowId r : tree.LeafRows(l)) result.rows.push_back(r);
+      });
+    }
+  }
+  stats.phase2_checks = stats.checks - stats.phase1_checks;
+  stats.phase2_millis = phase2_timer.ElapsedMillis();
+
+  NMRS_RETURN_IF_ERROR(disk->DeleteFile(scratch_file));
+
+  std::sort(result.rows.begin(), result.rows.end());
+  stats.result_size = result.rows.size();
+  stats.io = disk->stats() - io_before;
+  stats.compute_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace nmrs

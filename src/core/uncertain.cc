@@ -1,0 +1,78 @@
+#include "core/uncertain.h"
+
+#include "common/check.h"
+#include "core/dominance.h"
+
+namespace nmrs {
+
+namespace {
+
+void ValidateExistence(const Dataset& data,
+                       const std::vector<double>& existence) {
+  NMRS_CHECK_EQ(existence.size(), data.num_rows());
+  for (double p : existence) {
+    NMRS_CHECK(p >= 0.0 && p <= 1.0) << "existence probability " << p;
+  }
+}
+
+}  // namespace
+
+double UncertainMembershipProbability(const Dataset& data,
+                                      const SimilaritySpace& space,
+                                      const Object& query, RowId row,
+                                      const std::vector<double>& existence) {
+  ValidateExistence(data, existence);
+  PruneContext ctx(space, data.schema(), query, {});
+  ctx.SetCandidate(data.RowValues(row), data.RowNumerics(row));
+  double prob = existence[row];
+  uint64_t checks = 0;
+  for (RowId y = 0; y < data.num_rows() && prob > 0.0; ++y) {
+    if (y == row) continue;
+    if (ctx.Prunes(data.RowValues(y), data.RowNumerics(y), &checks)) {
+      prob *= 1.0 - existence[y];
+    }
+  }
+  return prob;
+}
+
+UncertainRsResult UncertainReverseSkyline(const Dataset& data,
+                                          const SimilaritySpace& space,
+                                          const Object& query,
+                                          const std::vector<double>& existence,
+                                          double threshold) {
+  ValidateExistence(data, existence);
+  NMRS_CHECK(threshold > 0.0 && threshold <= 1.0)
+      << "threshold must be in (0, 1]";
+
+  UncertainRsResult result;
+  PruneContext ctx(space, data.schema(), query, {});
+  for (RowId x = 0; x < data.num_rows(); ++x) {
+    if (existence[x] < threshold) {
+      // Even with no pruners the membership probability cannot reach τ.
+      ++result.pruner_scans_cut_short;
+      continue;
+    }
+    ctx.SetCandidate(data.RowValues(x), data.RowNumerics(x));
+    double prob = existence[x];
+    bool cut = false;
+    for (RowId y = 0; y < data.num_rows(); ++y) {
+      if (y == x) continue;
+      if (ctx.Prunes(data.RowValues(y), data.RowNumerics(y),
+                     &result.checks)) {
+        prob *= 1.0 - existence[y];
+        if (prob < threshold) {  // monotone: no recovery possible
+          cut = true;
+          ++result.pruner_scans_cut_short;
+          break;
+        }
+      }
+    }
+    if (!cut && prob >= threshold) {
+      result.rows.push_back(x);
+      result.probabilities.push_back(prob);
+    }
+  }
+  return result;
+}
+
+}  // namespace nmrs

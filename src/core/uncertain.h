@@ -1,0 +1,49 @@
+#ifndef NMRS_CORE_UNCERTAIN_H_
+#define NMRS_CORE_UNCERTAIN_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "data/dataset.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Probabilistic reverse skyline over existentially uncertain data (the
+/// direction of the paper's related work [17, 18], under non-metric
+/// measures): every object X exists independently with probability
+/// `existence[X]`. X belongs to the probabilistic reverse skyline at
+/// threshold τ iff
+///
+///   Pr[X exists ∧ no existing object prunes X]
+///     = existence[X] · Π_{Y ≻_X Q} (1 − existence[Y])  ≥  τ.
+///
+/// The product-form follows from independence: only actual pruners of X
+/// matter, and each must be absent.
+struct UncertainRsResult {
+  std::vector<RowId> rows;           // members at threshold τ, ascending
+  std::vector<double> probabilities; // aligned with rows
+  uint64_t checks = 0;               // attribute-level comparisons
+  uint64_t pruner_scans_cut_short = 0;  // early-termination events
+};
+
+/// Computes the probabilistic reverse skyline. Early termination: the
+/// running product is monotonically non-increasing, so scanning X's
+/// pruners stops as soon as it falls below τ (the probabilistic analogue
+/// of "stop at the first pruner" — with certain data, one pruner zeroes
+/// the product).
+UncertainRsResult UncertainReverseSkyline(const Dataset& data,
+                                          const SimilaritySpace& space,
+                                          const Object& query,
+                                          const std::vector<double>& existence,
+                                          double threshold);
+
+/// Membership probability of a single row (no threshold, full scan).
+double UncertainMembershipProbability(const Dataset& data,
+                                      const SimilaritySpace& space,
+                                      const Object& query, RowId row,
+                                      const std::vector<double>& existence);
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_UNCERTAIN_H_

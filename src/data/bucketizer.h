@@ -1,0 +1,53 @@
+#ifndef NMRS_DATA_BUCKETIZER_H_
+#define NMRS_DATA_BUCKETIZER_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/numeric_dissimilarity.h"
+
+namespace nmrs {
+
+/// Equal-width discretization of a numeric range into buckets (paper §6).
+/// Values outside the range are clamped into the first/last bucket, so
+/// BucketOf is total.
+class Bucketizer {
+ public:
+  Bucketizer(Interval range, size_t num_buckets)
+      : range_(range), num_buckets_(num_buckets) {
+    NMRS_CHECK_GT(num_buckets, 0u);
+    NMRS_CHECK_GE(range.hi, range.lo);
+    width_ = range.width() > 0 ? range.width() / static_cast<double>(num_buckets)
+                               : 1.0;
+  }
+
+  size_t num_buckets() const { return num_buckets_; }
+  const Interval& range() const { return range_; }
+
+  ValueId BucketOf(double x) const {
+    if (x <= range_.lo) return 0;
+    if (x >= range_.hi) return static_cast<ValueId>(num_buckets_ - 1);
+    auto b = static_cast<size_t>((x - range_.lo) / width_);
+    if (b >= num_buckets_) b = num_buckets_ - 1;
+    return static_cast<ValueId>(b);
+  }
+
+  /// Closed interval [lo, hi] covered by bucket `b`.
+  Interval BucketInterval(ValueId b) const {
+    NMRS_DCHECK(b < num_buckets_);
+    const double lo = range_.lo + width_ * static_cast<double>(b);
+    const double hi =
+        (b + 1 == num_buckets_) ? range_.hi : lo + width_;
+    return Interval{lo, hi};
+  }
+
+ private:
+  Interval range_;
+  size_t num_buckets_;
+  double width_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_DATA_BUCKETIZER_H_

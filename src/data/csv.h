@@ -1,0 +1,37 @@
+#ifndef NMRS_DATA_CSV_H_
+#define NMRS_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "sim/dissimilarity_matrix.h"
+
+namespace nmrs {
+
+/// CSV interchange for datasets and dissimilarity matrices, so users can
+/// bring their own data and expert-filled similarity matrices.
+///
+/// Dataset format: one header row `name:kind[:buckets:lo:hi]` per column
+/// where kind is `cat` or `num`; then one row per object. Categorical
+/// cells are value ids; numeric cells are the exact values.
+Status WriteDatasetCsv(const Dataset& data, std::ostream& out);
+StatusOr<Dataset> ReadDatasetCsv(std::istream& in);
+
+/// Matrix format: first line is the cardinality k, then k rows of k
+/// comma-separated dissimilarities.
+Status WriteMatrixCsv(const DissimilarityMatrix& m, std::ostream& out);
+StatusOr<DissimilarityMatrix> ReadMatrixCsv(std::istream& in);
+
+/// File-path convenience wrappers.
+Status WriteDatasetCsvFile(const Dataset& data, const std::string& path);
+StatusOr<Dataset> ReadDatasetCsvFile(const std::string& path);
+Status WriteMatrixCsvFile(const DissimilarityMatrix& m,
+                          const std::string& path);
+StatusOr<DissimilarityMatrix> ReadMatrixCsvFile(const std::string& path);
+
+}  // namespace nmrs
+
+#endif  // NMRS_DATA_CSV_H_

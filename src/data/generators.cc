@@ -1,0 +1,205 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+namespace {
+
+/// Draws a value index in [0, card) from a normal centered at (card-1)/2
+/// with the given variance, via rejection sampling from a uniform proposal
+/// (paper §5.2: "We use a uniform random number generator and rejection
+/// sampling").
+ValueId RejectionSampleNormal(size_t card, double mean, double variance,
+                              Rng& rng) {
+  if (card == 1) return 0;
+  const double inv2var = 1.0 / (2.0 * variance);
+  for (;;) {
+    const auto v = static_cast<double>(rng.Uniform(card));
+    const double accept = std::exp(-(v - mean) * (v - mean) * inv2var);
+    if (rng.NextDouble() < accept) return static_cast<ValueId>(v);
+  }
+}
+
+}  // namespace
+
+Dataset GenerateNormal(uint64_t num_rows,
+                       const std::vector<size_t>& cardinalities, Rng& rng,
+                       const NormalDataOptions& opts) {
+  Dataset data(Schema::Categorical(cardinalities));
+  data.Reserve(num_rows);
+  const size_t m = cardinalities.size();
+  std::vector<ValueId> row(m);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < m; ++a) {
+      const double mean = static_cast<double>(cardinalities[a] - 1) / 2.0;
+      row[a] = RejectionSampleNormal(cardinalities[a], mean, opts.variance,
+                                     rng);
+    }
+    data.AppendCategoricalRow(row);
+  }
+  return data;
+}
+
+Dataset GenerateUniform(uint64_t num_rows,
+                        const std::vector<size_t>& cardinalities, Rng& rng) {
+  Dataset data(Schema::Categorical(cardinalities));
+  data.Reserve(num_rows);
+  const size_t m = cardinalities.size();
+  std::vector<ValueId> row(m);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < m; ++a) {
+      row[a] = static_cast<ValueId>(rng.Uniform(cardinalities[a]));
+    }
+    data.AppendCategoricalRow(row);
+  }
+  return data;
+}
+
+Dataset GenerateZipf(uint64_t num_rows,
+                     const std::vector<size_t>& cardinalities, double s,
+                     Rng& rng) {
+  Dataset data(Schema::Categorical(cardinalities));
+  data.Reserve(num_rows);
+  const size_t m = cardinalities.size();
+
+  // Per-attribute cumulative Zipf mass.
+  std::vector<std::vector<double>> cdf(m);
+  for (size_t a = 0; a < m; ++a) {
+    cdf[a].resize(cardinalities[a]);
+    double total = 0;
+    for (size_t k = 0; k < cardinalities[a]; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf[a][k] = total;
+    }
+    for (auto& v : cdf[a]) v /= total;
+  }
+
+  std::vector<ValueId> row(m);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < m; ++a) {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cdf[a].begin(), cdf[a].end(), u);
+      row[a] = static_cast<ValueId>(it - cdf[a].begin());
+    }
+    data.AppendCategoricalRow(row);
+  }
+  return data;
+}
+
+std::vector<size_t> CensusIncomeCardinalities() { return {91, 17, 5, 53, 7}; }
+
+Dataset GenerateCensusIncomeLike(uint64_t num_rows, Rng& rng) {
+  // Age, Education, #MinorFamilyMembers, #WeeksWorked, #Employees — each
+  // concentrated like census data: truncated normals with attribute-specific
+  // spread (wide for Age/WeeksWorked, narrow for small domains).
+  const std::vector<size_t> cards = CensusIncomeCardinalities();
+  const std::vector<double> relative_spread = {0.25, 0.3, 0.35, 0.35, 0.3};
+  Dataset data(Schema::Categorical(cards));
+  data.Reserve(num_rows);
+  std::vector<ValueId> row(cards.size());
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < cards.size(); ++a) {
+      const double mean = static_cast<double>(cards[a] - 1) / 2.0;
+      const double sigma =
+          std::max(0.7, relative_spread[a] * static_cast<double>(cards[a]));
+      row[a] = RejectionSampleNormal(cards[a], mean, sigma * sigma, rng);
+    }
+    data.AppendCategoricalRow(row);
+  }
+  return data;
+}
+
+std::vector<size_t> ForestCoverCardinalities() {
+  return {67, 551, 2, 700, 2, 7, 2};
+}
+
+Dataset GenerateForestCoverLike(uint64_t num_rows, Rng& rng) {
+  const std::vector<size_t> cards = ForestCoverCardinalities();
+  Dataset data(Schema::Categorical(cards));
+  data.Reserve(num_rows);
+  std::vector<ValueId> row(cards.size());
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < cards.size(); ++a) {
+      if (cards[a] == 2) {
+        // Binary indicator attributes: heavily skewed, like the
+        // one-hot soil/wilderness columns of ForestCover.
+        row[a] = rng.Bernoulli(0.1) ? 1 : 0;
+      } else if (cards[a] <= 7) {
+        // Cover type: skewed categorical.
+        row[a] = static_cast<ValueId>(
+            std::min<uint64_t>(rng.Uniform(cards[a]) * rng.Uniform(2) +
+                                   rng.Uniform(2),
+                               cards[a] - 1));
+      } else {
+        const double mean = static_cast<double>(cards[a] - 1) / 2.0;
+        const double sigma = 0.2 * static_cast<double>(cards[a]);
+        row[a] =
+            RejectionSampleNormal(cards[a], mean, sigma * sigma, rng);
+      }
+    }
+    data.AppendCategoricalRow(row);
+  }
+  return data;
+}
+
+Dataset GenerateMixed(uint64_t num_rows,
+                      const std::vector<size_t>& cat_cardinalities,
+                      size_t num_numeric, size_t buckets_per_numeric,
+                      Rng& rng) {
+  Schema schema;
+  for (size_t i = 0; i < cat_cardinalities.size(); ++i) {
+    AttributeInfo info;
+    info.name = "cat" + std::to_string(i);
+    info.cardinality = cat_cardinalities[i];
+    schema.AddAttribute(std::move(info));
+  }
+  for (size_t i = 0; i < num_numeric; ++i) {
+    AttributeInfo info;
+    info.name = "num" + std::to_string(i);
+    info.is_numeric = true;
+    info.cardinality = buckets_per_numeric;
+    info.range = Interval{0.0, 100.0};
+    schema.AddAttribute(std::move(info));
+  }
+  Dataset data(std::move(schema));
+  data.Reserve(num_rows);
+  const size_t m = data.num_attributes();
+  std::vector<ValueId> values(m, 0);
+  std::vector<double> numerics(m, 0.0);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < cat_cardinalities.size(); ++a) {
+      values[a] = static_cast<ValueId>(rng.Uniform(cat_cardinalities[a]));
+    }
+    for (size_t a = cat_cardinalities.size(); a < m; ++a) {
+      numerics[a] = rng.UniformDouble(0.0, 100.0);
+    }
+    data.AppendRow(values, numerics);
+  }
+  return data;
+}
+
+Object SampleUniformQuery(const Dataset& data, Rng& rng) {
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  std::vector<ValueId> values(m, 0);
+  std::vector<double> numerics(m, 0.0);
+  for (AttrId a = 0; a < m; ++a) {
+    const auto& info = schema.attribute(a);
+    if (info.is_numeric) {
+      numerics[a] = rng.UniformDouble(info.range.lo, info.range.hi);
+    } else {
+      values[a] = static_cast<ValueId>(rng.Uniform(info.cardinality));
+    }
+  }
+  return data.MakeObject(values, numerics);
+}
+
+Object SampleRowQuery(const Dataset& data, Rng& rng) {
+  NMRS_CHECK_GT(data.num_rows(), 0u);
+  return data.GetObject(rng.Uniform(data.num_rows()));
+}
+
+}  // namespace nmrs

@@ -1,0 +1,58 @@
+#include "data/schema.h"
+
+namespace nmrs {
+
+Schema Schema::Categorical(const std::vector<size_t>& cardinalities) {
+  std::vector<AttributeInfo> attrs;
+  attrs.reserve(cardinalities.size());
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    AttributeInfo info;
+    info.name = "attr" + std::to_string(i);
+    info.cardinality = cardinalities[i];
+    info.is_numeric = false;
+    attrs.push_back(std::move(info));
+  }
+  return Schema(std::move(attrs));
+}
+
+size_t Schema::NumNumeric() const {
+  size_t n = 0;
+  for (const auto& a : attrs_) n += a.is_numeric ? 1 : 0;
+  return n;
+}
+
+double Schema::SpaceSize() const {
+  double size = 1.0;
+  for (const auto& a : attrs_) size *= static_cast<double>(a.cardinality);
+  return size;
+}
+
+Status Schema::Validate() const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const auto& a = attrs_[i];
+    if (a.cardinality == 0) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has zero cardinality");
+    }
+    if (a.is_numeric && a.range.hi < a.range.lo) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has inverted numeric range");
+    }
+  }
+  return Status::OK();
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (attrs_.size() != o.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const auto& a = attrs_[i];
+    const auto& b = o.attrs_[i];
+    if (a.name != b.name || a.cardinality != b.cardinality ||
+        a.is_numeric != b.is_numeric || !(a.range == b.range)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,64 @@
+#ifndef NMRS_DATA_SCHEMA_H_
+#define NMRS_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/numeric_dissimilarity.h"
+
+namespace nmrs {
+
+/// Describes one attribute of a dataset.
+struct AttributeInfo {
+  std::string name;
+  /// Categorical domain size; for numeric attributes, the number of
+  /// discretization buckets used by TRS (paper §6).
+  size_t cardinality = 0;
+  bool is_numeric = false;
+  /// Value range for numeric attributes (ignored for categorical).
+  Interval range;
+};
+
+/// Ordered list of attributes. The order is the physical column order of the
+/// dataset; algorithm-facing attribute *orderings* (e.g. ascending
+/// cardinality for the AL-Tree) are permutations applied on top.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeInfo> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  /// Convenience: all-categorical schema from domain sizes.
+  static Schema Categorical(const std::vector<size_t>& cardinalities);
+
+  size_t num_attributes() const { return attrs_.size(); }
+
+  const AttributeInfo& attribute(AttrId i) const {
+    NMRS_DCHECK(i < attrs_.size());
+    return attrs_[i];
+  }
+
+  void AddAttribute(AttributeInfo info) { attrs_.push_back(std::move(info)); }
+
+  size_t NumNumeric() const;
+
+  /// Product of cardinalities — the size of the value space; density is
+  /// n / SpaceSize() (paper §5.2). Saturates at +inf for huge spaces.
+  double SpaceSize() const;
+
+  /// Checks cardinalities are positive and numeric ranges well-formed.
+  Status Validate() const;
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<AttributeInfo> attrs_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_DATA_SCHEMA_H_

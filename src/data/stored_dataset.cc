@@ -1,0 +1,172 @@
+#include "data/stored_dataset.h"
+
+#include <cstring>
+
+namespace nmrs {
+
+namespace {
+
+template <typename T>
+void StoreRaw(uint8_t* dst, T v) {
+  std::memcpy(dst, &v, sizeof(T));
+}
+
+template <typename T>
+T LoadRaw(const uint8_t* src) {
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+RowCodec::RowCodec(const Schema& schema, size_t page_size)
+    : num_attrs_(schema.num_attributes()),
+      has_numerics_(schema.NumNumeric() > 0),
+      page_size_(page_size) {
+  row_bytes_ = sizeof(uint64_t) + num_attrs_ * sizeof(uint32_t) +
+               (has_numerics_ ? num_attrs_ * sizeof(double) : 0);
+  NMRS_CHECK_GT(page_size_, sizeof(uint32_t) + row_bytes_)
+      << "page size " << page_size_ << " cannot hold a single row of "
+      << row_bytes_ << " bytes";
+  rows_per_page_ = (page_size_ - sizeof(uint32_t)) / row_bytes_;
+}
+
+void RowCodec::EncodeRow(Page* page, size_t slot, RowId id,
+                         const ValueId* values,
+                         const double* numerics) const {
+  NMRS_DCHECK(slot < rows_per_page_);
+  uint8_t* p = page->data() + sizeof(uint32_t) + slot * row_bytes_;
+  StoreRaw<uint64_t>(p, id);
+  p += sizeof(uint64_t);
+  for (size_t i = 0; i < num_attrs_; ++i) {
+    StoreRaw<uint32_t>(p, values[i]);
+    p += sizeof(uint32_t);
+  }
+  if (has_numerics_) {
+    NMRS_DCHECK(numerics != nullptr);
+    for (size_t i = 0; i < num_attrs_; ++i) {
+      StoreRaw<double>(p, numerics[i]);
+      p += sizeof(double);
+    }
+  }
+}
+
+void RowCodec::SetRowCount(Page* page, uint32_t count) const {
+  StoreRaw<uint32_t>(page->data(), count);
+}
+
+uint32_t RowCodec::GetRowCount(const Page& page) const {
+  return LoadRaw<uint32_t>(page.data());
+}
+
+void RowCodec::DecodePage(const Page& page, RowBatch* out) const {
+  const uint32_t count = GetRowCount(page);
+  NMRS_CHECK_LE(count, rows_per_page_);
+  std::vector<ValueId> values(num_attrs_);
+  std::vector<double> numerics(num_attrs_, 0.0);
+  for (uint32_t r = 0; r < count; ++r) {
+    const uint8_t* p = page.data() + sizeof(uint32_t) + r * row_bytes_;
+    RowId id = LoadRaw<uint64_t>(p);
+    p += sizeof(uint64_t);
+    for (size_t i = 0; i < num_attrs_; ++i) {
+      values[i] = LoadRaw<uint32_t>(p);
+      p += sizeof(uint32_t);
+    }
+    if (has_numerics_) {
+      for (size_t i = 0; i < num_attrs_; ++i) {
+        numerics[i] = LoadRaw<double>(p);
+        p += sizeof(double);
+      }
+    }
+    out->Append(id, values.data(), has_numerics_ ? numerics.data() : nullptr);
+  }
+}
+
+RowWriter::RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema)
+    : disk_(disk),
+      file_(file),
+      codec_(schema, disk->page_size()),
+      current_(disk->page_size()),
+      next_page_(disk->NumPages(file)) {}
+
+Status RowWriter::Add(RowId id, const ValueId* values,
+                      const double* numerics) {
+  NMRS_CHECK(!finished_);
+  codec_.EncodeRow(&current_, slot_, id, values, numerics);
+  ++slot_;
+  ++rows_written_;
+  if (slot_ == codec_.rows_per_page()) {
+    codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+    NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
+    current_ = Page(disk_->page_size());
+    slot_ = 0;
+    ++next_page_;
+    partial_on_disk_ = false;
+  }
+  return Status::OK();
+}
+
+Status RowWriter::AddObject(RowId id, const Object& obj) {
+  return Add(id, obj.values.data(),
+             codec_.has_numerics() ? obj.numerics.data() : nullptr);
+}
+
+Status RowWriter::FlushPartial() {
+  NMRS_CHECK(!finished_);
+  if (slot_ == 0) return Status::OK();
+  codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+  NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
+  partial_on_disk_ = true;
+  return Status::OK();
+}
+
+Status RowWriter::Finish() {
+  NMRS_CHECK(!finished_);
+  finished_ = true;
+  if (slot_ > 0) {
+    codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+    NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
+    slot_ = 0;
+  }
+  return Status::OK();
+}
+
+StatusOr<StoredDataset> StoredDataset::Create(SimulatedDisk* disk,
+                                              const Dataset& data,
+                                              std::string name) {
+  FileId file = disk->CreateFile(std::move(name));
+  RowWriter writer(disk, file, data.schema());
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    NMRS_RETURN_IF_ERROR(
+        writer.Add(r, data.RowValues(r), data.RowNumerics(r)));
+  }
+  NMRS_RETURN_IF_ERROR(writer.Finish());
+  return StoredDataset(disk, file, data.schema(), data.num_rows());
+}
+
+StoredDataset::StoredDataset(SimulatedDisk* disk, FileId file, Schema schema,
+                             uint64_t num_rows)
+    : disk_(disk),
+      file_(file),
+      schema_(std::move(schema)),
+      num_rows_(num_rows),
+      codec_(schema_, disk->page_size()) {}
+
+Status StoredDataset::ReadPage(PageId page, RowBatch* out) const {
+  Page buf(disk_->page_size());
+  NMRS_RETURN_IF_ERROR(disk_->ReadPage(file_, page, &buf));
+  codec_.DecodePage(buf, out);
+  return Status::OK();
+}
+
+Status StoredDataset::ReadAll(RowBatch* out) const {
+  const uint64_t pages = num_pages();
+  out->Reserve(num_rows_);
+  for (PageId p = 0; p < pages; ++p) {
+    NMRS_RETURN_IF_ERROR(ReadPage(p, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace nmrs

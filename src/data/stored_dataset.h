@@ -1,0 +1,126 @@
+#ifndef NMRS_DATA_STORED_DATASET_H_
+#define NMRS_DATA_STORED_DATASET_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "data/dataset.h"
+#include "data/object.h"
+#include "data/schema.h"
+#include "storage/disk.h"
+
+namespace nmrs {
+
+/// Fixed-width row codec for one page.
+///
+/// Page layout:   [uint32 row_count][row]*
+/// Row layout:    [uint64 row_id][uint32 value_id × m][double × m]?
+/// The trailing doubles are present only when the schema has numeric
+/// attributes (exact values needed by the phase-2 refinement of §6).
+class RowCodec {
+ public:
+  RowCodec(const Schema& schema, size_t page_size);
+
+  size_t row_bytes() const { return row_bytes_; }
+  size_t rows_per_page() const { return rows_per_page_; }
+  size_t num_attrs() const { return num_attrs_; }
+  bool has_numerics() const { return has_numerics_; }
+
+  /// Pages needed to hold `rows` rows.
+  uint64_t PagesFor(uint64_t rows) const {
+    return (rows + rows_per_page_ - 1) / rows_per_page_;
+  }
+
+  /// Encodes one row at `offset` slots into the page.
+  void EncodeRow(Page* page, size_t slot, RowId id, const ValueId* values,
+                 const double* numerics) const;
+  void SetRowCount(Page* page, uint32_t count) const;
+  uint32_t GetRowCount(const Page& page) const;
+
+  /// Appends all rows of `page` to `out`.
+  void DecodePage(const Page& page, RowBatch* out) const;
+
+ private:
+  size_t num_attrs_;
+  bool has_numerics_;
+  size_t page_size_;
+  size_t row_bytes_;
+  size_t rows_per_page_;
+};
+
+class StoredDataset;
+
+/// Streams rows onto a disk file page by page; used both to materialize a
+/// Dataset and to spill phase-1 survivors / sort runs.
+class RowWriter {
+ public:
+  /// Writing starts at the current end of `file`.
+  RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema);
+
+  Status Add(RowId id, const ValueId* values, const double* numerics);
+  Status AddObject(RowId id, const Object& obj);
+
+  /// Writes the in-progress partial page to disk without sealing it:
+  /// subsequent Adds keep filling the same page and re-write it when full.
+  /// Two-phase algorithms call this at the end of every phase-1 batch so
+  /// the disk arm really travels to the scratch area per batch ("random
+  /// accesses to go and write out the results at the end of processing
+  /// each batch", paper §4.1) — a buffered writer would hide that cost.
+  Status FlushPartial();
+
+  /// Flushes the partial page (if any). Must be called before reading.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  SimulatedDisk* disk_;
+  FileId file_;
+  RowCodec codec_;
+  Page current_;
+  size_t slot_ = 0;
+  PageId next_page_ = 0;        // where `current_` will land
+  bool partial_on_disk_ = false;  // current_ already written (partially)
+  uint64_t rows_written_ = 0;
+  bool finished_ = false;
+};
+
+/// A dataset materialized on a SimulatedDisk, readable page by page with IO
+/// accounting. Does not own the disk.
+class StoredDataset {
+ public:
+  /// Serializes `data` into a newly created file named `name`.
+  static StatusOr<StoredDataset> Create(SimulatedDisk* disk,
+                                        const Dataset& data,
+                                        std::string name);
+
+  /// Wraps an existing file previously produced through a RowWriter with the
+  /// same schema.
+  StoredDataset(SimulatedDisk* disk, FileId file, Schema schema,
+                uint64_t num_rows);
+
+  SimulatedDisk* disk() const { return disk_; }
+  FileId file() const { return file_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_pages() const { return disk_->NumPages(file_); }
+  const RowCodec& codec() const { return codec_; }
+
+  /// Reads and decodes page `page`, appending its rows to `out`.
+  Status ReadPage(PageId page, RowBatch* out) const;
+
+  /// Reads the entire file into one batch (testing / tiny datasets).
+  Status ReadAll(RowBatch* out) const;
+
+ private:
+  SimulatedDisk* disk_;
+  FileId file_;
+  Schema schema_;
+  uint64_t num_rows_;
+  RowCodec codec_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_DATA_STORED_DATASET_H_

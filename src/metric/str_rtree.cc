@@ -1,0 +1,228 @@
+#include "metric/str_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace nmrs {
+
+void Mbr::ExpandToPoint(const double* p) {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], p[d]);
+    hi_[d] = std::max(hi_[d], p[d]);
+  }
+}
+
+void Mbr::ExpandToMbr(const Mbr& other) {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+bool Mbr::ContainsPoint(const double* p) const {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+double Mbr::MinSquaredDist(const double* p) const {
+  double sum = 0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    double delta = 0;
+    if (p[d] < lo_[d]) {
+      delta = lo_[d] - p[d];
+    } else if (p[d] > hi_[d]) {
+      delta = p[d] - hi_[d];
+    }
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+StrRTree::StrRTree(size_t dims, size_t fanout)
+    : dims_(dims), fanout_(fanout) {
+  NMRS_CHECK_GT(dims, 0u);
+  NMRS_CHECK_GE(fanout, 2u);
+}
+
+void StrRTree::BulkLoad(const std::vector<double>& points,
+                        const std::vector<RowId>& ids) {
+  NMRS_CHECK_EQ(points.size() % dims_, 0u);
+  points_ = points;
+  num_points_ = points.size() / dims_;
+  if (ids.empty()) {
+    ids_.resize(num_points_);
+    std::iota(ids_.begin(), ids_.end(), 0);
+  } else {
+    NMRS_CHECK_EQ(ids.size(), num_points_);
+    ids_ = ids;
+  }
+  nodes_.clear();
+  height_ = 0;
+  root_ = 0;
+  if (num_points_ == 0) {
+    nodes_.emplace_back(dims_);  // empty leaf root
+    height_ = 1;
+    return;
+  }
+
+  // --- STR packing of the leaf level. ---
+  // Recursively: sort by dimension d, cut into slabs of equal size so each
+  // slab packs into fanout^(dims-d-1 levels...) — the standard
+  // Sort-Tile-Recursive slab computation.
+  std::vector<uint32_t> order(num_points_);
+  std::iota(order.begin(), order.end(), 0);
+
+  // leaves needed
+  const size_t num_leaves =
+      (num_points_ + fanout_ - 1) / fanout_;
+
+  // Recursive tiler: tile `span` of `order` across dimensions [d, dims).
+  std::vector<std::vector<uint32_t>> leaf_groups;
+  auto tile = [&](auto&& self, size_t begin, size_t end, size_t d) -> void {
+    const size_t count = end - begin;
+    if (count <= fanout_ || d + 1 >= dims_) {
+      // Final dimension (or small span): sort and chop into leaves.
+      std::sort(order.begin() + begin, order.begin() + end,
+                [&](uint32_t a, uint32_t b) {
+                  return PointAt(a)[d] < PointAt(b)[d];
+                });
+      for (size_t s = begin; s < end; s += fanout_) {
+        const size_t e = std::min(end, s + fanout_);
+        leaf_groups.emplace_back(order.begin() + s, order.begin() + e);
+      }
+      return;
+    }
+    std::sort(order.begin() + begin, order.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return PointAt(a)[d] < PointAt(b)[d];
+              });
+    // Number of vertical slabs: ceil((P)^(1/(dims-d))) where P = leaves in
+    // this span.
+    const size_t leaves_here = (count + fanout_ - 1) / fanout_;
+    const double frac = 1.0 / static_cast<double>(dims_ - d);
+    auto slabs = static_cast<size_t>(
+        std::ceil(std::pow(static_cast<double>(leaves_here), frac)));
+    slabs = std::max<size_t>(1, slabs);
+    const size_t per_slab = (count + slabs - 1) / slabs;
+    for (size_t s = begin; s < end; s += per_slab) {
+      self(self, s, std::min(end, s + per_slab), d + 1);
+    }
+  };
+  tile(tile, 0, num_points_, 0);
+  NMRS_CHECK_GE(leaf_groups.size(), num_leaves);
+
+  // Materialize leaf nodes.
+  std::vector<uint32_t> level;
+  for (auto& group : leaf_groups) {
+    Node node(dims_);
+    node.leaf = true;
+    node.entries = std::move(group);
+    for (uint32_t i : node.entries) node.mbr.ExpandToPoint(PointAt(i));
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(node));
+  }
+  height_ = 1;
+
+  // --- Pack upper levels fanout at a time. ---
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t s = 0; s < level.size(); s += fanout_) {
+      const size_t e = std::min(level.size(), s + fanout_);
+      Node node(dims_);
+      node.leaf = false;
+      node.entries.assign(level.begin() + s, level.begin() + e);
+      for (uint32_t c : node.entries) node.mbr.ExpandToMbr(nodes_[c].mbr);
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(node));
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+std::vector<RowId> StrRTree::WindowQuery(const Mbr& box) const {
+  std::vector<RowId> out;
+  if (num_points_ == 0) return out;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.mbr.Intersects(box)) continue;
+    if (node.leaf) {
+      for (uint32_t i : node.entries) {
+        if (box.ContainsPoint(PointAt(i))) out.push_back(ids_[i]);
+      }
+    } else {
+      for (uint32_t c : node.entries) stack.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> StrRTree::KnnQuery(const double* p, size_t k) const {
+  // Best-first search with a priority queue over MINDIST.
+  struct QueueEntry {
+    double dist;
+    bool is_point;
+    uint32_t index;  // node id or point index
+    bool operator>(const QueueEntry& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return index > o.index;  // deterministic
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  std::vector<RowId> result;
+  if (num_points_ == 0 || k == 0) return result;
+  queue.push({nodes_[root_].mbr.MinSquaredDist(p), false, root_});
+  while (!queue.empty() && result.size() < k) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.is_point) {
+      result.push_back(ids_[top.index]);
+      continue;
+    }
+    const Node& node = nodes_[top.index];
+    if (node.leaf) {
+      for (uint32_t i : node.entries) {
+        double sum = 0;
+        const double* pt = PointAt(i);
+        for (size_t d = 0; d < dims_; ++d) {
+          const double delta = pt[d] - p[d];
+          sum += delta * delta;
+        }
+        queue.push({sum, true, i});
+      }
+    } else {
+      for (uint32_t c : node.entries) {
+        queue.push({nodes_[c].mbr.MinSquaredDist(p), false, c});
+      }
+    }
+  }
+  return result;
+}
+
+uint64_t StrRTree::IndexPages(size_t page_size) const {
+  // Entry = MBR (2*dims doubles) + 8-byte child/row reference.
+  const size_t entry_bytes = 2 * dims_ * sizeof(double) + 8;
+  const size_t entries_per_page = std::max<size_t>(1, page_size / entry_bytes);
+  uint64_t total_entries = 0;
+  for (const auto& node : nodes_) total_entries += node.entries.size();
+  return (total_entries + entries_per_page - 1) / entries_per_page;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,40 @@
+#include "ops/rnn.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nmrs {
+
+std::vector<RowId> RnnScan(const Dataset& data, const SimilaritySpace& space,
+                           const Object& query,
+                           const WeightedDistance& dist) {
+  std::vector<RowId> result;
+  for (RowId x = 0; x < data.num_rows(); ++x) {
+    const Object ref = data.GetObject(x);
+    const double q_dist = dist.Distance(data.schema(), space, query, ref);
+    bool beaten = false;
+    for (RowId y = 0; y < data.num_rows() && !beaten; ++y) {
+      if (y == x) continue;
+      const Object other = data.GetObject(y);
+      beaten = dist.Distance(data.schema(), space, other, ref) < q_dist;
+    }
+    if (!beaten) result.push_back(x);
+  }
+  return result;
+}
+
+std::vector<RowId> RnnUnionCoverage(const Dataset& data,
+                                    const SimilaritySpace& space,
+                                    const Object& query, int num_weightings,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::set<RowId> covered;
+  const size_t m = data.schema().num_attributes();
+  for (int i = 0; i < num_weightings; ++i) {
+    const WeightedDistance w = WeightedDistance::Random(m, rng);
+    for (RowId r : RnnScan(data, space, query, w)) covered.insert(r);
+  }
+  return {covered.begin(), covered.end()};
+}
+
+}  // namespace nmrs

@@ -1,0 +1,36 @@
+#ifndef NMRS_OPS_RNN_H_
+#define NMRS_OPS_RNN_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "data/dataset.h"
+#include "ops/weighted_distance.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Reverse nearest neighbors of `query` under the fixed monotone aggregate
+/// `dist`: rows X such that Q is at least as close to X as every other
+/// database object is, i.e. dist(Q, X) <= dist(Y, X) for all Y != X
+/// (distances measured with X as the reference, matching §3's dominance
+/// direction for asymmetric measures). O(n²) scan with early abort.
+///
+/// Relationship to the reverse skyline (§1): for every positive weight
+/// vector, RNN(Q, w) ⊆ RS(Q), and RS(Q) is the union of RNN(Q, w) over all
+/// monotone aggregates — RS is what you compute when no single w can be
+/// justified. The containment is enforced by tests; the union-coverage is
+/// demonstrated by bench_rnn_union.
+std::vector<RowId> RnnScan(const Dataset& data, const SimilaritySpace& space,
+                           const Object& query, const WeightedDistance& dist);
+
+/// Rows of RS(Q) covered by the union of RNN(Q, w) over `num_weightings`
+/// random weight vectors (seeded); returns the covered subset (ascending).
+std::vector<RowId> RnnUnionCoverage(const Dataset& data,
+                                    const SimilaritySpace& space,
+                                    const Object& query, int num_weightings,
+                                    uint64_t seed);
+
+}  // namespace nmrs
+
+#endif  // NMRS_OPS_RNN_H_

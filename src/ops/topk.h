@@ -1,0 +1,53 @@
+#ifndef NMRS_OPS_TOPK_H_
+#define NMRS_OPS_TOPK_H_
+
+#include <vector>
+
+#include "altree/al_tree.h"
+#include "common/types.h"
+#include "data/dataset.h"
+#include "ops/weighted_distance.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// A top-k hit: row id and its aggregate distance to the query.
+struct TopKEntry {
+  RowId row;
+  double distance;
+
+  bool operator==(const TopKEntry&) const = default;
+};
+
+/// The k rows closest to `query` under the monotone aggregate `dist`,
+/// ascending by distance (ties broken by row id). Plain scan baseline.
+std::vector<TopKEntry> TopKScan(const Dataset& data,
+                                const SimilaritySpace& space,
+                                const Object& query,
+                                const WeightedDistance& dist, size_t k);
+
+/// Same answer via an AL-Tree with group-level lower bounds (the EDBT'08
+/// technique the paper builds TRS on): a best-first traversal where an
+/// internal node's bound is the weighted distance of its fixed prefix plus
+/// the minimum achievable dissimilarity of every free attribute; subtrees
+/// whose bound cannot beat the current k-th distance are skipped wholesale.
+/// `checks_out` (optional) counts attribute-level distance evaluations, for
+/// comparing against the scan's n·m.
+std::vector<TopKEntry> TopKALTree(const Dataset& data,
+                                  const SimilaritySpace& space,
+                                  const Object& query,
+                                  const WeightedDistance& dist, size_t k,
+                                  uint64_t* checks_out = nullptr);
+
+/// Query-only variant over a prebuilt tree (the EDBT'08 setting: the
+/// AL-Tree is a query-independent index built once and reused). `schema`
+/// must be the schema the tree was built from.
+std::vector<TopKEntry> TopKOverTree(const ALTree& tree, const Schema& schema,
+                                    const SimilaritySpace& space,
+                                    const Object& query,
+                                    const WeightedDistance& dist, size_t k,
+                                    uint64_t* checks_out = nullptr);
+
+}  // namespace nmrs
+
+#endif  // NMRS_OPS_TOPK_H_

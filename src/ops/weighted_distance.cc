@@ -1,0 +1,44 @@
+#include "ops/weighted_distance.h"
+
+namespace nmrs {
+
+WeightedDistance WeightedDistance::Random(size_t m, Rng& rng) {
+  std::vector<double> weights(m);
+  for (auto& w : weights) w = 0.05 + 0.95 * rng.NextDouble();
+  return WeightedDistance(std::move(weights));
+}
+
+double WeightedDistance::RowDistance(const Dataset& data,
+                                     const SimilaritySpace& space, RowId row,
+                                     const Object& ref) const {
+  const Schema& schema = data.schema();
+  NMRS_DCHECK(weights_.size() == schema.num_attributes());
+  double sum = 0;
+  for (AttrId a = 0; a < weights_.size(); ++a) {
+    if (schema.attribute(a).is_numeric) {
+      sum += weights_[a] * space.NumDist(a, data.Numeric(row, a),
+                                         ref.numerics[a]);
+    } else {
+      sum += weights_[a] * space.CatDist(a, data.Value(row, a),
+                                         ref.values[a]);
+    }
+  }
+  return sum;
+}
+
+double WeightedDistance::Distance(const Schema& schema,
+                                  const SimilaritySpace& space,
+                                  const Object& a, const Object& ref) const {
+  NMRS_DCHECK(weights_.size() == schema.num_attributes());
+  double sum = 0;
+  for (AttrId i = 0; i < weights_.size(); ++i) {
+    if (schema.attribute(i).is_numeric) {
+      sum += weights_[i] * space.NumDist(i, a.numerics[i], ref.numerics[i]);
+    } else {
+      sum += weights_[i] * space.CatDist(i, a.values[i], ref.values[i]);
+    }
+  }
+  return sum;
+}
+
+}  // namespace nmrs

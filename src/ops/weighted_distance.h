@@ -1,0 +1,55 @@
+#ifndef NMRS_OPS_WEIGHTED_DISTANCE_H_
+#define NMRS_OPS_WEIGHTED_DISTANCE_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "data/dataset.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// A monotone aggregation function over per-attribute dissimilarities: the
+/// weighted sum dist(A, ref) = Σ_i w_i · d_i(v_i(A), v_i(ref)), w_i > 0.
+/// This is the aggregate the top-k and RNN operators of the related work
+/// assume fixed; the reverse skyline is exactly what you get when you
+/// refuse to fix it (§1: the RS is the union of RNN results over all
+/// monotone aggregates).
+class WeightedDistance {
+ public:
+  explicit WeightedDistance(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    for (double w : weights_) NMRS_CHECK_GT(w, 0.0);
+  }
+
+  /// Uniform weights over m attributes.
+  static WeightedDistance Uniform(size_t m) {
+    return WeightedDistance(std::vector<double>(m, 1.0));
+  }
+
+  /// Random positive weights in (0.05, 1], for sampling aggregation
+  /// functions in tests and benches.
+  static WeightedDistance Random(size_t m, Rng& rng);
+
+  size_t num_attributes() const { return weights_.size(); }
+  double weight(AttrId a) const { return weights_[a]; }
+
+  /// Distance of dataset row `row` from reference object `ref`
+  /// (asymmetric measures: the reference is the second argument of d_i,
+  /// matching the dominance definition of §3).
+  double RowDistance(const Dataset& data, const SimilaritySpace& space,
+                     RowId row, const Object& ref) const;
+
+  /// Distance of object `a` from reference object `ref`.
+  double Distance(const Schema& schema, const SimilaritySpace& space,
+                  const Object& a, const Object& ref) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_OPS_WEIGHTED_DISTANCE_H_

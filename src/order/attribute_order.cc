@@ -1,0 +1,38 @@
+#include "order/attribute_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nmrs {
+
+std::vector<AttrId> AscendingCardinalityOrder(const Schema& schema) {
+  std::vector<AttrId> order(schema.num_attributes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](AttrId a, AttrId b) {
+    return schema.attribute(a).cardinality < schema.attribute(b).cardinality;
+  });
+  return order;
+}
+
+std::vector<AttrId> DescendingCardinalityOrder(const Schema& schema) {
+  std::vector<AttrId> order(schema.num_attributes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](AttrId a, AttrId b) {
+    return schema.attribute(a).cardinality > schema.attribute(b).cardinality;
+  });
+  return order;
+}
+
+std::vector<AttrId> IdentityOrder(const Schema& schema) {
+  std::vector<AttrId> order(schema.num_attributes());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<AttrId> RandomOrder(const Schema& schema, Rng& rng) {
+  std::vector<AttrId> order = IdentityOrder(schema);
+  rng.Shuffle(order);
+  return order;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,29 @@
+#ifndef NMRS_ORDER_ATTRIBUTE_ORDER_H_
+#define NMRS_ORDER_ATTRIBUTE_ORDER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "data/schema.h"
+
+namespace nmrs {
+
+/// The AL-Tree needs a fixed attribute ordering. "Arranging the attributes
+/// in the increasing order of number of distinct values would enable better
+/// group level reasoning due to larger sized groups towards the root"
+/// (paper §5.1) — this is the default used by SRS/TRS.
+std::vector<AttrId> AscendingCardinalityOrder(const Schema& schema);
+
+/// Reverse heuristic, used by the attribute-ordering ablation bench.
+std::vector<AttrId> DescendingCardinalityOrder(const Schema& schema);
+
+/// Physical column order (no reordering).
+std::vector<AttrId> IdentityOrder(const Schema& schema);
+
+/// Random permutation (ablation baseline).
+std::vector<AttrId> RandomOrder(const Schema& schema, Rng& rng);
+
+}  // namespace nmrs
+
+#endif  // NMRS_ORDER_ATTRIBUTE_ORDER_H_

@@ -1,0 +1,207 @@
+#include "order/multi_sort.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace nmrs {
+
+namespace {
+
+// Lexicographic comparison of two rows' value ids along attr_order, with
+// RowId tie-break for determinism.
+struct RowLess {
+  const std::vector<AttrId>* attr_order;
+
+  bool operator()(const ValueId* a, RowId aid, const ValueId* b,
+                  RowId bid) const {
+    for (AttrId attr : *attr_order) {
+      if (a[attr] != b[attr]) return a[attr] < b[attr];
+    }
+    return aid < bid;
+  }
+};
+
+// Streaming cursor over a sorted run, buffering one page at a time.
+class RunCursor {
+ public:
+  RunCursor(const StoredDataset* run)
+      : run_(run),
+        batch_(run->schema().num_attributes(),
+               run->schema().NumNumeric() > 0) {}
+
+  Status Init() { return Advance(); }
+
+  bool exhausted() const { return exhausted_; }
+  const ValueId* values() const { return batch_.row_values(idx_); }
+  const double* numerics() const { return batch_.row_numerics(idx_); }
+  RowId id() const { return batch_.id(idx_); }
+
+  Status Next() {
+    ++idx_;
+    if (idx_ >= batch_.size()) return Advance();
+    return Status::OK();
+  }
+
+ private:
+  Status Advance() {
+    batch_.Clear();
+    idx_ = 0;
+    while (batch_.size() == 0) {
+      if (next_page_ >= run_->num_pages()) {
+        exhausted_ = true;
+        return Status::OK();
+      }
+      NMRS_RETURN_IF_ERROR(run_->ReadPage(next_page_++, &batch_));
+    }
+    return Status::OK();
+  }
+
+  const StoredDataset* run_;
+  RowBatch batch_;
+  size_t idx_ = 0;
+  PageId next_page_ = 0;
+  bool exhausted_ = false;
+};
+
+// Merges `inputs` into a fresh file named `name`; returns the merged run.
+StatusOr<StoredDataset> MergeRuns(std::vector<StoredDataset>& inputs,
+                                  const std::vector<AttrId>& attr_order,
+                                  const Schema& schema, SimulatedDisk* disk,
+                                  std::string name) {
+  FileId out_file = disk->CreateFile(std::move(name));
+  RowWriter writer(disk, out_file, schema);
+
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  uint64_t total_rows = 0;
+  for (auto& run : inputs) {
+    total_rows += run.num_rows();
+    auto cur = std::make_unique<RunCursor>(&run);
+    NMRS_RETURN_IF_ERROR(cur->Init());
+    if (!cur->exhausted()) cursors.push_back(std::move(cur));
+  }
+
+  RowLess less{&attr_order};
+  auto heap_greater = [&less](const RunCursor* a, const RunCursor* b) {
+    // std::priority_queue is a max-heap; invert to pop the smallest row.
+    return less(b->values(), b->id(), a->values(), a->id());
+  };
+  std::priority_queue<RunCursor*, std::vector<RunCursor*>,
+                      decltype(heap_greater)>
+      heap(heap_greater);
+  for (auto& c : cursors) heap.push(c.get());
+
+  while (!heap.empty()) {
+    RunCursor* top = heap.top();
+    heap.pop();
+    NMRS_RETURN_IF_ERROR(writer.Add(top->id(), top->values(),
+                                    top->numerics()));
+    NMRS_RETURN_IF_ERROR(top->Next());
+    if (!top->exhausted()) heap.push(top);
+  }
+  NMRS_RETURN_IF_ERROR(writer.Finish());
+  return StoredDataset(disk, out_file, schema, total_rows);
+}
+
+}  // namespace
+
+std::vector<RowId> MultiAttributeSortOrder(
+    const Dataset& data, const std::vector<AttrId>& attr_order) {
+  std::vector<RowId> order(data.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  RowLess less{&attr_order};
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return less(data.RowValues(a), a, data.RowValues(b), b);
+  });
+  return order;
+}
+
+StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
+    const StoredDataset& input, const std::vector<AttrId>& attr_order,
+    MemoryBudget mem, std::string out_name) {
+  SimulatedDisk* disk = input.disk();
+  const Schema& schema = input.schema();
+  if (mem.pages < 2) {
+    return Status::InvalidArgument(
+        "external sort needs at least 2 pages of memory");
+  }
+
+  Timer timer;
+  const IoStats before = disk->stats();
+
+  // --- Run formation: sort mem.pages-page chunks in memory and spill. ---
+  std::vector<StoredDataset> runs;
+  const uint64_t total_pages = input.num_pages();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+  RowLess less{&attr_order};
+
+  uint64_t run_counter = 0;
+  for (PageId start = 0; start < total_pages; start += mem.pages) {
+    const PageId end = std::min<PageId>(start + mem.pages, total_pages);
+    RowBatch batch(m, numerics);
+    for (PageId p = start; p < end; ++p) {
+      NMRS_RETURN_IF_ERROR(input.ReadPage(p, &batch));
+    }
+    std::vector<size_t> idx(batch.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return less(batch.row_values(a), batch.id(a), batch.row_values(b),
+                  batch.id(b));
+    });
+    FileId run_file = disk->CreateFile(out_name + ".run" +
+                                       std::to_string(run_counter++));
+    RowWriter writer(disk, run_file, schema);
+    for (size_t i : idx) {
+      NMRS_RETURN_IF_ERROR(writer.Add(batch.id(i), batch.row_values(i),
+                                      batch.row_numerics(i)));
+    }
+    NMRS_RETURN_IF_ERROR(writer.Finish());
+    runs.emplace_back(disk, run_file, schema, batch.size());
+  }
+
+  const uint64_t initial_runs = runs.size();
+  uint64_t merge_passes = 0;
+
+  // --- Merge passes: (mem.pages - 1)-way merges until one run remains. ---
+  const size_t fan_in = std::max<size_t>(2, mem.pages - 1);
+  uint64_t merge_counter = 0;
+  while (runs.size() > 1) {
+    ++merge_passes;
+    std::vector<StoredDataset> next;
+    for (size_t g = 0; g < runs.size(); g += fan_in) {
+      const size_t group_end = std::min(runs.size(), g + fan_in);
+      std::vector<StoredDataset> group(runs.begin() + g,
+                                       runs.begin() + group_end);
+      NMRS_ASSIGN_OR_RETURN(
+          StoredDataset merged,
+          MergeRuns(group, attr_order, schema, disk,
+                    out_name + ".merge" + std::to_string(merge_counter++)));
+      for (auto& r : group) {
+        NMRS_RETURN_IF_ERROR(disk->DeleteFile(r.file()));
+      }
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+
+  // --- Finalize: copy/rename the surviving run into the output file. ---
+  StoredDataset final_run = [&]() -> StoredDataset {
+    if (runs.empty()) {
+      // Empty input: empty output file.
+      FileId f = disk->CreateFile(out_name + ".run0");
+      return StoredDataset(disk, f, schema, 0);
+    }
+    return std::move(runs.front());
+  }();
+
+  ExternalSortResult result{std::move(final_run), disk->stats() - before,
+                            timer.ElapsedMillis(), initial_runs,
+                            merge_passes};
+  return result;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,46 @@
+#ifndef NMRS_ORDER_MULTI_SORT_H_
+#define NMRS_ORDER_MULTI_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/types.h"
+#include "data/dataset.h"
+#include "data/stored_dataset.h"
+#include "storage/io_stats.h"
+#include "storage/memory_budget.h"
+
+namespace nmrs {
+
+/// Multi-attribute (lexicographic) sort of the dataset's rows along
+/// `attr_order` (paper §4.2). The point is purely to cluster objects sharing
+/// attribute-value prefixes near each other on disk — "the actual ordering
+/// among different values of an attribute is immaterial", so value ids are
+/// compared as integers.
+///
+/// Returns the permutation: position r of the result holds the RowId of the
+/// row that should be placed r-th.
+std::vector<RowId> MultiAttributeSortOrder(const Dataset& data,
+                                           const std::vector<AttrId>& attr_order);
+
+/// Result of the disk-based pre-processing sort (§5.5).
+struct ExternalSortResult {
+  StoredDataset sorted;
+  IoStats io;        // IO charged to the sort itself
+  double millis = 0; // wall-clock of the sort
+  uint64_t initial_runs = 0;
+  uint64_t merge_passes = 0;
+};
+
+/// External merge sort of `input` by `attr_order` using at most `mem.pages`
+/// pages of working memory: run formation (load mem.pages pages, sort,
+/// spill) followed by (mem.pages - 1)-way merge passes. Models the one-time
+/// pre-processing step of SRS/TRS; IO is charged to `disk`.
+StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
+    const StoredDataset& input, const std::vector<AttrId>& attr_order,
+    MemoryBudget mem, std::string out_name);
+
+}  // namespace nmrs
+
+#endif  // NMRS_ORDER_MULTI_SORT_H_

@@ -1,0 +1,72 @@
+#include "order/zorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+uint64_t ZValue(const std::vector<uint32_t>& coords, unsigned bits) {
+  NMRS_CHECK_LE(bits * coords.size(), 64u);
+  uint64_t z = 0;
+  unsigned out_bit = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      const uint64_t bit = (coords[d] >> b) & 1u;
+      z |= bit << out_bit;
+      ++out_bit;
+    }
+  }
+  return z;
+}
+
+std::vector<RowId> TileZOrder(const Dataset& data,
+                              const std::vector<AttrId>& attr_order,
+                              size_t tiles_per_dim) {
+  NMRS_CHECK_GT(tiles_per_dim, 0u);
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+
+  // Bits per dimension, bounded so the interleaved key fits in 64 bits.
+  unsigned bits = 1;
+  while ((1u << bits) < tiles_per_dim) ++bits;
+  const unsigned max_bits = static_cast<unsigned>(64 / std::max<size_t>(m, 1));
+  if (bits > max_bits) bits = max_bits;
+  const size_t effective_tiles = std::min<size_t>(tiles_per_dim, 1u << bits);
+
+  // Tile coordinate of a value: value scaled into [0, effective_tiles).
+  auto tile_of = [&](AttrId attr, ValueId v) -> uint32_t {
+    const size_t card = schema.attribute(attr).cardinality;
+    if (card <= 1) return 0;
+    uint64_t t = static_cast<uint64_t>(v) * effective_tiles / card;
+    if (t >= effective_tiles) t = effective_tiles - 1;
+    return static_cast<uint32_t>(t);
+  };
+
+  const uint64_t n = data.num_rows();
+  std::vector<uint64_t> zvals(n);
+  std::vector<uint32_t> coords(m);
+  for (RowId r = 0; r < n; ++r) {
+    const ValueId* row = data.RowValues(r);
+    for (size_t d = 0; d < m; ++d) coords[d] = tile_of(attr_order[d], row[attr_order[d]]);
+    zvals[r] = ZValue(coords, bits);
+  }
+
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    if (zvals[a] != zvals[b]) return zvals[a] < zvals[b];
+    // Within a tile: multi-attribute sort (paper: "objects within a tile
+    // are sorted as before").
+    const ValueId* ra = data.RowValues(a);
+    const ValueId* rb = data.RowValues(b);
+    for (AttrId attr : attr_order) {
+      if (ra[attr] != rb[attr]) return ra[attr] < rb[attr];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,31 @@
+#ifndef NMRS_ORDER_ZORDER_H_
+#define NMRS_ORDER_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "data/dataset.h"
+
+namespace nmrs {
+
+/// Interleaves the low `bits` bits of each coordinate (coordinate 0
+/// contributes the least significant bit of each group), producing the
+/// standard Z-order / Morton value. Supports up to 64 total bits.
+uint64_t ZValue(const std::vector<uint32_t>& coords, unsigned bits);
+
+/// Tile-based data ordering (paper §5.6): each attribute's value range (in
+/// its arbitrary id order) is divided into `tiles_per_dim` equal slices;
+/// the resulting hyper-rectangular tiles are ordered by Z-order, and objects
+/// within a tile are multi-attribute sorted along `attr_order`. This
+/// clustering is "fair to all the dimensions", making SRS/TRS robust to
+/// attribute-subset queries that do not match the sort prefix.
+///
+/// Returns the row permutation (like MultiAttributeSortOrder).
+std::vector<RowId> TileZOrder(const Dataset& data,
+                              const std::vector<AttrId>& attr_order,
+                              size_t tiles_per_dim);
+
+}  // namespace nmrs
+
+#endif  // NMRS_ORDER_ZORDER_H_

@@ -1,0 +1,98 @@
+#ifndef NMRS_SIM_DISSIMILARITY_MATRIX_H_
+#define NMRS_SIM_DISSIMILARITY_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nmrs {
+
+/// Dense k×k dissimilarity function over a categorical domain, as filled in
+/// by a domain expert in the paper's motivating scenarios. No metric
+/// properties are assumed: the matrix may violate the triangle inequality
+/// and may even be asymmetric. The only convention most measures follow is
+/// d(x, x) = 0, which the SRS/TRS sort exploits but never relies on for
+/// correctness.
+class DissimilarityMatrix {
+ public:
+  /// A k×k matrix of zeros.
+  explicit DissimilarityMatrix(size_t cardinality)
+      : cardinality_(cardinality),
+        values_(cardinality * cardinality, 0.0),
+        transposed_(cardinality * cardinality, 0.0) {
+    NMRS_CHECK_GT(cardinality, 0u);
+  }
+
+  size_t cardinality() const { return cardinality_; }
+
+  /// Dissimilarity of value `a` to value `b`.
+  double Dist(ValueId a, ValueId b) const {
+    NMRS_DCHECK(a < cardinality_ && b < cardinality_);
+    return values_[a * cardinality_ + b];
+  }
+
+  /// Contiguous row: RowFrom(a)[b] == Dist(a, b). Hot-path accessor for
+  /// traversals that scan many b for a fixed a.
+  const double* RowFrom(ValueId a) const {
+    NMRS_DCHECK(a < cardinality_);
+    return values_.data() + a * cardinality_;
+  }
+
+  /// Contiguous column (from the transposed copy): ColumnTo(b)[a] ==
+  /// Dist(a, b). Hot-path accessor for traversals that scan many a for a
+  /// fixed reference value b (the AL-Tree phase-1 pattern).
+  const double* ColumnTo(ValueId b) const {
+    NMRS_DCHECK(b < cardinality_);
+    return transposed_.data() + b * cardinality_;
+  }
+
+  void Set(ValueId a, ValueId b, double d) {
+    NMRS_DCHECK(a < cardinality_ && b < cardinality_);
+    values_[a * cardinality_ + b] = d;
+    transposed_[b * cardinality_ + a] = d;
+  }
+
+  /// Sets d(a,b) and d(b,a) simultaneously.
+  void SetSymmetric(ValueId a, ValueId b, double d) {
+    Set(a, b, d);
+    Set(b, a, d);
+  }
+
+  /// Validates basic sanity: non-negative entries and zero diagonal (the
+  /// latter only when `require_zero_diagonal`).
+  Status Validate(bool require_zero_diagonal = true) const;
+
+  bool IsSymmetric(double eps = 0.0) const;
+
+  /// Fraction of ordered triples (x,y,z), x!=y!=z, violating
+  /// d(x,y)+d(y,z) >= d(x,z). Exhaustive for small k; sampled (up to
+  /// `max_samples` triples) for large k. Used to demonstrate that generated
+  /// measures are genuinely non-metric.
+  double TriangleViolationRate(size_t max_samples = 200000) const;
+
+ private:
+  size_t cardinality_;
+  std::vector<double> values_;      // row-major: [a * k + b] = d(a, b)
+  std::vector<double> transposed_;  // [b * k + a] = d(a, b)
+};
+
+/// Options for random matrix generation, matching the paper's experimental
+/// setup ("similarities between values are chosen randomly from [0-1]").
+struct RandomMatrixOptions {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool symmetric = true;
+  bool zero_diagonal = true;
+};
+
+/// Generates a random dissimilarity matrix over `cardinality` values.
+DissimilarityMatrix MakeRandomMatrix(size_t cardinality, Rng& rng,
+                                     const RandomMatrixOptions& opts = {});
+
+}  // namespace nmrs
+
+#endif  // NMRS_SIM_DISSIMILARITY_MATRIX_H_

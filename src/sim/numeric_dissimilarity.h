@@ -1,0 +1,54 @@
+#ifndef NMRS_SIM_NUMERIC_DISSIMILARITY_H_
+#define NMRS_SIM_NUMERIC_DISSIMILARITY_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+/// Closed numeric interval [lo, hi]; the bucket bounds used by the
+/// discretized numeric handling of TRS (paper §6).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+  double width() const { return hi - lo; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Dissimilarity for numeric attributes: scaled absolute difference
+/// d(x, y) = scale * |x - y|. Numeric attributes are metric on their own —
+/// the paper's point (§6) is that they can coexist with non-metric
+/// categorical attributes inside one TRS query via discretization, for which
+/// this class supplies interval lower/upper bounds.
+class NumericDissimilarity {
+ public:
+  explicit NumericDissimilarity(double scale = 1.0) : scale_(scale) {
+    NMRS_CHECK_GT(scale, 0.0);
+  }
+
+  double scale() const { return scale_; }
+
+  double Dist(double x, double y) const { return scale_ * std::fabs(x - y); }
+
+  /// Smallest possible d(x, y) over x in `a`, y in `b` (0 if they overlap).
+  double MinDist(const Interval& a, const Interval& b) const {
+    const double gap = std::max(a.lo, b.lo) - std::min(a.hi, b.hi);
+    return scale_ * std::max(0.0, gap);
+  }
+
+  /// Largest possible d(x, y) over x in `a`, y in `b`.
+  double MaxDist(const Interval& a, const Interval& b) const {
+    return scale_ * std::max(std::fabs(b.hi - a.lo), std::fabs(a.hi - b.lo));
+  }
+
+ private:
+  double scale_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_SIM_NUMERIC_DISSIMILARITY_H_

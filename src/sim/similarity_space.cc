@@ -1,0 +1,14 @@
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+SimilaritySpace MakeRandomSpace(const std::vector<size_t>& cardinalities,
+                                Rng& rng, const RandomMatrixOptions& opts) {
+  SimilaritySpace space;
+  for (size_t card : cardinalities) {
+    space.AddCategorical(MakeRandomMatrix(card, rng, opts));
+  }
+  return space;
+}
+
+}  // namespace nmrs

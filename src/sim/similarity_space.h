@@ -1,0 +1,86 @@
+#ifndef NMRS_SIM_SIMILARITY_SPACE_H_
+#define NMRS_SIM_SIMILARITY_SPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/dissimilarity_matrix.h"
+#include "sim/numeric_dissimilarity.h"
+
+namespace nmrs {
+
+/// Per-attribute dissimilarity registry for a dataset: attribute i is either
+/// categorical (dense non-metric matrix over its domain) or numeric (scaled
+/// absolute difference). Reverse-skyline algorithms read distances through
+/// this object only.
+class SimilaritySpace {
+ public:
+  SimilaritySpace() = default;
+
+  /// Appends a categorical attribute backed by `matrix`.
+  void AddCategorical(DissimilarityMatrix matrix) {
+    attrs_.push_back(Attr{std::move(matrix), NumericDissimilarity(), false});
+  }
+
+  /// Appends a numeric attribute.
+  void AddNumeric(NumericDissimilarity d) {
+    attrs_.push_back(Attr{DissimilarityMatrix(1), d, true});
+  }
+
+  size_t num_attributes() const { return attrs_.size(); }
+
+  bool IsNumeric(AttrId attr) const {
+    NMRS_DCHECK(attr < attrs_.size());
+    return attrs_[attr].is_numeric;
+  }
+
+  /// Domain size of a categorical attribute.
+  size_t Cardinality(AttrId attr) const {
+    NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
+    return attrs_[attr].matrix.cardinality();
+  }
+
+  /// Categorical dissimilarity d_attr(a, b).
+  double CatDist(AttrId attr, ValueId a, ValueId b) const {
+    NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
+    return attrs_[attr].matrix.Dist(a, b);
+  }
+
+  /// Numeric dissimilarity d_attr(x, y).
+  double NumDist(AttrId attr, double x, double y) const {
+    NMRS_DCHECK(attr < attrs_.size() && attrs_[attr].is_numeric);
+    return attrs_[attr].numeric.Dist(x, y);
+  }
+
+  const DissimilarityMatrix& matrix(AttrId attr) const {
+    NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
+    return attrs_[attr].matrix;
+  }
+
+  const NumericDissimilarity& numeric(AttrId attr) const {
+    NMRS_DCHECK(attr < attrs_.size() && attrs_[attr].is_numeric);
+    return attrs_[attr].numeric;
+  }
+
+ private:
+  struct Attr {
+    DissimilarityMatrix matrix;
+    NumericDissimilarity numeric;
+    bool is_numeric;
+  };
+
+  std::vector<Attr> attrs_;
+};
+
+/// Builds an all-categorical space with one random matrix per cardinality in
+/// `cardinalities`, mirroring the paper's experimental setup.
+SimilaritySpace MakeRandomSpace(const std::vector<size_t>& cardinalities,
+                                Rng& rng,
+                                const RandomMatrixOptions& opts = {});
+
+}  // namespace nmrs
+
+#endif  // NMRS_SIM_SIMILARITY_SPACE_H_

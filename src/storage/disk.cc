@@ -1,0 +1,124 @@
+#include "storage/disk.h"
+
+#include <cstring>
+
+namespace nmrs {
+
+SimulatedDisk::SimulatedDisk(size_t page_size) : page_size_(page_size) {
+  NMRS_CHECK_GT(page_size_, 0u);
+}
+
+FileId SimulatedDisk::CreateFile(std::string name) {
+  FileId id = next_file_id_++;
+  files_.emplace(id, File{std::move(name), {}});
+  return id;
+}
+
+Status SimulatedDisk::DeleteFile(FileId file) {
+  if (files_.erase(file) == 0) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  if (has_position_ && last_file_ == file) has_position_ = false;
+  return Status::OK();
+}
+
+Status SimulatedDisk::TruncateFile(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  it->second.pages.clear();
+  if (has_position_ && last_file_ == file) has_position_ = false;
+  return Status::OK();
+}
+
+uint64_t SimulatedDisk::NumPages(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.pages.size();
+}
+
+bool SimulatedDisk::FileExists(FileId file) const {
+  return files_.count(file) > 0;
+}
+
+bool SimulatedDisk::IsSequential(FileId file, PageId page) const {
+  return has_position_ && last_file_ == file && page == last_page_ + 1;
+}
+
+void SimulatedDisk::Touch(FileId file, PageId page) {
+  has_position_ = true;
+  last_file_ = file;
+  last_page_ = page;
+}
+
+Status SimulatedDisk::ReadPage(FileId file, PageId page, Page* out) {
+  NMRS_CHECK(out != nullptr);
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  if (page >= it->second.pages.size()) {
+    return Status::OutOfRange("read past end of file '" + it->second.name +
+                              "': page " + std::to_string(page) + " of " +
+                              std::to_string(it->second.pages.size()));
+  }
+  if (IsSequential(file, page)) {
+    ++stats_.seq_reads;
+  } else {
+    ++stats_.rand_reads;
+  }
+  Touch(file, page);
+  *out = it->second.pages[page];
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(FileId file, PageId page, const Page& in) {
+  if (in.size() != page_size_) {
+    return Status::InvalidArgument("page size mismatch: " +
+                                   std::to_string(in.size()) + " vs " +
+                                   std::to_string(page_size_));
+  }
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  auto& pages = it->second.pages;
+  if (page > pages.size()) {
+    return Status::OutOfRange("write creates hole in file '" +
+                              it->second.name + "'");
+  }
+  if (IsSequential(file, page)) {
+    ++stats_.seq_writes;
+  } else {
+    ++stats_.rand_writes;
+  }
+  Touch(file, page);
+  if (page == pages.size()) {
+    pages.push_back(in);
+  } else {
+    pages[page] = in;
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> SimulatedDisk::AppendPage(FileId file, const Page& in) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  PageId id = it->second.pages.size();
+  NMRS_RETURN_IF_ERROR(WritePage(file, id, in));
+  return id;
+}
+
+void SimulatedDisk::ResetStats() { stats_ = IoStats{}; }
+
+void SimulatedDisk::InvalidateArmPosition() { has_position_ = false; }
+
+uint64_t SimulatedDisk::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& [id, f] : files_) total += f.pages.size();
+  return total;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,117 @@
+#ifndef NMRS_STORAGE_DISK_H_
+#define NMRS_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/io_stats.h"
+
+namespace nmrs {
+
+/// Identifies a file living on a SimulatedDisk.
+using FileId = uint32_t;
+/// Page index within a file.
+using PageId = uint64_t;
+
+inline constexpr size_t kDefaultPageSize = 32 * 1024;  // paper §5.1: 32 KB
+
+/// A fixed-size disk page. Pages are the unit of all IO accounting.
+class Page {
+ public:
+  explicit Page(size_t size) : bytes_(size, 0) {}
+
+  size_t size() const { return bytes_.size(); }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  uint8_t& operator[](size_t i) { return bytes_[i]; }
+  uint8_t operator[](size_t i) const { return bytes_[i]; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// SimulatedDisk models a single spindle holding many files. Every page read
+/// or write is classified as *sequential* (it targets the page immediately
+/// after the previously accessed page of the same file) or *random*
+/// (anything else, including switching files). This reproduces the IO cost
+/// model of the paper without needing a real disk: algorithms are charged
+/// page IOs, and IoCostModel converts counts to modeled time.
+///
+/// Thread-compatible (external synchronization required); the reproduction
+/// pipeline is single-threaded per query, matching the paper.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(size_t page_size = kDefaultPageSize);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Creates an empty file and returns its id.
+  FileId CreateFile(std::string name);
+
+  /// Deletes a file and frees its pages. Invalidates the id.
+  Status DeleteFile(FileId file);
+
+  /// Removes all pages of `file` but keeps the id valid (used to recycle
+  /// scratch files between queries).
+  Status TruncateFile(FileId file);
+
+  /// Number of pages currently in `file` (0 for unknown ids).
+  uint64_t NumPages(FileId file) const;
+
+  bool FileExists(FileId file) const;
+
+  /// Reads page `page` of `file` into `out` (resized/overwritten).
+  /// Charges one sequential or random read.
+  Status ReadPage(FileId file, PageId page, Page* out);
+
+  /// Writes `in` as page `page` of `file`. `page` may be at most one past the
+  /// current end (append). Charges one sequential or random write.
+  Status WritePage(FileId file, PageId page, const Page& in);
+
+  /// Appends `in` to `file`, returns its page id.
+  StatusOr<PageId> AppendPage(FileId file, const Page& in);
+
+  /// Cumulative IO since construction (or last ResetStats).
+  const IoStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// Forgets the arm position so that the next IO is classified random.
+  /// Called by algorithms at phase boundaries to model a cold start.
+  void InvalidateArmPosition();
+
+  /// Total pages across all files (dataset size measurement).
+  uint64_t TotalPages() const;
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<Page> pages;
+  };
+
+  // True if accessing (file, page) continues the previous access.
+  bool IsSequential(FileId file, PageId page) const;
+  void Touch(FileId file, PageId page);
+
+  size_t page_size_;
+  std::unordered_map<FileId, File> files_;
+  FileId next_file_id_ = 0;
+  IoStats stats_;
+
+  // Disk-arm position: last (file, page) touched.
+  bool has_position_ = false;
+  FileId last_file_ = 0;
+  PageId last_page_ = 0;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_DISK_H_

@@ -1,0 +1,15 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace nmrs {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "IoStats{seq_reads=" << seq_reads << ", rand_reads=" << rand_reads
+     << ", seq_writes=" << seq_writes << ", rand_writes=" << rand_writes
+     << "}";
+  return os.str();
+}
+
+}  // namespace nmrs

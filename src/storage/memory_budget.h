@@ -1,0 +1,29 @@
+#ifndef NMRS_STORAGE_MEMORY_BUDGET_H_
+#define NMRS_STORAGE_MEMORY_BUDGET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace nmrs {
+
+/// Working-memory budget for a query, expressed in pages. The paper sets the
+/// budget as a percentage of the dataset's on-disk size (e.g. 4%-20%).
+struct MemoryBudget {
+  uint64_t pages = 0;
+
+  /// Budget of `fraction` (e.g. 0.10 for 10%) of a dataset occupying
+  /// `dataset_pages` pages, but never less than `min_pages` (algorithms need
+  /// at least 2 pages: one for the scan and one for a result batch).
+  static MemoryBudget FromFraction(double fraction, uint64_t dataset_pages,
+                                   uint64_t min_pages = 2) {
+    const double raw = fraction * static_cast<double>(dataset_pages);
+    uint64_t p = static_cast<uint64_t>(raw);
+    return MemoryBudget{std::max<uint64_t>(p, min_pages)};
+  }
+
+  uint64_t Bytes(size_t page_size) const { return pages * page_size; }
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_MEMORY_BUDGET_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kNaive,   Algorithm::kBRS,     Algorithm::kSRS,
+    Algorithm::kTRS,     Algorithm::kTileSRS, Algorithm::kTileTRS};
+
+TEST(AlgorithmsTest, AllAgreeWithOracleOnMediumInstance) {
+  RandomInstance inst(42, 400, {8, 6, 10});
+  Rng rng(43);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+
+  SimulatedDisk disk(512);
+  RSOptions opts;
+  opts.memory.pages = 4;
+  for (Algorithm algo : kAllAlgorithms) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {},
+                                   std::string(AlgorithmName(algo)));
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo) << ": "
+                             << result.status();
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+    EXPECT_EQ(result->stats.result_size, expected.size());
+  }
+}
+
+TEST(AlgorithmsTest, RowQueriesNeverLoseTheMatchingRow) {
+  RandomInstance inst(17, 200, {6, 6});
+  Rng rng(18);
+  SimulatedDisk disk(512);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RowId pick = rng.Uniform(inst.data.num_rows());
+    Object q = inst.data.GetObject(pick);
+    for (Algorithm algo : {Algorithm::kBRS, Algorithm::kTRS}) {
+      auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      auto result = RunReverseSkyline(*prepared, inst.space, q, algo, {});
+      ASSERT_TRUE(result.ok());
+      // Q == row pick: nothing strictly dominates Q w.r.t. that row.
+      EXPECT_NE(std::find(result->rows.begin(), result->rows.end(), pick),
+                result->rows.end())
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST(AlgorithmsTest, StatsAreInternallyConsistent) {
+  RandomInstance inst(5, 300, {7, 7, 7});
+  Rng rng(6);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(512);
+  RSOptions opts;
+  opts.memory.pages = 3;
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+    ASSERT_TRUE(result.ok());
+    const QueryStats& s = result->stats;
+    EXPECT_GE(s.phase1_batches, 1u) << AlgorithmName(algo);
+    EXPECT_GE(s.phase1_survivors, s.result_size) << AlgorithmName(algo);
+    if (s.phase1_survivors > 0) {
+      EXPECT_GE(s.phase2_batches, 1u) << AlgorithmName(algo);
+    }
+    EXPECT_GT(s.checks, 0u) << AlgorithmName(algo);
+    EXPECT_GT(s.io.TotalReads(), 0u) << AlgorithmName(algo);
+    // Phase 2 rescans D once per batch, plus the phase-1 scan.
+    const uint64_t d_pages = prepared->stored.num_pages();
+    EXPECT_GE(s.io.TotalReads(), d_pages * (1 + s.phase2_batches))
+        << AlgorithmName(algo);
+    EXPECT_GE(s.ResponseMillis(), s.compute_millis);
+  }
+}
+
+TEST(AlgorithmsTest, SortingImprovesPhase1Pruning) {
+  // The whole point of SRS (§4.2): clustering shared values increases
+  // intra-batch pruning, so SRS leaves at most as many phase-1 survivors
+  // as BRS on the same data and memory.
+  RandomInstance inst(23, 2000, {5, 5, 5, 5});
+  Rng rng(24);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(1024);
+  RSOptions opts;
+  opts.memory.pages = 3;
+  auto brs_prep = PrepareDataset(&disk, inst.data, Algorithm::kBRS, {});
+  auto srs_prep = PrepareDataset(&disk, inst.data, Algorithm::kSRS, {});
+  ASSERT_TRUE(brs_prep.ok() && srs_prep.ok());
+  auto brs = RunReverseSkyline(*brs_prep, inst.space, q, Algorithm::kBRS,
+                               opts);
+  auto srs = RunReverseSkyline(*srs_prep, inst.space, q, Algorithm::kSRS,
+                               opts);
+  ASSERT_TRUE(brs.ok() && srs.ok());
+  EXPECT_EQ(brs->rows, srs->rows);
+  EXPECT_LE(srs->stats.phase1_survivors, brs->stats.phase1_survivors);
+}
+
+TEST(AlgorithmsTest, TrsUsesFewerChecksThanSrsAtScale) {
+  // Paper §5: group-level reasoning cuts attribute-level comparisons by a
+  // multiple. Verify the direction (not the exact factor) on a
+  // non-trivial instance.
+  RandomInstance inst(31, 3000, {10, 10, 10, 10, 10});
+  Rng rng(32);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(4096);
+  RSOptions opts;
+  opts.memory.pages = 4;
+  auto prep = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prep.ok());
+  auto srs = RunReverseSkyline(*prep, inst.space, q, Algorithm::kSRS, opts);
+  auto trs = RunReverseSkyline(*prep, inst.space, q, Algorithm::kTRS, opts);
+  ASSERT_TRUE(srs.ok() && trs.ok());
+  EXPECT_EQ(srs->rows, trs->rows);
+  EXPECT_LT(trs->stats.checks, srs->stats.checks);
+}
+
+TEST(AlgorithmsTest, ResultsIndependentOfPageSize) {
+  RandomInstance inst(47, 250, {6, 6, 6});
+  Rng rng(48);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  for (size_t page_size : {64u, 256u, 4096u, 32u * 1024u}) {
+    SimulatedDisk disk(page_size);
+    for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS,
+                           Algorithm::kTRS}) {
+      auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      auto result = RunReverseSkyline(*prepared, inst.space, q, algo, {});
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " page=" << page_size;
+    }
+  }
+}
+
+TEST(AlgorithmsTest, TrsChildOrderingAblationPreservesResults) {
+  RandomInstance inst(53, 500, {8, 8, 8});
+  Rng rng(54);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(512);
+  auto prep = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prep.ok());
+  RSOptions ordered;
+  RSOptions unordered;
+  unordered.order_children_by_descendants = false;
+  auto a = RunReverseSkyline(*prep, inst.space, q, Algorithm::kTRS, ordered);
+  auto b =
+      RunReverseSkyline(*prep, inst.space, q, Algorithm::kTRS, unordered);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows, b->rows);
+}
+
+TEST(AlgorithmsTest, AsymmetricDissimilaritiesHandled) {
+  // Non-metric also means possibly asymmetric; all algorithms must agree
+  // with the oracle under an asymmetric matrix.
+  Rng rng(61);
+  std::vector<size_t> cards = {6, 6, 6};
+  Dataset data = GenerateUniform(300, cards, rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, rng, {.symmetric = false}));
+  }
+  Object q = SampleUniformQuery(data, rng);
+  auto expected = ReverseSkylineOracle(data, space, q);
+  SimulatedDisk disk(512);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

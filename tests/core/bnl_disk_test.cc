@@ -1,0 +1,182 @@
+#include "core/bnl_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(BnlDiskTest, MatchesInMemoryBnlOnRunningExample) {
+  RunningExample ex;
+  SimulatedDisk disk(28);  // one object per page
+  auto stored = StoredDataset::Create(&disk, ex.dataset, "d");
+  ASSERT_TRUE(stored.ok());
+  for (RowId ref_row = 0; ref_row < ex.dataset.num_rows(); ++ref_row) {
+    const Object ref = ex.dataset.GetObject(ref_row);
+    auto expected = DynamicSkylineBNL(ex.dataset, ex.space, ref);
+    auto got = BnlDynamicSkyline(*stored, ex.space, ref);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->rows, expected) << "ref O" << ref_row + 1;
+  }
+}
+
+class BnlDiskMemorySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BnlDiskMemorySweep, MatchesInMemoryAcrossBudgets) {
+  const uint64_t mem = GetParam();
+  RandomInstance inst(61, 400, {7, 7, 7});
+  Rng rng(62);
+  SimulatedDisk disk(256);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  for (int trial = 0; trial < 3; ++trial) {
+    Object ref = SampleUniformQuery(inst.data, rng);
+    auto expected = DynamicSkylineBNL(inst.data, inst.space, ref);
+    RSOptions opts;
+    opts.memory.pages = mem;
+    auto got = BnlDynamicSkyline(*stored, inst.space, ref, opts);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->rows, expected) << "mem=" << mem << " trial=" << trial;
+    if (mem == 2) {
+      // Tight memory must force multiple passes on a 400-row skyline-rich
+      // input (window = 1 page).
+      EXPECT_GE(got->stats.phase1_batches, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BnlDiskMemorySweep,
+                         ::testing::Values(2, 3, 5, 1000));
+
+TEST(BnlDiskTest, MultiPassPathExercised) {
+  // Sparse, high-dimensional data yields a large skyline that overflows a
+  // tiny window -> several BNL passes.
+  RandomInstance inst(63, 600, {10, 10, 10, 10, 10});
+  Rng rng(64);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(128);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  RSOptions opts;
+  opts.memory.pages = 2;
+  auto got = BnlDynamicSkyline(*stored, inst.space, ref, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(got->stats.phase1_batches, 1u);
+  EXPECT_EQ(got->rows, DynamicSkylineBNL(inst.data, inst.space, ref));
+}
+
+TEST(BnlDiskTest, DuplicatesAllSurviveTogether) {
+  Dataset data(Schema::Categorical({4}));
+  for (int i = 0; i < 12; ++i) data.AppendCategoricalRow({2});
+  Rng rng(65);
+  SimilaritySpace space = MakeRandomSpace({4}, rng);
+  SimulatedDisk disk(128);
+  auto stored = StoredDataset::Create(&disk, data, "d");
+  ASSERT_TRUE(stored.ok());
+  auto got = BnlDynamicSkyline(*stored, space, Object({0}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows.size(), 12u);  // duplicates never dominate each other
+}
+
+TEST(BnlDiskTest, SubsetQueries) {
+  RandomInstance inst(66, 200, {5, 5, 5});
+  Rng rng(67);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(256);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  const std::vector<AttrId> sel = {0, 2};
+  RSOptions opts;
+  opts.selected_attrs = sel;
+  auto got = BnlDynamicSkyline(*stored, inst.space, ref, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows, DynamicSkylineBNL(inst.data, inst.space, ref, sel));
+}
+
+TEST(BnlDiskTest, EmptyAndTinyInputs) {
+  Rng rng(68);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  SimulatedDisk disk(128);
+
+  Dataset empty(Schema::Categorical({3}));
+  auto stored_empty = StoredDataset::Create(&disk, empty, "e");
+  ASSERT_TRUE(stored_empty.ok());
+  auto got = BnlDynamicSkyline(*stored_empty, space, Object({0}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->rows.empty());
+
+  Dataset one(Schema::Categorical({3}));
+  one.AppendCategoricalRow({1});
+  auto stored_one = StoredDataset::Create(&disk, one, "o");
+  ASSERT_TRUE(stored_one.ok());
+  got = BnlDynamicSkyline(*stored_one, space, Object({0}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->rows, (std::vector<RowId>{0}));
+}
+
+TEST(BnlDiskTest, RejectsSubTwoPageMemory) {
+  RandomInstance inst(69, 10, {3});
+  SimulatedDisk disk(128);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  RSOptions opts;
+  opts.memory.pages = 1;
+  EXPECT_TRUE(BnlDynamicSkyline(*stored, inst.space, Object({0}), opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BnlDiskTest, TempFilesCleanedUp) {
+  RandomInstance inst(70, 300, {20, 20});
+  Rng rng(71);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(128);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  const uint64_t before = disk.TotalPages();
+  RSOptions opts;
+  opts.memory.pages = 2;
+  auto got = BnlDynamicSkyline(*stored, inst.space, ref, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(disk.TotalPages(), before);
+}
+
+TEST(BnlDiskTest, ReverseSkylineViaSkylineMembership) {
+  // Definition 1 end-to-end on disk: X in RS(Q) iff Q in S((D\{X}) u {Q})
+  // w.r.t. X. Cross-validate TRS against per-row BNL skylines.
+  RandomInstance inst(72, 60, {4, 4});
+  Rng rng(73);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto rs = ReverseSkylineOracle(inst.data, inst.space, q);
+  for (RowId x = 0; x < inst.data.num_rows(); ++x) {
+    // Build D' = (D \ {X}) ∪ {Q} in memory, then check membership of Q.
+    Dataset d_prime(inst.data.schema());
+    for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+      if (r == x) continue;
+      d_prime.AppendCategoricalRow(std::vector<ValueId>(
+          inst.data.RowValues(r), inst.data.RowValues(r) + 2));
+    }
+    d_prime.AppendCategoricalRow(q.values);  // Q gets the last row id
+    const RowId q_row = d_prime.num_rows() - 1;
+    SimulatedDisk disk(256);
+    auto stored = StoredDataset::Create(&disk, d_prime, "dp");
+    ASSERT_TRUE(stored.ok());
+    auto sky =
+        BnlDynamicSkyline(*stored, inst.space, inst.data.GetObject(x));
+    ASSERT_TRUE(sky.ok());
+    const bool q_in_sky =
+        std::find(sky->rows.begin(), sky->rows.end(), q_row) !=
+        sky->rows.end();
+    const bool in_rs = std::find(rs.begin(), rs.end(), x) != rs.end();
+    EXPECT_EQ(q_in_sky, in_rs) << "row " << x;
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,88 @@
+// Contract tests: the NMRS_CHECK-guarded preconditions of the public API
+// must abort loudly (never corrupt silently). Death tests pin that down.
+#include <gtest/gtest.h>
+
+#include "altree/al_tree.h"
+#include "core/streaming.h"
+#include "core/uncertain.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "ops/weighted_distance.h"
+#include "order/attribute_order.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+TEST(ContractsDeathTest, PermutedRejectsWrongLength) {
+  Dataset d(Schema::Categorical({3}));
+  d.AppendCategoricalRow({0});
+  d.AppendCategoricalRow({1});
+  EXPECT_DEATH(d.Permuted({0}), "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, PermutedRejectsOutOfRangeIndex) {
+  Dataset d(Schema::Categorical({3}));
+  d.AppendCategoricalRow({0});
+  EXPECT_DEATH(d.Permuted({5}), "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, AppendRowRejectsWrongArity) {
+  Dataset d(Schema::Categorical({3, 3}));
+  EXPECT_DEATH(d.AppendCategoricalRow({0}), "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, ALTreeRejectsMismatchedAttrOrder) {
+  Schema s = Schema::Categorical({3, 3});
+  EXPECT_DEATH(ALTree(s, {0}), "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, ALTreeTempRestoreWithoutRemove) {
+  Schema s = Schema::Categorical({2, 2});
+  ALTree tree(s, IdentityOrder(s));
+  const ValueId row[] = {0, 0};
+  tree.Insert(1, row, nullptr);
+  const ALTree::NodeId leaf = tree.FindLeaf(row);
+  EXPECT_DEATH(tree.TempRestore(leaf), "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, StreamingRejectsZeroWindow) {
+  Rng rng(1);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  Schema schema = Schema::Categorical({3});
+  EXPECT_DEATH(StreamingReverseSkyline(space, schema, Object({0}), 0),
+               "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, UncertainRejectsBadProbabilities) {
+  RandomInstance inst(2, 10, {3});
+  Object q({0});
+  std::vector<double> bad(inst.data.num_rows(), 1.5);
+  EXPECT_DEATH(
+      UncertainReverseSkyline(inst.data, inst.space, q, bad, 0.5),
+      "NMRS_CHECK");
+  std::vector<double> wrong_size(3, 0.5);
+  EXPECT_DEATH(UncertainReverseSkyline(inst.data, inst.space, q, wrong_size,
+                                       0.5),
+               "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, UncertainRejectsBadThreshold) {
+  RandomInstance inst(3, 10, {3});
+  Object q({0});
+  std::vector<double> p(inst.data.num_rows(), 0.5);
+  EXPECT_DEATH(UncertainReverseSkyline(inst.data, inst.space, q, p, 0.0),
+               "NMRS_CHECK");
+  EXPECT_DEATH(UncertainReverseSkyline(inst.data, inst.space, q, p, 1.5),
+               "NMRS_CHECK");
+}
+
+TEST(ContractsDeathTest, WeightedDistanceRejectsNonPositiveWeights) {
+  EXPECT_DEATH(WeightedDistance({1.0, 0.0}), "NMRS_CHECK");
+  EXPECT_DEATH(WeightedDistance({-0.5}), "NMRS_CHECK");
+}
+
+}  // namespace
+}  // namespace nmrs

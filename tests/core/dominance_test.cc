@@ -1,0 +1,132 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RunningExample;
+
+TEST(ResolveSelectedAttrsTest, EmptyMeansAll) {
+  Schema s = Schema::Categorical({2, 3, 4});
+  EXPECT_EQ(ResolveSelectedAttrs(s, {}), (std::vector<AttrId>{0, 1, 2}));
+}
+
+TEST(ResolveSelectedAttrsTest, PassesThroughSubset) {
+  Schema s = Schema::Categorical({2, 3, 4});
+  EXPECT_EQ(ResolveSelectedAttrs(s, {2, 0}), (std::vector<AttrId>{2, 0}));
+}
+
+TEST(PruneContextTest, QueryDistancesForCandidate) {
+  RunningExample ex;
+  PruneContext ctx(ex.space, ex.dataset.schema(), ex.query, {});
+  // Candidate O2 = [RHL, AMD, Informix]; Q = [MSW, Intel, DB2].
+  ctx.SetCandidate(ex.dataset.RowValues(1), nullptr);
+  EXPECT_DOUBLE_EQ(ctx.QueryDist(0), 0.8);  // d1(MSW, RHL)
+  EXPECT_DOUBLE_EQ(ctx.QueryDist(1), 0.5);  // d2(Intel, AMD)
+  EXPECT_DOUBLE_EQ(ctx.QueryDist(2), 0.5);  // d3(DB2, Informix)
+}
+
+TEST(PruneContextTest, PaperPruningRelationships) {
+  // Paper §4.2: O1 -> {O2, O4, O5}, O2 -> {O5}, O4 -> {O1, O2, O5},
+  // O5 -> {O2}; nothing prunes O3 or O6.
+  RunningExample ex;
+  PruneContext ctx(ex.space, ex.dataset.schema(), ex.query, {});
+  const std::vector<std::pair<int, std::vector<int>>> expected = {
+      {0, {1, 3, 4}}, {1, {4}}, {2, {}}, {3, {0, 1, 4}}, {4, {1}}, {5, {}}};
+  for (const auto& [pruner, prunees] : expected) {
+    for (int candidate = 0; candidate < 6; ++candidate) {
+      if (candidate == pruner) continue;
+      ctx.SetCandidate(ex.dataset.RowValues(candidate), nullptr);
+      uint64_t checks = 0;
+      const bool prunes =
+          ctx.Prunes(ex.dataset.RowValues(pruner), nullptr, &checks);
+      const bool expected_prunes =
+          std::find(prunees.begin(), prunees.end(), candidate) !=
+          prunees.end();
+      EXPECT_EQ(prunes, expected_prunes)
+          << "O" << pruner + 1 << " vs O" << candidate + 1;
+      EXPECT_GE(checks, 1u);
+      EXPECT_LE(checks, 3u);
+    }
+  }
+}
+
+TEST(PruneContextTest, EarlyAbortStopsChecking) {
+  RunningExample ex;
+  PruneContext ctx(ex.space, ex.dataset.schema(), ex.query, {});
+  // Candidate O6 = [MSW, Intel, DB2] == Q: every query distance is 0, so
+  // any pruner fails on the first strict requirement, or aborts where it
+  // is farther.
+  ctx.SetCandidate(ex.dataset.RowValues(5), nullptr);
+  uint64_t checks = 0;
+  // O1 = [MSW, AMD, DB2]: d2(AMD, Intel)=0.5 > 0 -> abort at attr 2.
+  EXPECT_FALSE(ctx.Prunes(ex.dataset.RowValues(0), nullptr, &checks));
+  EXPECT_EQ(checks, 2u);
+}
+
+TEST(PruneContextTest, DuplicatePrunesWhenQueryDiffers) {
+  RunningExample ex;
+  PruneContext ctx(ex.space, ex.dataset.schema(), ex.query, {});
+  // O1 and O4 are identical; each prunes the other because Q differs from
+  // them on the Processor attribute (strict exists).
+  ctx.SetCandidate(ex.dataset.RowValues(0), nullptr);
+  uint64_t checks = 0;
+  EXPECT_TRUE(ctx.Prunes(ex.dataset.RowValues(3), nullptr, &checks));
+}
+
+TEST(PruneContextTest, DuplicateDoesNotPruneWhenQueryAtCandidate) {
+  RunningExample ex;
+  // Query exactly at O1's values.
+  Object q({RunningExample::kMSW, RunningExample::kAMD, RunningExample::kDB2});
+  PruneContext ctx(ex.space, ex.dataset.schema(), q, {});
+  ctx.SetCandidate(ex.dataset.RowValues(0), nullptr);
+  EXPECT_TRUE(ctx.QueryAtCandidate());
+  uint64_t checks = 0;
+  // O4 (duplicate of O1) cannot prune: no strict attribute.
+  EXPECT_FALSE(ctx.Prunes(ex.dataset.RowValues(3), nullptr, &checks));
+}
+
+TEST(PruneContextTest, SubsetRestrictsComparison) {
+  RunningExample ex;
+  // Only the Processor attribute: O3 = [SL, Intel, Oracle] shares Intel
+  // with Q, so d2(q, o3) = 0 -> nothing can be strictly closer; on the
+  // full attribute set O3 is also unpruned, but O1 (AMD) now *cannot* even
+  // tie on the subset.
+  PruneContext ctx(ex.space, ex.dataset.schema(), ex.query, {1});
+  EXPECT_EQ(ctx.num_selected(), 1u);
+  ctx.SetCandidate(ex.dataset.RowValues(2), nullptr);
+  uint64_t checks = 0;
+  EXPECT_FALSE(ctx.Prunes(ex.dataset.RowValues(0), nullptr, &checks));
+  EXPECT_EQ(checks, 1u);
+}
+
+TEST(PruneContextTest, NumericAttributesCompareExactValues) {
+  Schema s = Schema::Categorical({2});
+  AttributeInfo num;
+  num.is_numeric = true;
+  num.cardinality = 4;
+  num.range = {0.0, 100.0};
+  s.AddAttribute(num);
+  SimilaritySpace space;
+  DissimilarityMatrix m(2);
+  m.SetSymmetric(0, 1, 0.5);
+  space.AddCategorical(std::move(m));
+  space.AddNumeric(NumericDissimilarity());
+
+  Dataset d(s);
+  d.AppendRow({0, 0}, {0.0, 50.0});  // candidate X
+  d.AppendRow({0, 0}, {0.0, 58.0});  // Y: same cat, numeric closer to X than Q
+  Object q = d.MakeObject({0, 0}, {0.0, 70.0});
+
+  PruneContext ctx(space, s, q, {});
+  ctx.SetCandidate(d.RowValues(0), d.RowNumerics(0));
+  EXPECT_DOUBLE_EQ(ctx.QueryDist(1), 20.0);
+  uint64_t checks = 0;
+  EXPECT_TRUE(ctx.Prunes(d.RowValues(1), d.RowNumerics(1), &checks));
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "core/block_rs.h"
+#include "core/naive.h"
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "core/trs.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+TEST(EdgeCaseTest, EmptyDatasetReturnsEmpty) {
+  Dataset data(Schema::Categorical({3, 3}));
+  Rng rng(1);
+  SimilaritySpace space = MakeRandomSpace({3, 3}, rng);
+  Object q({0, 0});
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS, Algorithm::kSRS,
+                         Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    EXPECT_TRUE(result->rows.empty()) << AlgorithmName(algo);
+    EXPECT_EQ(result->stats.result_size, 0u);
+  }
+}
+
+TEST(EdgeCaseTest, SingleObjectAlwaysInResult) {
+  Dataset data(Schema::Categorical({3, 3}));
+  data.AppendCategoricalRow({1, 2});
+  Rng rng(2);
+  SimilaritySpace space = MakeRandomSpace({3, 3}, rng);
+  Object q({0, 0});
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS, Algorithm::kSRS,
+                         Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, (std::vector<RowId>{0})) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, AllRowsIdenticalQueryElsewhere) {
+  // Every row is a duplicate of every other, and Q differs -> each row is
+  // pruned by its twin; the result is empty.
+  Dataset data(Schema::Categorical({3}));
+  for (int i = 0; i < 20; ++i) data.AppendCategoricalRow({1});
+  Rng rng(3);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  Object q({0});
+  ASSERT_GT(space.CatDist(0, 0, 1), 0.0);  // Q really is elsewhere
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->rows.empty()) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, AllRowsIdenticalQueryAtThem) {
+  // Q equals the duplicated value: no strict attribute exists anywhere, so
+  // every row survives.
+  Dataset data(Schema::Categorical({3}));
+  for (int i = 0; i < 15; ++i) data.AppendCategoricalRow({1});
+  Rng rng(4);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  Object q({1});
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows.size(), 15u) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, MemoryBudgetBelowTwoPagesRejected) {
+  RandomInstance inst(5, 20, {3, 3});
+  SimulatedDisk disk(256);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kBRS, {});
+  ASSERT_TRUE(prepared.ok());
+  Object q({0, 0});
+  RSOptions opts;
+  opts.memory.pages = 1;
+  auto brs = BlockReverseSkyline(prepared->stored, inst.space, q, opts);
+  EXPECT_TRUE(brs.status().IsInvalidArgument());
+  auto trs = TreeReverseSkyline(prepared->stored, inst.space, q, opts);
+  EXPECT_TRUE(trs.status().IsInvalidArgument());
+}
+
+TEST(EdgeCaseTest, MemoryLargerThanDatasetSinglePhaseBatch) {
+  RandomInstance inst(6, 100, {5, 5});
+  Rng rng(7);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    RSOptions opts;
+    opts.memory.pages = 100000;
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+    EXPECT_EQ(result->stats.phase1_batches, 1u) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, QueryValueOutsideDataDistribution) {
+  // Query far from every object: the reverse skyline is typically large
+  // (hard to dominate a far-away query on all attributes). Just verify
+  // algorithms agree with the oracle.
+  RandomInstance inst(8, 150, {10, 10});
+  Object q({9, 9});
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, ZeroDistanceBetweenDistinctValues) {
+  // Non-metric measures may violate reflexivity-adjacent intuitions:
+  // d(x, y) = 0 for x != y is allowed. Build such a space and verify
+  // correctness (the AL-Tree must not conflate path equality with
+  // zero distance).
+  Dataset data(Schema::Categorical({3, 3}));
+  data.AppendCategoricalRow({0, 0});
+  data.AppendCategoricalRow({1, 0});
+  data.AppendCategoricalRow({2, 1});
+  data.AppendCategoricalRow({0, 2});
+  SimilaritySpace space;
+  DissimilarityMatrix m0(3);
+  m0.SetSymmetric(0, 1, 0.0);  // distinct values, zero distance
+  m0.SetSymmetric(0, 2, 0.7);
+  m0.SetSymmetric(1, 2, 0.3);
+  DissimilarityMatrix m1(3);
+  m1.SetSymmetric(0, 1, 0.4);
+  m1.SetSymmetric(0, 2, 0.2);
+  m1.SetSymmetric(1, 2, 0.9);
+  space.AddCategorical(std::move(m0));
+  space.AddCategorical(std::move(m1));
+
+  Rng rng(9);
+  for (int i = 0; i < 9; ++i) {
+    Object q({static_cast<ValueId>(i % 3), static_cast<ValueId>(i / 3)});
+    auto expected = ReverseSkylineOracle(data, space, q);
+    SimulatedDisk disk(256);
+    for (Algorithm algo :
+         {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+      auto prepared = PrepareDataset(&disk, data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      auto result = RunReverseSkyline(*prepared, space, q, algo, {});
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " q=" << q.ToString();
+    }
+  }
+}
+
+TEST(EdgeCaseTest, SingleAttributeSchema) {
+  RandomInstance inst(10, 60, {8});
+  Rng rng(11);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+  }
+}
+
+TEST(EdgeCaseTest, ScratchFilesAreCleanedUp) {
+  RandomInstance inst(12, 200, {5, 5});
+  Rng rng(13);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(256);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  const uint64_t pages_before = disk.TotalPages();
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_EQ(disk.TotalPages(), pages_before);  // no scratch leaked
+}
+
+TEST(EdgeCaseTest, NonzeroSelfDissimilarity) {
+  // Nothing in the library may *rely* on d(x, x) = 0 — the paper calls it
+  // an intuition most measures follow, not a requirement (reflexivity is
+  // one of the metric properties §2 says can fail). Random matrices with
+  // nonzero diagonals must still match the oracle everywhere.
+  Rng rng(1001);
+  const std::vector<size_t> cards = {5, 6, 4};
+  Dataset data = GenerateUniform(250, cards, rng);
+  SimilaritySpace space;
+  for (size_t c : cards) {
+    space.AddCategorical(
+        MakeRandomMatrix(c, rng, {.symmetric = true, .zero_diagonal = false}));
+  }
+  for (int qi = 0; qi < 3; ++qi) {
+    Object q = SampleUniformQuery(data, rng);
+    auto expected = ReverseSkylineOracle(data, space, q);
+    SimulatedDisk disk(512);
+    for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS,
+                           Algorithm::kTileTRS}) {
+      auto prepared = PrepareDataset(&disk, data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      RSOptions opts;
+      opts.memory.pages = 3;
+      auto result = RunReverseSkyline(*prepared, space, q, algo, opts);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " q" << qi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

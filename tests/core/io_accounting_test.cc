@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/block_rs.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+struct QueryFixture {
+  RandomInstance inst;
+  Object query;
+  SimulatedDisk disk;
+
+  explicit QueryFixture(uint64_t seed, uint64_t rows = 3000,
+                 std::vector<size_t> cards = {6, 6, 6},
+                 size_t page_size = 256)
+      : inst(seed, rows, cards), disk(page_size) {
+    Rng rng(seed + 1);
+    query = SampleUniformQuery(inst.data, rng);
+  }
+};
+
+TEST(IoAccountingTest, Phase2ReadsScaleWithBatches) {
+  QueryFixture s(1);
+  auto prepared = PrepareDataset(&s.disk, s.inst.data, Algorithm::kBRS, {});
+  ASSERT_TRUE(prepared.ok());
+  const uint64_t d_pages = prepared->stored.num_pages();
+  RSOptions opts;
+  opts.memory.pages = 3;
+  auto result = RunReverseSkyline(*prepared, s.inst.space, s.query,
+                                  Algorithm::kBRS, opts);
+  ASSERT_TRUE(result.ok());
+  const QueryStats& st = result->stats;
+  // Reads: phase 1 reads D once; phase 2 reads D once per batch plus the
+  // survivor pages once.
+  const uint64_t survivor_pages =
+      prepared->stored.codec().PagesFor(st.phase1_survivors);
+  EXPECT_GE(st.io.TotalReads(),
+            d_pages * (1 + st.phase2_batches) + survivor_pages);
+  // Writes: survivors, re-written at most once per phase-1 batch boundary
+  // (partial-page flushes).
+  EXPECT_GE(st.io.TotalWrites(), survivor_pages);
+  EXPECT_LE(st.io.TotalWrites(), survivor_pages + st.phase1_batches);
+}
+
+TEST(IoAccountingTest, PerBatchFlushShowsUpAsRandomIo) {
+  // With many phase-1 batches, the per-batch trips between the database
+  // and the scratch area must appear as random IO (paper §4.1); with one
+  // batch, random IO collapses to a handful of file switches.
+  QueryFixture s(2, 6000, {6, 6, 6}, 128);
+  auto prepared = PrepareDataset(&s.disk, s.inst.data, Algorithm::kBRS, {});
+  ASSERT_TRUE(prepared.ok());
+
+  RSOptions small;
+  small.memory.pages = 2;
+  RSOptions large;
+  large.memory.pages = 100000;
+  auto many_batches = RunReverseSkyline(*prepared, s.inst.space, s.query,
+                                        Algorithm::kBRS, small);
+  auto one_batch = RunReverseSkyline(*prepared, s.inst.space, s.query,
+                                     Algorithm::kBRS, large);
+  ASSERT_TRUE(many_batches.ok() && one_batch.ok());
+  EXPECT_GT(many_batches->stats.phase1_batches,
+            one_batch->stats.phase1_batches);
+  EXPECT_GT(many_batches->stats.io.TotalRandom(),
+            one_batch->stats.io.TotalRandom());
+  EXPECT_EQ(many_batches->rows, one_batch->rows);
+}
+
+TEST(IoAccountingTest, TrsPacksLargerBatchesThanBrs) {
+  // The AL-Tree's prefix compression must let TRS load the same data in
+  // fewer (same-budget) phase-1 batches on duplicate-rich data — the §5.3
+  // mechanism behind its random-IO advantage.
+  QueryFixture s(3, 8000, {5, 5, 5, 5}, 256);
+  auto brs_prep = PrepareDataset(&s.disk, s.inst.data, Algorithm::kBRS, {});
+  auto trs_prep = PrepareDataset(&s.disk, s.inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(brs_prep.ok() && trs_prep.ok());
+  RSOptions opts;
+  opts.memory.pages = 3;
+  auto brs = RunReverseSkyline(*brs_prep, s.inst.space, s.query,
+                               Algorithm::kBRS, opts);
+  auto trs = RunReverseSkyline(*trs_prep, s.inst.space, s.query,
+                               Algorithm::kTRS, opts);
+  ASSERT_TRUE(brs.ok() && trs.ok());
+  EXPECT_LE(trs->stats.phase1_batches, brs->stats.phase1_batches);
+  EXPECT_LE(trs->stats.io.TotalRandom(), brs->stats.io.TotalRandom());
+}
+
+TEST(IoAccountingTest, ChecksSplitByPhaseSumsToTotal) {
+  QueryFixture s(4);
+  for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS, Algorithm::kSRS,
+                         Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&s.disk, s.inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    auto result =
+        RunReverseSkyline(*prepared, s.inst.space, s.query, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->stats.phase1_checks + result->stats.phase2_checks,
+              result->stats.checks)
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(IoAccountingTest, ResponseAtLeastComputePlusSeqCost) {
+  QueryFixture s(5);
+  auto prepared = PrepareDataset(&s.disk, s.inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  auto result = RunReverseSkyline(*prepared, s.inst.space, s.query,
+                                  Algorithm::kTRS, {});
+  ASSERT_TRUE(result.ok());
+  const IoCostModel model;
+  EXPECT_DOUBLE_EQ(
+      result->stats.ResponseMillis(model),
+      result->stats.compute_millis + model.EstimateMillis(result->stats.io));
+}
+
+TEST(IoAccountingTest, MemorySweepShrinksRandomIoMonotonically) {
+  // More memory -> fewer batches -> fewer batch-boundary seeks, the
+  // Figures 5/6/9 trend. (Allow equality: small datasets saturate.)
+  QueryFixture s(6, 10000, {6, 6, 6}, 128);
+  auto prepared = PrepareDataset(&s.disk, s.inst.data, Algorithm::kSRS, {});
+  ASSERT_TRUE(prepared.ok());
+  uint64_t prev_rand = ~uint64_t{0};
+  for (uint64_t mem : {2u, 4u, 8u, 16u}) {
+    RSOptions opts;
+    opts.memory.pages = mem;
+    auto result = RunReverseSkyline(*prepared, s.inst.space, s.query,
+                                    Algorithm::kSRS, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->stats.io.TotalRandom(), prev_rand) << "mem=" << mem;
+    prev_rand = result->stats.io.TotalRandom();
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+
+namespace nmrs {
+namespace {
+
+// Mixed categorical + numeric instance (paper §6).
+struct MixedInstance {
+  Dataset data;
+  SimilaritySpace space;
+
+  MixedInstance(uint64_t seed, uint64_t rows, std::vector<size_t> cat_cards,
+                size_t num_numeric, size_t buckets)
+      : data(Schema::Categorical({1})) {
+    Rng rng(seed);
+    Rng data_rng = rng.Fork();
+    Rng space_rng = rng.Fork();
+    data = GenerateMixed(rows, cat_cards, num_numeric, buckets, data_rng);
+    for (size_t card : cat_cards) {
+      space.AddCategorical(MakeRandomMatrix(card, space_rng));
+    }
+    for (size_t i = 0; i < num_numeric; ++i) {
+      space.AddNumeric(NumericDissimilarity());
+    }
+  }
+
+  Object RandomQuery(Rng& rng) const { return SampleUniformQuery(data, rng); }
+};
+
+class NumericBucketsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NumericBucketsTest, TrsMatchesOracleAcrossBucketCounts) {
+  const size_t buckets = GetParam();
+  MixedInstance inst(70 + buckets, 250, {5, 4}, 2, buckets);
+  Rng rng(71);
+  for (int qi = 0; qi < 3; ++qi) {
+    Object q = inst.RandomQuery(rng);
+    auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+    SimulatedDisk disk(1024);
+    for (Algorithm algo :
+         {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+      auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      RSOptions opts;
+      opts.memory.pages = 3;
+      auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+      ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " buckets=" << buckets << " q" << qi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, NumericBucketsTest,
+                         ::testing::Values(1, 2, 4, 8, 32));
+
+TEST(NumericTest, AllNumericSchema) {
+  MixedInstance inst(81, 200, {}, 3, 6);
+  Rng rng(82);
+  Object q = inst.RandomQuery(rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(1024);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  auto result =
+      RunReverseSkyline(*prepared, inst.space, q, Algorithm::kTRS, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, expected);
+}
+
+TEST(NumericTest, CoarseBucketsProduceMorePhase1Survivors) {
+  // §6: bucket checks are conservative; coarser buckets weaken phase-1
+  // pruning, producing at least as many survivors to refine in phase 2.
+  MixedInstance coarse(91, 400, {4}, 2, 2);
+  MixedInstance fine(91, 400, {4}, 2, 64);  // same seed -> same numerics? No:
+  // bucket count affects only discretization, but the generator draws the
+  // same values for the same seed regardless of bucket count.
+  Rng rng(92);
+  Object qc = coarse.RandomQuery(rng);
+  Rng rng2(92);
+  Object qf = fine.RandomQuery(rng2);
+
+  SimulatedDisk disk(1024);
+  auto prep_c = PrepareDataset(&disk, coarse.data, Algorithm::kTRS, {});
+  auto prep_f = PrepareDataset(&disk, fine.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prep_c.ok() && prep_f.ok());
+  auto rc = RunReverseSkyline(*prep_c, coarse.space, qc, Algorithm::kTRS, {});
+  auto rf = RunReverseSkyline(*prep_f, fine.space, qf, Algorithm::kTRS, {});
+  ASSERT_TRUE(rc.ok() && rf.ok());
+  // Same final result (both exact), more or equal survivors when coarse.
+  EXPECT_EQ(rc->rows, rf->rows);
+  EXPECT_GE(rc->stats.phase1_survivors, rf->stats.phase1_survivors);
+}
+
+TEST(NumericTest, SubsetOverMixedAttributes) {
+  MixedInstance inst(95, 200, {5, 5}, 2, 8);
+  Rng rng(96);
+  Object q = inst.RandomQuery(rng);
+  // Subset = one categorical + one numeric attribute.
+  const std::vector<AttrId> sel = {1, 3};
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q, sel);
+  SimulatedDisk disk(1024);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  RSOptions opts;
+  opts.selected_attrs = sel;
+  auto result =
+      RunReverseSkyline(*prepared, inst.space, q, Algorithm::kTRS, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, expected);
+}
+
+TEST(NumericTest, ScaledNumericDissimilarity) {
+  // Non-unit scale exercises the scale handling in interval bounds.
+  Rng rng(97);
+  Dataset data = GenerateMixed(150, {4}, 1, 8, rng);
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(4, rng));
+  space.AddNumeric(NumericDissimilarity(0.01));
+  Object q = SampleUniformQuery(data, rng);
+  auto expected = ReverseSkylineOracle(data, space, q);
+  SimulatedDisk disk(1024);
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  auto result = RunReverseSkyline(*prepared, space, q, Algorithm::kTRS, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, expected);
+}
+
+}  // namespace
+}  // namespace nmrs

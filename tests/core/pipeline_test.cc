@@ -1,0 +1,147 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "order/attribute_order.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+TEST(PipelineTest, AlgorithmNames) {
+  EXPECT_EQ(AlgorithmName(Algorithm::kNaive), "Naive");
+  EXPECT_EQ(AlgorithmName(Algorithm::kBRS), "BRS");
+  EXPECT_EQ(AlgorithmName(Algorithm::kSRS), "SRS");
+  EXPECT_EQ(AlgorithmName(Algorithm::kTRS), "TRS");
+  EXPECT_EQ(AlgorithmName(Algorithm::kTileSRS), "T-SRS");
+  EXPECT_EQ(AlgorithmName(Algorithm::kTileTRS), "T-TRS");
+}
+
+TEST(PipelineTest, NaiveAndBrsKeepPhysicalOrder) {
+  RandomInstance inst(1, 100, {5, 5});
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    RowBatch all(2, false);
+    ASSERT_TRUE(prepared->stored.ReadAll(&all).ok());
+    for (size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all.id(i), i);
+    }
+  }
+}
+
+TEST(PipelineTest, SrsAndTrsShareSortedOrder) {
+  RandomInstance inst(2, 200, {4, 6});
+  SimulatedDisk disk(256);
+  auto srs = PrepareDataset(&disk, inst.data, Algorithm::kSRS, {});
+  auto trs = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(srs.ok() && trs.ok());
+  RowBatch a(2, false), b(2, false);
+  ASSERT_TRUE(srs->stored.ReadAll(&a).ok());
+  ASSERT_TRUE(trs->stored.ReadAll(&b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.id(i), b.id(i));
+  }
+  // Default ordering = ascending cardinality.
+  EXPECT_EQ(srs->attr_order, AscendingCardinalityOrder(inst.data.schema()));
+}
+
+TEST(PipelineTest, ExplicitAttrOrderRespected) {
+  RandomInstance inst(3, 100, {4, 6});
+  SimulatedDisk disk(256);
+  PrepareOptions prep;
+  prep.attr_order = {1, 0};
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kSRS, prep);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->attr_order, (std::vector<AttrId>{1, 0}));
+  // Rows are lexicographically sorted by attribute 1 first.
+  RowBatch all(2, false);
+  ASSERT_TRUE(prepared->stored.ReadAll(&all).ok());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all.value(i - 1, 1), all.value(i, 1));
+  }
+}
+
+TEST(PipelineTest, RowIdsPreservedUnderAnyOrdering) {
+  RandomInstance inst(4, 150, {3, 3, 3});
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kSRS, Algorithm::kTileSRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    RowBatch all(3, false);
+    ASSERT_TRUE(prepared->stored.ReadAll(&all).ok());
+    std::vector<bool> seen(inst.data.num_rows(), false);
+    for (size_t i = 0; i < all.size(); ++i) {
+      ASSERT_LT(all.id(i), inst.data.num_rows());
+      EXPECT_FALSE(seen[all.id(i)]);
+      seen[all.id(i)] = true;
+      // The row's content matches the original row with that id.
+      for (AttrId a = 0; a < 3; ++a) {
+        EXPECT_EQ(all.value(i, a), inst.data.Value(all.id(i), a));
+      }
+    }
+  }
+}
+
+// The TRS result must be invariant to the attribute ordering used for the
+// sort and the tree — the ordering is a performance heuristic, never a
+// correctness parameter.
+class AttrOrderInvariance
+    : public ::testing::TestWithParam<std::vector<AttrId>> {};
+
+TEST_P(AttrOrderInvariance, TrsResultUnchanged) {
+  const std::vector<AttrId> order = GetParam();
+  RandomInstance inst(5, 250, {4, 5, 3});
+  Rng rng(6);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+
+  SimulatedDisk disk(256);
+  PrepareOptions prep;
+  prep.attr_order = order;
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, prep);
+  ASSERT_TRUE(prepared.ok());
+  RSOptions opts;
+  opts.memory.pages = 3;
+  auto result =
+      RunReverseSkyline(*prepared, inst.space, q, Algorithm::kTRS, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, AttrOrderInvariance,
+    ::testing::Values(std::vector<AttrId>{0, 1, 2},
+                      std::vector<AttrId>{2, 1, 0},
+                      std::vector<AttrId>{1, 0, 2},
+                      std::vector<AttrId>{1, 2, 0},
+                      std::vector<AttrId>{2, 0, 1},
+                      std::vector<AttrId>{0, 2, 1}));
+
+TEST(PipelineTest, TilesPerDimAffectsOrderNotResults) {
+  RandomInstance inst(7, 200, {8, 8});
+  Rng rng(8);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(256);
+  for (size_t tiles : {1u, 2u, 4u, 8u, 16u}) {
+    PrepareOptions prep;
+    prep.tiles_per_dim = tiles;
+    auto prepared =
+        PrepareDataset(&disk, inst.data, Algorithm::kTileTRS, prep);
+    ASSERT_TRUE(prepared.ok());
+    auto result = RunReverseSkyline(*prepared, inst.space, q,
+                                    Algorithm::kTileTRS, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << "tiles=" << tiles;
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+// Parameter space: (seed, rows, cardinality-profile id, memory pages,
+// page size). Every disk-based algorithm must return exactly the oracle's
+// answer on every point.
+using Params = std::tuple<uint64_t, uint64_t, int, uint64_t, size_t>;
+
+std::vector<size_t> CardProfile(int id) {
+  switch (id) {
+    case 0:
+      return {4, 4};           // dense, duplicate-heavy
+    case 1:
+      return {8, 8, 8};        // moderate
+    case 2:
+      return {3, 17, 5};       // mixed cardinalities
+    case 3:
+      return {2, 2, 2, 2, 2};  // binary attributes
+    default:
+      return {30, 30};         // sparse
+  }
+}
+
+class ReverseSkylineProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ReverseSkylineProperty, AllAlgorithmsMatchOracle) {
+  const auto [seed, rows, profile, mem_pages, page_size] = GetParam();
+  RandomInstance inst(seed, rows, CardProfile(profile));
+  Rng rng(seed ^ 0xabcdef);
+  SimulatedDisk disk(page_size);
+  RSOptions opts;
+  opts.memory.pages = mem_pages;
+
+  for (int qi = 0; qi < 2; ++qi) {
+    Object q = qi == 0 ? SampleUniformQuery(inst.data, rng)
+                       : SampleRowQuery(inst.data, rng);
+    auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+    for (Algorithm algo :
+         {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS,
+          Algorithm::kTileSRS, Algorithm::kTileTRS}) {
+      auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prepared.ok());
+      auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+      ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " seed=" << seed << " rows=" << rows
+          << " profile=" << profile << " mem=" << mem_pages
+          << " page=" << page_size << " q=" << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReverseSkylineProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),          // seeds
+                       ::testing::Values(40, 150),          // rows
+                       ::testing::Values(0, 1, 2, 3, 4),    // profiles
+                       ::testing::Values(2, 3, 7),          // memory pages
+                       ::testing::Values(128, 1024)));      // page size
+
+// Duplicate-heavy datasets: every value combination repeated many times.
+class DuplicateHeavyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DuplicateHeavyProperty, AlgorithmsHandleDuplicates) {
+  const uint64_t seed = GetParam();
+  RandomInstance inst(seed, 200, {2, 3});  // 6 combos, ~33 copies each
+  Rng rng(seed + 7);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  SimulatedDisk disk(256);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prepared.ok());
+    RSOptions opts;
+    opts.memory.pages = 2;
+    auto result = RunReverseSkyline(*prepared, inst.space, q, algo, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, expected) << AlgorithmName(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuplicateHeavyProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// Query-at-duplicate edge: when Q coincides with a duplicated row, all the
+// duplicates survive (they cannot strictly dominate Q w.r.t. each other).
+class QueryAtDuplicateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryAtDuplicateProperty, DuplicatesOfQuerySurvive) {
+  const uint64_t seed = GetParam();
+  RandomInstance inst(seed, 120, {3, 3});
+  Rng rng(seed);
+  const RowId pick = rng.Uniform(inst.data.num_rows());
+  Object q = inst.data.GetObject(pick);
+  // All rows with exactly Q's values.
+  std::vector<RowId> twins;
+  for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+    if (inst.data.GetObject(r) == q) twins.push_back(r);
+  }
+  ASSERT_FALSE(twins.empty());
+
+  auto expected = ReverseSkylineOracle(inst.data, inst.space, q);
+  for (RowId t : twins) {
+    EXPECT_NE(std::find(expected.begin(), expected.end(), t),
+              expected.end());
+  }
+  SimulatedDisk disk(256);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+  auto result =
+      RunReverseSkyline(*prepared, inst.space, q, Algorithm::kTRS, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryAtDuplicateProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,66 @@
+// Broad randomized cross-validation: hundreds of random configurations
+// (dimensionality, cardinalities, distribution, symmetry, query type,
+// attribute subsets, page sizes, memory budgets) — every disk-based
+// algorithm must match the definition-derived oracle on all of them.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+
+namespace nmrs {
+namespace {
+
+class RandomConfigSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomConfigSweep, AllAlgorithmsMatchOracle) {
+  Rng master(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t m = 1 + master.Uniform(5);
+    std::vector<size_t> cards(m);
+    for (auto& c : cards) c = 2 + master.Uniform(12);
+    const uint64_t n = 5 + master.Uniform(300);
+    const bool normal = master.Bernoulli(0.5);
+    const bool asym = master.Bernoulli(0.3);
+    Rng drng = master.Fork();
+    Rng srng = master.Fork();
+    Rng qrng = master.Fork();
+    Dataset data = normal ? GenerateNormal(n, cards, drng)
+                          : GenerateUniform(n, cards, drng);
+    SimilaritySpace space;
+    for (size_t c : cards) {
+      space.AddCategorical(MakeRandomMatrix(c, srng, {.symmetric = !asym}));
+    }
+    Object q = master.Bernoulli(0.5) ? SampleUniformQuery(data, qrng)
+                                     : SampleRowQuery(data, qrng);
+    std::vector<AttrId> sel;
+    if (master.Bernoulli(0.3)) {
+      for (AttrId a = 0; a < m; ++a) {
+        if (master.Bernoulli(0.6)) sel.push_back(a);
+      }
+    }
+    auto expected = ReverseSkylineOracle(data, space, q, sel);
+
+    SimulatedDisk disk(64 + master.Uniform(1000));
+    RSOptions opts;
+    opts.memory.pages = 2 + master.Uniform(10);
+    opts.selected_attrs = sel;
+    for (Algorithm algo :
+         {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS,
+          Algorithm::kTileSRS, Algorithm::kTileTRS}) {
+      auto prep = PrepareDataset(&disk, data, algo, {});
+      ASSERT_TRUE(prep.ok());
+      auto result = RunReverseSkyline(*prep, space, q, algo, opts);
+      ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(result->rows, expected)
+          << AlgorithmName(algo) << " trial=" << trial << " n=" << n
+          << " m=" << m << " normal=" << normal << " asym=" << asym;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigSweep,
+                         ::testing::Values(987654321, 13579, 24680, 111213));
+
+}  // namespace
+}  // namespace nmrs

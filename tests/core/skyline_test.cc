@@ -1,0 +1,136 @@
+#include "core/skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(DominatesWrtTest, RunningExampleCase) {
+  RunningExample ex;
+  const Schema& schema = ex.dataset.schema();
+  // O1 dominates Q with respect to O2 (O1 is O2's pruner in Table 1).
+  Object o1 = ex.dataset.GetObject(0);
+  Object o2 = ex.dataset.GetObject(1);
+  EXPECT_TRUE(DominatesWrt(ex.space, schema, /*ref=*/o2, o1, ex.query, {}));
+  // Q does not dominate itself w.r.t. anything (no strict attribute).
+  EXPECT_FALSE(
+      DominatesWrt(ex.space, schema, o2, ex.query, ex.query, {}));
+}
+
+TEST(DominatesWrtTest, Irreflexive) {
+  RunningExample ex;
+  const Schema& schema = ex.dataset.schema();
+  for (RowId r = 0; r < ex.dataset.num_rows(); ++r) {
+    Object o = ex.dataset.GetObject(r);
+    EXPECT_FALSE(DominatesWrt(ex.space, schema, ex.query, o, o, {}));
+  }
+}
+
+TEST(DynamicSkylineBNLTest, QueryMemberIffNoPrunerExists) {
+  // For the running example and ref = O2: O1 is at distance (0.8->RHL...)
+  // Spot-check: the skyline w.r.t. O2 contains O2's duplicates (O5) since
+  // duplicates are never dominated.
+  RunningExample ex;
+  Object o2 = ex.dataset.GetObject(1);
+  auto sky = DynamicSkylineBNL(ex.dataset, ex.space, o2);
+  // O2 itself (distance 0 everywhere) and its duplicate O5 are in the
+  // skyline w.r.t. O2.
+  EXPECT_NE(std::find(sky.begin(), sky.end(), 1u), sky.end());
+  EXPECT_NE(std::find(sky.begin(), sky.end(), 4u), sky.end());
+}
+
+TEST(DynamicSkylineBNLTest, SkylinePointsAreMutuallyNonDominated) {
+  RandomInstance inst(11, 120, {6, 6, 6});
+  Rng rng(12);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  auto sky = DynamicSkylineBNL(inst.data, inst.space, ref);
+  const Schema& schema = inst.data.schema();
+  for (RowId a : sky) {
+    for (RowId b : sky) {
+      if (a == b) continue;
+      EXPECT_FALSE(DominatesWrt(inst.space, schema, ref,
+                                inst.data.GetObject(a),
+                                inst.data.GetObject(b), {}));
+    }
+  }
+}
+
+TEST(DynamicSkylineBNLTest, NonSkylinePointsAreDominated) {
+  RandomInstance inst(13, 100, {5, 5, 5});
+  Rng rng(14);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  auto sky = DynamicSkylineBNL(inst.data, inst.space, ref);
+  std::vector<bool> in_sky(inst.data.num_rows(), false);
+  for (RowId r : sky) in_sky[r] = true;
+  const Schema& schema = inst.data.schema();
+  for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+    if (in_sky[r]) continue;
+    bool dominated = false;
+    for (RowId other = 0; other < inst.data.num_rows() && !dominated;
+         ++other) {
+      if (other == r) continue;
+      dominated = DominatesWrt(inst.space, schema, ref,
+                               inst.data.GetObject(other),
+                               inst.data.GetObject(r), {});
+    }
+    EXPECT_TRUE(dominated) << "row " << r;
+  }
+}
+
+TEST(ReverseSkylineOracleTest, RunningExampleResult) {
+  RunningExample ex;
+  auto rs = ReverseSkylineOracle(ex.dataset, ex.space, ex.query);
+  EXPECT_EQ(rs, (std::vector<RowId>{2, 5}));
+}
+
+TEST(ReverseSkylineFormulationsAgree, RandomInstances) {
+  // The pruner-based oracle and the skyline-membership formulation must
+  // produce identical results (Definition 1 equivalence).
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomInstance inst(seed, 60, {4, 4, 4});
+    Rng rng(seed + 100);
+    Object q = SampleUniformQuery(inst.data, rng);
+    EXPECT_EQ(ReverseSkylineOracle(inst.data, inst.space, q),
+              ReverseSkylineViaSkylineMembership(inst.data, inst.space, q))
+        << "seed " << seed;
+  }
+}
+
+TEST(ReverseSkylineFormulationsAgree, WithDuplicatesAndSubsets) {
+  RandomInstance inst(7, 80, {3, 3});  // dense -> many duplicates
+  Rng rng(77);
+  Object q = SampleUniformQuery(inst.data, rng);
+  for (const std::vector<AttrId>& sel :
+       std::vector<std::vector<AttrId>>{{}, {0}, {1}, {0, 1}}) {
+    EXPECT_EQ(
+        ReverseSkylineOracle(inst.data, inst.space, q, sel),
+        ReverseSkylineViaSkylineMembership(inst.data, inst.space, q, sel));
+  }
+}
+
+TEST(ReverseSkylineOracleTest, QueryEqualToARowKeepsThatRow) {
+  // If Q coincides with a database row X, nothing can strictly dominate Q
+  // w.r.t. X, so X must be in the reverse skyline.
+  RandomInstance inst(21, 50, {5, 5, 5});
+  Rng rng(22);
+  const RowId pick = rng.Uniform(inst.data.num_rows());
+  Object q = inst.data.GetObject(pick);
+  auto rs = ReverseSkylineOracle(inst.data, inst.space, q);
+  EXPECT_NE(std::find(rs.begin(), rs.end(), pick), rs.end());
+}
+
+TEST(ReverseSkylineOracleTest, EmptyDataset) {
+  Dataset d(Schema::Categorical({3}));
+  Rng rng(1);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  Object q({0});
+  EXPECT_TRUE(ReverseSkylineOracle(d, space, q).empty());
+}
+
+}  // namespace
+}  // namespace nmrs

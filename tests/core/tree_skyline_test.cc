@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(TreeDynamicSkylineTest, MatchesBnlOnRunningExample) {
+  RunningExample ex;
+  for (RowId ref_row = 0; ref_row < ex.dataset.num_rows(); ++ref_row) {
+    const Object ref = ex.dataset.GetObject(ref_row);
+    EXPECT_EQ(TreeDynamicSkyline(ex.dataset, ex.space, ref),
+              DynamicSkylineBNL(ex.dataset, ex.space, ref))
+        << "ref O" << ref_row + 1;
+  }
+}
+
+class TreeSkylineAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeSkylineAgreement, MatchesBnlOnRandomInstances) {
+  const uint64_t seed = GetParam();
+  RandomInstance inst(seed, 300, {6, 5, 7});
+  Rng rng(seed + 50);
+  for (int trial = 0; trial < 4; ++trial) {
+    Object ref = SampleUniformQuery(inst.data, rng);
+    EXPECT_EQ(TreeDynamicSkyline(inst.data, inst.space, ref),
+              DynamicSkylineBNL(inst.data, inst.space, ref))
+        << "seed " << seed << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSkylineAgreement,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+TEST(TreeDynamicSkylineTest, SubsetsMatchBnl) {
+  RandomInstance inst(41, 200, {4, 4, 4, 4});
+  Rng rng(42);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  for (const std::vector<AttrId>& sel :
+       std::vector<std::vector<AttrId>>{{0}, {2, 3}, {0, 1, 2}, {}}) {
+    EXPECT_EQ(TreeDynamicSkyline(inst.data, inst.space, ref, sel),
+              DynamicSkylineBNL(inst.data, inst.space, ref, sel));
+  }
+}
+
+TEST(TreeDynamicSkylineTest, GroupLevelReasoningSavesChecks) {
+  RandomInstance inst(51, 4000, {8, 8, 8});
+  Rng rng(52);
+  Object ref = SampleUniformQuery(inst.data, rng);
+  uint64_t checks = 0;
+  auto sky = TreeDynamicSkyline(inst.data, inst.space, ref, {}, &checks);
+  EXPECT_FALSE(sky.empty());
+  // A nested-loop approach costs Θ(n²·m) in the worst case and Θ(n·m)
+  // per object pair even with early aborts; group-level reasoning should
+  // land far below n² pair comparisons.
+  EXPECT_LT(checks, inst.data.num_rows() * inst.data.num_rows() / 10);
+}
+
+TEST(TreeDynamicSkylineTest, DuplicatesAllKept) {
+  Dataset data(Schema::Categorical({3, 3}));
+  for (int i = 0; i < 8; ++i) data.AppendCategoricalRow({1, 2});
+  data.AppendCategoricalRow({0, 0});
+  Rng rng(53);
+  SimilaritySpace space = MakeRandomSpace({3, 3}, rng);
+  Object ref({2, 1});
+  auto tree_sky = TreeDynamicSkyline(data, space, ref);
+  auto bnl_sky = DynamicSkylineBNL(data, space, ref);
+  EXPECT_EQ(tree_sky, bnl_sky);
+  // The 8 duplicates stand or fall together.
+  const bool first_in =
+      std::find(tree_sky.begin(), tree_sky.end(), 0u) != tree_sky.end();
+  for (RowId r = 1; r < 8; ++r) {
+    EXPECT_EQ(std::find(tree_sky.begin(), tree_sky.end(), r) !=
+                  tree_sky.end(),
+              first_in);
+  }
+}
+
+TEST(TreeDynamicSkylineTest, EmptyDataset) {
+  Dataset data(Schema::Categorical({3}));
+  Rng rng(54);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  EXPECT_TRUE(TreeDynamicSkyline(data, space, Object({0})).empty());
+}
+
+}  // namespace
+}  // namespace nmrs

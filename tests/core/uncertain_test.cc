@@ -1,0 +1,164 @@
+#include "core/uncertain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(UncertainRsTest, CertainDataReducesToClassicRs) {
+  // Existence probability 1 everywhere: membership probability is 1 for
+  // classic RS members and 0 for everything else, at any threshold.
+  RunningExample ex;
+  std::vector<double> certain(ex.dataset.num_rows(), 1.0);
+  auto result = UncertainReverseSkyline(ex.dataset, ex.space, ex.query,
+                                        certain, 0.5);
+  EXPECT_EQ(result.rows, (std::vector<RowId>{2, 5}));
+  for (double p : result.probabilities) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(UncertainRsTest, RunningExampleWithUncertainPruners) {
+  RunningExample ex;
+  // O4 (the only pruner of O1) exists with probability 0.3: O1's
+  // membership probability is 1 * (1 - 0.3) = 0.7.
+  std::vector<double> existence(ex.dataset.num_rows(), 1.0);
+  existence[3] = 0.3;
+  const double p_o1 = UncertainMembershipProbability(ex.dataset, ex.space,
+                                                     ex.query, 0, existence);
+  EXPECT_NEAR(p_o1, 0.7, 1e-12);
+  // O5's pruners are O1, O2, O4: 1 * (1-1)(...) = 0 since O1 is certain.
+  const double p_o5 = UncertainMembershipProbability(ex.dataset, ex.space,
+                                                     ex.query, 4, existence);
+  EXPECT_DOUBLE_EQ(p_o5, 0.0);
+
+  auto at_half = UncertainReverseSkyline(ex.dataset, ex.space, ex.query,
+                                         existence, 0.5);
+  // O1 (0.7), O3 (1.0), O6 (1.0) qualify; O4 itself has probability
+  // 0.3 * (1 - existence[O1]=1) = 0.
+  EXPECT_EQ(at_half.rows, (std::vector<RowId>{0, 2, 5}));
+}
+
+TEST(UncertainRsTest, ThresholdMonotonicity) {
+  RandomInstance inst(3, 150, {5, 5, 5});
+  Rng rng(4);
+  Object q = SampleUniformQuery(inst.data, rng);
+  std::vector<double> existence(inst.data.num_rows());
+  for (auto& p : existence) p = rng.UniformDouble(0.1, 1.0);
+
+  std::vector<RowId> prev;
+  bool first = true;
+  for (double tau : {0.05, 0.2, 0.5, 0.8, 0.99}) {
+    auto result =
+        UncertainReverseSkyline(inst.data, inst.space, q, existence, tau);
+    if (!first) {
+      // Higher threshold -> subset of the lower-threshold result.
+      EXPECT_TRUE(std::includes(prev.begin(), prev.end(),
+                                result.rows.begin(), result.rows.end()))
+          << "tau=" << tau;
+    }
+    prev = result.rows;
+    first = false;
+  }
+}
+
+TEST(UncertainRsTest, ResultMatchesPerRowProbability) {
+  RandomInstance inst(5, 120, {4, 4});
+  Rng rng(6);
+  Object q = SampleUniformQuery(inst.data, rng);
+  std::vector<double> existence(inst.data.num_rows());
+  for (auto& p : existence) p = rng.UniformDouble(0.0, 1.0);
+  const double tau = 0.3;
+  auto result =
+      UncertainReverseSkyline(inst.data, inst.space, q, existence, tau);
+  std::vector<RowId> expected;
+  for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+    const double p =
+        UncertainMembershipProbability(inst.data, inst.space, q, r,
+                                       existence);
+    if (p >= tau) expected.push_back(r);
+  }
+  EXPECT_EQ(result.rows, expected);
+  // Reported probabilities match the per-row computation.
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    EXPECT_NEAR(result.probabilities[i],
+                UncertainMembershipProbability(inst.data, inst.space, q,
+                                               result.rows[i], existence),
+                1e-12);
+  }
+}
+
+TEST(UncertainRsTest, ClassicRsMembersAlwaysQualifyWhenCertain) {
+  // Members of the classic RS have no pruners, so their probability is
+  // exactly their own existence: they qualify iff existence >= tau.
+  RandomInstance inst(7, 100, {6, 6});
+  Rng rng(8);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto classic = ReverseSkylineOracle(inst.data, inst.space, q);
+  std::vector<double> existence(inst.data.num_rows(), 0.9);
+  auto result =
+      UncertainReverseSkyline(inst.data, inst.space, q, existence, 0.9);
+  for (RowId r : classic) {
+    EXPECT_NE(std::find(result.rows.begin(), result.rows.end(), r),
+              result.rows.end())
+        << "classic member " << r;
+  }
+}
+
+TEST(UncertainRsTest, EarlyTerminationCountsEvents) {
+  RandomInstance inst(9, 200, {3, 3});  // dense -> many pruners
+  Rng rng(10);
+  Object q = SampleUniformQuery(inst.data, rng);
+  std::vector<double> existence(inst.data.num_rows(), 0.5);
+  auto result =
+      UncertainReverseSkyline(inst.data, inst.space, q, existence, 0.4);
+  EXPECT_GT(result.pruner_scans_cut_short, 0u);
+}
+
+TEST(UncertainRsTest, MonteCarloAgreement) {
+  // The analytic membership probability matches a Monte-Carlo estimate of
+  // Pr[X exists and survives] over sampled worlds.
+  RandomInstance inst(11, 40, {4, 4});
+  Rng rng(12);
+  Object q = SampleUniformQuery(inst.data, rng);
+  std::vector<double> existence(inst.data.num_rows());
+  for (auto& p : existence) p = rng.UniformDouble(0.2, 0.9);
+
+  const RowId probe = 7;
+  const double analytic = UncertainMembershipProbability(
+      inst.data, inst.space, q, probe, existence);
+
+  Rng mc(13);
+  const int worlds = 20000;
+  int hits = 0;
+  for (int w = 0; w < worlds; ++w) {
+    if (!mc.Bernoulli(existence[probe])) continue;
+    // Build the world and test membership of `probe`.
+    Dataset world(inst.data.schema());
+    RowId probe_in_world = kInvalidRowId;
+    for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+      if (r == probe) {
+        probe_in_world = world.num_rows();
+        world.AppendCategoricalRow(std::vector<ValueId>(
+            inst.data.RowValues(r), inst.data.RowValues(r) + 2));
+        continue;
+      }
+      if (mc.Bernoulli(existence[r])) {
+        world.AppendCategoricalRow(std::vector<ValueId>(
+            inst.data.RowValues(r), inst.data.RowValues(r) + 2));
+      }
+    }
+    auto rs = ReverseSkylineOracle(world, inst.space, q);
+    hits += std::find(rs.begin(), rs.end(), probe_in_world) != rs.end();
+  }
+  const double estimate = static_cast<double>(hits) / worlds;
+  EXPECT_NEAR(estimate, analytic, 0.02);
+}
+
+}  // namespace
+}  // namespace nmrs

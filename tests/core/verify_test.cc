@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(VerifyReverseSkylineTest, AcceptsCorrectAnswer) {
+  RunningExample ex;
+  EXPECT_TRUE(
+      VerifyReverseSkyline(ex.dataset, ex.space, ex.query, {2, 5}).ok());
+}
+
+TEST(VerifyReverseSkylineTest, RejectsMissingRow) {
+  RunningExample ex;
+  auto s = VerifyReverseSkyline(ex.dataset, ex.space, ex.query, {2});
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  EXPECT_NE(s.message().find("missing"), std::string::npos);
+}
+
+TEST(VerifyReverseSkylineTest, RejectsExtraRow) {
+  RunningExample ex;
+  auto s = VerifyReverseSkyline(ex.dataset, ex.space, ex.query, {0, 2, 5});
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  EXPECT_NE(s.message().find("pruner"), std::string::npos);
+}
+
+TEST(VerifyReverseSkylineTest, RejectsOutOfRangeAndDuplicates) {
+  RunningExample ex;
+  EXPECT_TRUE(VerifyReverseSkyline(ex.dataset, ex.space, ex.query, {99})
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(VerifyReverseSkyline(ex.dataset, ex.space, ex.query, {2, 2, 5})
+                  .IsFailedPrecondition());
+}
+
+TEST(VerifyReverseSkylineTest, AcceptsEveryAlgorithmsOutput) {
+  RandomInstance inst(77, 200, {5, 6, 4});
+  Rng rng(78);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(512);
+  for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prep = PrepareDataset(&disk, inst.data, algo, {});
+    ASSERT_TRUE(prep.ok());
+    auto result = RunReverseSkyline(*prep, inst.space, q, algo, {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(
+        VerifyReverseSkyline(inst.data, inst.space, q, result->rows).ok())
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(VerifyReverseSkylineTest, SubsetAware) {
+  RandomInstance inst(79, 100, {4, 4, 4});
+  Rng rng(80);
+  Object q = SampleUniformQuery(inst.data, rng);
+  const std::vector<AttrId> sel = {0, 2};
+  auto rs = ReverseSkylineOracle(inst.data, inst.space, q, sel);
+  EXPECT_TRUE(
+      VerifyReverseSkyline(inst.data, inst.space, q, rs, sel).ok());
+  // The full-attribute answer generally differs.
+  auto full = ReverseSkylineOracle(inst.data, inst.space, q);
+  if (full != rs) {
+    EXPECT_FALSE(
+        VerifyReverseSkyline(inst.data, inst.space, q, full, sel).ok());
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

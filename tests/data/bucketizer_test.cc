@@ -1,0 +1,60 @@
+#include "data/bucketizer.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(BucketizerTest, EqualWidthBuckets) {
+  Bucketizer b({0.0, 100.0}, 4);
+  EXPECT_EQ(b.BucketOf(0.0), 0u);
+  EXPECT_EQ(b.BucketOf(24.9), 0u);
+  EXPECT_EQ(b.BucketOf(25.1), 1u);
+  EXPECT_EQ(b.BucketOf(75.1), 3u);
+  EXPECT_EQ(b.BucketOf(100.0), 3u);
+}
+
+TEST(BucketizerTest, ClampsOutOfRange) {
+  Bucketizer b({0.0, 10.0}, 5);
+  EXPECT_EQ(b.BucketOf(-100.0), 0u);
+  EXPECT_EQ(b.BucketOf(1e9), 4u);
+}
+
+TEST(BucketizerTest, IntervalsTileTheRange) {
+  Bucketizer b({-5.0, 15.0}, 8);
+  double prev_hi = -5.0;
+  for (ValueId i = 0; i < 8; ++i) {
+    Interval iv = b.BucketInterval(i);
+    EXPECT_DOUBLE_EQ(iv.lo, prev_hi);
+    EXPECT_GT(iv.hi, iv.lo);
+    prev_hi = iv.hi;
+  }
+  EXPECT_DOUBLE_EQ(prev_hi, 15.0);
+}
+
+TEST(BucketizerTest, ValueLiesInItsBucketInterval) {
+  Bucketizer b({0.0, 1.0}, 7);
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const Interval iv = b.BucketInterval(b.BucketOf(x));
+    EXPECT_TRUE(iv.Contains(x)) << "x=" << x;
+  }
+}
+
+TEST(BucketizerTest, SingleBucket) {
+  Bucketizer b({3.0, 9.0}, 1);
+  EXPECT_EQ(b.BucketOf(3.0), 0u);
+  EXPECT_EQ(b.BucketOf(9.0), 0u);
+  Interval iv = b.BucketInterval(0);
+  EXPECT_DOUBLE_EQ(iv.lo, 3.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 9.0);
+}
+
+TEST(BucketizerTest, DegenerateRange) {
+  Bucketizer b({5.0, 5.0}, 3);
+  EXPECT_EQ(b.BucketOf(5.0), 0u);
+  EXPECT_EQ(b.BucketOf(4.0), 0u);
+  EXPECT_EQ(b.BucketOf(6.0), 2u);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,134 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(DatasetTest, AppendAndAccessCategorical) {
+  Dataset d(Schema::Categorical({3, 4}));
+  d.AppendCategoricalRow({1, 2});
+  d.AppendCategoricalRow({0, 3});
+  ASSERT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.Value(0, 0), 1u);
+  EXPECT_EQ(d.Value(0, 1), 2u);
+  EXPECT_EQ(d.Value(1, 1), 3u);
+  EXPECT_FALSE(d.has_numerics());
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, GetObjectRoundTrip) {
+  Dataset d(Schema::Categorical({3, 4}));
+  d.AppendCategoricalRow({2, 1});
+  Object o = d.GetObject(0);
+  EXPECT_EQ(o.values, (std::vector<ValueId>{2, 1}));
+  EXPECT_EQ(o.numerics.size(), 2u);
+}
+
+TEST(DatasetTest, ValidateCatchesOutOfDomain) {
+  Dataset d(Schema::Categorical({2, 2}));
+  d.AppendCategoricalRow({1, 1});
+  EXPECT_TRUE(d.Validate().ok());
+  d.AppendCategoricalRow({2, 0});  // 2 >= cardinality 2
+  EXPECT_TRUE(d.Validate().IsCorruption());
+}
+
+TEST(DatasetTest, PermutedReordersRows) {
+  Dataset d(Schema::Categorical({5}));
+  for (ValueId v = 0; v < 5; ++v) d.AppendCategoricalRow({v});
+  Dataset p = d.Permuted({4, 3, 2, 1, 0});
+  for (RowId r = 0; r < 5; ++r) {
+    EXPECT_EQ(p.Value(r, 0), 4 - r);
+  }
+}
+
+TEST(DatasetTest, DensityMatchesDefinition) {
+  Dataset d(Schema::Categorical({10, 10}));
+  for (int i = 0; i < 25; ++i) d.AppendCategoricalRow({0, 0});
+  EXPECT_DOUBLE_EQ(d.Density(), 0.25);
+}
+
+Schema MixedSchema() {
+  Schema s = Schema::Categorical({3});
+  AttributeInfo num;
+  num.name = "price";
+  num.is_numeric = true;
+  num.cardinality = 4;
+  num.range = {0.0, 100.0};
+  s.AddAttribute(num);
+  return s;
+}
+
+TEST(DatasetTest, NumericRowsGetBucketIds) {
+  Dataset d(MixedSchema());
+  d.AppendRow({2, 0}, {0.0, 10.0});   // bucket 0 (0-25)
+  d.AppendRow({1, 0}, {0.0, 60.0});   // bucket 2 (50-75)
+  d.AppendRow({0, 0}, {0.0, 100.0});  // clamped to last bucket
+  ASSERT_TRUE(d.has_numerics());
+  EXPECT_EQ(d.Value(0, 1), 0u);
+  EXPECT_EQ(d.Value(1, 1), 2u);
+  EXPECT_EQ(d.Value(2, 1), 3u);
+  EXPECT_DOUBLE_EQ(d.Numeric(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(d.Numeric(1, 1), 60.0);
+}
+
+TEST(DatasetTest, MakeObjectBucketsNumerics) {
+  Dataset d(MixedSchema());
+  Object q = d.MakeObject({1, 0}, {0.0, 30.0});
+  EXPECT_EQ(q.values[0], 1u);
+  EXPECT_EQ(q.values[1], 1u);  // 30 -> bucket 1 of [0,100]/4
+  EXPECT_DOUBLE_EQ(q.numerics[1], 30.0);
+}
+
+TEST(DatasetTest, PermutedPreservesNumerics) {
+  Dataset d(MixedSchema());
+  d.AppendRow({0, 0}, {0.0, 5.0});
+  d.AppendRow({1, 0}, {0.0, 95.0});
+  Dataset p = d.Permuted({1, 0});
+  EXPECT_DOUBLE_EQ(p.Numeric(0, 1), 95.0);
+  EXPECT_DOUBLE_EQ(p.Numeric(1, 1), 5.0);
+}
+
+TEST(RowBatchTest, AppendAndAccess) {
+  RowBatch b(2, /*has_numerics=*/false);
+  const ValueId row0[] = {1, 2};
+  const ValueId row1[] = {3, 4};
+  b.Append(10, row0, nullptr);
+  b.Append(20, row1, nullptr);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.id(0), 10u);
+  EXPECT_EQ(b.value(1, 0), 3u);
+  EXPECT_EQ(b.row_values(1)[1], 4u);
+  EXPECT_EQ(b.row_numerics(0), nullptr);
+}
+
+TEST(RowBatchTest, NumericsStored) {
+  RowBatch b(2, /*has_numerics=*/true);
+  const ValueId row[] = {1, 0};
+  const double nums[] = {0.0, 42.5};
+  b.Append(5, row, nums);
+  EXPECT_DOUBLE_EQ(b.numeric(0, 1), 42.5);
+  Object o = b.ToObject(0);
+  EXPECT_DOUBLE_EQ(o.numerics[1], 42.5);
+  EXPECT_EQ(o.values[0], 1u);
+}
+
+TEST(RowBatchTest, ClearResets) {
+  RowBatch b(1, false);
+  const ValueId row[] = {0};
+  b.Append(1, row, nullptr);
+  b.Clear();
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(ObjectTest, ToStringAndEquality) {
+  Object a({1, 2, 3});
+  Object b({1, 2, 3});
+  Object c({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "[1,2,3]");
+}
+
+}  // namespace
+}  // namespace nmrs

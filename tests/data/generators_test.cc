@@ -1,0 +1,131 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nmrs {
+namespace {
+
+TEST(GenerateNormalTest, ShapeAndDomain) {
+  Rng rng(1);
+  Dataset d = GenerateNormal(500, {10, 20}, rng);
+  EXPECT_EQ(d.num_rows(), 500u);
+  EXPECT_EQ(d.num_attributes(), 2u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(GenerateNormalTest, ConcentratedAroundMiddle) {
+  Rng rng(2);
+  const size_t card = 51;
+  Dataset d = GenerateNormal(5000, {card}, rng);  // variance 3 -> sigma 1.73
+  const double mid = (card - 1) / 2.0;
+  uint64_t near_mid = 0;
+  for (RowId r = 0; r < d.num_rows(); ++r) {
+    if (std::fabs(d.Value(r, 0) - mid) <= 4.0) ++near_mid;
+  }
+  // With sigma ~1.73, ±4 covers > 97% of the mass.
+  EXPECT_GT(near_mid, d.num_rows() * 9 / 10);
+}
+
+TEST(GenerateNormalTest, Deterministic) {
+  Rng r1(9), r2(9);
+  Dataset a = GenerateNormal(100, {10, 10}, r1);
+  Dataset b = GenerateNormal(100, {10, 10}, r2);
+  for (RowId r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.Value(r, 0), b.Value(r, 0));
+    EXPECT_EQ(a.Value(r, 1), b.Value(r, 1));
+  }
+}
+
+TEST(GenerateUniformTest, CoversDomain) {
+  Rng rng(3);
+  Dataset d = GenerateUniform(2000, {4}, rng);
+  std::vector<int> counts(4, 0);
+  for (RowId r = 0; r < d.num_rows(); ++r) ++counts[d.Value(r, 0)];
+  for (int c : counts) EXPECT_GT(c, 300);  // each ~500
+}
+
+TEST(GenerateZipfTest, SkewsTowardFirstValues) {
+  Rng rng(4);
+  Dataset d = GenerateZipf(5000, {20}, 1.2, rng);
+  uint64_t first_two = 0;
+  for (RowId r = 0; r < d.num_rows(); ++r) first_two += (d.Value(r, 0) < 2);
+  EXPECT_GT(first_two, d.num_rows() / 3);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(CensusIncomeLikeTest, MatchesPaperProfile) {
+  Rng rng(5);
+  Dataset d = GenerateCensusIncomeLike(1000, rng);
+  const auto cards = CensusIncomeCardinalities();
+  ASSERT_EQ(d.num_attributes(), cards.size());
+  for (AttrId a = 0; a < cards.size(); ++a) {
+    EXPECT_EQ(d.schema().attribute(a).cardinality, cards[a]);
+  }
+  EXPECT_TRUE(d.Validate().ok());
+  // Paper: density 6.9% at 199,523 rows.
+  const double full_density =
+      static_cast<double>(kCensusIncomeFullRows) / d.schema().SpaceSize();
+  EXPECT_NEAR(full_density, 0.069, 0.02);
+}
+
+TEST(ForestCoverLikeTest, MatchesPaperProfile) {
+  Rng rng(6);
+  Dataset d = GenerateForestCoverLike(1000, rng);
+  const auto cards = ForestCoverCardinalities();
+  ASSERT_EQ(d.num_attributes(), cards.size());
+  EXPECT_TRUE(d.Validate().ok());
+  // Paper: very low density, 0.04% at 581,012 rows.
+  const double full_density =
+      static_cast<double>(kForestCoverFullRows) / d.schema().SpaceSize();
+  EXPECT_LT(full_density, 0.002);
+}
+
+TEST(ForestCoverLikeTest, BinaryAttributesSkewed) {
+  Rng rng(7);
+  Dataset d = GenerateForestCoverLike(5000, rng);
+  // Attribute 2 is binary with ~10% ones.
+  uint64_t ones = 0;
+  for (RowId r = 0; r < d.num_rows(); ++r) ones += d.Value(r, 2);
+  EXPECT_GT(ones, 200u);
+  EXPECT_LT(ones, 1000u);
+}
+
+TEST(GenerateMixedTest, SchemaShape) {
+  Rng rng(8);
+  Dataset d = GenerateMixed(300, {5, 5}, 2, 8, rng);
+  ASSERT_EQ(d.num_attributes(), 4u);
+  EXPECT_TRUE(d.has_numerics());
+  EXPECT_EQ(d.schema().NumNumeric(), 2u);
+  EXPECT_EQ(d.schema().attribute(2).cardinality, 8u);
+  for (RowId r = 0; r < d.num_rows(); ++r) {
+    EXPECT_GE(d.Numeric(r, 2), 0.0);
+    EXPECT_LE(d.Numeric(r, 2), 100.0);
+  }
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(SampleQueriesTest, UniformQueryInDomain) {
+  Rng rng(9);
+  Dataset d = GenerateUniform(10, {3, 7}, rng);
+  for (int i = 0; i < 50; ++i) {
+    Object q = SampleUniformQuery(d, rng);
+    EXPECT_LT(q.values[0], 3u);
+    EXPECT_LT(q.values[1], 7u);
+  }
+}
+
+TEST(SampleQueriesTest, RowQueryMatchesSomeRow) {
+  Rng rng(10);
+  Dataset d = GenerateUniform(20, {3, 3}, rng);
+  Object q = SampleRowQuery(d, rng);
+  bool found = false;
+  for (RowId r = 0; r < d.num_rows() && !found; ++r) {
+    found = (d.GetObject(r) == q);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nmrs

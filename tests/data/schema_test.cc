@@ -1,0 +1,62 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(SchemaTest, CategoricalFactory) {
+  Schema s = Schema::Categorical({3, 2, 5});
+  ASSERT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.attribute(0).cardinality, 3u);
+  EXPECT_EQ(s.attribute(2).cardinality, 5u);
+  EXPECT_FALSE(s.attribute(0).is_numeric);
+  EXPECT_EQ(s.NumNumeric(), 0u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, SpaceSizeAndDensity) {
+  Schema s = Schema::Categorical({3, 2, 5});
+  EXPECT_DOUBLE_EQ(s.SpaceSize(), 30.0);
+}
+
+TEST(SchemaTest, NumericAttributes) {
+  Schema s;
+  AttributeInfo num;
+  num.name = "price";
+  num.is_numeric = true;
+  num.cardinality = 10;  // buckets
+  num.range = {0.0, 100.0};
+  s.AddAttribute(num);
+  EXPECT_EQ(s.NumNumeric(), 1u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsZeroCardinality) {
+  Schema s;
+  AttributeInfo a;
+  a.cardinality = 0;
+  s.AddAttribute(a);
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsInvertedRange) {
+  Schema s;
+  AttributeInfo a;
+  a.is_numeric = true;
+  a.cardinality = 4;
+  a.range = {5.0, 1.0};
+  s.AddAttribute(a);
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = Schema::Categorical({2, 3});
+  Schema b = Schema::Categorical({2, 3});
+  Schema c = Schema::Categorical({3, 2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace nmrs

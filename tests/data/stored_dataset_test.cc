@@ -1,0 +1,157 @@
+#include "data/stored_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace nmrs {
+namespace {
+
+TEST(RowCodecTest, RowsPerPageCategorical) {
+  Schema s = Schema::Categorical({10, 10, 10});
+  // Row = 8 (id) + 3*4 = 20 bytes; page = 128 -> (128-4)/20 = 6 rows.
+  RowCodec codec(s, 128);
+  EXPECT_EQ(codec.row_bytes(), 20u);
+  EXPECT_EQ(codec.rows_per_page(), 6u);
+  EXPECT_EQ(codec.PagesFor(0), 0u);
+  EXPECT_EQ(codec.PagesFor(6), 1u);
+  EXPECT_EQ(codec.PagesFor(7), 2u);
+}
+
+TEST(RowCodecTest, NumericsWidenRows) {
+  Schema s = Schema::Categorical({10});
+  AttributeInfo num;
+  num.is_numeric = true;
+  num.cardinality = 4;
+  num.range = {0, 1};
+  s.AddAttribute(num);
+  RowCodec codec(s, 128);
+  // 8 + 2*4 + 2*8 = 32 bytes.
+  EXPECT_EQ(codec.row_bytes(), 32u);
+  EXPECT_TRUE(codec.has_numerics());
+}
+
+TEST(StoredDatasetTest, RoundTripsRows) {
+  SimulatedDisk disk(128);
+  Dataset data(Schema::Categorical({7, 7}));
+  for (ValueId v = 0; v < 7; ++v) data.AppendCategoricalRow({v, 6 - v});
+
+  auto stored = StoredDataset::Create(&disk, data, "t");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->num_rows(), 7u);
+  EXPECT_GE(stored->num_pages(), 1u);
+
+  RowBatch all(2, false);
+  ASSERT_TRUE(stored->ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(all.id(i), i);
+    EXPECT_EQ(all.value(i, 0), i);
+    EXPECT_EQ(all.value(i, 1), 6 - i);
+  }
+}
+
+TEST(StoredDatasetTest, MultiPageLayout) {
+  SimulatedDisk disk(128);  // 6 rows/page for 2-attr rows (8+8=16B, (128-4)/16=7)
+  Dataset data(Schema::Categorical({100, 100}));
+  for (ValueId v = 0; v < 50; ++v) data.AppendCategoricalRow({v, v});
+  auto stored = StoredDataset::Create(&disk, data, "t");
+  ASSERT_TRUE(stored.ok());
+  const uint64_t rpp = stored->codec().rows_per_page();
+  EXPECT_EQ(stored->num_pages(), (50 + rpp - 1) / rpp);
+
+  // Page-by-page decode sees all rows exactly once, in order.
+  RowBatch batch(2, false);
+  uint64_t next = 0;
+  for (PageId p = 0; p < stored->num_pages(); ++p) {
+    batch.Clear();
+    ASSERT_TRUE(stored->ReadPage(p, &batch).ok());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.id(i), next);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, 50u);
+}
+
+TEST(StoredDatasetTest, PreservesNumerics) {
+  SimulatedDisk disk(256);
+  Schema s = Schema::Categorical({5});
+  AttributeInfo num;
+  num.is_numeric = true;
+  num.cardinality = 4;
+  num.range = {0.0, 10.0};
+  s.AddAttribute(num);
+  Dataset data(s);
+  data.AppendRow({3, 0}, {0.0, 7.25});
+  data.AppendRow({1, 0}, {0.0, 2.5});
+
+  auto stored = StoredDataset::Create(&disk, data, "t");
+  ASSERT_TRUE(stored.ok());
+  RowBatch all(2, true);
+  ASSERT_TRUE(stored->ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all.numeric(0, 1), 7.25);
+  EXPECT_DOUBLE_EQ(all.numeric(1, 1), 2.5);
+  EXPECT_EQ(all.value(0, 1), 2u);  // bucket of 7.25 in [0,10]/4
+}
+
+TEST(StoredDatasetTest, EmptyDataset) {
+  SimulatedDisk disk(128);
+  Dataset data(Schema::Categorical({3}));
+  auto stored = StoredDataset::Create(&disk, data, "empty");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->num_rows(), 0u);
+  EXPECT_EQ(stored->num_pages(), 0u);
+  RowBatch all(1, false);
+  ASSERT_TRUE(stored->ReadAll(&all).ok());
+  EXPECT_EQ(all.size(), 0u);
+}
+
+TEST(RowWriterTest, CustomRowIdsPreserved) {
+  SimulatedDisk disk(128);
+  Schema s = Schema::Categorical({4});
+  FileId f = disk.CreateFile("w");
+  RowWriter writer(&disk, f, s);
+  const ValueId v0[] = {1};
+  const ValueId v1[] = {3};
+  ASSERT_TRUE(writer.Add(1000, v0, nullptr).ok());
+  ASSERT_TRUE(writer.Add(7, v1, nullptr).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  StoredDataset stored(&disk, f, s, 2);
+  RowBatch all(1, false);
+  ASSERT_TRUE(stored.ReadAll(&all).ok());
+  EXPECT_EQ(all.id(0), 1000u);
+  EXPECT_EQ(all.id(1), 7u);
+}
+
+TEST(RowWriterTest, FinishFlushesPartialPage) {
+  SimulatedDisk disk(128);
+  Schema s = Schema::Categorical({4});
+  FileId f = disk.CreateFile("w");
+  RowWriter writer(&disk, f, s);
+  const ValueId v[] = {2};
+  ASSERT_TRUE(writer.Add(0, v, nullptr).ok());
+  EXPECT_EQ(disk.NumPages(f), 0u);  // buffered
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(disk.NumPages(f), 1u);
+}
+
+TEST(StoredDatasetTest, SequentialScanIoAccounting) {
+  SimulatedDisk disk(128);
+  Rng rng(3);
+  Dataset data = GenerateUniform(200, {10, 10}, rng);
+  auto stored = StoredDataset::Create(&disk, data, "t");
+  ASSERT_TRUE(stored.ok());
+  disk.ResetStats();
+  disk.InvalidateArmPosition();
+  RowBatch all(2, false);
+  ASSERT_TRUE(stored->ReadAll(&all).ok());
+  EXPECT_EQ(disk.stats().TotalReads(), stored->num_pages());
+  EXPECT_EQ(disk.stats().rand_reads, 1u);  // only the first page
+}
+
+}  // namespace
+}  // namespace nmrs

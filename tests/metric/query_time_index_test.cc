@@ -1,0 +1,128 @@
+#include "metric/query_time_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+TEST(QueryTimeIndexTest, CostLedgerIsConsistent) {
+  RandomInstance inst(3, 2000, {8, 8, 8, 8});
+  Rng rng(4);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(1024);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  disk.ResetStats();
+
+  auto cost = BuildQueryTimeRTree(*stored, inst.space, q);
+  ASSERT_TRUE(cost.ok()) << cost.status();
+  EXPECT_EQ(cost->scan_pages, stored->num_pages());
+  EXPECT_GT(cost->data_pages, 0u);
+  EXPECT_GT(cost->index_pages, 0u);
+  EXPECT_GT(cost->rtree_nodes, 1u);
+  EXPECT_GE(cost->rtree_height, 2u);
+  // The charged IO covers the scan plus both spills.
+  EXPECT_GE(cost->io.TotalReads(), cost->scan_pages);
+  EXPECT_GE(cost->io.TotalWrites(), cost->data_pages + cost->index_pages);
+  // §5.7's point: construction alone moves at least three database-sized
+  // streams (read D + write mapped data which is wider than D + index).
+  EXPECT_GE(cost->io.Total(), 3 * stored->num_pages());
+}
+
+TEST(QueryTimeIndexTest, ScratchFilesCleanedUp) {
+  RandomInstance inst(5, 500, {6, 6});
+  Rng rng(6);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(1024);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+  const uint64_t pages_before = disk.TotalPages();
+  auto cost = BuildQueryTimeRTree(*stored, inst.space, q);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(disk.TotalPages(), pages_before);
+}
+
+TEST(QueryTimeIndexTest, TreeAnswersDistanceSpaceQueries) {
+  // The nearest object in distance space is the one minimizing the
+  // Euclidean norm of per-attribute distances — sanity-check the returned
+  // tree against a scan.
+  RandomInstance inst(7, 300, {5, 5, 5});
+  Rng rng(8);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(1024);
+  auto stored = StoredDataset::Create(&disk, inst.data, "d");
+  ASSERT_TRUE(stored.ok());
+
+  StrRTree tree(3);
+  auto cost = BuildQueryTimeRTree(*stored, inst.space, q, &tree);
+  ASSERT_TRUE(cost.ok());
+  ASSERT_EQ(tree.size(), inst.data.num_rows());
+
+  const double origin[] = {0.0, 0.0, 0.0};
+  auto knn = tree.KnnQuery(origin, 1);
+  ASSERT_EQ(knn.size(), 1u);
+
+  double best = 1e300;
+  RowId best_row = 0;
+  for (RowId r = 0; r < inst.data.num_rows(); ++r) {
+    double sum = 0;
+    for (AttrId a = 0; a < 3; ++a) {
+      const double d =
+          inst.space.CatDist(a, inst.data.Value(r, a), q.values[a]);
+      sum += d * d;
+    }
+    if (sum < best) {
+      best = sum;
+      best_row = r;
+    }
+  }
+  EXPECT_EQ(knn[0], best_row);
+}
+
+TEST(QueryTimeIndexTest, ConstructionCostsExceedTrsQueryIo) {
+  // The paper's §5.7 conclusion, as a property: on the same data and disk,
+  // the query-time index construction alone incurs more page IO than a
+  // complete TRS query.
+  RandomInstance inst(9, 5000, {10, 10, 10});
+  Rng rng(10);
+  Object q = SampleUniformQuery(inst.data, rng);
+  SimulatedDisk disk(2048);
+  auto prepared = PrepareDataset(&disk, inst.data, Algorithm::kTRS, {});
+  ASSERT_TRUE(prepared.ok());
+
+  RSOptions opts;
+  opts.memory = MemoryBudget::FromFraction(0.10, prepared->stored.num_pages());
+  auto trs =
+      RunReverseSkyline(*prepared, inst.space, q, Algorithm::kTRS, opts);
+  ASSERT_TRUE(trs.ok());
+
+  auto cost = BuildQueryTimeRTree(prepared->stored, inst.space, q);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost->io.Total(), trs->stats.io.Total());
+}
+
+TEST(QueryTimeIndexTest, MixedNumericSchemas) {
+  Rng rng(11);
+  Dataset data = GenerateMixed(400, {4, 4}, 1, 8, rng);
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(4, rng));
+  space.AddCategorical(MakeRandomMatrix(4, rng));
+  space.AddNumeric(NumericDissimilarity());
+  Object q = SampleUniformQuery(data, rng);
+  SimulatedDisk disk(2048);
+  auto stored = StoredDataset::Create(&disk, data, "d");
+  ASSERT_TRUE(stored.ok());
+  StrRTree tree(3);
+  auto cost = BuildQueryTimeRTree(*stored, space, q, &tree);
+  ASSERT_TRUE(cost.ok()) << cost.status();
+  EXPECT_EQ(tree.size(), 400u);
+}
+
+}  // namespace
+}  // namespace nmrs

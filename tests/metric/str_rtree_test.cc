@@ -1,0 +1,190 @@
+#include "metric/str_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nmrs {
+namespace {
+
+std::vector<double> RandomPoints(size_t n, size_t dims, Rng& rng) {
+  std::vector<double> pts(n * dims);
+  for (auto& v : pts) v = rng.UniformDouble(0.0, 100.0);
+  return pts;
+}
+
+TEST(MbrTest, ExpandAndContain) {
+  Mbr box(2);
+  EXPECT_TRUE(box.empty());
+  const double p1[] = {1.0, 5.0};
+  const double p2[] = {3.0, 2.0};
+  box.ExpandToPoint(p1);
+  box.ExpandToPoint(p2);
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(box.hi(0), 3.0);
+  EXPECT_DOUBLE_EQ(box.lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(box.hi(1), 5.0);
+  const double inside[] = {2.0, 3.0};
+  const double outside[] = {0.0, 3.0};
+  EXPECT_TRUE(box.ContainsPoint(inside));
+  EXPECT_FALSE(box.ContainsPoint(outside));
+}
+
+TEST(MbrTest, MinSquaredDist) {
+  Mbr box(2);
+  const double p1[] = {0.0, 0.0};
+  const double p2[] = {2.0, 2.0};
+  box.ExpandToPoint(p1);
+  box.ExpandToPoint(p2);
+  const double inside[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDist(inside), 0.0);
+  const double right[] = {5.0, 1.0};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDist(right), 9.0);
+  const double corner[] = {5.0, 6.0};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDist(corner), 9.0 + 16.0);
+}
+
+TEST(MbrTest, Intersects) {
+  Mbr a(1), b(1), c(1);
+  const double a1 = 0, a2 = 2, b1 = 1, b2 = 3, c1 = 5, c2 = 6;
+  a.ExpandToPoint(&a1);
+  a.ExpandToPoint(&a2);
+  b.ExpandToPoint(&b1);
+  b.ExpandToPoint(&b2);
+  c.ExpandToPoint(&c1);
+  c.ExpandToPoint(&c2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(StrRTreeTest, EmptyTree) {
+  StrRTree tree(3);
+  tree.BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  Mbr all(3);
+  const double lo[] = {-1e9, -1e9, -1e9};
+  const double hi[] = {1e9, 1e9, 1e9};
+  all.ExpandToPoint(lo);
+  all.ExpandToPoint(hi);
+  EXPECT_TRUE(tree.WindowQuery(all).empty());
+  const double origin[] = {0, 0, 0};
+  EXPECT_TRUE(tree.KnnQuery(origin, 5).empty());
+}
+
+TEST(StrRTreeTest, WindowQueryMatchesLinearScan) {
+  Rng rng(1);
+  const size_t n = 500, dims = 3;
+  auto pts = RandomPoints(n, dims, rng);
+  StrRTree tree(dims, 8);
+  tree.BulkLoad(pts);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GE(tree.height(), 2u);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Mbr box(dims);
+    std::vector<double> a(dims), b(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      a[d] = rng.UniformDouble(0, 100);
+      b[d] = rng.UniformDouble(0, 100);
+    }
+    box.ExpandToPoint(a.data());
+    box.ExpandToPoint(b.data());
+
+    std::vector<RowId> expected;
+    for (size_t i = 0; i < n; ++i) {
+      if (box.ContainsPoint(pts.data() + i * dims)) expected.push_back(i);
+    }
+    EXPECT_EQ(tree.WindowQuery(box), expected) << "trial " << trial;
+  }
+}
+
+TEST(StrRTreeTest, KnnMatchesLinearScan) {
+  Rng rng(2);
+  const size_t n = 400, dims = 4;
+  auto pts = RandomPoints(n, dims, rng);
+  StrRTree tree(dims, 16);
+  tree.BulkLoad(pts);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(dims);
+    for (auto& v : q) v = rng.UniformDouble(0, 100);
+    for (size_t k : {1u, 5u, 20u}) {
+      // Linear-scan reference.
+      std::vector<std::pair<double, RowId>> dists;
+      for (size_t i = 0; i < n; ++i) {
+        double sum = 0;
+        for (size_t d = 0; d < dims; ++d) {
+          const double delta = pts[i * dims + d] - q[d];
+          sum += delta * delta;
+        }
+        dists.push_back({sum, i});
+      }
+      std::sort(dists.begin(), dists.end());
+      std::vector<RowId> expected;
+      for (size_t i = 0; i < k; ++i) expected.push_back(dists[i].second);
+      EXPECT_EQ(tree.KnnQuery(q.data(), k), expected)
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(StrRTreeTest, CustomIdsReturned) {
+  StrRTree tree(1, 4);
+  std::vector<double> pts = {1.0, 2.0, 3.0};
+  tree.BulkLoad(pts, {100, 200, 300});
+  const double q = 2.1;
+  auto knn = tree.KnnQuery(&q, 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0], 200u);
+}
+
+TEST(StrRTreeTest, FanoutRespected) {
+  Rng rng(3);
+  auto pts = RandomPoints(1000, 2, rng);
+  StrRTree tree(2, 10);
+  tree.BulkLoad(pts);
+  // 1000 points / fanout 10 => at least 100 leaves and height >= 3.
+  EXPECT_GE(tree.num_nodes(), 100u);
+  EXPECT_GE(tree.height(), 3u);
+}
+
+TEST(StrRTreeTest, KnnLargerThanDataset) {
+  Rng rng(4);
+  auto pts = RandomPoints(10, 2, rng);
+  StrRTree tree(2);
+  tree.BulkLoad(pts);
+  const double q[] = {0, 0};
+  EXPECT_EQ(tree.KnnQuery(q, 50).size(), 10u);
+}
+
+TEST(StrRTreeTest, IndexPagesPositive) {
+  Rng rng(5);
+  auto pts = RandomPoints(2000, 5, rng);
+  StrRTree tree(5);
+  tree.BulkLoad(pts);
+  EXPECT_GT(tree.IndexPages(32 * 1024), 0u);
+}
+
+TEST(StrRTreeTest, DuplicatePointsAllReturned) {
+  StrRTree tree(2, 4);
+  std::vector<double> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(5.0);
+    pts.push_back(5.0);
+  }
+  tree.BulkLoad(pts);
+  Mbr box(2);
+  const double lo[] = {4.0, 4.0};
+  const double hi[] = {6.0, 6.0};
+  box.ExpandToPoint(lo);
+  box.ExpandToPoint(hi);
+  EXPECT_EQ(tree.WindowQuery(box).size(), 9u);
+}
+
+}  // namespace
+}  // namespace nmrs

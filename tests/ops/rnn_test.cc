@@ -1,0 +1,88 @@
+#include "ops/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+bool IsSubset(const std::vector<RowId>& sub, const std::vector<RowId>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+TEST(RnnScanTest, RunningExample) {
+  RunningExample ex;
+  WeightedDistance w = WeightedDistance::Uniform(3);
+  auto rnn = RnnScan(ex.dataset, ex.space, ex.query, w);
+  // Q == O6, so dist(Q, O6) = 0 and O6 is in the RNN set; any RNN member
+  // must be in RS(Q) = {O3, O6}.
+  EXPECT_NE(std::find(rnn.begin(), rnn.end(), 5u), rnn.end());
+  auto rs = ReverseSkylineOracle(ex.dataset, ex.space, ex.query);
+  EXPECT_TRUE(IsSubset(rnn, rs));
+}
+
+// The central relationship (§1): for every positive weighting, the RNN set
+// is contained in the reverse skyline.
+class RnnSubsetOfRs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RnnSubsetOfRs, HoldsForRandomWeightings) {
+  const uint64_t seed = GetParam();
+  RandomInstance inst(seed, 150, {5, 6, 4});
+  Rng rng(seed + 1000);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto rs = ReverseSkylineOracle(inst.data, inst.space, q);
+  for (int i = 0; i < 8; ++i) {
+    WeightedDistance w = WeightedDistance::Random(3, rng);
+    auto rnn = RnnScan(inst.data, inst.space, q, w);
+    EXPECT_TRUE(IsSubset(rnn, rs))
+        << "seed " << seed << " weighting " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RnnSubsetOfRs,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(RnnUnionCoverageTest, CoverageGrowsAndStaysWithinRs) {
+  RandomInstance inst(77, 120, {4, 4, 4});
+  Rng rng(78);
+  Object q = SampleUniformQuery(inst.data, rng);
+  auto rs = ReverseSkylineOracle(inst.data, inst.space, q);
+
+  auto few = RnnUnionCoverage(inst.data, inst.space, q, 2, 99);
+  auto many = RnnUnionCoverage(inst.data, inst.space, q, 25, 99);
+  EXPECT_TRUE(IsSubset(few, rs));
+  EXPECT_TRUE(IsSubset(many, rs));
+  EXPECT_TRUE(IsSubset(few, many));  // same seed prefix -> monotone
+  EXPECT_GE(many.size(), few.size());
+  EXPECT_GT(many.size(), 0u);
+}
+
+TEST(RnnScanTest, QueryAtRowIsItsOwnRnn) {
+  RandomInstance inst(81, 80, {6, 6});
+  Rng rng(82);
+  const RowId pick = rng.Uniform(inst.data.num_rows());
+  Object q = inst.data.GetObject(pick);
+  WeightedDistance w = WeightedDistance::Uniform(2);
+  auto rnn = RnnScan(inst.data, inst.space, q, w);
+  // dist(Q, pick) = 0, which nothing can beat strictly.
+  EXPECT_NE(std::find(rnn.begin(), rnn.end(), pick), rnn.end());
+}
+
+TEST(RnnScanTest, EmptyDataset) {
+  Dataset d(Schema::Categorical({3}));
+  Rng rng(1);
+  SimilaritySpace space = MakeRandomSpace({3}, rng);
+  EXPECT_TRUE(
+      RnnScan(d, space, Object({0}), WeightedDistance::Uniform(1)).empty());
+}
+
+}  // namespace
+}  // namespace nmrs

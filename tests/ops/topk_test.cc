@@ -1,0 +1,118 @@
+#include "ops/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+using testing::RunningExample;
+
+TEST(TopKScanTest, RunningExampleNearest) {
+  RunningExample ex;
+  WeightedDistance w = WeightedDistance::Uniform(3);
+  auto top = TopKScan(ex.dataset, ex.space, ex.query, w, 2);
+  ASSERT_EQ(top.size(), 2u);
+  // O6 == Q at distance 0; next closest is O1/O4 at 0.5 (tie -> O1).
+  EXPECT_EQ(top[0].row, 5u);
+  EXPECT_DOUBLE_EQ(top[0].distance, 0.0);
+  EXPECT_EQ(top[1].row, 0u);
+  EXPECT_DOUBLE_EQ(top[1].distance, 0.5);
+}
+
+TEST(TopKScanTest, KLargerThanDataset) {
+  RunningExample ex;
+  auto top = TopKScan(ex.dataset, ex.space, ex.query,
+                      WeightedDistance::Uniform(3), 100);
+  EXPECT_EQ(top.size(), ex.dataset.num_rows());
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].distance, top[i].distance);
+  }
+}
+
+class TopKAgreement : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKAgreement, ALTreeMatchesScan) {
+  const size_t k = GetParam();
+  RandomInstance inst(20 + k, 800, {7, 9, 5});
+  Rng rng(21);
+  for (int trial = 0; trial < 4; ++trial) {
+    Object q = SampleUniformQuery(inst.data, rng);
+    WeightedDistance w = WeightedDistance::Random(3, rng);
+    auto scan = TopKScan(inst.data, inst.space, q, w, k);
+    uint64_t checks = 0;
+    auto tree = TopKALTree(inst.data, inst.space, q, w, k, &checks);
+    ASSERT_EQ(tree.size(), scan.size());
+    for (size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_EQ(tree[i].row, scan[i].row) << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ(tree[i].distance, scan[i].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKAgreement,
+                         ::testing::Values(1, 3, 10, 50, 200));
+
+TEST(TopKALTreeTest, GroupLevelBoundsSaveChecks) {
+  // The point of the AL-Tree for top-k (EDBT'08): far fewer distance
+  // evaluations than the n·m of a scan, on concentrated data.
+  RandomInstance inst(33, 5000, {20, 20, 20, 20});
+  Rng rng(34);
+  Object q = SampleUniformQuery(inst.data, rng);
+  WeightedDistance w = WeightedDistance::Uniform(4);
+  uint64_t checks = 0;
+  auto top = TopKALTree(inst.data, inst.space, q, w, 10, &checks);
+  ASSERT_EQ(top.size(), 10u);
+  EXPECT_LT(checks, inst.data.num_rows() * 4);
+}
+
+TEST(TopKALTreeTest, DuplicatesFillK) {
+  Dataset data(Schema::Categorical({2, 2}));
+  for (int i = 0; i < 10; ++i) data.AppendCategoricalRow({0, 0});
+  Rng rng(35);
+  SimilaritySpace space = MakeRandomSpace({2, 2}, rng);
+  Object q({1, 1});
+  auto top = TopKALTree(data, space, q, WeightedDistance::Uniform(2), 7);
+  ASSERT_EQ(top.size(), 7u);
+  for (const auto& e : top) {
+    EXPECT_DOUBLE_EQ(e.distance, top[0].distance);
+  }
+}
+
+TEST(TopKALTreeTest, MixedNumericSchema) {
+  Rng rng(36);
+  Dataset data = GenerateMixed(600, {5, 5}, 2, 8, rng);
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(5, rng));
+  space.AddCategorical(MakeRandomMatrix(5, rng));
+  space.AddNumeric(NumericDissimilarity(0.01));
+  space.AddNumeric(NumericDissimilarity(0.02));
+  for (int trial = 0; trial < 3; ++trial) {
+    Object q = SampleUniformQuery(data, rng);
+    WeightedDistance w = WeightedDistance::Random(4, rng);
+    auto scan = TopKScan(data, space, q, w, 15);
+    auto tree = TopKALTree(data, space, q, w, 15);
+    ASSERT_EQ(tree.size(), scan.size());
+    for (size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_EQ(tree[i].row, scan[i].row);
+      EXPECT_NEAR(tree[i].distance, scan[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(TopKALTreeTest, EdgeCases) {
+  RandomInstance inst(40, 50, {4, 4});
+  Rng rng(41);
+  Object q = SampleUniformQuery(inst.data, rng);
+  WeightedDistance w = WeightedDistance::Uniform(2);
+  EXPECT_TRUE(TopKALTree(inst.data, inst.space, q, w, 0).empty());
+
+  Dataset empty(Schema::Categorical({4, 4}));
+  EXPECT_TRUE(TopKALTree(empty, inst.space, q, w, 5).empty());
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,73 @@
+#include "ops/weighted_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RunningExample;
+
+TEST(WeightedDistanceTest, UniformWeightsSumDistances) {
+  RunningExample ex;
+  WeightedDistance w = WeightedDistance::Uniform(3);
+  // O2 = [RHL, AMD, Informix] from reference Q = [MSW, Intel, DB2]:
+  // 0.8 + 0.5 + 0.5.
+  const double d = w.RowDistance(ex.dataset, ex.space, 1, ex.query);
+  EXPECT_DOUBLE_EQ(d, 1.8);
+}
+
+TEST(WeightedDistanceTest, WeightsScaleAttributes) {
+  RunningExample ex;
+  WeightedDistance w({2.0, 1.0, 4.0});
+  const double d = w.RowDistance(ex.dataset, ex.space, 1, ex.query);
+  EXPECT_DOUBLE_EQ(d, 2.0 * 0.8 + 1.0 * 0.5 + 4.0 * 0.5);
+}
+
+TEST(WeightedDistanceTest, ZeroForIdenticalObjects) {
+  RunningExample ex;
+  WeightedDistance w = WeightedDistance::Uniform(3);
+  // O6 == Q.
+  EXPECT_DOUBLE_EQ(w.RowDistance(ex.dataset, ex.space, 5, ex.query), 0.0);
+}
+
+TEST(WeightedDistanceTest, RandomWeightsArePositive) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    WeightedDistance w = WeightedDistance::Random(5, rng);
+    for (AttrId a = 0; a < 5; ++a) {
+      EXPECT_GT(w.weight(a), 0.0);
+      EXPECT_LE(w.weight(a), 1.0);
+    }
+  }
+}
+
+TEST(WeightedDistanceTest, ObjectAndRowAgree) {
+  RunningExample ex;
+  WeightedDistance w({1.5, 0.5, 2.0});
+  for (RowId r = 0; r < ex.dataset.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(
+        w.RowDistance(ex.dataset, ex.space, r, ex.query),
+        w.Distance(ex.dataset.schema(), ex.space, ex.dataset.GetObject(r),
+                   ex.query));
+  }
+}
+
+TEST(WeightedDistanceTest, NumericAttributesContribute) {
+  Rng rng(2);
+  Dataset data = GenerateMixed(5, {3}, 1, 4, rng);
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(3, rng));
+  space.AddNumeric(NumericDissimilarity(2.0));
+  WeightedDistance w({1.0, 3.0});
+  Object q = data.GetObject(0);
+  const double expected =
+      1.0 * space.CatDist(0, data.Value(1, 0), q.values[0]) +
+      3.0 * 2.0 * std::fabs(data.Numeric(1, 1) - q.numerics[1]);
+  EXPECT_DOUBLE_EQ(w.RowDistance(data, space, 1, q), expected);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,44 @@
+#include "order/attribute_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nmrs {
+namespace {
+
+TEST(AttributeOrderTest, AscendingCardinality) {
+  Schema s = Schema::Categorical({50, 2, 7, 3});
+  auto order = AscendingCardinalityOrder(s);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<AttrId>{1, 3, 2, 0}));
+}
+
+TEST(AttributeOrderTest, AscendingIsStableOnTies) {
+  Schema s = Schema::Categorical({5, 5, 2, 5});
+  auto order = AscendingCardinalityOrder(s);
+  EXPECT_EQ(order, (std::vector<AttrId>{2, 0, 1, 3}));
+}
+
+TEST(AttributeOrderTest, DescendingCardinality) {
+  Schema s = Schema::Categorical({50, 2, 7, 3});
+  auto order = DescendingCardinalityOrder(s);
+  EXPECT_EQ(order, (std::vector<AttrId>{0, 2, 3, 1}));
+}
+
+TEST(AttributeOrderTest, IdentityOrder) {
+  Schema s = Schema::Categorical({4, 4, 4});
+  EXPECT_EQ(IdentityOrder(s), (std::vector<AttrId>{0, 1, 2}));
+}
+
+TEST(AttributeOrderTest, RandomOrderIsPermutation) {
+  Schema s = Schema::Categorical({2, 2, 2, 2, 2, 2, 2, 2});
+  Rng rng(1);
+  auto order = RandomOrder(s, rng);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, IdentityOrder(s));
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,179 @@
+#include "order/multi_sort.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "order/attribute_order.h"
+
+namespace nmrs {
+namespace {
+
+// True if rows appear in non-decreasing lexicographic order along
+// attr_order.
+bool IsLexSorted(const RowBatch& rows, const std::vector<AttrId>& attr_order) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const ValueId* a = rows.row_values(i - 1);
+    const ValueId* b = rows.row_values(i);
+    for (AttrId attr : attr_order) {
+      if (a[attr] < b[attr]) break;
+      if (a[attr] > b[attr]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(MultiAttributeSortTest, OrdersLexicographically) {
+  Dataset d(Schema::Categorical({3, 3}));
+  d.AppendCategoricalRow({2, 0});
+  d.AppendCategoricalRow({0, 2});
+  d.AppendCategoricalRow({0, 1});
+  d.AppendCategoricalRow({1, 0});
+  auto order = MultiAttributeSortOrder(d, {0, 1});
+  EXPECT_EQ(order, (std::vector<RowId>{2, 1, 3, 0}));
+}
+
+TEST(MultiAttributeSortTest, RespectsAttributeOrdering) {
+  Dataset d(Schema::Categorical({3, 3}));
+  d.AppendCategoricalRow({2, 0});
+  d.AppendCategoricalRow({0, 2});
+  // Sorting by attribute 1 first flips the order.
+  auto order = MultiAttributeSortOrder(d, {1, 0});
+  EXPECT_EQ(order, (std::vector<RowId>{0, 1}));
+}
+
+TEST(MultiAttributeSortTest, ClustersDuplicates) {
+  Rng rng(1);
+  Dataset d = GenerateUniform(200, {3, 3}, rng);
+  auto order = MultiAttributeSortOrder(d, {0, 1});
+  Dataset sorted = d.Permuted(order);
+  // Identical rows must be adjacent after the sort.
+  for (RowId r = 2; r < sorted.num_rows(); ++r) {
+    const bool eq_prev = sorted.Value(r, 0) == sorted.Value(r - 2, 0) &&
+                         sorted.Value(r, 1) == sorted.Value(r - 2, 1);
+    if (eq_prev) {
+      EXPECT_TRUE(sorted.Value(r, 0) == sorted.Value(r - 1, 0) &&
+                  sorted.Value(r, 1) == sorted.Value(r - 1, 1));
+    }
+  }
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExternalSortTest, SortsAcrossMemoryBudgets) {
+  const uint64_t mem_pages = GetParam();
+  SimulatedDisk disk(256);
+  Rng rng(7);
+  Dataset d = GenerateUniform(500, {5, 5, 5}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+
+  const auto attr_order = IdentityOrder(d.schema());
+  auto result = ExternalMultiAttributeSort(*stored, attr_order,
+                                           MemoryBudget{mem_pages}, "out");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->sorted.num_rows(), 500u);
+
+  RowBatch all(3, false);
+  ASSERT_TRUE(result->sorted.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 500u);
+  EXPECT_TRUE(IsLexSorted(all, attr_order));
+
+  // Every original row id appears exactly once.
+  std::vector<bool> seen(500, false);
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_LT(all.id(i), 500u);
+    EXPECT_FALSE(seen[all.id(i)]);
+    seen[all.id(i)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryBudgets, ExternalSortTest,
+                         ::testing::Values(2, 3, 4, 8, 64));
+
+TEST(ExternalSortTest, SingleRunWhenMemoryCoversInput) {
+  SimulatedDisk disk(256);
+  Rng rng(8);
+  Dataset d = GenerateUniform(50, {4, 4}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  auto result = ExternalMultiAttributeSort(*stored, IdentityOrder(d.schema()),
+                                           MemoryBudget{1000}, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->initial_runs, 1u);
+  EXPECT_EQ(result->merge_passes, 0u);
+}
+
+TEST(ExternalSortTest, MultiPassMergeWithTinyMemory) {
+  SimulatedDisk disk(64);  // tiny pages -> many pages
+  Rng rng(9);
+  Dataset d = GenerateUniform(300, {6, 6}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_GT(stored->num_pages(), 16u);
+  auto result = ExternalMultiAttributeSort(*stored, IdentityOrder(d.schema()),
+                                           MemoryBudget{3}, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->initial_runs, 1u);
+  EXPECT_GE(result->merge_passes, 2u);  // fan-in 2 over many runs
+  RowBatch all(2, false);
+  ASSERT_TRUE(result->sorted.ReadAll(&all).ok());
+  EXPECT_TRUE(IsLexSorted(all, IdentityOrder(d.schema())));
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  SimulatedDisk disk(256);
+  Dataset d(Schema::Categorical({3}));
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  auto result = ExternalMultiAttributeSort(*stored, {0}, MemoryBudget{4},
+                                           "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sorted.num_rows(), 0u);
+}
+
+TEST(ExternalSortTest, RejectsSubTwoPageMemory) {
+  SimulatedDisk disk(256);
+  Dataset d(Schema::Categorical({3}));
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  auto result =
+      ExternalMultiAttributeSort(*stored, {0}, MemoryBudget{1}, "out");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ExternalSortTest, CleansUpIntermediateRuns) {
+  SimulatedDisk disk(64);
+  Rng rng(10);
+  Dataset d = GenerateUniform(200, {5, 5}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  auto result = ExternalMultiAttributeSort(*stored, IdentityOrder(d.schema()),
+                                           MemoryBudget{3}, "out");
+  ASSERT_TRUE(result.ok());
+  // Only the input and the final sorted file remain on disk.
+  EXPECT_EQ(disk.TotalPages(),
+            stored->num_pages() + result->sorted.num_pages());
+}
+
+TEST(ExternalSortTest, PreservesNumericPayload) {
+  SimulatedDisk disk(512);
+  Rng rng(11);
+  Dataset d = GenerateMixed(200, {4, 4}, 1, 8, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in");
+  ASSERT_TRUE(stored.ok());
+  auto result = ExternalMultiAttributeSort(*stored, IdentityOrder(d.schema()),
+                                           MemoryBudget{3}, "out");
+  ASSERT_TRUE(result.ok()) << result.status();
+  RowBatch all(3, true);
+  ASSERT_TRUE(result->sorted.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 200u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const RowId orig = all.id(i);
+    EXPECT_DOUBLE_EQ(all.numeric(i, 2), d.Numeric(orig, 2));
+    EXPECT_EQ(all.value(i, 2), d.Value(orig, 2));  // bucket id intact
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,85 @@
+#include "order/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "order/attribute_order.h"
+#include "order/multi_sort.h"
+
+namespace nmrs {
+namespace {
+
+TEST(ZValueTest, InterleavesBits2D) {
+  // coords (x=0b11, y=0b01), 2 bits: z = y1 x1 y0 x0 = 0 1 1 1 = 0b0111.
+  EXPECT_EQ(ZValue({0b11, 0b01}, 2), 0b0111u);
+  EXPECT_EQ(ZValue({0, 0}, 2), 0u);
+  EXPECT_EQ(ZValue({0b11, 0b11}, 2), 0b1111u);
+}
+
+TEST(ZValueTest, SingleDimensionIsIdentity) {
+  for (uint32_t v : {0u, 1u, 5u, 255u}) {
+    EXPECT_EQ(ZValue({v}, 8), v);
+  }
+}
+
+TEST(ZValueTest, MonotoneInEachCoordinate) {
+  EXPECT_LT(ZValue({1, 2}, 4), ZValue({1, 3}, 4));
+  EXPECT_LT(ZValue({1, 2}, 4), ZValue({2, 2}, 4));
+}
+
+TEST(TileZOrderTest, ReturnsPermutation) {
+  Rng rng(1);
+  Dataset d = GenerateUniform(100, {8, 8, 8}, rng);
+  auto order = TileZOrder(d, IdentityOrder(d.schema()), 4);
+  ASSERT_EQ(order.size(), 100u);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (RowId r = 0; r < 100; ++r) EXPECT_EQ(sorted[r], r);
+}
+
+TEST(TileZOrderTest, GroupsByTile) {
+  // With tiles == cardinality, each distinct value is its own tile slice;
+  // rows with identical values must be contiguous.
+  Rng rng(2);
+  Dataset d = GenerateUniform(200, {4, 4}, rng);
+  auto order = TileZOrder(d, IdentityOrder(d.schema()), 4);
+  Dataset t = d.Permuted(order);
+  // Z-values along the permutation are non-decreasing by construction;
+  // verify same-valued rows are adjacent.
+  for (RowId r = 2; r < t.num_rows(); ++r) {
+    const bool same_as_two_back = t.Value(r, 0) == t.Value(r - 2, 0) &&
+                                  t.Value(r, 1) == t.Value(r - 2, 1);
+    if (same_as_two_back) {
+      EXPECT_TRUE(t.Value(r, 0) == t.Value(r - 1, 0) &&
+                  t.Value(r, 1) == t.Value(r - 1, 1));
+    }
+  }
+}
+
+TEST(TileZOrderTest, HandlesManyAttributes) {
+  // 10 attributes: bits per dim limited so the key fits in 64 bits.
+  Rng rng(3);
+  std::vector<size_t> cards(10, 16);
+  Dataset d = GenerateUniform(50, cards, rng);
+  auto order = TileZOrder(d, IdentityOrder(d.schema()), 16);
+  EXPECT_EQ(order.size(), 50u);
+}
+
+TEST(TileZOrderTest, SingleTileFallsBackToLexSort) {
+  Rng rng(4);
+  Dataset d = GenerateUniform(60, {5, 5}, rng);
+  auto z_order = TileZOrder(d, IdentityOrder(d.schema()), 1);
+  auto lex_order = MultiAttributeSortOrder(d, IdentityOrder(d.schema()));
+  // One tile for everything -> ordering is the within-tile lex sort.
+  Dataset a = d.Permuted(z_order);
+  Dataset b = d.Permuted(lex_order);
+  for (RowId r = 0; r < 60; ++r) {
+    EXPECT_EQ(a.Value(r, 0), b.Value(r, 0));
+    EXPECT_EQ(a.Value(r, 1), b.Value(r, 1));
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

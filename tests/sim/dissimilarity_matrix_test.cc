@@ -1,0 +1,126 @@
+#include "sim/dissimilarity_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(DissimilarityMatrixTest, StartsAllZero) {
+  DissimilarityMatrix m(3);
+  for (ValueId a = 0; a < 3; ++a) {
+    for (ValueId b = 0; b < 3; ++b) EXPECT_EQ(m.Dist(a, b), 0.0);
+  }
+}
+
+TEST(DissimilarityMatrixTest, SetAndGet) {
+  DissimilarityMatrix m(3);
+  m.Set(0, 1, 0.7);
+  EXPECT_EQ(m.Dist(0, 1), 0.7);
+  EXPECT_EQ(m.Dist(1, 0), 0.0);  // Set is directional
+}
+
+TEST(DissimilarityMatrixTest, SetSymmetric) {
+  DissimilarityMatrix m(3);
+  m.SetSymmetric(0, 2, 0.9);
+  EXPECT_EQ(m.Dist(0, 2), 0.9);
+  EXPECT_EQ(m.Dist(2, 0), 0.9);
+}
+
+TEST(DissimilarityMatrixTest, ValidateRejectsNegative) {
+  DissimilarityMatrix m(2);
+  m.Set(0, 1, -0.1);
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(DissimilarityMatrixTest, ValidateRejectsNonzeroDiagonal) {
+  DissimilarityMatrix m(2);
+  m.Set(0, 0, 0.5);
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+  EXPECT_TRUE(m.Validate(/*require_zero_diagonal=*/false).ok());
+}
+
+TEST(DissimilarityMatrixTest, IsSymmetric) {
+  DissimilarityMatrix m(3);
+  m.SetSymmetric(0, 1, 0.5);
+  EXPECT_TRUE(m.IsSymmetric());
+  m.Set(1, 2, 0.3);
+  EXPECT_FALSE(m.IsSymmetric());
+}
+
+TEST(DissimilarityMatrixTest, RunningExampleOsMatrixIsNonMetric) {
+  // d1(MSW, SL) = 1.0 > d1(MSW, RHL) + d1(RHL, SL) = 0.8 + 0.1.
+  DissimilarityMatrix m(3);
+  m.SetSymmetric(0, 1, 0.8);
+  m.SetSymmetric(0, 2, 1.0);
+  m.SetSymmetric(1, 2, 0.1);
+  EXPECT_GT(m.TriangleViolationRate(), 0.0);
+}
+
+TEST(DissimilarityMatrixTest, MetricMatrixHasNoViolations) {
+  // Uniform distance 1 between distinct values (discrete metric).
+  DissimilarityMatrix m(5);
+  for (ValueId a = 0; a < 5; ++a) {
+    for (ValueId b = 0; b < 5; ++b) m.Set(a, b, a == b ? 0.0 : 1.0);
+  }
+  EXPECT_EQ(m.TriangleViolationRate(), 0.0);
+}
+
+TEST(DissimilarityMatrixTest, TriangleViolationRateSmallDomains) {
+  EXPECT_EQ(DissimilarityMatrix(1).TriangleViolationRate(), 0.0);
+  EXPECT_EQ(DissimilarityMatrix(2).TriangleViolationRate(), 0.0);
+}
+
+TEST(MakeRandomMatrixTest, ValidSymmetricZeroDiagonal) {
+  Rng rng(42);
+  auto m = MakeRandomMatrix(10, rng);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_TRUE(m.IsSymmetric());
+  for (ValueId a = 0; a < 10; ++a) EXPECT_EQ(m.Dist(a, a), 0.0);
+}
+
+TEST(MakeRandomMatrixTest, RandomMatricesAreTypicallyNonMetric) {
+  // With U[0,1] entries, triangle violations are common — this is the
+  // paper's experimental similarity model.
+  Rng rng(42);
+  auto m = MakeRandomMatrix(20, rng);
+  EXPECT_GT(m.TriangleViolationRate(), 0.05);
+}
+
+TEST(MakeRandomMatrixTest, AsymmetricOption) {
+  Rng rng(42);
+  auto m = MakeRandomMatrix(15, rng, {.symmetric = false});
+  EXPECT_FALSE(m.IsSymmetric());
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(MakeRandomMatrixTest, CustomRange) {
+  Rng rng(42);
+  auto m = MakeRandomMatrix(8, rng, {.lo = 2.0, .hi = 3.0});
+  for (ValueId a = 0; a < 8; ++a) {
+    for (ValueId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(m.Dist(a, b), 2.0);
+      EXPECT_LT(m.Dist(a, b), 3.0);
+    }
+  }
+}
+
+TEST(MakeRandomMatrixTest, DeterministicForSeed) {
+  Rng r1(5), r2(5);
+  auto a = MakeRandomMatrix(6, r1);
+  auto b = MakeRandomMatrix(6, r2);
+  for (ValueId x = 0; x < 6; ++x) {
+    for (ValueId y = 0; y < 6; ++y) EXPECT_EQ(a.Dist(x, y), b.Dist(x, y));
+  }
+}
+
+TEST(MakeRandomMatrixTest, SampledViolationRateForLargeDomains) {
+  Rng rng(42);
+  auto m = MakeRandomMatrix(200, rng);  // 200³ triples -> sampled path
+  const double rate = m.TriangleViolationRate(/*max_samples=*/5000);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1.0);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,72 @@
+#include "sim/numeric_dissimilarity.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(NumericDissimilarityTest, AbsoluteDifference) {
+  NumericDissimilarity d;
+  EXPECT_DOUBLE_EQ(d.Dist(3.0, 7.5), 4.5);
+  EXPECT_DOUBLE_EQ(d.Dist(7.5, 3.0), 4.5);
+  EXPECT_DOUBLE_EQ(d.Dist(2.0, 2.0), 0.0);
+}
+
+TEST(NumericDissimilarityTest, ScaleApplies) {
+  NumericDissimilarity d(2.0);
+  EXPECT_DOUBLE_EQ(d.Dist(0.0, 3.0), 6.0);
+}
+
+TEST(NumericDissimilarityTest, MinDistDisjointIntervals) {
+  NumericDissimilarity d;
+  EXPECT_DOUBLE_EQ(d.MinDist({0, 1}, {3, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(d.MinDist({3, 4}, {0, 1}), 2.0);
+}
+
+TEST(NumericDissimilarityTest, MinDistOverlappingIsZero) {
+  NumericDissimilarity d;
+  EXPECT_DOUBLE_EQ(d.MinDist({0, 2}, {1, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(d.MinDist({0, 5}, {1, 2}), 0.0);  // nested
+  EXPECT_DOUBLE_EQ(d.MinDist({0, 1}, {1, 2}), 0.0);  // touching
+}
+
+TEST(NumericDissimilarityTest, MaxDistFarCorners) {
+  NumericDissimilarity d;
+  EXPECT_DOUBLE_EQ(d.MaxDist({0, 1}, {3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(d.MaxDist({0, 4}, {1, 2}), 3.0);  // nested: 0 -> 2... max(|2-0|, |4-1|) = 3
+  EXPECT_DOUBLE_EQ(d.MaxDist({1, 2}, {1, 2}), 1.0);
+}
+
+TEST(NumericDissimilarityTest, PointIntervals) {
+  NumericDissimilarity d;
+  EXPECT_DOUBLE_EQ(d.MinDist({2, 2}, {5, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(d.MaxDist({2, 2}, {5, 5}), 3.0);
+}
+
+TEST(NumericDissimilarityTest, BoundsBracketExactDistances) {
+  NumericDissimilarity d(1.5);
+  const Interval a{1.0, 3.0};
+  const Interval b{2.5, 6.0};
+  // Sample points within the intervals; every exact distance must lie
+  // within [MinDist, MaxDist].
+  for (double x = 1.0; x <= 3.0; x += 0.25) {
+    for (double y = 2.5; y <= 6.0; y += 0.25) {
+      const double exact = d.Dist(x, y);
+      EXPECT_GE(exact + 1e-12, d.MinDist(a, b));
+      EXPECT_LE(exact - 1e-12, d.MaxDist(a, b));
+    }
+  }
+}
+
+TEST(IntervalTest, ContainsAndWidth) {
+  Interval i{1.0, 4.0};
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_TRUE(i.Contains(4.0));
+  EXPECT_TRUE(i.Contains(2.5));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_FALSE(i.Contains(4.001));
+  EXPECT_DOUBLE_EQ(i.width(), 3.0);
+}
+
+}  // namespace
+}  // namespace nmrs

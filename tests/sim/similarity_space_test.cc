@@ -1,0 +1,63 @@
+#include "sim/similarity_space.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+TEST(SimilaritySpaceTest, MixedAttributes) {
+  SimilaritySpace space;
+  DissimilarityMatrix m(3);
+  m.SetSymmetric(0, 1, 0.4);
+  space.AddCategorical(std::move(m));
+  space.AddNumeric(NumericDissimilarity(2.0));
+
+  ASSERT_EQ(space.num_attributes(), 2u);
+  EXPECT_FALSE(space.IsNumeric(0));
+  EXPECT_TRUE(space.IsNumeric(1));
+  EXPECT_EQ(space.Cardinality(0), 3u);
+  EXPECT_DOUBLE_EQ(space.CatDist(0, 0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(space.NumDist(1, 1.0, 2.5), 3.0);
+}
+
+TEST(SimilaritySpaceTest, MatrixAccessor) {
+  SimilaritySpace space;
+  DissimilarityMatrix m(2);
+  m.SetSymmetric(0, 1, 0.9);
+  space.AddCategorical(std::move(m));
+  EXPECT_DOUBLE_EQ(space.matrix(0).Dist(1, 0), 0.9);
+}
+
+TEST(SimilaritySpaceTest, NumericAccessor) {
+  SimilaritySpace space;
+  space.AddNumeric(NumericDissimilarity(3.0));
+  EXPECT_DOUBLE_EQ(space.numeric(0).scale(), 3.0);
+}
+
+TEST(MakeRandomSpaceTest, OneMatrixPerCardinality) {
+  Rng rng(1);
+  auto space = MakeRandomSpace({5, 10, 2}, rng);
+  ASSERT_EQ(space.num_attributes(), 3u);
+  EXPECT_EQ(space.Cardinality(0), 5u);
+  EXPECT_EQ(space.Cardinality(1), 10u);
+  EXPECT_EQ(space.Cardinality(2), 2u);
+  for (AttrId a = 0; a < 3; ++a) {
+    EXPECT_TRUE(space.matrix(a).Validate().ok());
+  }
+}
+
+TEST(MakeRandomSpaceTest, Deterministic) {
+  Rng r1(7), r2(7);
+  auto s1 = MakeRandomSpace({4, 4}, r1);
+  auto s2 = MakeRandomSpace({4, 4}, r2);
+  for (AttrId a = 0; a < 2; ++a) {
+    for (ValueId x = 0; x < 4; ++x) {
+      for (ValueId y = 0; y < 4; ++y) {
+        EXPECT_EQ(s1.CatDist(a, x, y), s2.CatDist(a, x, y));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

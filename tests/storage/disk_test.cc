@@ -1,0 +1,156 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace nmrs {
+namespace {
+
+Page MakePage(size_t size, uint8_t fill) {
+  Page p(size);
+  for (size_t i = 0; i < size; ++i) p[i] = fill;
+  return p;
+}
+
+TEST(SimulatedDiskTest, CreateWriteReadRoundTrip) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 0xAB)).ok());
+  Page out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, &out).ok());
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], 0xAB);
+}
+
+TEST(SimulatedDiskTest, ReadMissingFileFails) {
+  SimulatedDisk disk(64);
+  Page out(64);
+  EXPECT_TRUE(disk.ReadPage(99, 0, &out).IsNotFound());
+}
+
+TEST(SimulatedDiskTest, ReadPastEndFails) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  Page out(64);
+  EXPECT_TRUE(disk.ReadPage(f, 0, &out).IsOutOfRange());
+}
+
+TEST(SimulatedDiskTest, WriteWrongPageSizeFails) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  EXPECT_TRUE(disk.WritePage(f, 0, MakePage(32, 0)).IsInvalidArgument());
+}
+
+TEST(SimulatedDiskTest, WriteCreatingHoleFails) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  EXPECT_TRUE(disk.WritePage(f, 3, MakePage(64, 0)).IsOutOfRange());
+}
+
+TEST(SimulatedDiskTest, SequentialReadsClassifiedSequential) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(disk.AppendPage(f, MakePage(64, i)).ok());
+  }
+  disk.ResetStats();
+  disk.InvalidateArmPosition();
+  Page out(64);
+  for (PageId p = 0; p < 5; ++p) ASSERT_TRUE(disk.ReadPage(f, p, &out).ok());
+  // First read is random (arm position unknown), rest sequential.
+  EXPECT_EQ(disk.stats().rand_reads, 1u);
+  EXPECT_EQ(disk.stats().seq_reads, 4u);
+}
+
+TEST(SimulatedDiskTest, BackwardReadIsRandom) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(disk.AppendPage(f, MakePage(64, i)).ok());
+  }
+  disk.ResetStats();
+  Page out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 2, &out).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 1, &out).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 0, &out).ok());
+  EXPECT_EQ(disk.stats().rand_reads, 3u);
+  EXPECT_EQ(disk.stats().seq_reads, 0u);
+}
+
+TEST(SimulatedDiskTest, SwitchingFilesIsRandom) {
+  SimulatedDisk disk(64);
+  FileId a = disk.CreateFile("a");
+  FileId b = disk.CreateFile("b");
+  ASSERT_TRUE(disk.AppendPage(a, MakePage(64, 1)).ok());
+  ASSERT_TRUE(disk.AppendPage(a, MakePage(64, 2)).ok());
+  ASSERT_TRUE(disk.AppendPage(b, MakePage(64, 3)).ok());
+  disk.ResetStats();
+  Page out(64);
+  ASSERT_TRUE(disk.ReadPage(a, 0, &out).ok());  // random (fresh)
+  ASSERT_TRUE(disk.ReadPage(b, 0, &out).ok());  // random (file switch)
+  ASSERT_TRUE(disk.ReadPage(a, 1, &out).ok());  // random (file switch back)
+  EXPECT_EQ(disk.stats().rand_reads, 3u);
+}
+
+TEST(SimulatedDiskTest, AppendAfterReadContinuesSequentially) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 0)).ok());  // page 0
+  disk.ResetStats();
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 1)).ok());  // page 1: seq
+  EXPECT_EQ(disk.stats().seq_writes, 1u);
+  EXPECT_EQ(disk.stats().rand_writes, 0u);
+}
+
+TEST(SimulatedDiskTest, OverwriteExistingPage) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 1)).ok());
+  ASSERT_TRUE(disk.WritePage(f, 0, MakePage(64, 9)).ok());
+  Page out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, &out).ok());
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(disk.NumPages(f), 1u);
+}
+
+TEST(SimulatedDiskTest, DeleteFileInvalidatesId) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  EXPECT_TRUE(disk.FileExists(f));
+  ASSERT_TRUE(disk.DeleteFile(f).ok());
+  EXPECT_FALSE(disk.FileExists(f));
+  EXPECT_TRUE(disk.DeleteFile(f).IsNotFound());
+}
+
+TEST(SimulatedDiskTest, TruncateKeepsIdValid) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 1)).ok());
+  ASSERT_TRUE(disk.TruncateFile(f).ok());
+  EXPECT_TRUE(disk.FileExists(f));
+  EXPECT_EQ(disk.NumPages(f), 0u);
+}
+
+TEST(SimulatedDiskTest, TotalPagesAcrossFiles) {
+  SimulatedDisk disk(64);
+  FileId a = disk.CreateFile("a");
+  FileId b = disk.CreateFile("b");
+  ASSERT_TRUE(disk.AppendPage(a, MakePage(64, 0)).ok());
+  ASSERT_TRUE(disk.AppendPage(b, MakePage(64, 0)).ok());
+  ASSERT_TRUE(disk.AppendPage(b, MakePage(64, 0)).ok());
+  EXPECT_EQ(disk.TotalPages(), 3u);
+}
+
+TEST(SimulatedDiskTest, InvalidateArmMakesNextAccessRandom) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 0)).ok());
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 1)).ok());
+  disk.ResetStats();
+  Page out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, &out).ok());
+  disk.InvalidateArmPosition();
+  ASSERT_TRUE(disk.ReadPage(f, 1, &out).ok());  // would be seq otherwise
+  EXPECT_EQ(disk.stats().rand_reads, 2u);
+}
+
+}  // namespace
+}  // namespace nmrs

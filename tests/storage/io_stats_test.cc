@@ -1,0 +1,67 @@
+#include "storage/io_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/memory_budget.h"
+
+namespace nmrs {
+namespace {
+
+TEST(IoStatsTest, Totals) {
+  IoStats s{.seq_reads = 3, .rand_reads = 2, .seq_writes = 5,
+            .rand_writes = 1};
+  EXPECT_EQ(s.TotalReads(), 5u);
+  EXPECT_EQ(s.TotalWrites(), 6u);
+  EXPECT_EQ(s.TotalSequential(), 8u);
+  EXPECT_EQ(s.TotalRandom(), 3u);
+  EXPECT_EQ(s.Total(), 11u);
+}
+
+TEST(IoStatsTest, AddAndSubtract) {
+  IoStats a{.seq_reads = 10, .rand_reads = 4, .seq_writes = 2,
+            .rand_writes = 1};
+  IoStats b{.seq_reads = 3, .rand_reads = 1, .seq_writes = 1,
+            .rand_writes = 0};
+  IoStats sum = b;
+  sum += a;
+  EXPECT_EQ(sum.seq_reads, 13u);
+  IoStats diff = a - b;
+  EXPECT_EQ(diff.seq_reads, 7u);
+  EXPECT_EQ(diff.rand_reads, 3u);
+  EXPECT_EQ(diff.seq_writes, 1u);
+  EXPECT_EQ(diff.rand_writes, 1u);
+}
+
+TEST(IoStatsTest, ToStringMentionsAllCounters) {
+  IoStats s{.seq_reads = 1, .rand_reads = 2, .seq_writes = 3,
+            .rand_writes = 4};
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("seq_reads=1"), std::string::npos);
+  EXPECT_NE(str.find("rand_writes=4"), std::string::npos);
+}
+
+TEST(IoCostModelTest, RandomCostsDominate) {
+  IoCostModel model;  // defaults: 0.4 ms seq, 8 ms rand
+  IoStats seq_heavy{.seq_reads = 100};
+  IoStats rand_heavy{.rand_reads = 100};
+  EXPECT_LT(model.EstimateMillis(seq_heavy),
+            model.EstimateMillis(rand_heavy));
+  EXPECT_DOUBLE_EQ(model.EstimateMillis(seq_heavy), 40.0);
+  EXPECT_DOUBLE_EQ(model.EstimateMillis(rand_heavy), 800.0);
+}
+
+TEST(MemoryBudgetTest, FractionOfDataset) {
+  MemoryBudget b = MemoryBudget::FromFraction(0.10, 1000);
+  EXPECT_EQ(b.pages, 100u);
+  EXPECT_EQ(b.Bytes(32 * 1024), 100u * 32 * 1024);
+}
+
+TEST(MemoryBudgetTest, EnforcesMinimum) {
+  MemoryBudget b = MemoryBudget::FromFraction(0.01, 10);  // 0.1 page
+  EXPECT_EQ(b.pages, 2u);
+  MemoryBudget c = MemoryBudget::FromFraction(0.5, 2, 4);
+  EXPECT_EQ(c.pages, 4u);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,51 @@
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace testing {
+
+RunningExample::RunningExample()
+    : dataset(Schema::Categorical({3, 2, 3})) {
+  // Figure 1 distance functions.
+  DissimilarityMatrix d1(3);  // OS
+  d1.SetSymmetric(kMSW, kRHL, 0.8);
+  d1.SetSymmetric(kMSW, kSL, 1.0);
+  d1.SetSymmetric(kRHL, kSL, 0.1);
+
+  DissimilarityMatrix d2(2);  // Processor
+  d2.SetSymmetric(kAMD, kIntel, 0.5);
+
+  DissimilarityMatrix d3(3);  // DB
+  d3.SetSymmetric(kInformix, kDB2, 0.5);
+  d3.SetSymmetric(kInformix, kOracle, 0.9);
+  d3.SetSymmetric(kDB2, kOracle, 0.4);
+
+  space.AddCategorical(std::move(d1));
+  space.AddCategorical(std::move(d2));
+  space.AddCategorical(std::move(d3));
+
+  // Table 1 objects (0-based ids O1..O6 -> rows 0..5).
+  dataset.AppendCategoricalRow({kMSW, kAMD, kDB2});       // O1
+  dataset.AppendCategoricalRow({kRHL, kAMD, kInformix});  // O2
+  dataset.AppendCategoricalRow({kSL, kIntel, kOracle});   // O3
+  dataset.AppendCategoricalRow({kMSW, kAMD, kDB2});       // O4 (dup of O1)
+  dataset.AppendCategoricalRow({kRHL, kAMD, kInformix});  // O5 (dup of O2)
+  dataset.AppendCategoricalRow({kMSW, kIntel, kDB2});     // O6 (== Q)
+
+  query = Object({kMSW, kIntel, kDB2});
+}
+
+RandomInstance::RandomInstance(uint64_t seed, uint64_t num_rows,
+                               const std::vector<size_t>& cardinalities,
+                               bool normal_distribution)
+    : data(Schema::Categorical(cardinalities)) {
+  Rng rng(seed);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  data = normal_distribution
+             ? GenerateNormal(num_rows, cardinalities, data_rng)
+             : GenerateUniform(num_rows, cardinalities, data_rng);
+  space = MakeRandomSpace(cardinalities, space_rng);
+}
+
+}  // namespace testing
+}  // namespace nmrs

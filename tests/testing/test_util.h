@@ -1,0 +1,49 @@
+#ifndef NMRS_TESTS_TESTING_TEST_UTIL_H_
+#define NMRS_TESTS_TESTING_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+namespace testing {
+
+/// The paper's running example (Table 1 + Figure 1): six servers over
+/// three attributes — OS {MSW=0, RHL=1, SL=2}, Processor {AMD=0, Intel=1},
+/// DB {Informix=0, DB2=1, Oracle=2} — with the hand-specified non-metric
+/// distances (d1 violates the triangle inequality:
+/// d1(MSW,SL)=1.0 > d1(MSW,RHL)+d1(RHL,SL)=0.9).
+///
+/// For query Q=[MSW,Intel,DB2] the reverse skyline is {O3, O6} =
+/// row ids {2, 5}; the paper also lists each object's pruners.
+struct RunningExample {
+  // Value-id aliases for readability.
+  enum OS : ValueId { kMSW = 0, kRHL = 1, kSL = 2 };
+  enum Proc : ValueId { kAMD = 0, kIntel = 1 };
+  enum DB : ValueId { kInformix = 0, kDB2 = 1, kOracle = 2 };
+
+  Dataset dataset;
+  SimilaritySpace space;
+  Object query;  // [MSW, Intel, DB2]
+
+  RunningExample();
+};
+
+/// A random all-categorical instance: dataset + similarity space + queries,
+/// all derived deterministically from `seed`.
+struct RandomInstance {
+  Dataset data;
+  SimilaritySpace space;
+
+  RandomInstance(uint64_t seed, uint64_t num_rows,
+                 const std::vector<size_t>& cardinalities,
+                 bool normal_distribution = true);
+};
+
+}  // namespace testing
+}  // namespace nmrs
+
+#endif  // NMRS_TESTS_TESTING_TEST_UTIL_H_

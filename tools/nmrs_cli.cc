@@ -1,0 +1,343 @@
+// nmrs command-line driver: generate synthetic datasets, run reverse
+// skyline queries over CSV data with CSV similarity matrices, and compare
+// algorithms — without writing C++.
+//
+//   nmrs_cli generate --rows=N --cards=5,50,7 [--dist=normal|uniform|zipf]
+//            --out=data.csv [--matrices=prefix] [--seed=S]
+//       Generates a dataset (and one random dissimilarity matrix CSV per
+//       attribute as <prefix><attr>.csv when --matrices is given).
+//
+//   nmrs_cli query --data=data.csv --matrices=prefix --query=1,2,3
+//            [--algo=trs|srs|brs|naive|tsrs|ttrs] [--mem=0.1]
+//            [--attrs=0,2] [--seed=S]
+//       Runs a reverse-skyline query and prints the result rows + stats.
+//
+//   nmrs_cli compare --data=data.csv --matrices=prefix --query=1,2,3
+//       Runs BRS, SRS and TRS on the same query and prints a comparison.
+//
+//   nmrs_cli skyline --data=data.csv --matrices=prefix --query=1,2,3
+//       Prints the dynamic skyline of the database w.r.t. the reference
+//       object (BNL; the skyline the reverse skyline is defined through).
+//
+//   nmrs_cli influence --data=data.csv --matrices=prefix --queries=K
+//            [--seed=S]
+//       Samples K query objects, ranks them by |RS(Q)| and prints the
+//       concentration diagnostics (top-3 share, Gini).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "nmrs.h"
+
+namespace nmrs {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& key,
+                   const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::vector<uint64_t> ParseUintList(const std::string& csv) {
+  std::vector<uint64_t> out;
+  for (const std::string& tok : StrSplit(csv, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<SimilaritySpace> LoadSpace(const Schema& schema,
+                                    const std::string& prefix) {
+  SimilaritySpace space;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).is_numeric) {
+      space.AddNumeric(NumericDissimilarity());
+      continue;
+    }
+    const std::string path = prefix + std::to_string(a) + ".csv";
+    NMRS_ASSIGN_OR_RETURN(DissimilarityMatrix m, ReadMatrixCsvFile(path));
+    if (m.cardinality() != schema.attribute(a).cardinality) {
+      return Status::InvalidArgument(
+          path + ": cardinality " + std::to_string(m.cardinality()) +
+          " does not match attribute's " +
+          std::to_string(schema.attribute(a).cardinality));
+    }
+    space.AddCategorical(std::move(m));
+  }
+  return space;
+}
+
+StatusOr<Object> ParseQuery(const Dataset& data, const std::string& csv) {
+  const Schema& schema = data.schema();
+  const auto tokens = StrSplit(csv, ',');
+  if (tokens.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "query needs " + std::to_string(schema.num_attributes()) +
+        " comma-separated values");
+  }
+  std::vector<ValueId> values(schema.num_attributes(), 0);
+  std::vector<double> numerics(schema.num_attributes(), 0.0);
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).is_numeric) {
+      numerics[a] = std::strtod(tokens[a].c_str(), nullptr);
+    } else {
+      const uint64_t v = std::strtoull(tokens[a].c_str(), nullptr, 10);
+      if (v >= schema.attribute(a).cardinality) {
+        return Status::InvalidArgument("query value " + tokens[a] +
+                                       " out of domain for attribute " +
+                                       std::to_string(a));
+      }
+      values[a] = static_cast<ValueId>(v);
+    }
+  }
+  return data.MakeObject(values, numerics);
+}
+
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "naive") return Algorithm::kNaive;
+  if (name == "brs") return Algorithm::kBRS;
+  if (name == "srs") return Algorithm::kSRS;
+  if (name == "trs") return Algorithm::kTRS;
+  if (name == "tsrs") return Algorithm::kTileSRS;
+  if (name == "ttrs") return Algorithm::kTileTRS;
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+int CmdGenerate(const Flags& flags) {
+  const uint64_t rows =
+      std::strtoull(FlagOr(flags, "rows", "1000").c_str(), nullptr, 10);
+  const auto cards_u64 = ParseUintList(FlagOr(flags, "cards", "10,10,10"));
+  std::vector<size_t> cards(cards_u64.begin(), cards_u64.end());
+  if (cards.empty()) return Fail("--cards must list at least one domain");
+  const std::string out = FlagOr(flags, "out", "data.csv");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const std::string dist = FlagOr(flags, "dist", "normal");
+
+  Rng rng(seed);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  Dataset data = [&] {
+    if (dist == "uniform") return GenerateUniform(rows, cards, data_rng);
+    if (dist == "zipf") return GenerateZipf(rows, cards, 1.1, data_rng);
+    return GenerateNormal(rows, cards, data_rng);
+  }();
+  Status s = WriteDatasetCsvFile(data, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("wrote %llu rows to %s (density %.6f%%)\n",
+              static_cast<unsigned long long>(rows), out.c_str(),
+              data.Density() * 100);
+
+  const std::string prefix = FlagOr(flags, "matrices", "");
+  if (!prefix.empty()) {
+    for (AttrId a = 0; a < cards.size(); ++a) {
+      DissimilarityMatrix m = MakeRandomMatrix(cards[a], space_rng);
+      const std::string path = prefix + std::to_string(a) + ".csv";
+      s = WriteMatrixCsvFile(m, path);
+      if (!s.ok()) return Fail(s.ToString());
+      std::printf("wrote matrix %s (triangle violation rate %.3f)\n",
+                  path.c_str(), m.TriangleViolationRate());
+    }
+  }
+  return 0;
+}
+
+struct LoadedQuery {
+  Dataset data;
+  SimilaritySpace space;
+  Object query;
+};
+
+StatusOr<LoadedQuery> LoadQuerySetup(const Flags& flags) {
+  const std::string data_path = FlagOr(flags, "data", "");
+  const std::string prefix = FlagOr(flags, "matrices", "");
+  const std::string query_csv = FlagOr(flags, "query", "");
+  if (data_path.empty() || prefix.empty() || query_csv.empty()) {
+    return Status::InvalidArgument(
+        "--data=, --matrices= and --query= are required");
+  }
+  NMRS_ASSIGN_OR_RETURN(Dataset data, ReadDatasetCsvFile(data_path));
+  NMRS_ASSIGN_OR_RETURN(SimilaritySpace space,
+                        LoadSpace(data.schema(), prefix));
+  NMRS_ASSIGN_OR_RETURN(Object query, ParseQuery(data, query_csv));
+  return LoadedQuery{std::move(data), std::move(space), std::move(query)};
+}
+
+void PrintStats(const QueryStats& s) {
+  std::printf(
+      "  checks=%llu (p1 %llu, p2 %llu)  survivors=%llu  batches=%llu+%llu\n"
+      "  io: %llu seq + %llu rand pages   compute=%.2fms  response=%.2fms\n",
+      static_cast<unsigned long long>(s.checks),
+      static_cast<unsigned long long>(s.phase1_checks),
+      static_cast<unsigned long long>(s.phase2_checks),
+      static_cast<unsigned long long>(s.phase1_survivors),
+      static_cast<unsigned long long>(s.phase1_batches),
+      static_cast<unsigned long long>(s.phase2_batches),
+      static_cast<unsigned long long>(s.io.TotalSequential()),
+      static_cast<unsigned long long>(s.io.TotalRandom()),
+      s.compute_millis, s.ResponseMillis());
+}
+
+int CmdQuery(const Flags& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status().ToString());
+  auto algo = ParseAlgorithm(FlagOr(flags, "algo", "trs"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, setup->data, *algo);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  RSOptions opts;
+  opts.memory = MemoryBudget::FromFraction(
+      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
+      prepared->stored.num_pages());
+  for (uint64_t a : ParseUintList(FlagOr(flags, "attrs", ""))) {
+    opts.selected_attrs.push_back(static_cast<AttrId>(a));
+  }
+
+  auto result =
+      RunReverseSkyline(*prepared, setup->space, setup->query, *algo, opts);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("RS(Q) via %s: %zu rows\n",
+              std::string(AlgorithmName(*algo)).c_str(),
+              result->rows.size());
+  for (RowId r : result->rows) {
+    std::printf("  row %llu %s\n", static_cast<unsigned long long>(r),
+                setup->data.GetObject(r).ToString().c_str());
+  }
+  PrintStats(result->stats);
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status().ToString());
+
+  SimulatedDisk disk;
+  std::printf("%-6s %-8s %-12s %-10s %-10s %-10s\n", "algo", "result",
+              "checks", "seq IO", "rand IO", "compute");
+  for (Algorithm algo :
+       {Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS}) {
+    auto prepared = PrepareDataset(&disk, setup->data, algo);
+    if (!prepared.ok()) return Fail(prepared.status().ToString());
+    RSOptions opts;
+    opts.memory = MemoryBudget::FromFraction(
+        std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
+        prepared->stored.num_pages());
+    auto result = RunReverseSkyline(*prepared, setup->space, setup->query,
+                                    algo, opts);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf("%-6s %-8zu %-12llu %-10llu %-10llu %.2fms\n",
+                std::string(AlgorithmName(algo)).c_str(),
+                result->rows.size(),
+                static_cast<unsigned long long>(result->stats.checks),
+                static_cast<unsigned long long>(
+                    result->stats.io.TotalSequential()),
+                static_cast<unsigned long long>(
+                    result->stats.io.TotalRandom()),
+                result->stats.compute_millis);
+  }
+  return 0;
+}
+
+int CmdSkyline(const Flags& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status().ToString());
+  auto sky = DynamicSkylineBNL(setup->data, setup->space, setup->query);
+  std::printf("dynamic skyline w.r.t. %s: %zu rows\n",
+              setup->query.ToString().c_str(), sky.size());
+  for (RowId r : sky) {
+    std::printf("  row %llu %s\n", static_cast<unsigned long long>(r),
+                setup->data.GetObject(r).ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdInfluence(const Flags& flags) {
+  const std::string data_path = FlagOr(flags, "data", "");
+  const std::string prefix = FlagOr(flags, "matrices", "");
+  if (data_path.empty() || prefix.empty()) {
+    return Fail("--data= and --matrices= are required");
+  }
+  auto data = ReadDatasetCsvFile(data_path);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto space = LoadSpace(data->schema(), prefix);
+  if (!space.ok()) return Fail(space.status().ToString());
+
+  const int k = std::atoi(FlagOr(flags, "queries", "10").c_str());
+  Rng rng(std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10));
+  std::vector<Object> queries;
+  for (int i = 0; i < k; ++i) {
+    queries.push_back(SampleUniformQuery(*data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, *data, Algorithm::kTRS);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  RSOptions opts;
+  opts.memory = MemoryBudget::FromFraction(
+      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
+      prepared->stored.num_pages());
+  auto report = AnalyzeInfluence(*prepared, *space, queries, Algorithm::kTRS,
+                                 opts);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::printf("%-8s %-20s %s\n", "rank", "query", "influence |RS(Q)|");
+  int rank = 1;
+  for (const auto& entry : report->ranking) {
+    std::printf("%-8d %-20s %llu\n", rank++,
+                queries[entry.query_index].ToString().c_str(),
+                static_cast<unsigned long long>(entry.influence));
+  }
+  std::printf("\ntotal influence %llu, top-3 share %.1f%%, Gini %.2f\n",
+              static_cast<unsigned long long>(report->total_influence),
+              report->TopShare(3) * 100, report->Gini());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: nmrs_cli <generate|query|compare|skyline|influence> [--flags]\n"
+                 "see the header comment of tools/nmrs_cli.cc\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = ParseFlags(argc, argv);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "compare") return CmdCompare(flags);
+  if (cmd == "skyline") return CmdSkyline(flags);
+  if (cmd == "influence") return CmdInfluence(flags);
+  return Fail("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+}  // namespace nmrs
+
+int main(int argc, char** argv) { return nmrs::Run(argc, argv); }
