@@ -79,6 +79,78 @@ AlgoMetrics RunPoint(const Dataset& data, const SimilaritySpace& space,
   return avg;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter(std::string benchmark_name)
+    : name_(std::move(benchmark_name)) {}
+
+void JsonWriter::BeginRun() { runs_.emplace_back(); }
+
+void JsonWriter::Field(const std::string& key, double value) {
+  NMRS_CHECK(!runs_.empty()) << "Field() before BeginRun()";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  runs_.back().emplace_back(key, buf);
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  NMRS_CHECK(!runs_.empty()) << "Field() before BeginRun()";
+  runs_.back().emplace_back(key, std::to_string(value));
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  NMRS_CHECK(!runs_.empty()) << "Field() before BeginRun()";
+  runs_.back().emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+bool JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"runs\": [\n",
+               JsonEscape(name_).c_str());
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    std::fprintf(f, "    {");
+    for (size_t i = 0; i < runs_[r].size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   JsonEscape(runs_[r][i].first).c_str(),
+                   runs_[r][i].second.c_str());
+    }
+    std::fprintf(f, "}%s\n", r + 1 < runs_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void Table::AddRow(std::vector<std::string> row) {

@@ -1,7 +1,9 @@
 #ifndef NMRS_BENCH_BENCH_UTIL_H_
 #define NMRS_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -50,6 +52,30 @@ struct AlgoMetrics {
 AlgoMetrics RunPoint(const Dataset& data, const SimilaritySpace& space,
                      Algorithm algo, double mem_fraction, const Args& args,
                      const std::vector<AttrId>& selected = {});
+
+/// Collects one flat JSON object per benchmark run and writes them as
+///   {"benchmark": "<name>", "runs": [{...}, ...]}
+/// — a machine-readable artifact alongside the printed tables (e.g.
+/// BENCH_parallel.json). Values are kept in insertion order.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string benchmark_name);
+
+  /// Starts a new run object; subsequent Field() calls attach to it.
+  void BeginRun();
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, const std::string& value);
+
+  /// Serializes to `path`, returning false (with a message on stderr) on
+  /// IO failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  // Each run is a list of (key, pre-encoded JSON value) pairs.
+  std::vector<std::vector<std::pair<std::string, std::string>>> runs_;
+};
 
 /// Aligned-column table printer for the figure/table reproductions.
 class Table {

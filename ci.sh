@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + full test suite, then a ThreadSanitizer
+# build of the concurrency stress binary (tests/exec/stress_test.cc). The
+# TSan build is Debug so NMRS_DCHECKs are active, and only builds the
+# gtest-free exec_stress target to keep every instrumented frame inside
+# nmrs code.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc)"
+
+echo "=== plain build + tests ==="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+echo "=== ThreadSanitizer build (exec_stress) ==="
+cmake -B build-tsan -S . -DNMRS_TSAN=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-tsan -j"${JOBS}" --target exec_stress
+./build-tsan/tests/exec_stress
+
+echo "ci: all ok"

@@ -1,0 +1,75 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace nmrs {
+
+void ParallelChunks(TaskExecutor* exec, int num_threads, size_t num_chunks,
+                    const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (num_threads <= 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(num_threads) - 1, num_chunks - 1);
+
+  if (exec != nullptr) {
+    // Completion is tracked per *chunk*, never per helper task: when every
+    // executor thread is itself blocked inside ParallelChunks (e.g. a batch
+    // of queries each using intra-query chunking on the same pool), the
+    // scheduled helpers may never get a thread, so waiting for them would
+    // deadlock. The caller drains chunks itself and only waits for chunks
+    // already claimed by someone. State is heap-allocated so a helper that
+    // starts after the call has returned finds no chunks left and exits
+    // without touching `fn` (the `fn` pointer is only dereferenced while a
+    // chunk remains, which pins the caller in its wait below).
+    struct State {
+      State(const std::function<void(size_t)>* f, size_t n)
+          : fn(f), num_chunks(n) {}
+      const std::function<void(size_t)>* fn;
+      const size_t num_chunks;
+      std::atomic<size_t> next{0};
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t done = 0;
+    };
+    auto state = std::make_shared<State>(&fn, num_chunks);
+    auto drain = [](const std::shared_ptr<State>& s) {
+      for (size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+           c < s->num_chunks;
+           c = s->next.fetch_add(1, std::memory_order_relaxed)) {
+        (*s->fn)(c);
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (++s->done == s->num_chunks) s->cv.notify_all();
+      }
+    };
+    for (size_t h = 0; h < helpers; ++h) {
+      exec->Schedule([state, drain] { drain(state); });
+    }
+    drain(state);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock,
+                   [&state] { return state->done == state->num_chunks; });
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  auto drain = [&next, &fn, num_chunks] {
+    for (size_t c = next.fetch_add(1, std::memory_order_relaxed);
+         c < num_chunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(c);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) threads.emplace_back(drain);
+  drain();
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace nmrs

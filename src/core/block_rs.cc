@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/dominance.h"
 
@@ -15,23 +16,25 @@ enum class SearchOrder {
   kRing,     // SRS: offsets ±1, ±2, ... from the candidate's sorted position
 };
 
-// Intra-batch pruning of one loaded batch; appends survivors to *writer.
-// Pruned objects keep acting as pruners (paper Alg. 2 lines 4-7 iterate all
-// loaded Y).
-Status Phase1Batch(const RowBatch& batch, PruneContext& ctx,
-                   SearchOrder order, QueryStats* stats, RowWriter* writer) {
+// Checks candidates [begin, end) of `batch` against all loaded rows and
+// records which are pruned. `ctx` and the counters belong to the caller
+// (one chunk when parallel), so this runs with no shared mutable state
+// beyond the disjoint `pruned` slots — the per-candidate work is identical
+// to the sequential scan, which keeps check counts deterministic.
+void Phase1CheckRange(const RowBatch& batch, PruneContext& ctx,
+                      SearchOrder order, size_t begin, size_t end,
+                      uint64_t* pair_tests, uint64_t* checks,
+                      uint8_t* pruned) {
   const size_t n = batch.size();
-  std::vector<bool> pruned(n, false);
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = begin; i < end; ++i) {
     ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
     const RowId x_id = batch.id(i);
     bool found = false;
 
     auto try_pruner = [&](size_t j) {
       if (batch.id(j) == x_id) return false;
-      ++stats->pair_tests;
-      return ctx.Prunes(batch.row_values(j), batch.row_numerics(j),
-                        &stats->checks);
+      ++*pair_tests;
+      return ctx.Prunes(batch.row_values(j), batch.row_numerics(j), checks);
     };
 
     if (order == SearchOrder::kForward) {
@@ -46,7 +49,49 @@ Status Phase1Batch(const RowBatch& batch, PruneContext& ctx,
         if (!found && i + off < n) found = try_pruner(i + off);
       }
     }
-    pruned[i] = found;
+    pruned[i] = found ? 1 : 0;
+  }
+}
+
+// Intra-batch pruning of one loaded batch; appends survivors to *writer.
+// Pruned objects keep acting as pruners (paper Alg. 2 lines 4-7 iterate all
+// loaded Y). With opts.num_threads > 1 the candidate checks are chunked
+// across threads (each chunk with its own PruneContext and counters, summed
+// in chunk order); survivors are still written in scan order, so results,
+// check totals, and IO match the sequential run exactly.
+Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
+                   const Schema& schema, const Object& query,
+                   const RSOptions& opts, PruneContext& ctx,
+                   SearchOrder order, QueryStats* stats, RowWriter* writer) {
+  const size_t n = batch.size();
+  std::vector<uint8_t> pruned(n, 0);
+  if (opts.num_threads <= 1 || n < 2) {
+    Phase1CheckRange(batch, ctx, order, 0, n, &stats->pair_tests,
+                     &stats->checks, pruned.data());
+  } else {
+    // More chunks than threads so the work-stealing pool can balance the
+    // uneven per-candidate cost (a candidate pruned early is cheap).
+    const size_t num_chunks =
+        std::min(n, static_cast<size_t>(opts.num_threads) * 4);
+    struct ChunkCounters {
+      uint64_t pair_tests = 0;
+      uint64_t checks = 0;
+    };
+    std::vector<ChunkCounters> counters(num_chunks);
+    ParallelChunks(opts.executor, opts.num_threads, num_chunks,
+                   [&](size_t c) {
+                     PruneContext chunk_ctx(space, schema, query,
+                                            opts.selected_attrs);
+                     Phase1CheckRange(batch, chunk_ctx, order,
+                                      ChunkBegin(n, num_chunks, c),
+                                      ChunkBegin(n, num_chunks, c + 1),
+                                      &counters[c].pair_tests,
+                                      &counters[c].checks, pruned.data());
+                   });
+    for (const ChunkCounters& cc : counters) {
+      stats->pair_tests += cc.pair_tests;
+      stats->checks += cc.checks;
+    }
   }
   for (size_t i = 0; i < n; ++i) {
     if (!pruned[i]) {
@@ -136,7 +181,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
     for (PageId p = start; p < end; ++p) {
       NMRS_RETURN_IF_ERROR(data.ReadPage(p, &batch));
     }
-    NMRS_RETURN_IF_ERROR(Phase1Batch(batch, ctx, order, &stats, &writer));
+    NMRS_RETURN_IF_ERROR(Phase1Batch(batch, space, schema, query, opts, ctx,
+                                     order, &stats, &writer));
     // Results are written out at the end of every batch (paper §4.1) —
     // this is what makes the per-batch random IO visible.
     NMRS_RETURN_IF_ERROR(writer.FlushPartial());

@@ -12,6 +12,8 @@
 
 namespace nmrs {
 
+class TaskExecutor;
+
 /// Options shared by all reverse-skyline algorithms.
 struct RSOptions {
   /// Working memory for batches, in pages. Naive ignores it (it streams).
@@ -28,6 +30,21 @@ struct RSOptions {
   /// TRS ablation switch: push children in ascending-descendant order
   /// (paper Alg. 4 line 8) when true, insertion order when false.
   bool order_children_by_descendants = true;
+
+  /// Intra-query parallelism: threads used for the phase-1 candidate
+  /// checks of BRS/SRS/TRS. The default 1 keeps the exact sequential
+  /// execution of the paper reproduction — results, check counts, and IO
+  /// are bit-identical to the seed implementation. Values > 1 split each
+  /// loaded phase-1 batch into chunks of candidates checked concurrently;
+  /// results, check totals, and IO stay identical to the sequential run
+  /// (candidate checks are independent and survivors are still written in
+  /// scan order), only wall-clock changes. See docs/PARALLELISM.md.
+  int num_threads = 1;
+
+  /// Executor hosting the extra phase-1 threads (borrowed, not owned).
+  /// When null and num_threads > 1, temporary std::threads are spawned.
+  /// The parallel QueryEngine points this at its own pool.
+  TaskExecutor* executor = nullptr;
 };
 
 /// Everything the paper measures, per query.

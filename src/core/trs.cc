@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "altree/al_tree.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/tree_traversal.h"
 
@@ -63,34 +64,88 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
 
       std::vector<NodeId> leaves;
       tree.ForEachActiveLeaf([&](NodeId l) { leaves.push_back(l); });
-      for (NodeId leaf : leaves) {
-        internal_tree::LeafValues(tree, leaf, ctx.attr_order, &c_values);
-        // Remove one instance of c so it cannot prune itself (Alg. 3
-        // line 5, "M \ c"); remaining duplicates still count as pruners.
-        tree.TempRemoveLeaf(leaf);
-        ++stats.pair_tests;
-        bool prunable;
-        if (ctx.fast_path) {
-          for (size_t l = 0; l < m; ++l) {
-            const AttrId a = ctx.attr_order[l];
-            p1_levels[l].col = space.matrix(a).ColumnTo(c_values[a]);
-            p1_levels[l].rhs = ctx.q_row_by_level[l][c_values[a]];
+      const size_t num_leaves = leaves.size();
+      std::vector<uint8_t> prunable(num_leaves, 0);
+
+      // Checks leaves [begin, end) against `t` (which must carry the same
+      // structure as `tree`), with caller-owned scratch and counters. The
+      // per-leaf work only TempRemoves/TempRestores the leaf under test,
+      // so chunks run on private tree copies without interfering.
+      auto check_leaves = [&](ALTree& t, size_t begin, size_t end,
+                              QueryStats* st,
+                              std::vector<ValueId>& c_vals,
+                              std::vector<double>& c_rhs,
+                              std::vector<TraversalEntry>& t_stack,
+                              std::vector<FastEntry>& t_fast_stack,
+                              std::vector<Phase1Level>& levels) {
+        for (size_t li = begin; li < end; ++li) {
+          const NodeId leaf = leaves[li];
+          internal_tree::LeafValues(t, leaf, ctx.attr_order, &c_vals);
+          // Remove one instance of c so it cannot prune itself (Alg. 3
+          // line 5, "M \ c"); remaining duplicates still count as pruners.
+          t.TempRemoveLeaf(leaf);
+          ++st->pair_tests;
+          bool p;
+          if (ctx.fast_path) {
+            for (size_t l = 0; l < m; ++l) {
+              const AttrId a = ctx.attr_order[l];
+              levels[l].col = space.matrix(a).ColumnTo(c_vals[a]);
+              levels[l].rhs = ctx.q_row_by_level[l][c_vals[a]];
+            }
+            p = internal_tree::IsPrunableFast(t, levels, st, t_fast_stack);
+          } else {
+            internal_tree::ComputeRhs(ctx, c_vals, &c_rhs);
+            p = internal_tree::IsPrunable(t, ctx, c_vals, c_rhs, st,
+                                          t_stack);
           }
-          prunable = internal_tree::IsPrunableFast(tree, p1_levels, &stats,
-                                                   fast_stack);
-        } else {
-          internal_tree::ComputeRhs(ctx, c_values, &rhs);
-          prunable = internal_tree::IsPrunable(tree, ctx, c_values, rhs,
-                                               &stats, stack);
+          t.TempRestore(leaf);
+          prunable[li] = p ? 1 : 0;
         }
-        tree.TempRestore(leaf);
-        if (!prunable) {
-          const auto& rows = tree.LeafRows(leaf);
-          for (size_t i = 0; i < rows.size(); ++i) {
-            NMRS_RETURN_IF_ERROR(writer.Add(
-                rows[i], c_values.data(),
-                numerics ? tree.LeafNumerics(leaf, i) : nullptr));
-          }
+      };
+
+      if (opts.num_threads <= 1 || num_leaves < 2) {
+        check_leaves(tree, 0, num_leaves, &stats, c_values, rhs, stack,
+                     fast_stack, p1_levels);
+      } else {
+        // Each chunk checks its leaves against a private copy of the tree
+        // (TempRemove mutates descendant counts along the leaf's path).
+        // Per-leaf checks are independent, so totals summed in chunk order
+        // equal the sequential counts exactly.
+        const size_t num_chunks = std::min(
+            num_leaves, static_cast<size_t>(opts.num_threads) * 2);
+        std::vector<QueryStats> chunk_stats(num_chunks);
+        ParallelChunks(
+            opts.executor, opts.num_threads, num_chunks, [&](size_t c) {
+              ALTree chunk_tree = tree;
+              std::vector<ValueId> cv(m, 0);
+              std::vector<double> cr(m, 0.0);
+              std::vector<TraversalEntry> cs;
+              cs.reserve(256);
+              std::vector<FastEntry> cf;
+              cf.reserve(256);
+              std::vector<Phase1Level> cl(m);
+              check_leaves(chunk_tree, ChunkBegin(num_leaves, num_chunks, c),
+                           ChunkBegin(num_leaves, num_chunks, c + 1),
+                           &chunk_stats[c], cv, cr, cs, cf, cl);
+            });
+        for (const QueryStats& cs : chunk_stats) {
+          stats.pair_tests += cs.pair_tests;
+          stats.checks += cs.checks;
+        }
+      }
+
+      // Survivors are spilled in leaf (scan) order regardless of how the
+      // checks were executed, keeping the scratch file and its IO
+      // byte-identical to the sequential run.
+      for (size_t li = 0; li < num_leaves; ++li) {
+        if (prunable[li]) continue;
+        const NodeId leaf = leaves[li];
+        internal_tree::LeafValues(tree, leaf, ctx.attr_order, &c_values);
+        const auto& rows = tree.LeafRows(leaf);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          NMRS_RETURN_IF_ERROR(writer.Add(
+              rows[i], c_values.data(),
+              numerics ? tree.LeafNumerics(leaf, i) : nullptr));
         }
       }
       // Survivors are written out at the end of every batch (paper §4.1).

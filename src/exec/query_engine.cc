@@ -1,0 +1,95 @@
+#include "exec/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "common/timer.h"
+
+namespace nmrs {
+
+double BatchResult::ModeledMakespanMillis() const {
+  double makespan = 0;
+  for (double w : worker_modeled_millis) makespan = std::max(makespan, w);
+  return makespan;
+}
+
+double BatchResult::ModeledQps() const {
+  const double makespan = ModeledMakespanMillis();
+  if (makespan <= 0) return 0;
+  return static_cast<double>(results.size()) / (makespan / 1000.0);
+}
+
+QueryEngine::QueryEngine(const PreparedDataset& prepared,
+                         const SimilaritySpace& space, Algorithm algo,
+                         QueryEngineOptions opts)
+    : prepared_(&prepared),
+      space_(&space),
+      algo_(algo),
+      opts_(opts),
+      pool_(opts.num_workers > 0 ? opts.num_workers
+                                 : std::max(1u,
+                                            std::thread::hardware_concurrency())) {
+  views_.reserve(pool_.num_threads());
+  for (size_t w = 0; w < pool_.num_threads(); ++w) {
+    views_.push_back(std::make_unique<DiskView>(prepared_->stored.disk()));
+  }
+}
+
+StatusOr<BatchResult> QueryEngine::RunBatch(
+    const std::vector<Object>& queries) {
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  batch.worker_modeled_millis.assign(pool_.num_threads(), 0.0);
+
+  Timer timer;
+  ConcurrentIoStats total_io;
+  std::mutex err_mu;
+  Status first_error;
+  WaitGroup wg;
+  wg.Add(static_cast<int>(queries.size()));
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool_.Submit([this, &queries, &batch, &total_io, &err_mu, &first_error,
+                  &wg, i] {
+      const int w = pool_.CurrentWorkerIndex();
+      NMRS_CHECK_GE(w, 0);
+      DiskView* view = views_[static_cast<size_t>(w)].get();
+
+      // Re-wrap the prepared dataset over this worker's view: the file id
+      // and layout are the base disk's, the IO accounting is the view's.
+      PreparedDataset local{
+          StoredDataset(view, prepared_->stored.file(),
+                        prepared_->stored.schema(),
+                        prepared_->stored.num_rows()),
+          prepared_->attr_order, prepared_->prepare_millis};
+
+      RSOptions rs = opts_.rs;
+      if (rs.num_threads > 1 && rs.executor == nullptr) rs.executor = &pool_;
+
+      auto result =
+          RunReverseSkyline(local, *space_, queries[i], algo_, rs);
+      if (result.ok()) {
+        total_io.Add(result->stats.io);
+        // Only this worker's thread touches its slot.
+        batch.worker_modeled_millis[static_cast<size_t>(w)] +=
+            result->stats.ResponseMillis();
+        batch.results[i] = std::move(*result);
+      } else {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) first_error = result.status();
+      }
+      wg.Done();
+    });
+  }
+  wg.Wait();
+
+  if (!first_error.ok()) return first_error;
+  batch.total_io = total_io.Snapshot();
+  batch.wall_millis = timer.ElapsedMillis();
+  return batch;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,89 @@
+#ifndef NMRS_EXEC_QUERY_ENGINE_H_
+#define NMRS_EXEC_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/pipeline.h"
+#include "core/query.h"
+#include "data/object.h"
+#include "exec/thread_pool.h"
+#include "sim/similarity_space.h"
+#include "storage/disk_view.h"
+#include "storage/io_stats.h"
+
+namespace nmrs {
+
+struct QueryEngineOptions {
+  /// Worker threads (0 = std::thread::hardware_concurrency()).
+  size_t num_workers = 0;
+
+  /// Per-query options template. Setting rs.num_threads > 1 additionally
+  /// parallelizes each query's phase-1 candidate checks on the same pool
+  /// (rs.executor is filled in by the engine when left null).
+  RSOptions rs;
+};
+
+/// Outcome of one RunBatch call.
+struct BatchResult {
+  /// results[i] answers queries[i]; per-query stats are identical to what a
+  /// sequential RunReverseSkyline of that query would report.
+  std::vector<ReverseSkylineResult> results;
+
+  /// Aggregate page IO over all queries (atomic accumulation across
+  /// workers; equals the sum of results[i].stats.io, so it is independent
+  /// of worker count and scheduling).
+  IoStats total_io;
+
+  /// Host wall-clock time of the batch.
+  double wall_millis = 0;
+
+  /// Per-worker modeled busy time: the sum of QueryStats::ResponseMillis
+  /// (compute + modeled disk latency) over the queries that worker ran.
+  /// Each worker owns a private DiskView — its own spindle — so workers
+  /// overlap; the batch's modeled makespan is the busiest worker.
+  std::vector<double> worker_modeled_millis;
+
+  double ModeledMakespanMillis() const;
+
+  /// Queries per modeled second: results.size() / makespan.
+  double ModeledQps() const;
+};
+
+/// Shared-nothing parallel executor for reverse-skyline query batches: one
+/// immutable PreparedDataset, N pool workers, each worker reading the
+/// dataset through a private DiskView (per-query IO accounting therefore
+/// matches a sequential run exactly) and spilling phase-1 survivors to
+/// view-local scratch files. Queries of a batch fan out across the pool's
+/// work-stealing deques; results land at their query's index.
+///
+/// The base disk must stay structurally frozen (no file creation/writes)
+/// for the engine's lifetime; the SimilaritySpace and PreparedDataset are
+/// borrowed and must outlive it.
+class QueryEngine {
+ public:
+  QueryEngine(const PreparedDataset& prepared, const SimilaritySpace& space,
+              Algorithm algo, QueryEngineOptions opts = {});
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  Algorithm algorithm() const { return algo_; }
+
+  /// Runs every query, blocking until the batch completes. Returns the
+  /// first per-query error if any query fails (remaining queries still
+  /// run to completion).
+  StatusOr<BatchResult> RunBatch(const std::vector<Object>& queries);
+
+ private:
+  const PreparedDataset* prepared_;
+  const SimilaritySpace* space_;
+  Algorithm algo_;
+  QueryEngineOptions opts_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<DiskView>> views_;  // one per worker
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_EXEC_QUERY_ENGINE_H_

@@ -1,0 +1,107 @@
+#include "exec/thread_pool.h"
+
+#include "common/check.h"
+
+namespace nmrs {
+
+namespace {
+// Identity of the worker running the current thread, if any. Keyed by pool
+// pointer so nested pools (or a pool used from another pool's worker) do
+// not confuse each other.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    // Empty critical section: pairs with the wait in WorkerLoop so no
+    // worker can check the predicate and park after stop_ is set but
+    // before the notify below.
+    std::lock_guard<std::mutex> lock(park_mu_);
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::CurrentWorkerIndex() const {
+  return tls_pool == this ? tls_worker_index : -1;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  NMRS_CHECK(task != nullptr);
+  const size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Empty critical section: a worker that evaluated the park predicate
+    // before the pending_ increment above holds park_mu_ until it is
+    // actually asleep, so acquiring the mutex here guarantees the notify
+    // below cannot fall into its predicate-to-sleep window.
+    std::lock_guard<std::mutex> lock(park_mu_);
+  }
+  park_cv_.notify_one();
+}
+
+bool ThreadPool::TryPopOwn(size_t index, std::function<void()>* task) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  *task = std::move(w.tasks.front());
+  w.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::TrySteal(size_t thief, std::function<void()>* task) {
+  const size_t n = workers_.size();
+  for (size_t off = 1; off < n; ++off) {
+    Worker& victim = *workers_[(thief + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.back());
+    victim.tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = static_cast<int>(index);
+  std::function<void()> task;
+  for (;;) {
+    if (TryPopOwn(index, &task) || TrySteal(index, &task)) {
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    park_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace nmrs

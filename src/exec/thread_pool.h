@@ -1,0 +1,79 @@
+#ifndef NMRS_EXEC_THREAD_POOL_H_
+#define NMRS_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace nmrs {
+
+/// Fixed-size work-stealing thread pool (the NMSLIB-style executor the
+/// parallel query engine runs on): every worker owns a deque, Submit
+/// round-robins tasks across the deques, idle workers first drain their own
+/// deque front-to-back and then steal from the back of a victim's deque;
+/// workers with nothing to run park on a condition variable until the next
+/// Submit (or shutdown) wakes them.
+///
+/// Tasks must not throw. Tasks may Submit further tasks (the intra-query
+/// phase-1 chunks do); a task blocking on work it has submitted must keep
+/// making progress itself, as ParallelChunks does, because all workers may
+/// be occupied. The destructor runs every task already submitted, then
+/// joins; submitting concurrently with destruction is a bug.
+class ThreadPool : public TaskExecutor {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// TaskExecutor hook (same as Submit) — lets core/ algorithms borrow pool
+  /// threads through the common/sync.h interface.
+  void Schedule(std::function<void()> fn) override { Submit(std::move(fn)); }
+
+  /// Index in [0, num_threads) of the pool worker the calling thread is, or
+  /// -1 when called from a thread this pool does not own. Used to key
+  /// per-worker state (the query engine's per-worker DiskViews).
+  int CurrentWorkerIndex() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryPopOwn(size_t index, std::function<void()>* task);
+  bool TrySteal(size_t thief, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Parking lot: workers wait here when every deque is empty. `pending_` is
+  // incremented before a task becomes visible in a deque and decremented by
+  // the worker that dequeued it, so the wait predicate never misses work.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<uint64_t> next_queue_{0};  // round-robin Submit target
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_EXEC_THREAD_POOL_H_

@@ -2,9 +2,14 @@
 
 #include <cstring>
 
+#include "common/check.h"
+
 namespace nmrs {
 
-SimulatedDisk::SimulatedDisk(size_t page_size) : page_size_(page_size) {
+SimulatedDisk::SimulatedDisk(size_t page_size) : SimulatedDisk(page_size, 0) {}
+
+SimulatedDisk::SimulatedDisk(size_t page_size, FileId first_file_id)
+    : page_size_(page_size), next_file_id_(first_file_id) {
   NMRS_CHECK_GT(page_size_, 0u);
 }
 
@@ -18,6 +23,7 @@ Status SimulatedDisk::DeleteFile(FileId file) {
   if (files_.erase(file) == 0) {
     return Status::NotFound("no such file id " + std::to_string(file));
   }
+  std::lock_guard<std::mutex> lock(arm_mu_);
   if (has_position_ && last_file_ == file) has_position_ = false;
   return Status::OK();
 }
@@ -28,6 +34,7 @@ Status SimulatedDisk::TruncateFile(FileId file) {
     return Status::NotFound("no such file id " + std::to_string(file));
   }
   it->second.pages.clear();
+  std::lock_guard<std::mutex> lock(arm_mu_);
   if (has_position_ && last_file_ == file) has_position_ = false;
   return Status::OK();
 }
@@ -41,14 +48,38 @@ bool SimulatedDisk::FileExists(FileId file) const {
   return files_.count(file) > 0;
 }
 
-bool SimulatedDisk::IsSequential(FileId file, PageId page) const {
+bool SimulatedDisk::IsSequentialLocked(FileId file, PageId page) const {
   return has_position_ && last_file_ == file && page == last_page_ + 1;
 }
 
-void SimulatedDisk::Touch(FileId file, PageId page) {
+void SimulatedDisk::ChargeRead(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(arm_mu_);
+  if (IsSequentialLocked(file, page)) {
+    ++stats_.seq_reads;
+  } else {
+    ++stats_.rand_reads;
+  }
   has_position_ = true;
   last_file_ = file;
   last_page_ = page;
+}
+
+void SimulatedDisk::ChargeWrite(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(arm_mu_);
+  if (IsSequentialLocked(file, page)) {
+    ++stats_.seq_writes;
+  } else {
+    ++stats_.rand_writes;
+  }
+  has_position_ = true;
+  last_file_ = file;
+  last_page_ = page;
+}
+
+const Page* SimulatedDisk::PeekPage(FileId file, PageId page) const {
+  auto it = files_.find(file);
+  if (it == files_.end() || page >= it->second.pages.size()) return nullptr;
+  return &it->second.pages[page];
 }
 
 Status SimulatedDisk::ReadPage(FileId file, PageId page, Page* out) {
@@ -62,12 +93,7 @@ Status SimulatedDisk::ReadPage(FileId file, PageId page, Page* out) {
                               "': page " + std::to_string(page) + " of " +
                               std::to_string(it->second.pages.size()));
   }
-  if (IsSequential(file, page)) {
-    ++stats_.seq_reads;
-  } else {
-    ++stats_.rand_reads;
-  }
-  Touch(file, page);
+  ChargeRead(file, page);
   *out = it->second.pages[page];
   return Status::OK();
 }
@@ -87,12 +113,7 @@ Status SimulatedDisk::WritePage(FileId file, PageId page, const Page& in) {
     return Status::OutOfRange("write creates hole in file '" +
                               it->second.name + "'");
   }
-  if (IsSequential(file, page)) {
-    ++stats_.seq_writes;
-  } else {
-    ++stats_.rand_writes;
-  }
-  Touch(file, page);
+  ChargeWrite(file, page);
   if (page == pages.size()) {
     pages.push_back(in);
   } else {
@@ -102,18 +123,23 @@ Status SimulatedDisk::WritePage(FileId file, PageId page, const Page& in) {
 }
 
 StatusOr<PageId> SimulatedDisk::AppendPage(FileId file, const Page& in) {
-  auto it = files_.find(file);
-  if (it == files_.end()) {
+  PageId id = NumPages(file);
+  if (!FileExists(file)) {
     return Status::NotFound("no such file id " + std::to_string(file));
   }
-  PageId id = it->second.pages.size();
   NMRS_RETURN_IF_ERROR(WritePage(file, id, in));
   return id;
 }
 
-void SimulatedDisk::ResetStats() { stats_ = IoStats{}; }
+void SimulatedDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(arm_mu_);
+  stats_ = IoStats{};
+}
 
-void SimulatedDisk::InvalidateArmPosition() { has_position_ = false; }
+void SimulatedDisk::InvalidateArmPosition() {
+  std::lock_guard<std::mutex> lock(arm_mu_);
+  has_position_ = false;
+}
 
 uint64_t SimulatedDisk::TotalPages() const {
   uint64_t total = 0;

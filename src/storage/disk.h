@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,11 +44,28 @@ class Page {
 /// model of the paper without needing a real disk: algorithms are charged
 /// page IOs, and IoCostModel converts counts to modeled time.
 ///
-/// Thread-compatible (external synchronization required); the reproduction
-/// pipeline is single-threaded per query, matching the paper.
+/// ## Concurrency contract
+///
+/// The page-read path is safe for concurrent readers: any number of threads
+/// may call ReadPage / PeekPage / NumPages / FileExists / TotalPages
+/// simultaneously. The mutable state touched by reads — the IoStats
+/// counters and the disk-arm position used for sequential/random
+/// classification — is guarded by an internal mutex, so concurrent reads
+/// never corrupt the accounting (their seq/rand split depends on the
+/// interleaving, as it would on real hardware; per-thread determinism needs
+/// a per-thread DiskView, see disk_view.h).
+///
+/// Everything that mutates file *structure* — CreateFile, DeleteFile,
+/// TruncateFile, WritePage, AppendPage, ResetStats — requires external
+/// serialization: no other call (reads included) may run concurrently with
+/// it. The parallel query engine obeys this by freezing the base disk after
+/// PrepareDataset and giving each worker a private DiskView for scratch
+/// writes; stats() may be read while concurrent reads are in flight but is
+/// only exact once the readers are quiescent.
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(size_t page_size = kDefaultPageSize);
+  virtual ~SimulatedDisk() = default;
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
@@ -55,30 +73,35 @@ class SimulatedDisk {
   size_t page_size() const { return page_size_; }
 
   /// Creates an empty file and returns its id.
-  FileId CreateFile(std::string name);
+  virtual FileId CreateFile(std::string name);
 
   /// Deletes a file and frees its pages. Invalidates the id.
-  Status DeleteFile(FileId file);
+  virtual Status DeleteFile(FileId file);
 
   /// Removes all pages of `file` but keeps the id valid (used to recycle
   /// scratch files between queries).
-  Status TruncateFile(FileId file);
+  virtual Status TruncateFile(FileId file);
 
   /// Number of pages currently in `file` (0 for unknown ids).
-  uint64_t NumPages(FileId file) const;
+  virtual uint64_t NumPages(FileId file) const;
 
-  bool FileExists(FileId file) const;
+  virtual bool FileExists(FileId file) const;
 
   /// Reads page `page` of `file` into `out` (resized/overwritten).
   /// Charges one sequential or random read.
-  Status ReadPage(FileId file, PageId page, Page* out);
+  virtual Status ReadPage(FileId file, PageId page, Page* out);
 
   /// Writes `in` as page `page` of `file`. `page` may be at most one past the
   /// current end (append). Charges one sequential or random write.
-  Status WritePage(FileId file, PageId page, const Page& in);
+  virtual Status WritePage(FileId file, PageId page, const Page& in);
 
   /// Appends `in` to `file`, returns its page id.
   StatusOr<PageId> AppendPage(FileId file, const Page& in);
+
+  /// Const access to page bytes *without* IO accounting — the hook DiskView
+  /// uses to serve reads of a shared base disk while charging its own
+  /// per-view stats. Returns null for unknown files / out-of-range pages.
+  const Page* PeekPage(FileId file, PageId page) const;
 
   /// Cumulative IO since construction (or last ResetStats).
   const IoStats& stats() const { return stats_; }
@@ -89,7 +112,22 @@ class SimulatedDisk {
   void InvalidateArmPosition();
 
   /// Total pages across all files (dataset size measurement).
-  uint64_t TotalPages() const;
+  virtual uint64_t TotalPages() const;
+
+  /// First file id that CreateFile has not yet handed out; ids below this
+  /// bound identify this disk's existing (or deleted) files.
+  FileId next_file_id() const { return next_file_id_; }
+
+ protected:
+  /// Seeds CreateFile ids at `first_file_id` — DiskView starts its local
+  /// scratch ids past the base disk's range so base ids stay addressable
+  /// through the view.
+  SimulatedDisk(size_t page_size, FileId first_file_id);
+
+  /// Classifies an access to (file, page) against the current arm position,
+  /// charges it to the stats, and advances the arm. Thread-safe.
+  void ChargeRead(FileId file, PageId page);
+  void ChargeWrite(FileId file, PageId page);
 
  private:
   struct File {
@@ -98,12 +136,16 @@ class SimulatedDisk {
   };
 
   // True if accessing (file, page) continues the previous access.
-  bool IsSequential(FileId file, PageId page) const;
-  void Touch(FileId file, PageId page);
+  // Caller must hold arm_mu_.
+  bool IsSequentialLocked(FileId file, PageId page) const;
 
   size_t page_size_;
   std::unordered_map<FileId, File> files_;
   FileId next_file_id_ = 0;
+
+  // Guards stats_ and the disk-arm position: the only state mutated by the
+  // read path (see the concurrency contract above).
+  mutable std::mutex arm_mu_;
   IoStats stats_;
 
   // Disk-arm position: last (file, page) touched.

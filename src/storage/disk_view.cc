@@ -1,0 +1,67 @@
+#include "storage/disk_view.h"
+
+#include "common/check.h"
+
+namespace nmrs {
+
+DiskView::DiskView(const SimulatedDisk* base)
+    : SimulatedDisk(base->page_size(), base->next_file_id()),
+      base_(base),
+      base_limit_(base->next_file_id()) {
+  NMRS_CHECK(base != nullptr);
+}
+
+Status DiskView::ReadOnlyError(FileId file) const {
+  return Status::FailedPrecondition(
+      "file id " + std::to_string(file) +
+      " belongs to the base disk and is read-only through this view");
+}
+
+Status DiskView::ReadPage(FileId file, PageId page, Page* out) {
+  NMRS_CHECK(out != nullptr);
+  if (!IsBaseFile(file)) return SimulatedDisk::ReadPage(file, page, out);
+  const Page* p = base_->PeekPage(file, page);
+  if (p == nullptr) {
+    if (!base_->FileExists(file)) {
+      return Status::NotFound("no such file id " + std::to_string(file));
+    }
+    return Status::OutOfRange("read past end of base file " +
+                              std::to_string(file) + ": page " +
+                              std::to_string(page) + " of " +
+                              std::to_string(base_->NumPages(file)));
+  }
+  ChargeRead(file, page);
+  *out = *p;
+  return Status::OK();
+}
+
+Status DiskView::WritePage(FileId file, PageId page, const Page& in) {
+  if (IsBaseFile(file)) return ReadOnlyError(file);
+  return SimulatedDisk::WritePage(file, page, in);
+}
+
+Status DiskView::DeleteFile(FileId file) {
+  if (IsBaseFile(file)) return ReadOnlyError(file);
+  return SimulatedDisk::DeleteFile(file);
+}
+
+Status DiskView::TruncateFile(FileId file) {
+  if (IsBaseFile(file)) return ReadOnlyError(file);
+  return SimulatedDisk::TruncateFile(file);
+}
+
+uint64_t DiskView::NumPages(FileId file) const {
+  if (IsBaseFile(file)) return base_->NumPages(file);
+  return SimulatedDisk::NumPages(file);
+}
+
+bool DiskView::FileExists(FileId file) const {
+  if (IsBaseFile(file)) return base_->FileExists(file);
+  return SimulatedDisk::FileExists(file);
+}
+
+uint64_t DiskView::TotalPages() const {
+  return base_->TotalPages() + SimulatedDisk::TotalPages();
+}
+
+}  // namespace nmrs

@@ -1,0 +1,59 @@
+#ifndef NMRS_STORAGE_DISK_VIEW_H_
+#define NMRS_STORAGE_DISK_VIEW_H_
+
+#include <string>
+
+#include "storage/disk.h"
+
+namespace nmrs {
+
+/// A per-worker view of a shared base SimulatedDisk: reads of the base
+/// disk's files are served from the base's pages (zero-copy storage) but
+/// charged to *this view's* IoStats and disk-arm position, and scratch
+/// files created through the view live in view-private storage. Each view
+/// therefore models one worker owning its own spindle over a shared
+/// immutable dataset — per-query IO accounting stays exactly what a
+/// single-threaded run would charge, independent of what other workers do.
+///
+/// Base files keep their ids: a StoredDataset prepared against the base
+/// disk can be re-wrapped over a view unchanged. View-local scratch ids
+/// start past the base's id range, so the two never collide.
+///
+/// ## Concurrency contract
+///
+/// Any number of DiskViews may read the same base concurrently, because a
+/// view never mutates the base (not even its stats). The base must be
+/// structurally frozen while views exist: no CreateFile / WritePage /
+/// DeleteFile / TruncateFile on it. A single view is NOT itself
+/// thread-safe for writes — it is meant to be owned by one worker thread.
+///
+/// Write operations addressed at base files fail with FailedPrecondition.
+class DiskView final : public SimulatedDisk {
+ public:
+  /// `base` is borrowed and must outlive the view.
+  explicit DiskView(const SimulatedDisk* base);
+
+  /// The shared disk this view reads through.
+  const SimulatedDisk* base() const { return base_; }
+
+  Status ReadPage(FileId file, PageId page, Page* out) override;
+  Status WritePage(FileId file, PageId page, const Page& in) override;
+  Status DeleteFile(FileId file) override;
+  Status TruncateFile(FileId file) override;
+  uint64_t NumPages(FileId file) const override;
+  bool FileExists(FileId file) const override;
+
+  /// Base pages plus view-local scratch pages.
+  uint64_t TotalPages() const override;
+
+ private:
+  bool IsBaseFile(FileId file) const { return file < base_limit_; }
+  Status ReadOnlyError(FileId file) const;
+
+  const SimulatedDisk* base_;
+  FileId base_limit_;  // ids below this belong to the base disk
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_DISK_VIEW_H_

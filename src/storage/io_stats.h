@@ -1,8 +1,11 @@
 #ifndef NMRS_STORAGE_IO_STATS_H_
 #define NMRS_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "common/check.h"
 
 namespace nmrs {
 
@@ -29,7 +32,15 @@ struct IoStats {
     return *this;
   }
 
+  /// Difference of two cumulative counters ("IO since snapshot `o`"). Every
+  /// counter of `o` must be <= the corresponding counter of *this; mixing
+  /// snapshots of different disks (or of one disk across a ResetStats)
+  /// silently wraps around, so debug builds abort instead.
   IoStats operator-(const IoStats& o) const {
+    NMRS_DCHECK(o.seq_reads <= seq_reads) << "seq_reads underflow";
+    NMRS_DCHECK(o.rand_reads <= rand_reads) << "rand_reads underflow";
+    NMRS_DCHECK(o.seq_writes <= seq_writes) << "seq_writes underflow";
+    NMRS_DCHECK(o.rand_writes <= rand_writes) << "rand_writes underflow";
     IoStats r = *this;
     r.seq_reads -= o.seq_reads;
     r.rand_reads -= o.rand_reads;
@@ -41,6 +52,35 @@ struct IoStats {
   bool operator==(const IoStats& o) const = default;
 
   std::string ToString() const;
+};
+
+/// Thread-safe IoStats accumulator: many threads Add() their per-query
+/// deltas concurrently (relaxed atomics — only the totals matter, not any
+/// ordering between contributions); Snapshot() is exact once the writers
+/// have been joined, and a monotonic lower bound while they still run.
+class ConcurrentIoStats {
+ public:
+  void Add(const IoStats& s) {
+    seq_reads_.fetch_add(s.seq_reads, std::memory_order_relaxed);
+    rand_reads_.fetch_add(s.rand_reads, std::memory_order_relaxed);
+    seq_writes_.fetch_add(s.seq_writes, std::memory_order_relaxed);
+    rand_writes_.fetch_add(s.rand_writes, std::memory_order_relaxed);
+  }
+
+  IoStats Snapshot() const {
+    IoStats s;
+    s.seq_reads = seq_reads_.load(std::memory_order_relaxed);
+    s.rand_reads = rand_reads_.load(std::memory_order_relaxed);
+    s.seq_writes = seq_writes_.load(std::memory_order_relaxed);
+    s.rand_writes = rand_writes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> seq_reads_{0};
+  std::atomic<uint64_t> rand_reads_{0};
+  std::atomic<uint64_t> seq_writes_{0};
+  std::atomic<uint64_t> rand_writes_{0};
 };
 
 /// Converts page-IO counts into modeled milliseconds. Defaults approximate a

@@ -1,0 +1,171 @@
+// Concurrency stress for the parallel query engine, meant to run under
+// ThreadSanitizer (cmake -DNMRS_TSAN=ON, see ci.sh) as well as in plain
+// builds. Deliberately gtest-free: the TSan build then only contains
+// instrumented nmrs code, avoiding false positives from uninstrumented
+// prebuilt test libraries. Exits 0 on success, aborts on any violation.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "data/generators.h"
+#include "exec/query_engine.h"
+#include "exec/thread_pool.h"
+#include "sim/dissimilarity_matrix.h"
+#include "storage/disk_view.h"
+
+namespace nmrs {
+namespace {
+
+// Hammer the work-stealing pool, including tasks that submit nested tasks
+// (the shape ParallelChunks produces from inside a pool worker).
+void StressThreadPool() {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  WaitGroup wg;
+  constexpr int kOuter = 200;
+  constexpr int kInner = 10;
+  wg.Add(kOuter * (1 + kInner));
+  for (int i = 0; i < kOuter; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      for (int j = 0; j < kInner; ++j) {
+        pool.Submit([&] {
+          count.fetch_add(1);
+          wg.Done();
+        });
+      }
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  NMRS_CHECK_EQ(count.load(), kOuter * (1 + kInner));
+  std::printf("pool stress: %d tasks ok\n", count.load());
+}
+
+// Concurrent ReadPage on one shared SimulatedDisk: the accounting mutex
+// must keep counters exact (the seq/rand split depends on interleaving,
+// the total must not).
+void StressSharedDiskReaders() {
+  SimulatedDisk disk;
+  const FileId f = disk.CreateFile("shared");
+  Page page(disk.page_size());
+  constexpr uint64_t kPages = 8;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    NMRS_CHECK(disk.AppendPage(f, page).ok());
+  }
+  disk.ResetStats();
+
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&disk, f, t] {
+      Page out(0);
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        NMRS_CHECK(
+            disk.ReadPage(f, static_cast<PageId>((t + i) % kPages), &out)
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  NMRS_CHECK_EQ(disk.stats().TotalReads(),
+                static_cast<uint64_t>(kThreads) * kReadsPerThread);
+  std::printf("shared-disk readers: %llu reads ok\n",
+              static_cast<unsigned long long>(disk.stats().TotalReads()));
+}
+
+// Concurrent DiskViews over one frozen base: reads plus view-local scratch
+// writes, with per-view accounting staying exact.
+void StressDiskViews() {
+  SimulatedDisk base;
+  const FileId f = base.CreateFile("base");
+  Page page(base.page_size());
+  constexpr uint64_t kPages = 16;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    NMRS_CHECK(base.AppendPage(f, page).ok());
+  }
+  base.ResetStats();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&base, f] {
+      DiskView view(&base);
+      Page out(0);
+      const FileId scratch = view.CreateFile("scratch");
+      for (int round = 0; round < 50; ++round) {
+        for (uint64_t p = 0; p < kPages; ++p) {
+          NMRS_CHECK(view.ReadPage(f, p, &out).ok());
+        }
+        NMRS_CHECK(view.AppendPage(scratch, out).ok());
+      }
+      NMRS_CHECK_EQ(view.stats().TotalReads(), 50u * kPages);
+      NMRS_CHECK_EQ(view.stats().TotalWrites(), 50u);
+    });
+  }
+  for (auto& t : threads) t.join();
+  NMRS_CHECK_EQ(base.stats().Total(), 0u);  // views never touch base stats
+  std::printf("disk views: %d concurrent views ok\n", kThreads);
+}
+
+// Full engine: batch fan-out plus intra-query chunks on the same pool,
+// checked for worker-count independence.
+void StressQueryEngine() {
+  Rng rng(1234);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(4000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kTRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  BatchResult reference;
+  bool have_reference = false;
+  for (size_t workers : {1u, 8u}) {
+    QueryEngineOptions opts;
+    opts.num_workers = workers;
+    opts.rs.memory = MemoryBudget{2};
+    opts.rs.num_threads = workers > 1 ? 2 : 1;
+    QueryEngine engine(*prepared, space, Algorithm::kTRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    if (!have_reference) {
+      reference = std::move(*batch);
+      have_reference = true;
+      continue;
+    }
+    NMRS_CHECK(batch->total_io == reference.total_io);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NMRS_CHECK(batch->results[i].rows == reference.results[i].rows);
+      NMRS_CHECK(batch->results[i].stats.io == reference.results[i].stats.io);
+    }
+  }
+  std::printf("query engine: %zu queries identical across worker counts\n",
+              queries.size());
+}
+
+}  // namespace
+}  // namespace nmrs
+
+int main() {
+  nmrs::StressThreadPool();
+  nmrs::StressSharedDiskReaders();
+  nmrs::StressDiskViews();
+  nmrs::StressQueryEngine();
+  std::printf("exec stress: all ok\n");
+  return 0;
+}

@@ -23,6 +23,14 @@
 //            [--seed=S]
 //       Samples K query objects, ranks them by |RS(Q)| and prints the
 //       concentration diagnostics (top-3 share, Gini).
+//
+//   nmrs_cli batch --data=data.csv --matrices=prefix --queries=K
+//            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
+//            [--seed=S]
+//       Samples K query objects and runs them as one batch on the parallel
+//       query engine (W pool workers, each query optionally using T
+//       intra-query threads), printing per-query results and the modeled
+//       batch throughput.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -320,10 +328,67 @@ int CmdInfluence(const Flags& flags) {
   return 0;
 }
 
+int CmdBatch(const Flags& flags) {
+  const std::string data_path = FlagOr(flags, "data", "");
+  const std::string prefix = FlagOr(flags, "matrices", "");
+  if (data_path.empty() || prefix.empty()) {
+    return Fail("--data= and --matrices= are required");
+  }
+  auto data = ReadDatasetCsvFile(data_path);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto space = LoadSpace(data->schema(), prefix);
+  if (!space.ok()) return Fail(space.status().ToString());
+  auto algo = ParseAlgorithm(FlagOr(flags, "algo", "trs"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+
+  const int k = std::atoi(FlagOr(flags, "queries", "8").c_str());
+  if (k < 1) return Fail("--queries must be at least 1");
+  Rng rng(std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10));
+  std::vector<Object> queries;
+  for (int i = 0; i < k; ++i) {
+    queries.push_back(SampleUniformQuery(*data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, *data, *algo);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  QueryEngineOptions eopts;
+  eopts.num_workers =
+      std::strtoull(FlagOr(flags, "workers", "4").c_str(), nullptr, 10);
+  eopts.rs.memory = MemoryBudget::FromFraction(
+      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
+      prepared->stored.num_pages());
+  eopts.rs.num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+
+  QueryEngine engine(*prepared, *space, *algo, eopts);
+  auto batch = engine.RunBatch(queries);
+  if (!batch.ok()) return Fail(batch.status().ToString());
+
+  std::printf("batch of %d %s queries on %zu workers:\n", k,
+              std::string(AlgorithmName(*algo)).c_str(),
+              engine.num_workers());
+  for (int i = 0; i < k; ++i) {
+    const QueryStats& s = batch->results[i].stats;
+    std::printf("  Q%-3d %-20s |RS|=%-5zu response=%.2fms\n", i,
+                queries[i].ToString().c_str(), batch->results[i].rows.size(),
+                s.ResponseMillis());
+  }
+  std::printf(
+      "total io: %llu seq + %llu rand pages\n"
+      "wall %.1fms, modeled makespan %.1fms, modeled throughput %.2f q/s\n",
+      static_cast<unsigned long long>(batch->total_io.TotalSequential()),
+      static_cast<unsigned long long>(batch->total_io.TotalRandom()),
+      batch->wall_millis, batch->ModeledMakespanMillis(),
+      batch->ModeledQps());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: nmrs_cli <generate|query|compare|skyline|influence> [--flags]\n"
+                 "usage: nmrs_cli <generate|query|compare|skyline|influence|"
+                 "batch> [--flags]\n"
                  "see the header comment of tools/nmrs_cli.cc\n");
     return 1;
   }
@@ -334,6 +399,7 @@ int Run(int argc, char** argv) {
   if (cmd == "compare") return CmdCompare(flags);
   if (cmd == "skyline") return CmdSkyline(flags);
   if (cmd == "influence") return CmdInfluence(flags);
+  if (cmd == "batch") return CmdBatch(flags);
   return Fail("unknown command '" + cmd + "'");
 }
 
