@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/dominance.h"
+#include "core/query_distance_table.h"
 #include "core/skyline.h"
 #include "ops/topk.h"
 #include "core/pipeline.h"
@@ -48,6 +49,27 @@ void BM_PruneCheck(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PruneCheck);
+
+// Same workload through the per-query memo: identical verdicts, but both
+// sides of every attribute check are flat array loads instead of the
+// SimilaritySpace -> DissimilarityMatrix double indirection.
+void BM_PruneCheckMemoized(benchmark::State& state) {
+  MicroData d(10000);
+  const auto selected = ResolveSelectedAttrs(d.data.schema(), {});
+  QueryDistanceTable table(d.space, d.data.schema(), d.query, selected);
+  PruneContext ctx(d.space, d.data.schema(), d.query, {}, &table);
+  ctx.SetCandidate(d.data.RowValues(0), nullptr);
+  uint64_t checks = 0;
+  RowId y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctx.Prunes(d.data.RowValues(y), nullptr, &checks));
+    y = (y + 1) % d.data.num_rows();
+    if (y == 0) y = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PruneCheckMemoized);
 
 void BM_ALTreeInsert(benchmark::State& state) {
   MicroData d(static_cast<uint64_t>(state.range(0)));

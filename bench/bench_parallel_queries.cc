@@ -92,8 +92,7 @@ void Run(int argc, char** argv) {
     json.Field("modeled_makespan_millis", batch->ModeledMakespanMillis());
     json.Field("queries_per_sec", qps);
     json.Field("speedup_vs_1_thread", speedup);
-    json.Field("total_seq_io", batch->total_io.TotalSequential());
-    json.Field("total_rand_io", batch->total_io.TotalRandom());
+    EmitIoFields(&json, batch->total_io);
   }
   table.Print();
 

@@ -151,6 +151,15 @@ bool JsonWriter::WriteFile(const std::string& path) const {
   return true;
 }
 
+void EmitIoFields(JsonWriter* json, const IoStats& io) {
+  json->Field("total_seq_io", io.TotalSequential());
+  json->Field("total_rand_io", io.TotalRandom());
+  json->Field("cache_hits", io.cache_hits);
+  json->Field("cache_misses", io.cache_misses);
+  json->Field("cache_evictions", io.cache_evictions);
+  json->Field("cache_hit_ratio", io.CacheHitRatio());
+}
+
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void Table::AddRow(std::vector<std::string> row) {

@@ -9,6 +9,7 @@
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "sim/similarity_space.h"
+#include "storage/io_stats.h"
 
 namespace nmrs {
 namespace bench {
@@ -76,6 +77,14 @@ class JsonWriter {
   // Each run is a list of (key, pre-encoded JSON value) pairs.
   std::vector<std::vector<std::pair<std::string, std::string>>> runs_;
 };
+
+/// Emits the standard IO field block every IO-reporting bench shares:
+/// total_seq_io / total_rand_io plus the buffer-pool counters
+/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio). The
+/// cache fields are zero when no pool was attached, keeping one JSON schema
+/// across cached and uncached runs. Call between BeginRun() and the next
+/// BeginRun().
+void EmitIoFields(JsonWriter* json, const IoStats& io);
 
 /// Aligned-column table printer for the figure/table reproductions.
 class Table {

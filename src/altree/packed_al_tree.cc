@@ -184,7 +184,16 @@ Status PackedALTree::ReadNode(uint32_t index, NodeView* out) const {
   const PageId page = loc >> 32;
   const size_t offset = loc & 0xffffffffu;
   if (page != cached_page_) {
-    NMRS_RETURN_IF_ERROR(disk_->ReadPage(file_, page, &cache_));
+    if (pool_ != nullptr && pool_->Caches(file_)) {
+      BufferPool::ReadEvent ev;
+      NMRS_RETURN_IF_ERROR(
+          pool_->ReadThrough(disk_, file_, page, &cache_, &ev));
+      cache_stats_.hits += ev.hit ? 1 : 0;
+      cache_stats_.misses += ev.hit ? 0 : 1;
+      cache_stats_.evictions += ev.evicted ? 1 : 0;
+    } else {
+      NMRS_RETURN_IF_ERROR(disk_->ReadPage(file_, page, &cache_));
+    }
     cached_page_ = page;
   }
   const uint8_t* at = cache_.data() + offset;

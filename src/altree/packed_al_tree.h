@@ -6,6 +6,7 @@
 #include "altree/al_tree.h"
 #include "common/statusor.h"
 #include "sim/similarity_space.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk.h"
 
 namespace nmrs {
@@ -77,6 +78,18 @@ class PackedALTree {
   uint64_t num_objects() const { return num_objects_; }
   const std::vector<AttrId>& attr_order() const { return attr_order_; }
 
+  /// Attaches a shared buffer pool: page fills that miss the one-page
+  /// sibling cache are then served through `pool` (hits free, misses
+  /// charged to the disk as usual). The pool must cache this tree's file —
+  /// i.e. it was built over the base disk after Write(). Pass null to
+  /// detach. The tree borrows the pool.
+  void set_buffer_pool(BufferPool* pool) { pool_ = pool; }
+
+  /// Pool traffic of this tree's traversals since construction (zeros when
+  /// no pool attached). The top-down access pattern is root-heavy, so even
+  /// a small pool absorbs most upper-level reads.
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
  private:
   PackedALTree(SimulatedDisk* disk, FileId file, Schema schema,
                std::vector<AttrId> attr_order, std::vector<uint64_t> locator,
@@ -108,6 +121,11 @@ class PackedALTree {
   // apart from the IO counters, which *should* reflect it).
   mutable Page cache_;
   mutable PageId cached_page_ = ~PageId{0};
+
+  // Optional second-level cache shared with other readers (see
+  // set_buffer_pool).
+  BufferPool* pool_ = nullptr;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace nmrs

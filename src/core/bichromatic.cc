@@ -53,6 +53,7 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
   PruneContext ctx(space, schema, query, opts.selected_attrs);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
@@ -64,14 +65,14 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
     const PageId end = std::min<PageId>(start + batch_pages, c_pages);
     RowBatch batch(m, numerics);
     for (PageId p = start; p < end; ++p) {
-      NMRS_RETURN_IF_ERROR(candidates.ReadPage(p, &batch));
+      NMRS_RETURN_IF_ERROR(candidates.ReadPageVia(&reader, p, &batch));
     }
     std::vector<bool> alive(batch.size(), true);
 
     RowBatch page(m, numerics);
     for (PageId pp = 0; pp < competitors.num_pages(); ++pp) {
       page.Clear();
-      NMRS_RETURN_IF_ERROR(competitors.ReadPage(pp, &page));
+      NMRS_RETURN_IF_ERROR(competitors.ReadPageVia(&reader, pp, &page));
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!alive[i]) continue;
         ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
@@ -94,6 +95,7 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
+  reader.AddCacheStatsTo(&stats.io);
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }
@@ -119,6 +121,7 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
 
   TreeQueryContext ctx =
       internal_tree::MakeTreeContext(space, schema, query, opts);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -135,12 +138,12 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
     ++stats.phase1_batches;
     tree.Clear();
     NMRS_RETURN_IF_ERROR(internal_tree::LoadTreeBatch(
-        candidates, budget, &next_page, &tree, &page_rows));
+        candidates, &reader, budget, &next_page, &tree, &page_rows));
 
     RowBatch p_page(m, numerics);
     for (PageId pp = 0; pp < competitors.num_pages(); ++pp) {
       p_page.Clear();
-      NMRS_RETURN_IF_ERROR(competitors.ReadPage(pp, &p_page));
+      NMRS_RETURN_IF_ERROR(competitors.ReadPageVia(&reader, pp, &p_page));
       for (size_t j = 0; j < p_page.size(); ++j) {
         // Competitors are a different set: no id to spare.
         if (ctx.fast_path) {
@@ -168,6 +171,7 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
+  reader.AddCacheStatsTo(&stats.io);
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

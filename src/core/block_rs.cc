@@ -5,6 +5,8 @@
 #include "common/sync.h"
 #include "common/timer.h"
 #include "core/dominance.h"
+#include "core/query_distance_table.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -62,7 +64,8 @@ void Phase1CheckRange(const RowBatch& batch, PruneContext& ctx,
 Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
                    const Schema& schema, const Object& query,
                    const RSOptions& opts, PruneContext& ctx,
-                   SearchOrder order, QueryStats* stats, RowWriter* writer) {
+                   const QueryDistanceTable& qtable, SearchOrder order,
+                   QueryStats* stats, RowWriter* writer) {
   const size_t n = batch.size();
   std::vector<uint8_t> pruned(n, 0);
   if (opts.num_threads <= 1 || n < 2) {
@@ -81,7 +84,7 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
     ParallelChunks(opts.executor, opts.num_threads, num_chunks,
                    [&](size_t c) {
                      PruneContext chunk_ctx(space, schema, query,
-                                            opts.selected_attrs);
+                                            ctx.selected(), &qtable);
                      Phase1CheckRange(batch, chunk_ctx, order,
                                       ChunkBegin(n, num_chunks, c),
                                       ChunkBegin(n, num_chunks, c + 1),
@@ -105,8 +108,8 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
 // Phase 2 (paper Alg. 2 lines 9-19): survivors R are consumed in batches of
 // (memory-1) pages; each batch is refined by one full sequential scan of D.
 Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
-              PruneContext& ctx, uint64_t batch_pages, QueryStats* stats,
-              std::vector<RowId>* out) {
+              PagedReader* reader, PruneContext& ctx, uint64_t batch_pages,
+              QueryStats* stats, std::vector<RowId>* out) {
   const Schema& schema = data.schema();
   const size_t m = schema.num_attributes();
   const bool numerics = schema.NumNumeric() > 0;
@@ -118,14 +121,14 @@ Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
     const PageId r_end = std::min<PageId>(r_start + batch_pages, r_pages);
     RowBatch batch(m, numerics);
     for (PageId p = r_start; p < r_end; ++p) {
-      NMRS_RETURN_IF_ERROR(survivors.ReadPage(p, &batch));
+      NMRS_RETURN_IF_ERROR(survivors.ReadPageVia(reader, p, &batch));
     }
     std::vector<bool> alive(batch.size(), true);
 
     RowBatch page(m, numerics);
     for (PageId dp = 0; dp < d_pages; ++dp) {
       page.Clear();
-      NMRS_RETURN_IF_ERROR(data.ReadPage(dp, &page));
+      NMRS_RETURN_IF_ERROR(data.ReadPageVia(reader, dp, &page));
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!alive[i]) continue;
         ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
@@ -164,7 +167,11 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
-  PruneContext ctx(space, schema, query, opts.selected_attrs);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(schema, opts.selected_attrs);
+  const QueryDistanceTable qtable(space, schema, query, selected);
+  PruneContext ctx(space, schema, query, selected, &qtable);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -179,10 +186,10 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
         std::min<PageId>(start + opts.memory.pages, total_pages);
     RowBatch batch(m, numerics);
     for (PageId p = start; p < end; ++p) {
-      NMRS_RETURN_IF_ERROR(data.ReadPage(p, &batch));
+      NMRS_RETURN_IF_ERROR(data.ReadPageVia(&reader, p, &batch));
     }
     NMRS_RETURN_IF_ERROR(Phase1Batch(batch, space, schema, query, opts, ctx,
-                                     order, &stats, &writer));
+                                     qtable, order, &stats, &writer));
     // Results are written out at the end of every batch (paper §4.1) —
     // this is what makes the per-batch random IO visible.
     NMRS_RETURN_IF_ERROR(writer.FlushPartial());
@@ -196,8 +203,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   Timer phase2_timer;
   StoredDataset survivors(disk, scratch, schema, writer.rows_written());
   const uint64_t batch_pages = opts.memory.pages - 1;  // 1 page scans D
-  NMRS_RETURN_IF_ERROR(
-      Phase2(data, survivors, ctx, batch_pages, &stats, &result.rows));
+  NMRS_RETURN_IF_ERROR(Phase2(data, survivors, &reader, ctx, batch_pages,
+                              &stats, &result.rows));
   stats.phase2_checks = stats.checks - stats.phase1_checks;
   stats.phase2_millis = phase2_timer.ElapsedMillis();
 
@@ -206,6 +213,7 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   std::sort(result.rows.begin(), result.rows.end());
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
+  reader.AddCacheStatsTo(&stats.io);
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "core/query_distance_table.h"
+
 namespace nmrs {
 
 std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
@@ -20,11 +22,13 @@ std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
 
 PruneContext::PruneContext(const SimilaritySpace& space, const Schema& schema,
                            const Object& query,
-                           const std::vector<AttrId>& selected)
+                           const std::vector<AttrId>& selected,
+                           const QueryDistanceTable* table)
     : space_(&space),
       schema_(&schema),
       query_(query),
-      selected_(ResolveSelectedAttrs(schema, selected)) {
+      selected_(ResolveSelectedAttrs(schema, selected)),
+      table_(table) {
   NMRS_CHECK_EQ(space.num_attributes(), schema.num_attributes());
   NMRS_CHECK_EQ(query.values.size(), schema.num_attributes());
   is_numeric_.reserve(selected_.size());
@@ -32,12 +36,31 @@ PruneContext::PruneContext(const SimilaritySpace& space, const Schema& schema,
     is_numeric_.push_back(schema.attribute(a).is_numeric);
   }
   qdist_.assign(selected_.size(), 0.0);
+  if (table_ != nullptr) {
+    NMRS_CHECK_EQ(table_->num_selected(), selected_.size());
+    NMRS_CHECK(table_->selected() == selected_)
+        << "QueryDistanceTable built for a different selection";
+    xcol_.assign(selected_.size(), nullptr);
+  }
 }
 
 void PruneContext::SetCandidate(const ValueId* x_values,
                                 const double* x_numerics) {
   x_values_ = x_values;
   x_numerics_ = x_numerics;
+  if (table_ != nullptr) {
+    for (size_t k = 0; k < selected_.size(); ++k) {
+      const AttrId a = selected_[k];
+      if (is_numeric_[k]) {
+        NMRS_DCHECK(x_numerics != nullptr);
+        qdist_[k] = space_->NumDist(a, query_.numerics[a], x_numerics[a]);
+      } else {
+        qdist_[k] = table_->FromQuery(k)[x_values[a]];
+        xcol_[k] = space_->matrix(a).ColumnTo(x_values[a]);
+      }
+    }
+    return;
+  }
   for (size_t k = 0; k < selected_.size(); ++k) {
     const AttrId a = selected_[k];
     if (is_numeric_[k]) {
@@ -60,6 +83,24 @@ bool PruneContext::Prunes(const ValueId* y_values, const double* y_numerics,
                           uint64_t* checks) const {
   NMRS_DCHECK(x_values_ != nullptr);
   bool strict = false;
+  if (table_ != nullptr) {
+    // Memoized path: the per-candidate ColumnTo pointers cached by
+    // SetCandidate turn each categorical check into one flat array load.
+    for (size_t k = 0; k < selected_.size(); ++k) {
+      const AttrId a = selected_[k];
+      double lhs;
+      if (is_numeric_[k]) {
+        NMRS_DCHECK(y_numerics != nullptr && x_numerics_ != nullptr);
+        lhs = space_->NumDist(a, y_numerics[a], x_numerics_[a]);
+      } else {
+        lhs = xcol_[k][y_values[a]];
+      }
+      ++*checks;
+      if (lhs > qdist_[k]) return false;
+      if (lhs < qdist_[k]) strict = true;
+    }
+    return strict;
+  }
   for (size_t k = 0; k < selected_.size(); ++k) {
     const AttrId a = selected_[k];
     double lhs;

@@ -11,6 +11,8 @@
 
 namespace nmrs {
 
+class QueryDistanceTable;
+
 /// Resolves an attribute-subset selection: returns `selected` unchanged if
 /// non-empty (validated against the schema), otherwise all attributes.
 std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
@@ -29,8 +31,17 @@ std::vector<AttrId> ResolveSelectedAttrs(const Schema& schema,
 /// concern only).
 class PruneContext {
  public:
+  /// When `table` is non-null it must have been built from the same (space,
+  /// query) with the same resolved selection; the context then serves both
+  /// sides of every check from flat per-query arrays — qdist_ from the
+  /// table's FromQuery row, the left-hand side from a cached ColumnTo
+  /// pointer — instead of going through SimilaritySpace::CatDist twice.
+  /// Results are bit-identical either way (the table holds copies of the
+  /// very same doubles); only the lookup path changes. The table is
+  /// borrowed and must outlive the context.
   PruneContext(const SimilaritySpace& space, const Schema& schema,
-               const Object& query, const std::vector<AttrId>& selected);
+               const Object& query, const std::vector<AttrId>& selected,
+               const QueryDistanceTable* table = nullptr);
 
   size_t num_selected() const { return selected_.size(); }
   const std::vector<AttrId>& selected() const { return selected_; }
@@ -62,15 +73,23 @@ class PruneContext {
   const ValueId* candidate_values() const { return x_values_; }
   const double* candidate_numerics() const { return x_numerics_; }
 
+  /// Null unless a QueryDistanceTable was attached at construction.
+  const QueryDistanceTable* table() const { return table_; }
+
  private:
   const SimilaritySpace* space_;
   const Schema* schema_;
   Object query_;
   std::vector<AttrId> selected_;
   std::vector<bool> is_numeric_;  // aligned with selected_
+  const QueryDistanceTable* table_;
   const ValueId* x_values_ = nullptr;
   const double* x_numerics_ = nullptr;
   std::vector<double> qdist_;
+  // Memoized-path state (table_ != nullptr): per selected categorical k,
+  // the matrix column d_a(., x_a) for the current candidate, so Prunes()
+  // is one indexed load per attribute.
+  std::vector<const double*> xcol_;
 };
 
 }  // namespace nmrs

@@ -4,6 +4,8 @@
 
 #include "common/timer.h"
 #include "core/dominance.h"
+#include "core/query_distance_table.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -19,7 +21,11 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
-  PruneContext ctx(space, schema, query, opts.selected_attrs);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(schema, opts.selected_attrs);
+  const QueryDistanceTable qtable(space, schema, query, selected);
+  PruneContext ctx(space, schema, query, selected, &qtable);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -28,15 +34,17 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   RowBatch inner(m, numerics);
   for (PageId op = 0; op < total_pages; ++op) {
     outer.Clear();
-    NMRS_RETURN_IF_ERROR(data.ReadPage(op, &outer));
+    NMRS_RETURN_IF_ERROR(data.ReadPageVia(&reader, op, &outer));
     for (size_t i = 0; i < outer.size(); ++i) {
       ctx.SetCandidate(outer.row_values(i), outer.row_numerics(i));
       const RowId x_id = outer.id(i);
       bool pruned = false;
       // Scan D from the beginning, page by page, until a pruner shows up.
+      // The restart pattern makes early pages far hotter than late ones —
+      // exactly the skew a small buffer pool absorbs.
       for (PageId ip = 0; ip < total_pages && !pruned; ++ip) {
         inner.Clear();
-        NMRS_RETURN_IF_ERROR(data.ReadPage(ip, &inner));
+        NMRS_RETURN_IF_ERROR(data.ReadPageVia(&reader, ip, &inner));
         for (size_t j = 0; j < inner.size(); ++j) {
           if (inner.id(j) == x_id) continue;
           ++stats.pair_tests;
@@ -55,6 +63,7 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
+  reader.AddCacheStatsTo(&stats.io);
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

@@ -12,6 +12,7 @@
 
 namespace nmrs {
 
+class BufferPool;
 class TaskExecutor;
 
 /// Options shared by all reverse-skyline algorithms.
@@ -45,6 +46,17 @@ struct RSOptions {
   /// When null and num_threads > 1, temporary std::threads are spawned.
   /// The parallel QueryEngine points this at its own pool.
   TaskExecutor* executor = nullptr;
+
+  /// Buffer-pool page caching (docs/CACHING.md). When `cache_pages` is true
+  /// and `buffer_pool` is non-null, dataset reads of the frozen base files
+  /// go through the shared pool: hits are served from memory and only
+  /// misses are charged to the disk, with hit/miss/eviction counts folded
+  /// into QueryStats::io. Reverse-skyline results are identical either way;
+  /// only the IO charged changes. Default off = seed-identical IO. The pool
+  /// is borrowed (the QueryEngine owns one per batch) and must have been
+  /// built over this dataset's base disk.
+  bool cache_pages = false;
+  BufferPool* buffer_pool = nullptr;
 };
 
 /// Everything the paper measures, per query.

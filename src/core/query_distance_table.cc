@@ -1,0 +1,45 @@
+#include "core/query_distance_table.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+QueryDistanceTable::QueryDistanceTable(const SimilaritySpace& space,
+                                       const Schema& schema,
+                                       const Object& query,
+                                       const std::vector<AttrId>& selected)
+    : selected_(selected) {
+  NMRS_CHECK(!selected_.empty()) << "pass a resolved selection";
+  NMRS_CHECK_EQ(query.values.size(), schema.num_attributes());
+  from_offset_.assign(selected_.size(), -1);
+  to_offset_.assign(selected_.size(), -1);
+
+  size_t total = 0;
+  for (AttrId a : selected_) {
+    if (!space.IsNumeric(a)) total += 2 * space.Cardinality(a);
+  }
+  dists_.resize(total);
+
+  size_t off = 0;
+  for (size_t k = 0; k < selected_.size(); ++k) {
+    const AttrId a = selected_[k];
+    if (space.IsNumeric(a)) continue;
+    const size_t card = space.Cardinality(a);
+    const DissimilarityMatrix& m = space.matrix(a);
+    const ValueId q = query.values[a];
+    NMRS_DCHECK(q < card) << "query value out of domain";
+
+    from_offset_[k] = static_cast<ptrdiff_t>(off);
+    std::memcpy(dists_.data() + off, m.RowFrom(q), card * sizeof(double));
+    off += card;
+
+    to_offset_[k] = static_cast<ptrdiff_t>(off);
+    std::memcpy(dists_.data() + off, m.ColumnTo(q), card * sizeof(double));
+    off += card;
+  }
+  NMRS_DCHECK(off == total);
+}
+
+}  // namespace nmrs

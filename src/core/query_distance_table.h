@@ -1,0 +1,64 @@
+#ifndef NMRS_CORE_QUERY_DISTANCE_TABLE_H_
+#define NMRS_CORE_QUERY_DISTANCE_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "data/object.h"
+#include "data/schema.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// Per-query memo of the query-side categorical distances. For each selected
+/// categorical attribute a with domain size k_a it copies, once per query,
+///
+///   FromQuery(k)[v] = d_a(q_a, v)   (row  d(q, .) of the matrix)
+///   ToQuery(k)[v]   = d_a(v, q_a)   (column d(., q) — matrices may be
+///                                    asymmetric, so both directions exist)
+///
+/// into one dense double array indexed by the *selected position* k, not the
+/// AttrId. Dominance checks then replace the SimilaritySpace →
+/// DissimilarityMatrix double indirection (attr registry load, matrix Dist
+/// with index arithmetic per check) with a single flat array load from
+/// query-local memory. Domains are small (expert-filled matrices, paper
+/// §3), so the whole table is a few cache lines and building it costs one
+/// pass over k_a values per attribute.
+///
+/// Numeric attributes have no finite domain and are skipped: FromQuery /
+/// ToQuery return nullptr for them and callers fall back to NumDist.
+///
+/// The table borrows nothing from the matrices — values are copied — so it
+/// stays valid for the whole query regardless of later space mutations.
+class QueryDistanceTable {
+ public:
+  /// `selected` must already be resolved (non-empty, validated), as done by
+  /// ResolveSelectedAttrs; PruneContext and the algorithms pass their own
+  /// resolved list so the positions line up.
+  QueryDistanceTable(const SimilaritySpace& space, const Schema& schema,
+                     const Object& query, const std::vector<AttrId>& selected);
+
+  size_t num_selected() const { return selected_.size(); }
+  const std::vector<AttrId>& selected() const { return selected_; }
+
+  /// Dense row d_a(q_a, .) for selected position k; null if numeric.
+  const double* FromQuery(size_t k) const {
+    return from_offset_[k] < 0 ? nullptr : dists_.data() + from_offset_[k];
+  }
+
+  /// Dense column d_a(., q_a) for selected position k; null if numeric.
+  const double* ToQuery(size_t k) const {
+    return to_offset_[k] < 0 ? nullptr : dists_.data() + to_offset_[k];
+  }
+
+ private:
+  std::vector<AttrId> selected_;
+  std::vector<ptrdiff_t> from_offset_;  // -1 for numeric attrs
+  std::vector<ptrdiff_t> to_offset_;
+  std::vector<double> dists_;  // all rows/columns back to back
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_QUERY_DISTANCE_TABLE_H_

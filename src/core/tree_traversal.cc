@@ -282,14 +282,15 @@ void PruneTreeFast(ALTree& tree, const std::vector<Phase2Level>& levels,
   stats->checks += checks;
 }
 
-Status LoadTreeBatch(const StoredDataset& data, uint64_t budget_bytes,
-                     PageId* next_page, ALTree* tree, RowBatch* scratch) {
+Status LoadTreeBatch(const StoredDataset& data, PagedReader* reader,
+                     uint64_t budget_bytes, PageId* next_page, ALTree* tree,
+                     RowBatch* scratch) {
   const uint64_t total = data.num_pages();
   uint64_t loaded_pages = 0;
   while (*next_page < total &&
          (loaded_pages == 0 || tree->LogicalMemoryBytes() < budget_bytes)) {
     scratch->Clear();
-    NMRS_RETURN_IF_ERROR(data.ReadPage(*next_page, scratch));
+    NMRS_RETURN_IF_ERROR(data.ReadPageVia(reader, *next_page, scratch));
     for (size_t i = 0; i < scratch->size(); ++i) {
       tree->Insert(scratch->id(i), scratch->row_values(i),
                    scratch->row_numerics(i));

@@ -12,6 +12,7 @@
 #include "core/query.h"
 #include "data/bucketizer.h"
 #include "data/stored_dataset.h"
+#include "storage/paged_reader.h"
 #include "sim/similarity_space.h"
 
 namespace nmrs {
@@ -106,9 +107,12 @@ void PruneTreeFast(ALTree& tree, const std::vector<Phase2Level>& levels,
                    std::vector<FastEntry>& stack);
 
 /// Loads pages [*next_page, ...) of `data` into `tree` until the logical
-/// tree memory reaches `budget_bytes` (at least one page).
-Status LoadTreeBatch(const StoredDataset& data, uint64_t budget_bytes,
-                     PageId* next_page, ALTree* tree, RowBatch* scratch);
+/// tree memory reaches `budget_bytes` (at least one page). Pages are read
+/// through `reader`, so a buffer pool attached to it can absorb repeated
+/// batch loads of the same file.
+Status LoadTreeBatch(const StoredDataset& data, PagedReader* reader,
+                     uint64_t budget_bytes, PageId* next_page, ALTree* tree,
+                     RowBatch* scratch);
 
 }  // namespace internal_tree
 }  // namespace nmrs

@@ -6,6 +6,7 @@
 #include "common/sync.h"
 #include "common/timer.h"
 #include "core/tree_traversal.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -34,6 +35,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
 
   TreeQueryContext ctx =
       internal_tree::MakeTreeContext(space, schema, query, opts);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -59,7 +61,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
       ++stats.phase1_batches;
       tree.Clear();
       NMRS_RETURN_IF_ERROR(internal_tree::LoadTreeBatch(
-          sorted_data, budget, &next_page, &tree, &page_rows));
+          sorted_data, &reader, budget, &next_page, &tree, &page_rows));
       if (opts.order_children_by_descendants) tree.PrepareForSearch();
 
       std::vector<NodeId> leaves;
@@ -175,12 +177,12 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
       ++stats.phase2_batches;
       tree.Clear();
       NMRS_RETURN_IF_ERROR(internal_tree::LoadTreeBatch(
-          survivors, budget, &next_page, &tree, &page_rows));
+          survivors, &reader, budget, &next_page, &tree, &page_rows));
 
       RowBatch d_page(m, numerics);
       for (PageId dp = 0; dp < sorted_data.num_pages(); ++dp) {
         d_page.Clear();
-        NMRS_RETURN_IF_ERROR(sorted_data.ReadPage(dp, &d_page));
+        NMRS_RETURN_IF_ERROR(sorted_data.ReadPageVia(&reader, dp, &d_page));
         // The scan of D is run to completion even if the tree empties —
         // the paper's Alg. 3 performs the full sequential scan per batch,
         // and IO counts are kept faithful to it.
@@ -214,6 +216,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   std::sort(result.rows.begin(), result.rows.end());
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
+  reader.AddCacheStatsTo(&stats.io);
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

@@ -160,6 +160,14 @@ Status StoredDataset::ReadPage(PageId page, RowBatch* out) const {
   return Status::OK();
 }
 
+Status StoredDataset::ReadPageVia(PagedReader* reader, PageId page,
+                                  RowBatch* out) const {
+  Page buf(reader->disk()->page_size());
+  NMRS_RETURN_IF_ERROR(reader->ReadPage(file_, page, &buf));
+  codec_.DecodePage(buf, out);
+  return Status::OK();
+}
+
 Status StoredDataset::ReadAll(RowBatch* out) const {
   const uint64_t pages = num_pages();
   out->Reserve(num_rows_);

@@ -9,6 +9,7 @@
 #include "data/object.h"
 #include "data/schema.h"
 #include "storage/disk.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -109,6 +110,12 @@ class StoredDataset {
 
   /// Reads and decodes page `page`, appending its rows to `out`.
   Status ReadPage(PageId page, RowBatch* out) const;
+
+  /// Like ReadPage but routed through `reader`, so a buffer pool (when the
+  /// reader carries one) can serve the page from memory. `reader` must wrap
+  /// this dataset's disk or a DiskView over it. With a pool-less reader
+  /// this is exactly ReadPage.
+  Status ReadPageVia(PagedReader* reader, PageId page, RowBatch* out) const;
 
   /// Reads the entire file into one batch (testing / tiny datasets).
   Status ReadAll(RowBatch* out) const;

@@ -36,6 +36,12 @@ QueryEngine::QueryEngine(const PreparedDataset& prepared,
   for (size_t w = 0; w < pool_.num_threads(); ++w) {
     views_.push_back(std::make_unique<DiskView>(prepared_->stored.disk()));
   }
+  if (opts_.cache_pages > 0) {
+    BufferPoolOptions pool_opts;
+    pool_opts.capacity_pages = opts_.cache_pages;
+    pool_cache_ = std::make_unique<BufferPool>(prepared_->stored.disk(),
+                                               pool_opts);
+  }
 }
 
 StatusOr<BatchResult> QueryEngine::RunBatch(
@@ -68,6 +74,10 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
 
       RSOptions rs = opts_.rs;
       if (rs.num_threads > 1 && rs.executor == nullptr) rs.executor = &pool_;
+      if (pool_cache_ != nullptr) {
+        rs.cache_pages = true;
+        rs.buffer_pool = pool_cache_.get();
+      }
 
       auto result =
           RunReverseSkyline(local, *space_, queries[i], algo_, rs);

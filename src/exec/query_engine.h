@@ -11,6 +11,7 @@
 #include "data/object.h"
 #include "exec/thread_pool.h"
 #include "sim/similarity_space.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_view.h"
 #include "storage/io_stats.h"
 
@@ -24,17 +25,31 @@ struct QueryEngineOptions {
   /// parallelizes each query's phase-1 candidate checks on the same pool
   /// (rs.executor is filled in by the engine when left null).
   RSOptions rs;
+
+  /// Shared page-cache capacity in pages; 0 = no cache (seed-identical
+  /// IO). When > 0 the engine owns one BufferPool over the frozen base
+  /// disk, shared by all workers: a page any worker fetched is a free hit
+  /// for every other worker until evicted, and rs.cache_pages /
+  /// rs.buffer_pool are filled in per query. See docs/CACHING.md.
+  uint64_t cache_pages = 0;
 };
 
 /// Outcome of one RunBatch call.
 struct BatchResult {
-  /// results[i] answers queries[i]; per-query stats are identical to what a
-  /// sequential RunReverseSkyline of that query would report.
+  /// results[i] answers queries[i]. Without a cache, per-query stats are
+  /// identical to what a sequential RunReverseSkyline of that query would
+  /// report. With a shared cache (cache_pages > 0) the *rows* are still
+  /// identical, but which query gets charged a miss depends on who touched
+  /// the page first, so per-query IO becomes interleaving-dependent; only
+  /// aggregate invariants survive (see docs/CACHING.md).
   std::vector<ReverseSkylineResult> results;
 
   /// Aggregate page IO over all queries (atomic accumulation across
-  /// workers; equals the sum of results[i].stats.io, so it is independent
-  /// of worker count and scheduling).
+  /// workers; equals the sum of results[i].stats.io). Without a cache it
+  /// is independent of worker count and scheduling. With a cache, total
+  /// reads+writes stay worker-count-invariant as long as the pool never
+  /// evicts (misses = distinct pages, single-flight); under eviction
+  /// pressure the totals depend on the interleaving, as on real hardware.
   IoStats total_io;
 
   /// Host wall-clock time of the batch.
@@ -70,6 +85,10 @@ class QueryEngine {
   size_t num_workers() const { return pool_.num_threads(); }
   Algorithm algorithm() const { return algo_; }
 
+  /// The shared page cache, or null when cache_pages was 0. Its stats()
+  /// aggregate over every batch run so far.
+  const BufferPool* buffer_pool() const { return pool_cache_.get(); }
+
   /// Runs every query, blocking until the batch completes. Returns the
   /// first per-query error if any query fails (remaining queries still
   /// run to completion).
@@ -82,6 +101,7 @@ class QueryEngine {
   QueryEngineOptions opts_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<DiskView>> views_;  // one per worker
+  std::unique_ptr<BufferPool> pool_cache_;        // shared; null = off
 };
 
 }  // namespace nmrs

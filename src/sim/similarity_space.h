@@ -2,6 +2,8 @@
 #define NMRS_SIM_SIMILARITY_SPACE_H_
 
 #include <cstddef>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -25,9 +27,11 @@ class SimilaritySpace {
     attrs_.push_back(Attr{std::move(matrix), NumericDissimilarity(), false});
   }
 
-  /// Appends a numeric attribute.
+  /// Appends a numeric attribute. Numeric attrs carry no matrix at all
+  /// (nullopt, not a placeholder allocation): Cardinality()/CatDist()/
+  /// matrix() are categorical-only and DCHECK accordingly.
   void AddNumeric(NumericDissimilarity d) {
-    attrs_.push_back(Attr{DissimilarityMatrix(1), d, true});
+    attrs_.push_back(Attr{std::nullopt, d, true});
   }
 
   size_t num_attributes() const { return attrs_.size(); }
@@ -37,16 +41,17 @@ class SimilaritySpace {
     return attrs_[attr].is_numeric;
   }
 
-  /// Domain size of a categorical attribute.
+  /// Domain size of a categorical attribute (QueryDistanceTable sizes its
+  /// per-attribute rows from this).
   size_t Cardinality(AttrId attr) const {
     NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
-    return attrs_[attr].matrix.cardinality();
+    return attrs_[attr].matrix->cardinality();
   }
 
   /// Categorical dissimilarity d_attr(a, b).
   double CatDist(AttrId attr, ValueId a, ValueId b) const {
     NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
-    return attrs_[attr].matrix.Dist(a, b);
+    return attrs_[attr].matrix->Dist(a, b);
   }
 
   /// Numeric dissimilarity d_attr(x, y).
@@ -57,7 +62,7 @@ class SimilaritySpace {
 
   const DissimilarityMatrix& matrix(AttrId attr) const {
     NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
-    return attrs_[attr].matrix;
+    return *attrs_[attr].matrix;
   }
 
   const NumericDissimilarity& numeric(AttrId attr) const {
@@ -67,7 +72,7 @@ class SimilaritySpace {
 
  private:
   struct Attr {
-    DissimilarityMatrix matrix;
+    std::optional<DissimilarityMatrix> matrix;  // engaged iff categorical
     NumericDissimilarity numeric;
     bool is_numeric;
   };

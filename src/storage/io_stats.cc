@@ -7,8 +7,13 @@ namespace nmrs {
 std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "IoStats{seq_reads=" << seq_reads << ", rand_reads=" << rand_reads
-     << ", seq_writes=" << seq_writes << ", rand_writes=" << rand_writes
-     << "}";
+     << ", seq_writes=" << seq_writes << ", rand_writes=" << rand_writes;
+  // Keep the seed-era string short when no buffer pool was involved.
+  if (cache_hits != 0 || cache_misses != 0 || cache_evictions != 0) {
+    os << ", cache_hits=" << cache_hits << ", cache_misses=" << cache_misses
+       << ", cache_evictions=" << cache_evictions;
+  }
+  os << "}";
   return os.str();
 }
 

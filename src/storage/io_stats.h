@@ -18,17 +18,39 @@ struct IoStats {
   uint64_t seq_writes = 0;
   uint64_t rand_writes = 0;
 
+  // Buffer-pool traffic (docs/CACHING.md). A cache hit is a page request
+  // served from memory — it appears in *no* read counter above, which is the
+  // whole point: only misses are charged to the disk. A cache miss is also
+  // counted as a seq/rand read by the fetch it triggers, so
+  // `cache_misses <= TotalReads()` and `TotalReads()` remains "pages the
+  // disk actually served". All three stay 0 when no pool is attached.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
   uint64_t TotalReads() const { return seq_reads + rand_reads; }
   uint64_t TotalWrites() const { return seq_writes + rand_writes; }
   uint64_t TotalSequential() const { return seq_reads + seq_writes; }
   uint64_t TotalRandom() const { return rand_reads + rand_writes; }
   uint64_t Total() const { return TotalReads() + TotalWrites(); }
 
+  /// Fraction of pool-routed page requests served from memory (0 when the
+  /// run never touched a pool).
+  double CacheHitRatio() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+
   IoStats& operator+=(const IoStats& o) {
     seq_reads += o.seq_reads;
     rand_reads += o.rand_reads;
     seq_writes += o.seq_writes;
     rand_writes += o.rand_writes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
     return *this;
   }
 
@@ -41,11 +63,18 @@ struct IoStats {
     NMRS_DCHECK(o.rand_reads <= rand_reads) << "rand_reads underflow";
     NMRS_DCHECK(o.seq_writes <= seq_writes) << "seq_writes underflow";
     NMRS_DCHECK(o.rand_writes <= rand_writes) << "rand_writes underflow";
+    NMRS_DCHECK(o.cache_hits <= cache_hits) << "cache_hits underflow";
+    NMRS_DCHECK(o.cache_misses <= cache_misses) << "cache_misses underflow";
+    NMRS_DCHECK(o.cache_evictions <= cache_evictions)
+        << "cache_evictions underflow";
     IoStats r = *this;
     r.seq_reads -= o.seq_reads;
     r.rand_reads -= o.rand_reads;
     r.seq_writes -= o.seq_writes;
     r.rand_writes -= o.rand_writes;
+    r.cache_hits -= o.cache_hits;
+    r.cache_misses -= o.cache_misses;
+    r.cache_evictions -= o.cache_evictions;
     return r;
   }
 
@@ -65,6 +94,9 @@ class ConcurrentIoStats {
     rand_reads_.fetch_add(s.rand_reads, std::memory_order_relaxed);
     seq_writes_.fetch_add(s.seq_writes, std::memory_order_relaxed);
     rand_writes_.fetch_add(s.rand_writes, std::memory_order_relaxed);
+    cache_hits_.fetch_add(s.cache_hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(s.cache_misses, std::memory_order_relaxed);
+    cache_evictions_.fetch_add(s.cache_evictions, std::memory_order_relaxed);
   }
 
   IoStats Snapshot() const {
@@ -73,6 +105,9 @@ class ConcurrentIoStats {
     s.rand_reads = rand_reads_.load(std::memory_order_relaxed);
     s.seq_writes = seq_writes_.load(std::memory_order_relaxed);
     s.rand_writes = rand_writes_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -81,6 +116,9 @@ class ConcurrentIoStats {
   std::atomic<uint64_t> rand_reads_{0};
   std::atomic<uint64_t> seq_writes_{0};
   std::atomic<uint64_t> rand_writes_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
 };
 
 /// Converts page-IO counts into modeled milliseconds. Defaults approximate a

@@ -1,0 +1,66 @@
+#ifndef NMRS_STORAGE_PAGED_READER_H_
+#define NMRS_STORAGE_PAGED_READER_H_
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+
+namespace nmrs {
+
+/// Thin per-query facade the algorithms read pages through. With no pool
+/// attached (the default), every read goes straight to the disk —
+/// bit-identical to the seed behavior. With a pool, reads of cacheable
+/// (frozen base) files are served through the shared BufferPool while
+/// scratch-file reads still bypass it; either way the disk passed here —
+/// typically a worker's DiskView — is what gets charged for real IO, so
+/// the existing seq/rand accounting is untouched.
+///
+/// The reader also accumulates this query's own CacheStats, which the
+/// algorithms fold into QueryStats::io at the end of the run. Not
+/// thread-safe: one PagedReader per worker/query, like the DiskView it
+/// wraps. The shared BufferPool behind it is what synchronizes.
+class PagedReader {
+ public:
+  explicit PagedReader(SimulatedDisk* disk, BufferPool* pool = nullptr)
+      : disk_(disk), pool_(pool) {}
+
+  /// Reads one page, through the pool when (and only when) `file` is a
+  /// frozen base file and a pool is attached.
+  Status ReadPage(FileId file, PageId page, Page* out) {
+    if (pool_ != nullptr && pool_->Caches(file)) {
+      BufferPool::ReadEvent ev;
+      Status s = pool_->ReadThrough(disk_, file, page, out, &ev);
+      if (!s.ok()) return s;
+      stats_.hits += ev.hit ? 1 : 0;
+      stats_.misses += ev.hit ? 0 : 1;
+      stats_.evictions += ev.evicted ? 1 : 0;
+      return s;
+    }
+    return disk_->ReadPage(file, page, out);
+  }
+
+  SimulatedDisk* disk() const { return disk_; }
+  BufferPool* pool() const { return pool_; }
+  bool caching() const { return pool_ != nullptr; }
+
+  /// Cache traffic routed through *this reader* (per-query attribution;
+  /// the pool's own stats() aggregate across all readers).
+  const CacheStats& cache_stats() const { return stats_; }
+
+  /// Folds this reader's cache counters into `io` (hits/misses/evictions;
+  /// the charged reads are already there via the disk).
+  void AddCacheStatsTo(IoStats* io) const {
+    io->cache_hits += stats_.hits;
+    io->cache_misses += stats_.misses;
+    io->cache_evictions += stats_.evictions;
+  }
+
+ private:
+  SimulatedDisk* disk_;
+  BufferPool* pool_;
+  CacheStats stats_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_PAGED_READER_H_

@@ -1,0 +1,164 @@
+#include "core/query_distance_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dominance.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RunningExample;
+
+// An asymmetric two-attribute space so FromQuery (row) and ToQuery (column)
+// are genuinely different arrays.
+SimilaritySpace MakeAsymmetricSpace(const std::vector<size_t>& cards,
+                                    Rng& rng) {
+  RandomMatrixOptions opts;
+  opts.symmetric = false;
+  SimilaritySpace space;
+  for (size_t k : cards) {
+    space.AddCategorical(MakeRandomMatrix(k, rng, opts));
+  }
+  return space;
+}
+
+TEST(QueryDistanceTableTest, MatchesCatDistInBothDirections) {
+  Rng rng(42);
+  const std::vector<size_t> cards = {5, 9};
+  SimilaritySpace space = MakeAsymmetricSpace(cards, rng);
+  Schema schema = Schema::Categorical(cards);
+  const Object query({2, 7});
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+
+  QueryDistanceTable table(space, schema, query, selected);
+  ASSERT_EQ(table.num_selected(), 2u);
+  EXPECT_EQ(table.selected(), selected);
+  bool saw_asymmetry = false;
+  for (size_t k = 0; k < selected.size(); ++k) {
+    const AttrId a = selected[k];
+    const double* from = table.FromQuery(k);
+    const double* to = table.ToQuery(k);
+    ASSERT_NE(from, nullptr);
+    ASSERT_NE(to, nullptr);
+    for (ValueId v = 0; v < cards[a]; ++v) {
+      EXPECT_EQ(from[v], space.CatDist(a, query.values[a], v))
+          << "attr " << a << " value " << v;
+      EXPECT_EQ(to[v], space.CatDist(a, v, query.values[a]))
+          << "attr " << a << " value " << v;
+      if (from[v] != to[v]) saw_asymmetry = true;
+    }
+  }
+  // With random asymmetric matrices the two directions must differ
+  // somewhere, otherwise this test is not exercising anything.
+  EXPECT_TRUE(saw_asymmetry);
+}
+
+TEST(QueryDistanceTableTest, RespectsSelectionOrder) {
+  Rng rng(7);
+  const std::vector<size_t> cards = {4, 6, 3};
+  SimilaritySpace space = MakeAsymmetricSpace(cards, rng);
+  Schema schema = Schema::Categorical(cards);
+  const Object query({1, 5, 0});
+
+  // Positions index the *selection*, not the schema: k=0 -> attr 2.
+  const std::vector<AttrId> selected = {2, 0};
+  QueryDistanceTable table(space, schema, query, selected);
+  ASSERT_EQ(table.num_selected(), 2u);
+  for (ValueId v = 0; v < cards[2]; ++v) {
+    EXPECT_EQ(table.FromQuery(0)[v], space.CatDist(2, 0, v));
+  }
+  for (ValueId v = 0; v < cards[0]; ++v) {
+    EXPECT_EQ(table.FromQuery(1)[v], space.CatDist(0, 1, v));
+  }
+}
+
+TEST(QueryDistanceTableTest, NumericAttributesHaveNoRows) {
+  Schema schema = Schema::Categorical({3});
+  AttributeInfo num;
+  num.is_numeric = true;
+  num.cardinality = 4;
+  num.range = {0.0, 100.0};
+  schema.AddAttribute(num);
+
+  SimilaritySpace space;
+  DissimilarityMatrix m(3);
+  m.SetSymmetric(0, 1, 0.4);
+  m.SetSymmetric(0, 2, 0.9);
+  m.SetSymmetric(1, 2, 0.2);
+  space.AddCategorical(std::move(m));
+  space.AddNumeric(NumericDissimilarity());
+
+  Dataset d(schema);
+  const Object query = d.MakeObject({1, 0}, {0.0, 30.0});
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+  QueryDistanceTable table(space, schema, query, selected);
+  EXPECT_NE(table.FromQuery(0), nullptr);
+  EXPECT_NE(table.ToQuery(0), nullptr);
+  EXPECT_EQ(table.FromQuery(1), nullptr);
+  EXPECT_EQ(table.ToQuery(1), nullptr);
+}
+
+// The memoized PruneContext path must be bit-identical to the plain path:
+// same prune verdicts, same check counts, same cached query distances.
+TEST(QueryDistanceTableTest, PruneContextWithTableIsBitIdentical) {
+  RunningExample ex;
+  const Schema& schema = ex.dataset.schema();
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+  QueryDistanceTable table(ex.space, schema, ex.query, selected);
+
+  PruneContext plain(ex.space, schema, ex.query, selected);
+  PruneContext memo(ex.space, schema, ex.query, selected, &table);
+  ASSERT_EQ(memo.table(), &table);
+
+  for (RowId x = 0; x < ex.dataset.num_rows(); ++x) {
+    plain.SetCandidate(ex.dataset.RowValues(x), nullptr);
+    memo.SetCandidate(ex.dataset.RowValues(x), nullptr);
+    for (size_t k = 0; k < selected.size(); ++k) {
+      EXPECT_EQ(plain.QueryDist(k), memo.QueryDist(k))
+          << "candidate " << x << " attr position " << k;
+    }
+    EXPECT_EQ(plain.QueryAtCandidate(), memo.QueryAtCandidate());
+    for (RowId y = 0; y < ex.dataset.num_rows(); ++y) {
+      uint64_t plain_checks = 0, memo_checks = 0;
+      const bool p =
+          plain.Prunes(ex.dataset.RowValues(y), nullptr, &plain_checks);
+      const bool m =
+          memo.Prunes(ex.dataset.RowValues(y), nullptr, &memo_checks);
+      EXPECT_EQ(p, m) << "pruner " << y << " candidate " << x;
+      EXPECT_EQ(plain_checks, memo_checks)
+          << "pruner " << y << " candidate " << x;
+    }
+  }
+}
+
+// Same equivalence on a larger random instance with an asymmetric space and
+// a subset selection — the configuration the hand example cannot cover.
+TEST(QueryDistanceTableTest, MemoEquivalenceOnRandomAsymmetricInstance) {
+  Rng rng(1234);
+  const std::vector<size_t> cards = {6, 7, 8, 5};
+  SimilaritySpace space = MakeAsymmetricSpace(cards, rng);
+  Dataset data = GenerateUniform(400, cards, rng);
+  const std::vector<AttrId> selected = {3, 1, 0};
+
+  for (int qi = 0; qi < 4; ++qi) {
+    const Object query = SampleUniformQuery(data, rng);
+    QueryDistanceTable table(space, data.schema(), query, selected);
+    PruneContext plain(space, data.schema(), query, selected);
+    PruneContext memo(space, data.schema(), query, selected, &table);
+    for (RowId x = 0; x < data.num_rows(); x += 7) {
+      plain.SetCandidate(data.RowValues(x), nullptr);
+      memo.SetCandidate(data.RowValues(x), nullptr);
+      for (RowId y = 0; y < data.num_rows(); y += 11) {
+        uint64_t pc = 0, mc = 0;
+        EXPECT_EQ(plain.Prunes(data.RowValues(y), nullptr, &pc),
+                  memo.Prunes(data.RowValues(y), nullptr, &mc));
+        EXPECT_EQ(pc, mc);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -14,7 +14,9 @@
 #include "exec/query_engine.h"
 #include "exec/thread_pool.h"
 #include "sim/dissimilarity_matrix.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_view.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 namespace {
@@ -112,6 +114,136 @@ void StressDiskViews() {
   std::printf("disk views: %d concurrent views ok\n", kThreads);
 }
 
+// Hammer one shared BufferPool from 8 threads, each reading through its own
+// DiskView + PagedReader and occasionally holding pins, under heavy
+// eviction pressure (capacity far below the file size). Checks the pool's
+// global accounting against the per-thread sums and the charged disk reads.
+void StressSharedBufferPool() {
+  SimulatedDisk base;
+  const FileId f = base.CreateFile("hot");
+  constexpr uint64_t kPages = 64;
+  {
+    Page page(base.page_size());
+    for (uint64_t p = 0; p < kPages; ++p) {
+      page[0] = static_cast<uint8_t>(p);
+      NMRS_CHECK(base.AppendPage(f, page).ok());
+    }
+  }
+  base.ResetStats();
+
+  BufferPoolOptions opts;
+  opts.capacity_pages = kPages / 4;  // heavy eviction pressure
+  opts.num_shards = 8;
+  BufferPool pool(&base, opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  std::vector<CacheStats> per_thread(kThreads);
+  std::vector<uint64_t> view_reads(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DiskView view(&base);
+      PagedReader reader(&view, &pool);
+      Page out(0);
+      for (int round = 0; round < kRounds; ++round) {
+        // Mixed access: a short scan, a strided sweep, and a pinned read.
+        const PageId start = static_cast<PageId>((t * 13 + round) % kPages);
+        for (uint64_t i = 0; i < 6; ++i) {
+          const PageId p = (start + i) % kPages;
+          NMRS_CHECK(reader.ReadPage(f, p, &out).ok());
+          NMRS_CHECK_EQ(out[0], static_cast<uint8_t>(p));
+        }
+        const PageId strided = (start * 7 + 3) % kPages;
+        NMRS_CHECK(reader.ReadPage(f, strided, &out).ok());
+        auto pinned = pool.Pin(&view, f, start);
+        if (pinned.ok()) {  // a transiently all-pinned shard is legitimate
+          NMRS_CHECK_EQ(pinned->page()[0], static_cast<uint8_t>(start));
+          pinned->Release();
+        } else {
+          NMRS_CHECK(pinned.status().IsResourceExhausted())
+              << pinned.status();
+        }
+      }
+      per_thread[t] = reader.cache_stats();
+      view_reads[t] = view.stats().TotalReads();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Per-reader attribution must add up to the pool's own counters for the
+  // traffic that went through the readers (the direct Pin calls are in the
+  // pool stats only), and every charged view read must be a reader miss.
+  CacheStats reader_sum;
+  uint64_t charged = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    reader_sum += per_thread[t];
+    charged += view_reads[t];
+  }
+  const CacheStats pool_stats = pool.stats();
+  NMRS_CHECK_EQ(reader_sum.Lookups(),
+                static_cast<uint64_t>(kThreads) * kRounds * 7);
+  NMRS_CHECK(pool_stats.Lookups() >= reader_sum.Lookups());
+  NMRS_CHECK(pool_stats.misses >= reader_sum.misses);
+  // Charged reads = reader misses + direct-Pin misses, nothing else.
+  NMRS_CHECK_EQ(charged, pool_stats.misses);
+  NMRS_CHECK(pool.PagesCached() <= opts.capacity_pages);
+  NMRS_CHECK(base.stats().Total() == 0u);  // views charge themselves
+  std::printf("shared buffer pool: %llu lookups, %llu misses, %llu"
+              " evictions ok\n",
+              static_cast<unsigned long long>(pool_stats.Lookups()),
+              static_cast<unsigned long long>(pool_stats.misses),
+              static_cast<unsigned long long>(pool_stats.evictions));
+}
+
+// The engine path with a shared cache: results must match the uncached
+// engine at every worker count, and total charged reads must not exceed it.
+void StressEngineWithSharedCache() {
+  Rng rng(99);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(4000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kBRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  BatchResult uncached;
+  {
+    QueryEngineOptions opts;
+    opts.num_workers = 1;
+    opts.rs.memory = MemoryBudget{2};
+    QueryEngine engine(*prepared, space, Algorithm::kBRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    uncached = std::move(*batch);
+  }
+  for (size_t workers : {1u, 8u}) {
+    QueryEngineOptions opts;
+    opts.num_workers = workers;
+    opts.rs.memory = MemoryBudget{2};
+    opts.cache_pages = prepared->stored.num_pages();  // eviction pressure
+    QueryEngine engine(*prepared, space, Algorithm::kBRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NMRS_CHECK(batch->results[i].rows == uncached.results[i].rows);
+    }
+    NMRS_CHECK(batch->total_io.TotalReads() <= uncached.total_io.TotalReads());
+  }
+  std::printf("engine with shared cache: %zu queries identical\n",
+              queries.size());
+}
+
 // Full engine: batch fan-out plus intra-query chunks on the same pool,
 // checked for worker-count independence.
 void StressQueryEngine() {
@@ -165,6 +297,8 @@ int main() {
   nmrs::StressThreadPool();
   nmrs::StressSharedDiskReaders();
   nmrs::StressDiskViews();
+  nmrs::StressSharedBufferPool();
+  nmrs::StressEngineWithSharedCache();
   nmrs::StressQueryEngine();
   std::printf("exec stress: all ok\n");
   return 0;

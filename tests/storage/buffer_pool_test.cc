@@ -1,0 +1,242 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/disk.h"
+#include "storage/disk_view.h"
+#include "storage/paged_reader.h"
+
+namespace nmrs {
+namespace {
+
+// A base disk with one file of `pages` pages, each page tagged with its
+// index in byte 0 so reads can be verified.
+struct Fixture {
+  explicit Fixture(int pages) {
+    file = base.CreateFile("data");
+    Page p(base.page_size());
+    for (int i = 0; i < pages; ++i) {
+      p[0] = static_cast<uint8_t>(i);
+      EXPECT_TRUE(base.AppendPage(file, p).ok());
+    }
+    base.ResetStats();
+  }
+
+  SimulatedDisk base;
+  FileId file = 0;
+};
+
+BufferPoolOptions SingleShard(uint64_t capacity) {
+  BufferPoolOptions o;
+  o.capacity_pages = capacity;
+  o.num_shards = 1;  // deterministic LRU order for the eviction tests
+  return o;
+}
+
+TEST(BufferPoolTest, HitsServeFromMemoryAndOnlyMissesChargeDisk) {
+  Fixture fx(4);
+  BufferPool pool(&fx.base, SingleShard(4));
+  Page out(0);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId p = 0; p < 4; ++p) {
+      ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, p, &out).ok());
+      EXPECT_EQ(out[0], static_cast<uint8_t>(p));
+    }
+  }
+  // 12 lookups: 4 cold misses, 8 hits; the disk saw only the misses.
+  const CacheStats s = pool.stats();
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.hits, 8u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_DOUBLE_EQ(s.HitRatio(), 8.0 / 12.0);
+  EXPECT_EQ(fx.base.stats().TotalReads(), 4u);
+  EXPECT_EQ(pool.PagesCached(), 4u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsedFirst) {
+  Fixture fx(4);
+  BufferPool pool(&fx.base, SingleShard(3));
+  Page out(0);
+  // Fill: LRU order (oldest first) is 0, 1, 2.
+  for (PageId p = 0; p < 3; ++p) {
+    ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, p, &out).ok());
+  }
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &out).ok());
+  // Miss on 3 evicts 1.
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 3, &out).ok());
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  const uint64_t reads_before = fx.base.stats().TotalReads();
+  // 0, 2, 3 are resident; 1 must miss again.
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 2, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 3, &out).ok());
+  EXPECT_EQ(fx.base.stats().TotalReads(), reads_before);
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 1, &out).ok());
+  EXPECT_EQ(fx.base.stats().TotalReads(), reads_before + 1);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  Fixture fx(4);
+  BufferPool pool(&fx.base, SingleShard(2));
+  auto pinned = pool.Pin(&fx.base, fx.file, 0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->page()[0], 0u);
+  Page out(0);
+  // 1 enters, then 2 and 3 each force an eviction — which must never pick
+  // the pinned page 0.
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 1, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 2, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 3, &out).ok());
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  const uint64_t reads_before = fx.base.stats().TotalReads();
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &out).ok());  // hit
+  EXPECT_EQ(fx.base.stats().TotalReads(), reads_before);
+  pinned->Release();
+  // Unpinned now: a stream of misses may evict it again.
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 1, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 2, &out).ok());
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &out).ok());
+  EXPECT_GT(fx.base.stats().TotalReads(), reads_before);
+}
+
+TEST(BufferPoolTest, AllPinnedShardReturnsResourceExhausted) {
+  Fixture fx(4);
+  BufferPool pool(&fx.base, SingleShard(2));
+  auto a = pool.Pin(&fx.base, fx.file, 0);
+  auto b = pool.Pin(&fx.base, fx.file, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // A further Pin of an absent page has no frame to claim: Status, not a
+  // crash.
+  auto blocked = pool.Pin(&fx.base, fx.file, 2);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kResourceExhausted);
+  // ReadThrough degrades to an uncached read instead: it succeeds, charges
+  // the disk, and retains nothing.
+  Page out(0);
+  const uint64_t reads_before = fx.base.stats().TotalReads();
+  EXPECT_TRUE(pool.ReadThrough(&fx.base, fx.file, 2, &out).ok());
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(fx.base.stats().TotalReads(), reads_before + 1);
+  EXPECT_EQ(pool.PagesCached(), 2u);
+  // Re-pinning an already-resident page still works (no frame needed).
+  auto again = pool.Pin(&fx.base, fx.file, 0);
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().pinned_peak, 3u);
+  // Releasing a pin frees a frame for the blocked pin.
+  b->Release();
+  EXPECT_TRUE(pool.Pin(&fx.base, fx.file, 2).ok());
+}
+
+TEST(BufferPoolTest, ReadErrorsPropagateAndNothingIsCached) {
+  Fixture fx(2);
+  BufferPool pool(&fx.base, SingleShard(4));
+  Page out(0);
+  EXPECT_FALSE(pool.ReadThrough(&fx.base, fx.file, 99, &out).ok());
+  EXPECT_EQ(pool.PagesCached(), 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, OnlyBaseFilesAreCacheable) {
+  Fixture fx(2);
+  BufferPool pool(&fx.base, SingleShard(4));
+  EXPECT_TRUE(pool.Caches(fx.file));
+  // Files created after the pool — base or view-local scratch — bypass it:
+  // per-view scratch ids may collide across views, so caching them would
+  // alias distinct data.
+  const FileId late = fx.base.CreateFile("late");
+  EXPECT_FALSE(pool.Caches(late));
+  DiskView view(&fx.base);
+  const FileId scratch = view.CreateFile("scratch");
+  EXPECT_FALSE(pool.Caches(scratch));
+}
+
+TEST(BufferPoolTest, SingleFlightAcrossViewsChargesOneMissPerPage) {
+  Fixture fx(3);
+  BufferPool pool(&fx.base, SingleShard(3));
+  DiskView v1(&fx.base);
+  DiskView v2(&fx.base);
+  PagedReader r1(&v1, &pool);
+  PagedReader r2(&v2, &pool);
+  Page out(0);
+  for (PageId p = 0; p < 3; ++p) {
+    ASSERT_TRUE(r1.ReadPage(fx.file, p, &out).ok());
+    ASSERT_TRUE(r2.ReadPage(fx.file, p, &out).ok());
+  }
+  // r1 misses, r2 hits; misses were charged to r1's view only.
+  EXPECT_EQ(r1.cache_stats().misses, 3u);
+  EXPECT_EQ(r1.cache_stats().hits, 0u);
+  EXPECT_EQ(r2.cache_stats().misses, 0u);
+  EXPECT_EQ(r2.cache_stats().hits, 3u);
+  EXPECT_EQ(v1.stats().TotalReads(), 3u);
+  EXPECT_EQ(v2.stats().TotalReads(), 0u);
+  EXPECT_EQ(fx.base.stats().TotalReads(), 0u);  // views charge themselves
+}
+
+TEST(PagedReaderTest, WithoutPoolIsPlainDiskRead) {
+  Fixture fx(2);
+  PagedReader reader(&fx.base);
+  EXPECT_FALSE(reader.caching());
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_EQ(fx.base.stats().TotalReads(), 1u);
+  EXPECT_EQ(reader.cache_stats().Lookups(), 0u);
+}
+
+TEST(PagedReaderTest, ScratchReadsBypassThePool) {
+  Fixture fx(2);
+  BufferPool pool(&fx.base, SingleShard(4));
+  DiskView view(&fx.base);
+  const FileId scratch = view.CreateFile("scratch");
+  Page p(view.page_size());
+  ASSERT_TRUE(view.AppendPage(scratch, p).ok());
+  PagedReader reader(&view, &pool);
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(scratch, 0, &out).ok());
+  ASSERT_TRUE(reader.ReadPage(scratch, 0, &out).ok());
+  EXPECT_EQ(reader.cache_stats().Lookups(), 0u);  // never routed to pool
+  EXPECT_EQ(view.stats().TotalReads(), 2u);       // both went to the view
+}
+
+TEST(BufferPoolTest, CapacitySplitsAcrossShardsExactly) {
+  Fixture fx(2);
+  BufferPoolOptions opts;
+  opts.capacity_pages = 10;
+  opts.num_shards = 4;
+  BufferPool pool(&fx.base, opts);
+  EXPECT_EQ(pool.capacity_pages(), 10u);
+  EXPECT_EQ(pool.num_shards(), 4u);
+  // Shards are clamped to capacity.
+  BufferPoolOptions tiny;
+  tiny.capacity_pages = 2;
+  tiny.num_shards = 8;
+  BufferPool small(&fx.base, tiny);
+  EXPECT_EQ(small.num_shards(), 2u);
+}
+
+TEST(BufferPoolTest, StatsFoldIntoIoStats) {
+  Fixture fx(3);
+  BufferPool pool(&fx.base, SingleShard(2));
+  PagedReader reader(&fx.base, &pool);
+  Page out(0);
+  // 0,1 miss; 0,1 hit; 2 misses and evicts; a cyclic scan would instead
+  // thrash a too-small LRU and never hit (see docs/CACHING.md).
+  for (PageId p : {0u, 1u, 0u, 1u, 2u}) {
+    ASSERT_TRUE(reader.ReadPage(fx.file, p, &out).ok());
+  }
+  IoStats io = fx.base.stats();
+  reader.AddCacheStatsTo(&io);
+  EXPECT_EQ(io.cache_hits, 2u);
+  EXPECT_EQ(io.cache_misses, 3u);
+  EXPECT_EQ(io.cache_misses, io.TotalReads());
+  EXPECT_GT(io.cache_evictions, 0u);
+  EXPECT_GT(io.CacheHitRatio(), 0.0);
+  // ToString mentions the cache counters once they are non-zero.
+  EXPECT_NE(io.ToString().find("cache_hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nmrs

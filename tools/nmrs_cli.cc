@@ -26,11 +26,13 @@
 //
 //   nmrs_cli batch --data=data.csv --matrices=prefix --queries=K
 //            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
-//            [--seed=S]
+//            [--cache-pages=N | --cache-pct=P] [--seed=S]
 //       Samples K query objects and runs them as one batch on the parallel
 //       query engine (W pool workers, each query optionally using T
 //       intra-query threads), printing per-query results and the modeled
-//       batch throughput.
+//       batch throughput. --cache-pages / --cache-pct attach a shared
+//       buffer-pool page cache of N pages (or P% of the dataset's pages)
+//       to the engine and print its CacheStats summary (docs/CACHING.md).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -360,6 +362,22 @@ int CmdBatch(const Flags& flags) {
       std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
       prepared->stored.num_pages());
   eopts.rs.num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+  if (flags.count("cache-pages") != 0 && flags.count("cache-pct") != 0) {
+    return Fail("--cache-pages and --cache-pct are mutually exclusive");
+  }
+  if (flags.count("cache-pages") != 0) {
+    eopts.cache_pages = std::strtoull(
+        FlagOr(flags, "cache-pages", "0").c_str(), nullptr, 10);
+  } else if (flags.count("cache-pct") != 0) {
+    const double pct =
+        std::strtod(FlagOr(flags, "cache-pct", "0").c_str(), nullptr);
+    if (pct < 0 || pct > 100) return Fail("--cache-pct must be in [0, 100]");
+    eopts.cache_pages =
+        pct == 0 ? 0
+                 : MemoryBudget::FromFraction(pct / 100.0,
+                                              prepared->stored.num_pages())
+                       .pages;
+  }
 
   QueryEngine engine(*prepared, *space, *algo, eopts);
   auto batch = engine.RunBatch(queries);
@@ -381,6 +399,12 @@ int CmdBatch(const Flags& flags) {
       static_cast<unsigned long long>(batch->total_io.TotalRandom()),
       batch->wall_millis, batch->ModeledMakespanMillis(),
       batch->ModeledQps());
+  if (engine.buffer_pool() != nullptr) {
+    std::printf("cache (%llu pages): %s\n",
+                static_cast<unsigned long long>(
+                    engine.buffer_pool()->capacity_pages()),
+                engine.buffer_pool()->stats().ToString().c_str());
+  }
   return 0;
 }
 
