@@ -158,6 +158,11 @@ void EmitIoFields(JsonWriter* json, const IoStats& io) {
   json->Field("cache_misses", io.cache_misses);
   json->Field("cache_evictions", io.cache_evictions);
   json->Field("cache_hit_ratio", io.CacheHitRatio());
+  // Fault counters (docs/ROBUSTNESS.md); zero on fault-free runs, present
+  // always so the schema stays identical across clean and chaos benches.
+  json->Field("transient_retries", io.transient_retries);
+  json->Field("checksum_failures", io.checksum_failures);
+  json->Field("quarantined_pages", io.quarantined_pages);
 }
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}

@@ -79,11 +79,12 @@ class JsonWriter {
 };
 
 /// Emits the standard IO field block every IO-reporting bench shares:
-/// total_seq_io / total_rand_io plus the buffer-pool counters
-/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio). The
-/// cache fields are zero when no pool was attached, keeping one JSON schema
-/// across cached and uncached runs. Call between BeginRun() and the next
-/// BeginRun().
+/// total_seq_io / total_rand_io, the buffer-pool counters
+/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio), and
+/// the fault counters (transient_retries / checksum_failures /
+/// quarantined_pages). Fields not exercised by a run are zero, keeping one
+/// JSON schema across uncached, cached, clean and chaos runs. Call between
+/// BeginRun() and the next BeginRun().
 void EmitIoFields(JsonWriter* json, const IoStats& io);
 
 /// Aligned-column table printer for the figure/table reproductions.

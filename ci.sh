@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + full test suite, then a ThreadSanitizer
-# build of the concurrency stress binary (tests/exec/stress_test.cc). The
-# TSan build is Debug so NMRS_DCHECKs are active, and only builds the
-# gtest-free exec_stress target to keep every instrumented frame inside
-# nmrs code.
+# CI entry point, four stages (see docs/ROBUSTNESS.md for the last two):
+#   1. plain   — RelWithDebInfo build + full ctest suite
+#   2. tsan    — ThreadSanitizer build of the gtest-free concurrency
+#                stress binary (tests/exec/stress_test.cc)
+#   3. asan    — Address+UBSan build of the gtest-free binaries; the fault
+#                path exercises checksum verification, retry loops and
+#                quarantine under instrumentation
+#   4. chaos   — full 500-config fault-injection soak on the plain build
+#                (a 25-config slice already ran inside stage 1's ctest)
+# Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
+# gtest-free targets to keep every instrumented frame inside nmrs code.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,5 +24,14 @@ echo "=== ThreadSanitizer build (exec_stress) ==="
 cmake -B build-tsan -S . -DNMRS_TSAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-tsan -j"${JOBS}" --target exec_stress
 ./build-tsan/tests/exec_stress
+
+echo "=== Address+UBSan build (exec_stress + chaos_soak slice) ==="
+cmake -B build-asan -S . -DNMRS_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j"${JOBS}" --target exec_stress --target chaos_soak
+./build-asan/tests/exec_stress
+./build-asan/tests/chaos_soak --configs=50
+
+echo "=== chaos soak (full 500-config sweep) ==="
+./build/tests/chaos_soak --configs=500
 
 echo "ci: all ok"

@@ -1,0 +1,96 @@
+#include "common/crc32c.h"
+
+namespace nmrs {
+
+namespace {
+
+// Slicing tables: t[0] is the classic byte-at-a-time table for the
+// reflected polynomial, t[s][b] advances byte b through s extra zero bytes.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables kTables;
+
+inline uint32_t Load32(const uint8_t* p) {
+  // Byte-wise assembly keeps the result endian-independent.
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t Load64(const uint8_t* p) {
+  return static_cast<uint64_t>(Load32(p)) |
+         (static_cast<uint64_t>(Load32(p + 4)) << 32);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NMRS_CRC32C_HW 1
+
+// Hardware path: SSE4.2 crc32 over 8-byte lanes (~10x the sliced tables —
+// checksummed page reads must stay near-free on the scan hot path). The
+// target attribute scopes the ISA to this function; callers pick it only
+// after a runtime cpuid check.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t n,
+                                                          uint32_t init) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t crc = init ^ 0xFFFFFFFFu;
+  while (n >= 8) {
+    crc = __builtin_ia32_crc32di(crc, Load64(p));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __builtin_ia32_crc32qi(static_cast<uint32_t>(crc), *p++);
+  }
+  return static_cast<uint32_t>(crc) ^ 0xFFFFFFFFu;
+}
+
+bool DetectCrc32cHardware() { return __builtin_cpu_supports("sse4.2"); }
+#endif  // __x86_64__ && __GNUC__
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+#ifdef NMRS_CRC32C_HW
+  static const bool kHardware = DetectCrc32cHardware();
+  if (kHardware) return Crc32cHardware(data, n, init);
+#endif
+  const auto (&t)[8][256] = kTables.t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = init ^ 0xFFFFFFFFu;
+  while (n >= 8) {
+    const uint32_t lo = crc ^ Load32(p);
+    const uint32_t hi = Load32(p + 4);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace nmrs

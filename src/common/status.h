@@ -21,6 +21,16 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  /// A transient failure (e.g. a simulated flaky page read) that is
+  /// expected to succeed when retried. PagedReader retries these under its
+  /// RetryPolicy; one that persists past the retry budget is reported as
+  /// kDataLoss.
+  kUnavailable,
+  /// Data is permanently unreadable: a permanently bad page, or a
+  /// transient fault that survived every retry attempt. Unlike
+  /// kCorruption (bytes read but failed integrity verification), the bytes
+  /// could not be read at all.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -67,6 +77,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +102,18 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+
+  /// True for the fault-family codes a storage failure can surface as:
+  /// kUnavailable (transient), kDataLoss (permanent), kCorruption
+  /// (integrity). Callers isolating per-query storage faults (the batch
+  /// engine, the CLI) branch on this instead of enumerating codes.
+  bool IsStorageFault() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDataLoss ||
+           code_ == StatusCode::kCorruption;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -53,7 +53,8 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   PruneContext ctx(space, schema, query, opts.selected_attrs);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
@@ -95,7 +96,8 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }
@@ -121,7 +123,8 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
 
   TreeQueryContext ctx =
       internal_tree::MakeTreeContext(space, schema, query, opts);
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -171,7 +174,8 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

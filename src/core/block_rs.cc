@@ -167,7 +167,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
   const QueryDistanceTable qtable(space, schema, query, selected);
@@ -178,7 +179,7 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   // ---- Phase 1: intra-batch pruning, spill survivors. ----
   Timer phase1_timer;
   FileId scratch = disk->CreateFile("rs-scratch");
-  RowWriter writer(disk, scratch, schema);
+  RowWriter writer(disk, scratch, schema, opts.checksum_pages);
   const uint64_t total_pages = data.num_pages();
   for (PageId start = 0; start < total_pages; start += opts.memory.pages) {
     ++stats.phase1_batches;
@@ -201,7 +202,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
 
   // ---- Phase 2: refine survivors against full scans of D. ----
   Timer phase2_timer;
-  StoredDataset survivors(disk, scratch, schema, writer.rows_written());
+  StoredDataset survivors(disk, scratch, schema, writer.rows_written(),
+                          opts.checksum_pages);
   const uint64_t batch_pages = opts.memory.pages - 1;  // 1 page scans D
   NMRS_RETURN_IF_ERROR(Phase2(data, survivors, &reader, ctx, batch_pages,
                               &stats, &result.rows));
@@ -213,7 +215,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   std::sort(result.rows.begin(), result.rows.end());
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

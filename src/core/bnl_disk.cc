@@ -77,11 +77,12 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
   const QueryDistanceTable qtable(space, schema, ref, selected);
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
-  const RowCodec codec(schema, disk->page_size());
+  const RowCodec codec(schema, disk->page_size(), opts.checksum_pages);
   // One page buffers the input; the rest holds the window.
   const uint64_t window_budget =
       (opts.memory.pages - 1) * disk->page_size();
@@ -98,7 +99,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
   for (;;) {
     ++stats.phase1_batches;  // = BNL passes
     FileId spill_file = disk->CreateFile("bnl-spill");
-    RowWriter spill(disk, spill_file, schema);
+    RowWriter spill(disk, spill_file, schema, opts.checksum_pages);
     uint64_t counter = 0;
     uint64_t first_spill_ts = ~uint64_t{0};
 
@@ -182,7 +183,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
 
     // Next pass input = carried window entries + spilled objects.
     FileId next_file = disk->CreateFile("bnl-next");
-    RowWriter next(disk, next_file, schema);
+    RowWriter next(disk, next_file, schema, opts.checksum_pages);
     for (const auto& entry : carry) {
       NMRS_RETURN_IF_ERROR(next.Add(entry.id, entry.values.data(),
                                     numerics ? entry.numerics.data()
@@ -202,7 +203,8 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
     }
     NMRS_RETURN_IF_ERROR(next.Finish());
     NMRS_RETURN_IF_ERROR(disk->DeleteFile(spill_file));
-    input = StoredDataset(disk, next_file, schema, next.rows_written());
+    input = StoredDataset(disk, next_file, schema, next.rows_written(),
+                          opts.checksum_pages);
     input_is_temp = true;
   }
 
@@ -210,7 +212,8 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

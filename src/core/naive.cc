@@ -21,7 +21,8 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   const IoStats io_before = disk->stats();
   disk->InvalidateArmPosition();
 
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
   const QueryDistanceTable qtable(space, schema, query, selected);
@@ -63,7 +64,8 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   stats.phase1_checks = stats.checks;
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

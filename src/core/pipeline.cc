@@ -36,15 +36,15 @@ namespace {
 // RowIds (so results stay comparable across orderings).
 StatusOr<StoredDataset> StoreOrdered(SimulatedDisk* disk, const Dataset& data,
                                      const std::vector<RowId>& order,
-                                     const std::string& name) {
+                                     const std::string& name, bool checksum) {
   FileId file = disk->CreateFile(name);
-  RowWriter writer(disk, file, data.schema());
+  RowWriter writer(disk, file, data.schema(), checksum);
   for (RowId src : order) {
     NMRS_RETURN_IF_ERROR(
         writer.Add(src, data.RowValues(src), data.RowNumerics(src)));
   }
   NMRS_RETURN_IF_ERROR(writer.Finish());
-  return StoredDataset(disk, file, data.schema(), data.num_rows());
+  return StoredDataset(disk, file, data.schema(), data.num_rows(), checksum);
 }
 
 }  // namespace
@@ -75,8 +75,9 @@ StatusOr<PreparedDataset> PrepareDataset(SimulatedDisk* disk,
       break;
   }
 
-  NMRS_ASSIGN_OR_RETURN(StoredDataset stored,
-                        StoreOrdered(disk, data, order, name));
+  NMRS_ASSIGN_OR_RETURN(
+      StoredDataset stored,
+      StoreOrdered(disk, data, order, name, opts.checksum_pages));
   PreparedDataset prepared{std::move(stored), std::move(attr_order),
                            timer.ElapsedMillis()};
   return prepared;

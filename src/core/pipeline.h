@@ -33,6 +33,11 @@ struct PrepareOptions {
   std::vector<AttrId> attr_order;
   /// Tiles per dimension for the Z-order variants.
   size_t tiles_per_dim = 4;
+  /// Seal every dataset page with a CRC-32C footer (docs/ROBUSTNESS.md).
+  /// Queries over such a dataset may set RSOptions::checksum_pages to
+  /// verify integrity on every read. Changes rows_per_page, so IO counts
+  /// differ from the unsealed layout — strictly opt-in.
+  bool checksum_pages = false;
 };
 
 /// A dataset materialized on disk in the order the chosen algorithm

@@ -9,8 +9,11 @@ std::string QueryStats::ToString() const {
   os << "QueryStats{checks=" << checks << ", pair_tests=" << pair_tests
      << ", p1_batches=" << phase1_batches << ", survivors="
      << phase1_survivors << ", p2_batches=" << phase2_batches
-     << ", io=" << io.ToString() << ", compute_ms=" << compute_millis
-     << ", result=" << result_size << "}";
+     << ", io=" << io.ToString() << ", compute_ms=" << compute_millis;
+  if (modeled_backoff_millis != 0) {
+    os << ", backoff_ms=" << modeled_backoff_millis;
+  }
+  os << ", result=" << result_size << "}";
   return os.str();
 }
 

@@ -7,8 +7,10 @@
 
 #include "common/types.h"
 #include "data/object.h"
+#include "storage/fault_injection.h"
 #include "storage/io_stats.h"
 #include "storage/memory_budget.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -57,7 +59,34 @@ struct RSOptions {
   /// built over this dataset's base disk.
   bool cache_pages = false;
   BufferPool* buffer_pool = nullptr;
+
+  /// Verify the CRC-32C footer of every page read (docs/ROBUSTNESS.md).
+  /// Only valid when the dataset — and therefore this query's scratch
+  /// spills, which inherit the flag — was prepared with
+  /// PrepareOptions::checksum_pages. A mismatch that survives one refetch
+  /// surfaces as kCorruption. Default off = seed-identical page layout and
+  /// IO.
+  bool checksum_pages = false;
+
+  /// Transient-read retry budget and modeled backoff (applies when the
+  /// disk underneath can return kUnavailable, i.e. a FaultyDisk). Inert on
+  /// a clean disk.
+  RetryPolicy retry;
+
+  /// Optional shared sink recording pages the query gave up on (borrowed;
+  /// the QueryEngine owns one per batch). Observational only.
+  QuarantineLog* quarantine_log = nullptr;
 };
+
+/// The PagedReader policy implied by a query's RSOptions — every algorithm
+/// builds its reader from this so the fault-handling behavior is uniform.
+inline PagedReaderOptions MakeReaderOptions(const RSOptions& opts) {
+  PagedReaderOptions r;
+  r.verify_checksums = opts.checksum_pages;
+  r.retry = opts.retry;
+  r.quarantine = opts.quarantine_log;
+  return r;
+}
 
 /// Everything the paper measures, per query.
 struct QueryStats {
@@ -86,12 +115,17 @@ struct QueryStats {
   double phase2_millis = 0;
   double compute_millis = 0;  // total wall time of the algorithm
 
+  /// Modeled milliseconds spent in retry backoff (RetryPolicy). Charged as
+  /// model time, never slept, so fault runs stay wall-clock independent.
+  double modeled_backoff_millis = 0;
+
   uint64_t result_size = 0;
 
   /// Response time = computation + modeled disk latency (the simulated
-  /// disk transfers pages memory-to-memory, so modeled IO time is added).
+  /// disk transfers pages memory-to-memory, so modeled IO time is added)
+  /// + modeled retry backoff.
   double ResponseMillis(const IoCostModel& model = {}) const {
-    return compute_millis + model.EstimateMillis(io);
+    return compute_millis + model.EstimateMillis(io) + modeled_backoff_millis;
   }
 
   std::string ToString() const;

@@ -35,7 +35,8 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
 
   TreeQueryContext ctx =
       internal_tree::MakeTreeContext(space, schema, query, opts);
-  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr);
+  PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                     MakeReaderOptions(opts));
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -44,7 +45,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   // ---- Phase 1 (Alg. 3 lines 1-7). ----
   Timer phase1_timer;
   FileId scratch_file = disk->CreateFile("trs-scratch");
-  RowWriter writer(disk, scratch_file, schema);
+  RowWriter writer(disk, scratch_file, schema, opts.checksum_pages);
   {
     ALTree tree(schema, ctx.attr_order);
     RowBatch page_rows(m, numerics);
@@ -161,7 +162,8 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
 
   // ---- Phase 2 (Alg. 3 lines 8-16). ----
   Timer phase2_timer;
-  StoredDataset survivors(disk, scratch_file, schema, writer.rows_written());
+  StoredDataset survivors(disk, scratch_file, schema, writer.rows_written(),
+                          opts.checksum_pages);
   {
     ALTree tree(schema, ctx.attr_order);
     RowBatch page_rows(m, numerics);
@@ -216,7 +218,8 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   std::sort(result.rows.begin(), result.rows.end());
   stats.result_size = result.rows.size();
   stats.io = disk->stats() - io_before;
-  reader.AddCacheStatsTo(&stats.io);
+  reader.FoldStatsInto(&stats.io);
+  stats.modeled_backoff_millis = reader.modeled_backoff_millis();
   stats.compute_millis = timer.ElapsedMillis();
   return result;
 }

@@ -20,16 +20,19 @@ T LoadRaw(const uint8_t* src) {
 
 }  // namespace
 
-RowCodec::RowCodec(const Schema& schema, size_t page_size)
+RowCodec::RowCodec(const Schema& schema, size_t page_size, bool checksum)
     : num_attrs_(schema.num_attributes()),
       has_numerics_(schema.NumNumeric() > 0),
+      checksum_(checksum),
       page_size_(page_size) {
   row_bytes_ = sizeof(uint64_t) + num_attrs_ * sizeof(uint32_t) +
                (has_numerics_ ? num_attrs_ * sizeof(double) : 0);
-  NMRS_CHECK_GT(page_size_, sizeof(uint32_t) + row_bytes_)
+  const size_t usable =
+      page_size_ - (checksum_ ? Page::kChecksumFooterBytes : 0);
+  NMRS_CHECK_GT(usable, sizeof(uint32_t) + row_bytes_)
       << "page size " << page_size_ << " cannot hold a single row of "
       << row_bytes_ << " bytes";
-  rows_per_page_ = (page_size_ - sizeof(uint32_t)) / row_bytes_;
+  rows_per_page_ = (usable - sizeof(uint32_t)) / row_bytes_;
 }
 
 void RowCodec::EncodeRow(Page* page, size_t slot, RowId id,
@@ -83,10 +86,11 @@ void RowCodec::DecodePage(const Page& page, RowBatch* out) const {
   }
 }
 
-RowWriter::RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema)
+RowWriter::RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema,
+                     bool checksum)
     : disk_(disk),
       file_(file),
-      codec_(schema, disk->page_size()),
+      codec_(schema, disk->page_size(), checksum),
       current_(disk->page_size()),
       next_page_(disk->NumPages(file)) {}
 
@@ -98,6 +102,7 @@ Status RowWriter::Add(RowId id, const ValueId* values,
   ++rows_written_;
   if (slot_ == codec_.rows_per_page()) {
     codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+    if (codec_.checksum()) current_.Seal();
     NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
     current_ = Page(disk_->page_size());
     slot_ = 0;
@@ -116,6 +121,7 @@ Status RowWriter::FlushPartial() {
   NMRS_CHECK(!finished_);
   if (slot_ == 0) return Status::OK();
   codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+  if (codec_.checksum()) current_.Seal();
   NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
   partial_on_disk_ = true;
   return Status::OK();
@@ -126,6 +132,7 @@ Status RowWriter::Finish() {
   finished_ = true;
   if (slot_ > 0) {
     codec_.SetRowCount(&current_, static_cast<uint32_t>(slot_));
+    if (codec_.checksum()) current_.Seal();
     NMRS_RETURN_IF_ERROR(disk_->WritePage(file_, next_page_, current_));
     slot_ = 0;
   }
@@ -134,24 +141,26 @@ Status RowWriter::Finish() {
 
 StatusOr<StoredDataset> StoredDataset::Create(SimulatedDisk* disk,
                                               const Dataset& data,
-                                              std::string name) {
+                                              std::string name,
+                                              bool checksum_pages) {
   FileId file = disk->CreateFile(std::move(name));
-  RowWriter writer(disk, file, data.schema());
+  RowWriter writer(disk, file, data.schema(), checksum_pages);
   for (RowId r = 0; r < data.num_rows(); ++r) {
     NMRS_RETURN_IF_ERROR(
         writer.Add(r, data.RowValues(r), data.RowNumerics(r)));
   }
   NMRS_RETURN_IF_ERROR(writer.Finish());
-  return StoredDataset(disk, file, data.schema(), data.num_rows());
+  return StoredDataset(disk, file, data.schema(), data.num_rows(),
+                       checksum_pages);
 }
 
 StoredDataset::StoredDataset(SimulatedDisk* disk, FileId file, Schema schema,
-                             uint64_t num_rows)
+                             uint64_t num_rows, bool checksum_pages)
     : disk_(disk),
       file_(file),
       schema_(std::move(schema)),
       num_rows_(num_rows),
-      codec_(schema_, disk->page_size()) {}
+      codec_(schema_, disk->page_size(), checksum_pages) {}
 
 Status StoredDataset::ReadPage(PageId page, RowBatch* out) const {
   Page buf(disk_->page_size());

@@ -15,18 +15,24 @@ namespace nmrs {
 
 /// Fixed-width row codec for one page.
 ///
-/// Page layout:   [uint32 row_count][row]*
+/// Page layout:   [uint32 row_count][row]*[crc32c]?
 /// Row layout:    [uint64 row_id][uint32 value_id × m][double × m]?
 /// The trailing doubles are present only when the schema has numeric
 /// attributes (exact values needed by the phase-2 refinement of §6).
+///
+/// With `checksum` set, the last Page::kChecksumFooterBytes of the page are
+/// reserved for the CRC-32C footer stamped by Page::Seal — rows_per_page()
+/// shrinks accordingly, which is why checksumming is opt-in: it changes the
+/// page layout and therefore the IO counts of every algorithm.
 class RowCodec {
  public:
-  RowCodec(const Schema& schema, size_t page_size);
+  RowCodec(const Schema& schema, size_t page_size, bool checksum = false);
 
   size_t row_bytes() const { return row_bytes_; }
   size_t rows_per_page() const { return rows_per_page_; }
   size_t num_attrs() const { return num_attrs_; }
   bool has_numerics() const { return has_numerics_; }
+  bool checksum() const { return checksum_; }
 
   /// Pages needed to hold `rows` rows.
   uint64_t PagesFor(uint64_t rows) const {
@@ -45,6 +51,7 @@ class RowCodec {
  private:
   size_t num_attrs_;
   bool has_numerics_;
+  bool checksum_;
   size_t page_size_;
   size_t row_bytes_;
   size_t rows_per_page_;
@@ -56,8 +63,11 @@ class StoredDataset;
 /// Dataset and to spill phase-1 survivors / sort runs.
 class RowWriter {
  public:
-  /// Writing starts at the current end of `file`.
-  RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema);
+  /// Writing starts at the current end of `file`. With `checksum` set,
+  /// every page written (full, partial, or final) is sealed with a CRC-32C
+  /// footer so readers with verify_checksums on can check integrity.
+  RowWriter(SimulatedDisk* disk, FileId file, const Schema& schema,
+            bool checksum = false);
 
   Status Add(RowId id, const ValueId* values, const double* numerics);
   Status AddObject(RowId id, const Object& obj);
@@ -91,15 +101,17 @@ class RowWriter {
 /// accounting. Does not own the disk.
 class StoredDataset {
  public:
-  /// Serializes `data` into a newly created file named `name`.
+  /// Serializes `data` into a newly created file named `name`. With
+  /// `checksum_pages` set, every page carries a CRC-32C footer.
   static StatusOr<StoredDataset> Create(SimulatedDisk* disk,
-                                        const Dataset& data,
-                                        std::string name);
+                                        const Dataset& data, std::string name,
+                                        bool checksum_pages = false);
 
   /// Wraps an existing file previously produced through a RowWriter with the
-  /// same schema.
+  /// same schema. `checksum_pages` must match what the writer used (it
+  /// changes rows_per_page and therefore page addressing).
   StoredDataset(SimulatedDisk* disk, FileId file, Schema schema,
-                uint64_t num_rows);
+                uint64_t num_rows, bool checksum_pages = false);
 
   SimulatedDisk* disk() const { return disk_; }
   FileId file() const { return file_; }
@@ -107,6 +119,7 @@ class StoredDataset {
   uint64_t num_rows() const { return num_rows_; }
   uint64_t num_pages() const { return disk_->NumPages(file_); }
   const RowCodec& codec() const { return codec_; }
+  bool checksum_pages() const { return codec_.checksum(); }
 
   /// Reads and decodes page `page`, appending its rows to `out`.
   Status ReadPage(PageId page, RowBatch* out) const;

@@ -1,7 +1,7 @@
 #include "exec/query_engine.h"
 
 #include <algorithm>
-#include <mutex>
+#include <atomic>
 #include <thread>
 
 #include "common/check.h"
@@ -36,7 +36,13 @@ QueryEngine::QueryEngine(const PreparedDataset& prepared,
   for (size_t w = 0; w < pool_.num_threads(); ++w) {
     views_.push_back(std::make_unique<DiskView>(prepared_->stored.disk()));
   }
-  if (opts_.cache_pages > 0) {
+  if (opts_.faults.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(opts_.faults);
+  }
+  // Fault batches run shared-nothing (see QueryEngineOptions::faults): a
+  // shared cache would let one query's faulted fetch leak into another
+  // query's reads in a scheduling-dependent way.
+  if (opts_.cache_pages > 0 && injector_ == nullptr) {
     BufferPoolOptions pool_opts;
     pool_opts.capacity_pages = opts_.cache_pages;
     pool_cache_ = std::make_unique<BufferPool>(prepared_->stored.disk(),
@@ -48,57 +54,117 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
     const std::vector<Object>& queries) {
   BatchResult batch;
   batch.results.resize(queries.size());
+  batch.statuses.assign(queries.size(), Status::OK());
   batch.worker_modeled_millis.assign(pool_.num_threads(), 0.0);
 
   Timer timer;
   ConcurrentIoStats total_io;
-  std::mutex err_mu;
-  Status first_error;
+  QuarantineLog quarantine;
+  std::atomic<uint64_t> retried{0};
   WaitGroup wg;
   wg.Add(static_cast<int>(queries.size()));
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    pool_.Submit([this, &queries, &batch, &total_io, &err_mu, &first_error,
+    pool_.Submit([this, &queries, &batch, &total_io, &quarantine, &retried,
                   &wg, i] {
       const int w = pool_.CurrentWorkerIndex();
       NMRS_CHECK_GE(w, 0);
       DiskView* view = views_[static_cast<size_t>(w)].get();
 
-      // Re-wrap the prepared dataset over this worker's view: the file id
-      // and layout are the base disk's, the IO accounting is the view's.
-      PreparedDataset local{
-          StoredDataset(view, prepared_->stored.file(),
-                        prepared_->stored.schema(),
-                        prepared_->stored.num_rows()),
-          prepared_->attr_order, prepared_->prepare_millis};
+      // With fault injection on, this query reads through its own
+      // FaultyDisk whose stream is the query index — each query's fault
+      // pattern is fixed by the config, not by which worker runs it. The
+      // fault ceiling restricts injection to the frozen base files:
+      // scratch-file ids are assigned in execution order, so faulting them
+      // would reintroduce a scheduling dependence.
+      std::unique_ptr<FaultyDisk> faulty;
+      SimulatedDisk* qdisk = view;
+      if (injector_ != nullptr) {
+        faulty = std::make_unique<FaultyDisk>(
+            view, injector_.get(), static_cast<uint64_t>(i),
+            prepared_->stored.disk()->next_file_id());
+        qdisk = faulty.get();
+      }
 
       RSOptions rs = opts_.rs;
       if (rs.num_threads > 1 && rs.executor == nullptr) rs.executor = &pool_;
       if (pool_cache_ != nullptr) {
         rs.cache_pages = true;
         rs.buffer_pool = pool_cache_.get();
+      } else {
+        rs.cache_pages = false;
+        rs.buffer_pool = nullptr;
+      }
+      // A checksummed dataset implies verification: sealing pages and then
+      // not checking them would silently waste the footer.
+      if (prepared_->stored.checksum_pages()) rs.checksum_pages = true;
+      // Queries report to the batch-local log; a caller-supplied log gets
+      // the batch's findings folded in after the join.
+      rs.quarantine_log = &quarantine;
+
+      const int attempts = 1 + std::max(0, opts_.max_query_retries);
+      // Placeholder only: the loop below always runs at least one attempt.
+      StatusOr<ReverseSkylineResult> result =
+          Status::Internal("query never ran");
+      for (int attempt = 0; attempt < attempts; ++attempt) {
+        // Retries model a replica read: re-run on the clean view, no
+        // fault wrapper.
+        SimulatedDisk* attempt_disk = attempt == 0 ? qdisk : view;
+        // Re-wrap the prepared dataset over this attempt's disk: the file
+        // id and layout are the base disk's, the IO accounting (and any
+        // injected faults) are this disk's.
+        PreparedDataset local{
+            StoredDataset(attempt_disk, prepared_->stored.file(),
+                          prepared_->stored.schema(),
+                          prepared_->stored.num_rows(),
+                          prepared_->stored.checksum_pages()),
+            prepared_->attr_order, prepared_->prepare_millis};
+        const IoStats before = view->stats();
+        result = RunReverseSkyline(local, *space_, queries[i], algo_, rs);
+        if (result.ok()) {
+          if (attempt > 0) retried.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        // Keep the dead run's partial IO as this query's stats. If a later
+        // attempt succeeds it overwrites this: the reported stats are those
+        // of the attempt that produced the answer (replica-read
+        // accounting), so a recovered query is indistinguishable from one
+        // that ran clean the first time.
+        ReverseSkylineResult partial;
+        partial.stats.io = view->stats() - before;
+        batch.results[i] = std::move(partial);
+        if (!result.status().IsStorageFault()) break;
       }
 
-      auto result =
-          RunReverseSkyline(local, *space_, queries[i], algo_, rs);
       if (result.ok()) {
-        total_io.Add(result->stats.io);
-        // Only this worker's thread touches its slot.
-        batch.worker_modeled_millis[static_cast<size_t>(w)] +=
-            result->stats.ResponseMillis();
         batch.results[i] = std::move(*result);
       } else {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (first_error.ok()) first_error = result.status();
+        batch.statuses[i] = result.status();
       }
+      total_io.Add(batch.results[i].stats.io);
+      // Only this worker's thread touches its slot. Failed queries charge
+      // their partial modeled time too — they occupied the spindle.
+      batch.worker_modeled_millis[static_cast<size_t>(w)] +=
+          batch.results[i].stats.ResponseMillis();
       wg.Done();
     });
   }
   wg.Wait();
 
-  if (!first_error.ok()) return first_error;
+  if (opts_.fail_fast) {
+    Status first = batch.first_error();
+    if (!first.ok()) return first;
+  }
   batch.total_io = total_io.Snapshot();
   batch.wall_millis = timer.ElapsedMillis();
+  batch.queries_retried = retried.load(std::memory_order_relaxed);
+  batch.quarantined = quarantine.Pages();
+  if (opts_.rs.quarantine_log != nullptr) {
+    // The caller supplied its own log; fold this batch's findings in.
+    for (const auto& [file, page] : batch.quarantined) {
+      opts_.rs.quarantine_log->Report(file, page);
+    }
+  }
   return batch;
 }
 

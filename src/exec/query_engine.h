@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "common/statusor.h"
 #include "core/pipeline.h"
 #include "core/query.h"
@@ -13,6 +14,7 @@
 #include "sim/similarity_space.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_view.h"
+#include "storage/fault_injection.h"
 #include "storage/io_stats.h"
 
 namespace nmrs {
@@ -32,6 +34,28 @@ struct QueryEngineOptions {
   /// for every other worker until evicted, and rs.cache_pages /
   /// rs.buffer_pool are filled in per query. See docs/CACHING.md.
   uint64_t cache_pages = 0;
+
+  /// Deterministic storage fault injection (docs/ROBUSTNESS.md). When
+  /// faults.enabled(), every query task reads through its own FaultyDisk
+  /// whose fault stream is the query's batch index — so the faults query i
+  /// sees are a pure function of (faults.seed, i, file, page, attempt),
+  /// independent of worker count and work-stealing order. Fault batches
+  /// run shared-nothing: the shared page cache is disabled, because one
+  /// query's corrupted fetch landing in a shared frame would leak into
+  /// other queries in a scheduling-dependent way.
+  FaultConfig faults;
+
+  /// Legacy error semantics: when true, RunBatch returns the first
+  /// per-query error as a bare error status (after the whole batch has
+  /// run), discarding the BatchResult. Default false = graceful
+  /// degradation with per-query statuses.
+  bool fail_fast = false;
+
+  /// Extra attempts for a query whose run failed with a storage-fault
+  /// status (kUnavailable / kDataLoss / kCorruption): the query is re-run
+  /// on a clean view — no fault wrapper — modeling a replica read.
+  /// Non-storage errors are never retried.
+  int max_query_retries = 0;
 };
 
 /// Outcome of one RunBatch call.
@@ -43,6 +67,42 @@ struct BatchResult {
   /// the page first, so per-query IO becomes interleaving-dependent; only
   /// aggregate invariants survive (see docs/CACHING.md).
   std::vector<ReverseSkylineResult> results;
+
+  /// statuses[i] is the outcome of queries[i]. On failure, results[i]
+  /// holds no rows but still carries the partial IO the query charged
+  /// before dying (its share of batch cost, folded into total_io too).
+  std::vector<Status> statuses;
+
+  /// True iff every query succeeded.
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+
+  /// The lowest-index failure, or OK if none — the status the legacy
+  /// fail-fast API would have returned.
+  Status first_error() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  size_t num_failed() const {
+    size_t n = 0;
+    for (const Status& s : statuses) n += s.ok() ? 0 : 1;
+    return n;
+  }
+
+  /// Queries that failed a faulty run and succeeded on a clean-view re-run
+  /// (QueryEngineOptions::max_query_retries).
+  uint64_t queries_retried = 0;
+
+  /// Pages any query in this batch gave up on (kDataLoss / kCorruption),
+  /// sorted — the batch's quarantine set.
+  std::vector<std::pair<FileId, PageId>> quarantined;
 
   /// Aggregate page IO over all queries (atomic accumulation across
   /// workers; equals the sum of results[i].stats.io). Without a cache it
@@ -89,9 +149,11 @@ class QueryEngine {
   /// aggregate over every batch run so far.
   const BufferPool* buffer_pool() const { return pool_cache_.get(); }
 
-  /// Runs every query, blocking until the batch completes. Returns the
-  /// first per-query error if any query fails (remaining queries still
-  /// run to completion).
+  /// Runs every query, blocking until the batch completes. Each query's
+  /// outcome lands in BatchResult::statuses; failed queries report their
+  /// partial stats while the rest of the batch returns real results. The
+  /// call-level StatusOr is an error only for batch-level problems — or,
+  /// with fail_fast set, the first per-query error (legacy semantics).
   StatusOr<BatchResult> RunBatch(const std::vector<Object>& queries);
 
  private:
@@ -102,6 +164,7 @@ class QueryEngine {
   ThreadPool pool_;
   std::vector<std::unique_ptr<DiskView>> views_;  // one per worker
   std::unique_ptr<BufferPool> pool_cache_;        // shared; null = off
+  std::unique_ptr<FaultInjector> injector_;       // null = faults off
 };
 
 }  // namespace nmrs

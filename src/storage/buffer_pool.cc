@@ -130,6 +130,18 @@ StatusOr<BufferPool::PinnedPage> BufferPool::Pin(SimulatedDisk* via,
   return PinnedPage(this, *frame);
 }
 
+bool BufferPool::Evict(FileId file, PageId page) {
+  const uint64_t key = Key(file, page);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  if (it->second->pins > 0) return false;  // someone is reading it
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
+}
+
 CacheStats BufferPool::stats() const {
   CacheStats s;
   for (const Shard& shard : shards_) {

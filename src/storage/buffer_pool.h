@@ -135,6 +135,13 @@ class BufferPool {
   StatusOr<PinnedPage> Pin(SimulatedDisk* via, FileId file, PageId page,
                            ReadEvent* ev = nullptr);
 
+  /// Drops the resident frame for (file, page) if present and unpinned.
+  /// Returns true if a frame was dropped. PagedReader uses this when a
+  /// cached page fails checksum verification: the stale/corrupt frame is
+  /// evicted so the follow-up read refetches from disk instead of serving
+  /// the same bad bytes forever. Not counted as an LRU eviction.
+  bool Evict(FileId file, PageId page);
+
   /// Pool-wide cumulative counters (sum over shards). Exact when quiescent,
   /// a consistent lower bound while readers are in flight.
   CacheStats stats() const;

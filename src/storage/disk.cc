@@ -3,8 +3,29 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/crc32c.h"
 
 namespace nmrs {
+
+void Page::Seal() {
+  NMRS_CHECK_GE(bytes_.size(), kChecksumFooterBytes);
+  const size_t body = bytes_.size() - kChecksumFooterBytes;
+  const uint32_t crc = Crc32c(bytes_.data(), body);
+  bytes_[body + 0] = static_cast<uint8_t>(crc & 0xFFu);
+  bytes_[body + 1] = static_cast<uint8_t>((crc >> 8) & 0xFFu);
+  bytes_[body + 2] = static_cast<uint8_t>((crc >> 16) & 0xFFu);
+  bytes_[body + 3] = static_cast<uint8_t>((crc >> 24) & 0xFFu);
+}
+
+bool Page::VerifySeal() const {
+  if (bytes_.size() < kChecksumFooterBytes) return false;
+  const size_t body = bytes_.size() - kChecksumFooterBytes;
+  const uint32_t stored = static_cast<uint32_t>(bytes_[body + 0]) |
+                          (static_cast<uint32_t>(bytes_[body + 1]) << 8) |
+                          (static_cast<uint32_t>(bytes_[body + 2]) << 16) |
+                          (static_cast<uint32_t>(bytes_[body + 3]) << 24);
+  return Crc32c(bytes_.data(), body) == stored;
+}
 
 SimulatedDisk::SimulatedDisk(size_t page_size) : SimulatedDisk(page_size, 0) {}
 
@@ -86,11 +107,13 @@ Status SimulatedDisk::ReadPage(FileId file, PageId page, Page* out) {
   NMRS_CHECK(out != nullptr);
   auto it = files_.find(file);
   if (it == files_.end()) {
-    return Status::NotFound("no such file id " + std::to_string(file));
+    return Status::NotFound("no such file id " + std::to_string(file) +
+                            " (reading page " + std::to_string(page) + ")");
   }
   if (page >= it->second.pages.size()) {
     return Status::OutOfRange("read past end of file '" + it->second.name +
-                              "': page " + std::to_string(page) + " of " +
+                              "' (id " + std::to_string(file) + "): page " +
+                              std::to_string(page) + " of " +
                               std::to_string(it->second.pages.size()));
   }
   ChargeRead(file, page);
@@ -106,12 +129,15 @@ Status SimulatedDisk::WritePage(FileId file, PageId page, const Page& in) {
   }
   auto it = files_.find(file);
   if (it == files_.end()) {
-    return Status::NotFound("no such file id " + std::to_string(file));
+    return Status::NotFound("no such file id " + std::to_string(file) +
+                            " (writing page " + std::to_string(page) + ")");
   }
   auto& pages = it->second.pages;
   if (page > pages.size()) {
-    return Status::OutOfRange("write creates hole in file '" +
-                              it->second.name + "'");
+    return Status::OutOfRange(
+        "write creates hole in file '" + it->second.name + "' (id " +
+        std::to_string(file) + "): page " + std::to_string(page) + " of " +
+        std::to_string(pages.size()));
   }
   ChargeWrite(file, page);
   if (page == pages.size()) {
@@ -139,6 +165,20 @@ void SimulatedDisk::ResetStats() {
 void SimulatedDisk::InvalidateArmPosition() {
   std::lock_guard<std::mutex> lock(arm_mu_);
   has_position_ = false;
+}
+
+StatusOr<uint64_t> SimulatedDisk::PagesOf(FileId file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  return static_cast<uint64_t>(it->second.pages.size());
+}
+
+std::string SimulatedDisk::FileName(FileId file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return "<unknown file " + std::to_string(file) + ">";
+  return it->second.name;
 }
 
 uint64_t SimulatedDisk::TotalPages() const {

@@ -24,6 +24,11 @@ inline constexpr size_t kDefaultPageSize = 32 * 1024;  // paper §5.1: 32 KB
 /// A fixed-size disk page. Pages are the unit of all IO accounting.
 class Page {
  public:
+  /// Size of the optional CRC-32C footer written by Seal(). Writers that
+  /// seal pages must leave the last kChecksumFooterBytes of the page free
+  /// (RowCodec reserves them when checksums are enabled).
+  static constexpr size_t kChecksumFooterBytes = 4;
+
   explicit Page(size_t size) : bytes_(size, 0) {}
 
   size_t size() const { return bytes_.size(); }
@@ -32,6 +37,15 @@ class Page {
 
   uint8_t& operator[](size_t i) { return bytes_[i]; }
   uint8_t operator[](size_t i) const { return bytes_[i]; }
+
+  /// Stamps the CRC-32C of bytes [0, size-4) into the last 4 bytes
+  /// (little-endian). Requires size() >= kChecksumFooterBytes.
+  void Seal();
+
+  /// Recomputes the CRC over bytes [0, size-4) and compares it against the
+  /// footer written by Seal(). Returns false on mismatch (the page was
+  /// corrupted, or was never sealed).
+  bool VerifySeal() const;
 
  private:
   std::vector<uint8_t> bytes_;
@@ -103,13 +117,23 @@ class SimulatedDisk {
   /// per-view stats. Returns null for unknown files / out-of-range pages.
   const Page* PeekPage(FileId file, PageId page) const;
 
-  /// Cumulative IO since construction (or last ResetStats).
-  const IoStats& stats() const { return stats_; }
-  void ResetStats();
+  /// Cumulative IO since construction (or last ResetStats). Virtual so
+  /// decorators (FaultyDisk) can expose the wrapped disk's accounting.
+  virtual const IoStats& stats() const { return stats_; }
+  virtual void ResetStats();
 
   /// Forgets the arm position so that the next IO is classified random.
   /// Called by algorithms at phase boundaries to model a cold start.
-  void InvalidateArmPosition();
+  virtual void InvalidateArmPosition();
+
+  /// NumPages with existence reporting: kNotFound for unknown ids instead
+  /// of a silent 0 (callers that must distinguish "empty file" from "no
+  /// such file" use this; NumPages stays the cheap unchecked form).
+  virtual StatusOr<uint64_t> PagesOf(FileId file) const;
+
+  /// Human-readable name of `file`, or "<unknown file N>" if the id does
+  /// not exist. Used to build error messages.
+  virtual std::string FileName(FileId file) const;
 
   /// Total pages across all files (dataset size measurement).
   virtual uint64_t TotalPages() const;

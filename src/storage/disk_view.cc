@@ -23,10 +23,12 @@ Status DiskView::ReadPage(FileId file, PageId page, Page* out) {
   const Page* p = base_->PeekPage(file, page);
   if (p == nullptr) {
     if (!base_->FileExists(file)) {
-      return Status::NotFound("no such file id " + std::to_string(file));
+      return Status::NotFound("no such file id " + std::to_string(file) +
+                              " (reading page " + std::to_string(page) + ")");
     }
-    return Status::OutOfRange("read past end of base file " +
-                              std::to_string(file) + ": page " +
+    return Status::OutOfRange("read past end of base file '" +
+                              base_->FileName(file) + "' (id " +
+                              std::to_string(file) + "): page " +
                               std::to_string(page) + " of " +
                               std::to_string(base_->NumPages(file)));
   }
@@ -58,6 +60,16 @@ uint64_t DiskView::NumPages(FileId file) const {
 bool DiskView::FileExists(FileId file) const {
   if (IsBaseFile(file)) return base_->FileExists(file);
   return SimulatedDisk::FileExists(file);
+}
+
+StatusOr<uint64_t> DiskView::PagesOf(FileId file) const {
+  if (IsBaseFile(file)) return base_->PagesOf(file);
+  return SimulatedDisk::PagesOf(file);
+}
+
+std::string DiskView::FileName(FileId file) const {
+  if (IsBaseFile(file)) return base_->FileName(file);
+  return SimulatedDisk::FileName(file);
 }
 
 uint64_t DiskView::TotalPages() const {

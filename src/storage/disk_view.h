@@ -42,6 +42,8 @@ class DiskView final : public SimulatedDisk {
   Status TruncateFile(FileId file) override;
   uint64_t NumPages(FileId file) const override;
   bool FileExists(FileId file) const override;
+  StatusOr<uint64_t> PagesOf(FileId file) const override;
+  std::string FileName(FileId file) const override;
 
   /// Base pages plus view-local scratch pages.
   uint64_t TotalPages() const override;

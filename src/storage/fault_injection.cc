@@ -1,0 +1,157 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nmrs {
+
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mixer, so nearby
+// (file, page, attempt) tuples land on statistically independent seeds.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Folds the decision coordinates into one seed. Chained Mix64 keeps every
+// coordinate influential (plain XOR of the raw values would alias e.g.
+// (file=1, page=0) with (file=0, page=1)).
+uint64_t DecisionSeed(uint64_t seed, uint64_t stream, FileId file, PageId page,
+                      uint64_t attempt) {
+  uint64_t h = Mix64(seed);
+  h = Mix64(h ^ stream);
+  h = Mix64(h ^ file);
+  h = Mix64(h ^ page);
+  h = Mix64(h ^ attempt);
+  return h;
+}
+
+}  // namespace
+
+ReadFault FaultInjector::DecideRead(uint64_t stream, FileId file, PageId page,
+                                    uint64_t attempt) const {
+  ReadFault fault;
+  if (config_.transient_read_p <= 0.0 && config_.corrupt_p <= 0.0) {
+    return fault;
+  }
+  Rng rng(DecisionSeed(config_.seed, stream, file, page, attempt));
+  if (rng.Bernoulli(config_.transient_read_p)) {
+    fault.transient = true;
+    return fault;  // the attempt fails; corruption is moot
+  }
+  if (rng.Bernoulli(config_.corrupt_p)) {
+    fault.corrupt = true;
+    fault.corrupt_offset_raw = rng.Next64();
+    // XOR mask in [1, 255]: zero would be a no-op "corruption".
+    fault.corrupt_xor = static_cast<uint8_t>(1 + rng.Uniform(255));
+  }
+  return fault;
+}
+
+bool QuarantineLog::Report(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.insert({file, page}).second;
+}
+
+std::vector<std::pair<FileId, PageId>> QuarantineLog::Pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {pages_.begin(), pages_.end()};
+}
+
+size_t QuarantineLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+FaultyDisk::FaultyDisk(SimulatedDisk* inner, const FaultInjector* injector,
+                       uint64_t stream, FileId fault_ceiling)
+    : SimulatedDisk(inner->page_size(), inner->next_file_id()),
+      inner_(inner),
+      injector_(injector),
+      stream_(stream),
+      fault_ceiling_(fault_ceiling) {
+  NMRS_CHECK(inner != nullptr);
+  NMRS_CHECK(injector != nullptr);
+}
+
+uint64_t FaultyDisk::NextAttempt(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_[{file, page}]++;
+}
+
+Status FaultyDisk::ReadPage(FileId file, PageId page, Page* out) {
+  if (file >= fault_ceiling_) return inner_->ReadPage(file, page, out);
+  const uint64_t attempt = NextAttempt(file, page);
+  if (injector_->IsBadPage(file, page)) {
+    // The arm still seeks to the bad page: a failed read costs real IO.
+    // Mirror the inner disk's charge path by issuing the read and
+    // discarding the result.
+    Status inner_status = inner_->ReadPage(file, page, out);
+    if (!inner_status.ok()) return inner_status;
+    return Status::DataLoss("permanently unreadable page " +
+                            std::to_string(page) + " of file '" +
+                            inner_->FileName(file) + "' (id " +
+                            std::to_string(file) + ")");
+  }
+  const ReadFault fault = injector_->DecideRead(stream_, file, page, attempt);
+  if (fault.transient) {
+    Status inner_status = inner_->ReadPage(file, page, out);
+    if (!inner_status.ok()) return inner_status;
+    return Status::Unavailable(
+        "transient read failure on page " + std::to_string(page) +
+        " of file '" + inner_->FileName(file) + "' (id " +
+        std::to_string(file) + "), attempt " + std::to_string(attempt));
+  }
+  NMRS_RETURN_IF_ERROR(inner_->ReadPage(file, page, out));
+  if (fault.corrupt && out->size() > 0) {
+    const size_t offset =
+        static_cast<size_t>(fault.corrupt_offset_raw % out->size());
+    (*out)[offset] ^= fault.corrupt_xor;
+  }
+  return Status::OK();
+}
+
+FileId FaultyDisk::CreateFile(std::string name) {
+  return inner_->CreateFile(std::move(name));
+}
+
+Status FaultyDisk::DeleteFile(FileId file) { return inner_->DeleteFile(file); }
+
+Status FaultyDisk::TruncateFile(FileId file) {
+  return inner_->TruncateFile(file);
+}
+
+uint64_t FaultyDisk::NumPages(FileId file) const {
+  return inner_->NumPages(file);
+}
+
+bool FaultyDisk::FileExists(FileId file) const {
+  return inner_->FileExists(file);
+}
+
+Status FaultyDisk::WritePage(FileId file, PageId page, const Page& in) {
+  return inner_->WritePage(file, page, in);
+}
+
+const IoStats& FaultyDisk::stats() const { return inner_->stats(); }
+
+void FaultyDisk::ResetStats() { inner_->ResetStats(); }
+
+void FaultyDisk::InvalidateArmPosition() { inner_->InvalidateArmPosition(); }
+
+StatusOr<uint64_t> FaultyDisk::PagesOf(FileId file) const {
+  return inner_->PagesOf(file);
+}
+
+std::string FaultyDisk::FileName(FileId file) const {
+  return inner_->FileName(file);
+}
+
+uint64_t FaultyDisk::TotalPages() const { return inner_->TotalPages(); }
+
+}  // namespace nmrs

@@ -1,0 +1,195 @@
+#ifndef NMRS_STORAGE_FAULT_INJECTION_H_
+#define NMRS_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/disk.h"
+
+namespace nmrs {
+
+/// Deterministic storage fault injection (docs/ROBUSTNESS.md).
+///
+/// The design goal is bit-identical reproduction: whether a given read
+/// attempt faults is a *pure function* of (seed, stream, file, page,
+/// attempt). No global RNG state is consumed, so the fault pattern is
+/// independent of thread scheduling, query interleaving and worker count.
+/// `stream` partitions the fault space between independent consumers — the
+/// batch engine uses the query index, so query 7 sees the same faults
+/// whether the batch runs on 1 worker or 8.
+
+/// What fault configuration to apply to a disk. Default-constructed ==
+/// faults off (enabled() is false and FaultyDisk becomes pass-through).
+struct FaultConfig {
+  /// Seed of the fault pattern. Two runs with equal configs see equal
+  /// faults.
+  uint64_t seed = 0;
+
+  /// Probability that any single read *attempt* fails transiently with
+  /// kUnavailable (independent per attempt, so a retry may succeed).
+  double transient_read_p = 0.0;
+
+  /// Probability that a successful read returns silently corrupted bytes
+  /// (one byte XOR-flipped). Only checksums can catch this.
+  double corrupt_p = 0.0;
+
+  /// Pages that are permanently unreadable: every attempt fails with
+  /// kDataLoss. Retries never help; PagedReader quarantines these.
+  std::set<std::pair<FileId, PageId>> bad_pages;
+
+  bool enabled() const {
+    return transient_read_p > 0.0 || corrupt_p > 0.0 || !bad_pages.empty();
+  }
+};
+
+/// The outcome FaultInjector decides for one read attempt.
+struct ReadFault {
+  bool transient = false;    // fail this attempt with kUnavailable
+  bool corrupt = false;      // flip one byte of the returned page
+  uint64_t corrupt_offset_raw = 0;  // reduce mod page size at the flip site
+  uint8_t corrupt_xor = 0;          // never 0 when corrupt (a real flip)
+};
+
+/// Pure-function fault oracle over a FaultConfig. Stateless and
+/// const-thread-safe: any number of threads may query it concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True if (file, page) is configured permanently bad.
+  bool IsBadPage(FileId file, PageId page) const {
+    return config_.bad_pages.count({file, page}) > 0;
+  }
+
+  /// Decides the fault outcome for attempt `attempt` (0-based) of reading
+  /// (file, page) on fault stream `stream`. Deterministic: equal arguments
+  /// and config always produce the same ReadFault.
+  ReadFault DecideRead(uint64_t stream, FileId file, PageId page,
+                       uint64_t attempt) const;
+
+ private:
+  FaultConfig config_;
+};
+
+/// How PagedReader responds to transient (kUnavailable) read failures.
+/// Backoff is *modeled*, not slept: BackoffMillis sums into
+/// QueryStats::modeled_backoff_millis so that retry storms show up in
+/// response-time estimates without making tests wall-clock dependent.
+struct RetryPolicy {
+  /// Total attempts per page read, including the first (so 3 = up to 2
+  /// retries). Must be >= 1.
+  int max_attempts = 3;
+
+  /// Modeled delay before the first retry, doubled (by default) each
+  /// further retry: 2ms, 4ms, 8ms...
+  double backoff_millis = 2.0;
+  double backoff_multiplier = 2.0;
+
+  /// Modeled delay charged before retry number `retry` (1-based).
+  double BackoffMillis(int retry) const {
+    double ms = backoff_millis;
+    for (int i = 1; i < retry; ++i) ms *= backoff_multiplier;
+    return ms;
+  }
+};
+
+/// Thread-safe record of pages PagedReader has given up on. Purely
+/// observational: queries never consult it to change behavior (which would
+/// couple queries together and break per-query determinism) — it exists so
+/// operators can see *which* pages are gone, not just how many.
+class QuarantineLog {
+ public:
+  /// Records (file, page). Returns true if it was newly quarantined.
+  bool Report(FileId file, PageId page);
+
+  /// Snapshot of all quarantined pages, sorted.
+  std::vector<std::pair<FileId, PageId>> Pages() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::pair<FileId, PageId>> pages_;
+};
+
+/// A SimulatedDisk decorator that injects the faults a FaultInjector
+/// decides into reads of a wrapped disk. Writes and structural ops pass
+/// straight through; stats and the disk arm live in the wrapped disk so IO
+/// accounting is unchanged by wrapping.
+///
+/// Attempt numbering: the decorator counts ReadPage calls per (file, page)
+/// *within this instance*, so retries of the same page advance through the
+/// fault sequence while a fresh FaultyDisk (e.g. a re-run of the same
+/// query) replays it from attempt 0. The batch engine creates one
+/// FaultyDisk per query task over that worker's DiskView, which is what
+/// makes fault patterns independent of work-stealing order.
+///
+/// Thread-compatibility: the attempt map is mutex-guarded, but the
+/// intended use is single-owner (one query task), like DiskView.
+class FaultyDisk final : public SimulatedDisk {
+ public:
+  /// All file ids are faultable (standalone use over a private disk).
+  static constexpr FileId kNoFaultCeiling = ~FileId{0};
+
+  /// `inner` is borrowed and must outlive the FaultyDisk. `stream`
+  /// partitions the fault space (see file comment). Reads of files with id
+  /// >= `fault_ceiling` bypass injection entirely: fault decisions key on
+  /// the file id, and per-view scratch-file ids are handed out in
+  /// execution order — so injecting into scratch reads would make fault
+  /// patterns depend on which queries ran earlier on the same worker. The
+  /// batch engine passes the frozen base disk's next_file_id() as the
+  /// ceiling, which models faults as bad sectors in the (shared, frozen)
+  /// dataset region while per-query scratch spills stay clean.
+  FaultyDisk(SimulatedDisk* inner, const FaultInjector* injector,
+             uint64_t stream, FileId fault_ceiling = kNoFaultCeiling);
+
+  SimulatedDisk* inner() const { return inner_; }
+  uint64_t stream() const { return stream_; }
+
+  Status ReadPage(FileId file, PageId page, Page* out) override;
+
+  // Everything else forwards to the wrapped disk unchanged.
+  FileId CreateFile(std::string name) override;
+  Status DeleteFile(FileId file) override;
+  Status TruncateFile(FileId file) override;
+  uint64_t NumPages(FileId file) const override;
+  bool FileExists(FileId file) const override;
+  Status WritePage(FileId file, PageId page, const Page& in) override;
+  const IoStats& stats() const override;
+  void ResetStats() override;
+  void InvalidateArmPosition() override;
+  StatusOr<uint64_t> PagesOf(FileId file) const override;
+  std::string FileName(FileId file) const override;
+  uint64_t TotalPages() const override;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<FileId, PageId>& p) const {
+      return static_cast<size_t>(p.first) * 0x9E3779B97F4A7C15ull +
+             static_cast<size_t>(p.second);
+    }
+  };
+
+  uint64_t NextAttempt(FileId file, PageId page);
+
+  SimulatedDisk* inner_;
+  const FaultInjector* injector_;
+  uint64_t stream_;
+  FileId fault_ceiling_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::pair<FileId, PageId>, uint64_t, PairHash> attempts_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_FAULT_INJECTION_H_

@@ -13,6 +13,13 @@ std::string IoStats::ToString() const {
     os << ", cache_hits=" << cache_hits << ", cache_misses=" << cache_misses
        << ", cache_evictions=" << cache_evictions;
   }
+  // Likewise elide the fault counters in fault-free runs.
+  if (transient_retries != 0 || checksum_failures != 0 ||
+      quarantined_pages != 0) {
+    os << ", transient_retries=" << transient_retries
+       << ", checksum_failures=" << checksum_failures
+       << ", quarantined_pages=" << quarantined_pages;
+  }
   os << "}";
   return os.str();
 }

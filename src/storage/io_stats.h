@@ -28,6 +28,17 @@ struct IoStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
 
+  // Fault-handling traffic (docs/ROBUSTNESS.md). A transient retry is one
+  // extra ReadPage attempt after a kUnavailable result — each retry's fetch
+  // is also charged as a seq/rand read above, so read counters under faults
+  // include retry traffic. A checksum failure is a page that arrived but
+  // failed VerifySeal(); a quarantined page is one PagedReader gave up on
+  // (retries exhausted or checksum failure persisted across a refetch). All
+  // three stay 0 with fault injection and checksums off.
+  uint64_t transient_retries = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t quarantined_pages = 0;
+
   uint64_t TotalReads() const { return seq_reads + rand_reads; }
   uint64_t TotalWrites() const { return seq_writes + rand_writes; }
   uint64_t TotalSequential() const { return seq_reads + seq_writes; }
@@ -51,6 +62,9 @@ struct IoStats {
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
+    transient_retries += o.transient_retries;
+    checksum_failures += o.checksum_failures;
+    quarantined_pages += o.quarantined_pages;
     return *this;
   }
 
@@ -67,6 +81,12 @@ struct IoStats {
     NMRS_DCHECK(o.cache_misses <= cache_misses) << "cache_misses underflow";
     NMRS_DCHECK(o.cache_evictions <= cache_evictions)
         << "cache_evictions underflow";
+    NMRS_DCHECK(o.transient_retries <= transient_retries)
+        << "transient_retries underflow";
+    NMRS_DCHECK(o.checksum_failures <= checksum_failures)
+        << "checksum_failures underflow";
+    NMRS_DCHECK(o.quarantined_pages <= quarantined_pages)
+        << "quarantined_pages underflow";
     IoStats r = *this;
     r.seq_reads -= o.seq_reads;
     r.rand_reads -= o.rand_reads;
@@ -75,6 +95,9 @@ struct IoStats {
     r.cache_hits -= o.cache_hits;
     r.cache_misses -= o.cache_misses;
     r.cache_evictions -= o.cache_evictions;
+    r.transient_retries -= o.transient_retries;
+    r.checksum_failures -= o.checksum_failures;
+    r.quarantined_pages -= o.quarantined_pages;
     return r;
   }
 
@@ -97,6 +120,12 @@ class ConcurrentIoStats {
     cache_hits_.fetch_add(s.cache_hits, std::memory_order_relaxed);
     cache_misses_.fetch_add(s.cache_misses, std::memory_order_relaxed);
     cache_evictions_.fetch_add(s.cache_evictions, std::memory_order_relaxed);
+    transient_retries_.fetch_add(s.transient_retries,
+                                 std::memory_order_relaxed);
+    checksum_failures_.fetch_add(s.checksum_failures,
+                                 std::memory_order_relaxed);
+    quarantined_pages_.fetch_add(s.quarantined_pages,
+                                 std::memory_order_relaxed);
   }
 
   IoStats Snapshot() const {
@@ -108,6 +137,9 @@ class ConcurrentIoStats {
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+    s.transient_retries = transient_retries_.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+    s.quarantined_pages = quarantined_pages_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -119,6 +151,9 @@ class ConcurrentIoStats {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> transient_retries_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> quarantined_pages_{0};
 };
 
 /// Converts page-IO counts into modeled milliseconds. Defaults approximate a

@@ -1,0 +1,67 @@
+#include "storage/paged_reader.h"
+
+#include <algorithm>
+#include <string>
+
+namespace nmrs {
+
+Status PagedReader::RawRead(FileId file, PageId page, Page* out) {
+  if (pool_ != nullptr && pool_->Caches(file)) {
+    BufferPool::ReadEvent ev;
+    Status s = pool_->ReadThrough(disk_, file, page, out, &ev);
+    if (!s.ok()) return s;
+    stats_.hits += ev.hit ? 1 : 0;
+    stats_.misses += ev.hit ? 0 : 1;
+    stats_.evictions += ev.evicted ? 1 : 0;
+    return s;
+  }
+  return disk_->ReadPage(file, page, out);
+}
+
+Status PagedReader::ReadPage(FileId file, PageId page, Page* out) {
+  const int max_attempts = std::max(1, opts_.retry.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++transient_retries_;
+      modeled_backoff_millis_ += opts_.retry.BackoffMillis(attempt);
+    }
+    last = RawRead(file, page, out);
+    if (last.IsUnavailable()) continue;  // transient: spend a retry
+    if (!last.ok()) break;               // permanent: surface below
+
+    if (!opts_.verify_checksums) return last;
+    if (out->VerifySeal()) return last;
+
+    // Checksum failure. The bad bytes may live in the shared pool (one
+    // corrupted miss fetch poisons every later hit), so evict the frame and
+    // refetch once from disk before declaring the page corrupt.
+    ++checksum_failures_;
+    if (pool_ != nullptr && pool_->Caches(file)) pool_->Evict(file, page);
+    Status refetch = RawRead(file, page, out);
+    if (refetch.ok()) {
+      if (out->VerifySeal()) return refetch;
+      ++checksum_failures_;
+    }
+    last = Status::Corruption(
+        "checksum mismatch on page " + std::to_string(page) + " of file '" +
+        disk_->FileName(file) + "' (id " + std::to_string(file) +
+        "), persisted across a refetch");
+    break;
+  }
+
+  if (last.IsUnavailable()) {
+    last = Status::DataLoss("page " + std::to_string(page) + " of file '" +
+                            disk_->FileName(file) + "' (id " +
+                            std::to_string(file) + ") unreadable after " +
+                            std::to_string(max_attempts) +
+                            " attempts: " + last.message());
+  }
+  if (last.IsDataLoss() || last.IsCorruption()) {
+    ++quarantined_pages_;
+    if (opts_.quarantine != nullptr) opts_.quarantine->Report(file, page);
+  }
+  return last;
+}
+
+}  // namespace nmrs

@@ -4,61 +4,102 @@
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
+#include "storage/fault_injection.h"
 
 namespace nmrs {
 
-/// Thin per-query facade the algorithms read pages through. With no pool
-/// attached (the default), every read goes straight to the disk —
-/// bit-identical to the seed behavior. With a pool, reads of cacheable
-/// (frozen base) files are served through the shared BufferPool while
-/// scratch-file reads still bypass it; either way the disk passed here —
-/// typically a worker's DiskView — is what gets charged for real IO, so
-/// the existing seq/rand accounting is untouched.
+/// Per-query read policy for PagedReader. Default-constructed == seed
+/// behavior: no verification, retries configured but inert (a clean disk
+/// never returns kUnavailable, so the loop exits on the first attempt).
+struct PagedReaderOptions {
+  /// Verify the CRC-32C footer (Page::VerifySeal) on every page read. Only
+  /// valid for datasets written with checksums enabled
+  /// (RSOptions::checksum_pages / PrepareOptions::checksum_pages).
+  bool verify_checksums = false;
+
+  /// Transient-failure retry budget and modeled backoff.
+  RetryPolicy retry;
+
+  /// Optional shared sink for pages this reader gives up on. Purely
+  /// observational (never read back), so sharing one log across queries
+  /// does not couple their behavior.
+  QuarantineLog* quarantine = nullptr;
+};
+
+/// The per-query facade the algorithms read pages through — and, as of the
+/// robustness layer, the single place where storage faults are absorbed or
+/// surfaced (docs/ROBUSTNESS.md).
 ///
-/// The reader also accumulates this query's own CacheStats, which the
-/// algorithms fold into QueryStats::io at the end of the run. Not
-/// thread-safe: one PagedReader per worker/query, like the DiskView it
+/// With default options and no pool attached, every read goes straight to
+/// the disk — bit-identical to the seed behavior. With a pool, reads of
+/// cacheable (frozen base) files are served through the shared BufferPool
+/// while scratch-file reads bypass it; either way the disk passed here —
+/// typically a worker's DiskView, possibly wrapped in a FaultyDisk — is
+/// what gets charged for real IO.
+///
+/// ## Fault handling
+///
+/// - kUnavailable (transient) results are retried up to
+///   RetryPolicy::max_attempts total attempts; each retry charges modeled
+///   backoff to modeled_backoff_millis() (never wall time) and counts one
+///   transient_retries. Exhausting the budget converts the failure to
+///   kDataLoss.
+/// - With verify_checksums on, every page that arrives is checked against
+///   its CRC footer. A failure counts one checksum_failures and triggers a
+///   single refetch — evicting the possibly-poisoned frame from the pool
+///   first, so the shared cache heals instead of serving the same bad
+///   bytes forever. A second failure surfaces as kCorruption.
+/// - Pages this reader gives up on (kDataLoss / kCorruption) count one
+///   quarantined_pages each and are reported to the QuarantineLog, if any.
+///
+/// Not thread-safe: one PagedReader per worker/query, like the DiskView it
 /// wraps. The shared BufferPool behind it is what synchronizes.
 class PagedReader {
  public:
-  explicit PagedReader(SimulatedDisk* disk, BufferPool* pool = nullptr)
-      : disk_(disk), pool_(pool) {}
+  explicit PagedReader(SimulatedDisk* disk, BufferPool* pool = nullptr,
+                       PagedReaderOptions opts = {})
+      : disk_(disk), pool_(pool), opts_(opts) {}
 
-  /// Reads one page, through the pool when (and only when) `file` is a
-  /// frozen base file and a pool is attached.
-  Status ReadPage(FileId file, PageId page, Page* out) {
-    if (pool_ != nullptr && pool_->Caches(file)) {
-      BufferPool::ReadEvent ev;
-      Status s = pool_->ReadThrough(disk_, file, page, out, &ev);
-      if (!s.ok()) return s;
-      stats_.hits += ev.hit ? 1 : 0;
-      stats_.misses += ev.hit ? 0 : 1;
-      stats_.evictions += ev.evicted ? 1 : 0;
-      return s;
-    }
-    return disk_->ReadPage(file, page, out);
-  }
+  /// Reads one page, applying the retry / verify / quarantine policy.
+  Status ReadPage(FileId file, PageId page, Page* out);
 
   SimulatedDisk* disk() const { return disk_; }
   BufferPool* pool() const { return pool_; }
   bool caching() const { return pool_ != nullptr; }
+  const PagedReaderOptions& options() const { return opts_; }
 
   /// Cache traffic routed through *this reader* (per-query attribution;
   /// the pool's own stats() aggregate across all readers).
   const CacheStats& cache_stats() const { return stats_; }
 
-  /// Folds this reader's cache counters into `io` (hits/misses/evictions;
-  /// the charged reads are already there via the disk).
-  void AddCacheStatsTo(IoStats* io) const {
+  /// Modeled milliseconds spent in retry backoff by this reader. The
+  /// algorithms add it to QueryStats::modeled_backoff_millis so retry
+  /// storms show up in ResponseMillis without any wall-clock dependence.
+  double modeled_backoff_millis() const { return modeled_backoff_millis_; }
+
+  /// Folds this reader's cache and fault counters into `io` (the charged
+  /// reads are already there via the disk).
+  void FoldStatsInto(IoStats* io) const {
     io->cache_hits += stats_.hits;
     io->cache_misses += stats_.misses;
     io->cache_evictions += stats_.evictions;
+    io->transient_retries += transient_retries_;
+    io->checksum_failures += checksum_failures_;
+    io->quarantined_pages += quarantined_pages_;
   }
 
  private:
+  // One read through the pool-or-disk route, no fault policy applied.
+  Status RawRead(FileId file, PageId page, Page* out);
+
   SimulatedDisk* disk_;
   BufferPool* pool_;
+  PagedReaderOptions opts_;
   CacheStats stats_;
+  uint64_t transient_retries_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint64_t quarantined_pages_ = 0;
+  double modeled_backoff_millis_ = 0.0;
 };
 
 }  // namespace nmrs

@@ -30,6 +30,30 @@ TEST(StatusTest, AllFactoryPredicatesMatch) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+}
+
+TEST(StatusTest, StorageFaultCoversExactlyTheRetryableFamily) {
+  // The retry / quarantine machinery keys off IsStorageFault: transient
+  // unavailability, exhausted-retry data loss, and checksum corruption.
+  EXPECT_TRUE(Status::Unavailable("x").IsStorageFault());
+  EXPECT_TRUE(Status::DataLoss("x").IsStorageFault());
+  EXPECT_TRUE(Status::Corruption("x").IsStorageFault());
+  // Everything else — including OK — is not a storage fault.
+  EXPECT_FALSE(Status::OK().IsStorageFault());
+  EXPECT_FALSE(Status::NotFound("x").IsStorageFault());
+  EXPECT_FALSE(Status::OutOfRange("x").IsStorageFault());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsStorageFault());
+  EXPECT_FALSE(Status::Internal("x").IsStorageFault());
+}
+
+TEST(StatusTest, NewCodesRenderDistinctly) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_EQ(Status::Unavailable("retry me").ToString(),
+            "Unavailable: retry me");
+  EXPECT_EQ(Status::DataLoss("gone").ToString(), "DataLoss: gone");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

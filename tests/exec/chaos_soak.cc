@@ -1,0 +1,193 @@
+// Fault-injection chaos soak (docs/ROBUSTNESS.md, ci.sh `chaos` stage).
+//
+// Sweeps many seeded random fault configurations through the batch engine
+// and checks the robustness layer's core contract on each: a query the
+// faults did not touch must return rows and IO bit-identical to the clean
+// run, a query the faults did touch must either recover exactly or fail
+// with a storage-fault status — never crash, never silently return wrong
+// rows. Each config also runs at two worker counts to re-check that fault
+// patterns are scheduling-independent.
+//
+// Deliberately gtest-free (like exec_stress) so sanitizer builds contain
+// only instrumented nmrs code. Exits 0 on success, aborts on violation.
+//
+// Usage: chaos_soak [--configs=N] [--seed=S]   (defaults: 500, 20260807)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "exec/query_engine.h"
+#include "sim/dissimilarity_matrix.h"
+
+namespace nmrs {
+namespace {
+
+struct Scenario {
+  Dataset data;
+  SimilaritySpace space;
+  std::vector<Object> queries;
+  Algorithm algo = Algorithm::kSRS;
+  bool checksums = false;
+};
+
+Scenario MakeScenario(Rng& rng) {
+  const std::vector<size_t> cards = {5, 6, 7};
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const uint64_t rows = 1000 + rng.Uniform(2000);
+  Scenario s{GenerateNormal(rows, cards, data_rng), {}, {}};
+  for (size_t card : cards) {
+    s.space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  const size_t num_queries = 8 + rng.Uniform(9);
+  for (size_t i = 0; i < num_queries; ++i) {
+    s.queries.push_back(SampleUniformQuery(s.data, rng));
+  }
+  const Algorithm algos[] = {Algorithm::kNaive, Algorithm::kBRS,
+                             Algorithm::kSRS, Algorithm::kTRS};
+  s.algo = algos[rng.Uniform(4)];
+  s.checksums = rng.Bernoulli(0.5);
+  return s;
+}
+
+// One random fault configuration. Corruption only makes sense against a
+// sealed dataset (without checksums it is undetectable by design and would
+// legitimately change result rows), so corrupt_p stays 0 unless the
+// scenario checksums its pages.
+FaultConfig MakeFaults(Rng& rng, const PreparedDataset& prepared,
+                       bool checksums) {
+  FaultConfig cfg;
+  cfg.seed = rng.Next64();
+  const double transient_grades[] = {0.0, 1e-3, 1e-2, 0.05};
+  cfg.transient_read_p = transient_grades[rng.Uniform(4)];
+  if (checksums) {
+    const double corrupt_grades[] = {0.0, 1e-3, 1e-2};
+    cfg.corrupt_p = corrupt_grades[rng.Uniform(3)];
+  }
+  const uint64_t pages =
+      prepared.stored.disk()->NumPages(prepared.stored.file());
+  const size_t num_bad = rng.Uniform(3);  // 0..2 permanently bad pages
+  for (size_t i = 0; i < num_bad && pages > 0; ++i) {
+    cfg.bad_pages.insert(
+        {prepared.stored.file(), static_cast<PageId>(rng.Uniform(pages))});
+  }
+  return cfg;
+}
+
+uint64_t FaultCounterSum(const IoStats& io) {
+  return io.transient_retries + io.checksum_failures + io.quarantined_pages;
+}
+
+void CheckConfig(int index, uint64_t scenario_seed) {
+  Rng rng(scenario_seed);
+  Scenario s = MakeScenario(rng);
+
+  SimulatedDisk disk;
+  PrepareOptions popts;
+  popts.checksum_pages = s.checksums;
+  auto prepared = PrepareDataset(&disk, s.data, s.algo, popts);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  // Clean baseline (same checksum setting, no faults).
+  BatchResult clean;
+  {
+    QueryEngineOptions opts;
+    opts.num_workers = 2;
+    auto batch = QueryEngine(*prepared, s.space, s.algo, opts)
+                     .RunBatch(s.queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    NMRS_CHECK(batch->ok()) << batch->first_error();
+    clean = std::move(*batch);
+  }
+
+  QueryEngineOptions fopts;
+  fopts.faults = MakeFaults(rng, *prepared, s.checksums);
+  fopts.rs.retry.max_attempts = 1 + static_cast<int>(rng.Uniform(3));
+  fopts.max_query_retries = static_cast<int>(rng.Uniform(2));
+
+  BatchResult reference;
+  bool have_reference = false;
+  for (size_t workers : {1u, 4u}) {
+    QueryEngineOptions opts = fopts;
+    opts.num_workers = workers;
+    auto batch =
+        QueryEngine(*prepared, s.space, s.algo, opts).RunBatch(s.queries);
+    NMRS_CHECK(batch.ok()) << "config " << index << ": " << batch.status();
+
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      const Status& st = batch->statuses[i];
+      if (st.ok()) {
+        // Success means exactly the clean answer — recovered or untouched.
+        NMRS_CHECK(batch->results[i].rows == clean.results[i].rows)
+            << "config " << index << " query " << i
+            << ": rows diverged under faults";
+        // Bit-identical IO: a fault-free query trivially, a retried-and-
+        // absorbed query is skipped (its IO legitimately includes the
+        // retries), a clean-view-recovered query reports the clean
+        // attempt's stats and so also matches.
+        const IoStats& io = batch->results[i].stats.io;
+        if (FaultCounterSum(io) == 0) {
+          NMRS_CHECK(io == clean.results[i].stats.io)
+              << "config " << index << " query " << i
+              << ": fault-free IO diverged";
+        }
+      } else {
+        NMRS_CHECK(st.IsStorageFault())
+            << "config " << index << " query " << i
+            << ": non-storage failure " << st;
+        NMRS_CHECK(batch->results[i].rows.empty());
+      }
+    }
+
+    if (!have_reference) {
+      reference = std::move(*batch);
+      have_reference = true;
+    } else {
+      // Worker count must not change anything observable.
+      for (size_t i = 0; i < s.queries.size(); ++i) {
+        NMRS_CHECK(batch->results[i].rows == reference.results[i].rows);
+        NMRS_CHECK(batch->results[i].stats.io == reference.results[i].stats.io)
+            << "config " << index << " query " << i
+            << ": per-query IO depends on worker count";
+        NMRS_CHECK(batch->statuses[i].ToString() ==
+                   reference.statuses[i].ToString());
+      }
+      NMRS_CHECK(batch->total_io == reference.total_io);
+      NMRS_CHECK(batch->quarantined == reference.quarantined);
+      NMRS_CHECK(batch->queries_retried == reference.queries_retried);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nmrs
+
+int main(int argc, char** argv) {
+  int configs = 500;
+  uint64_t seed = 20260807;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--configs=", 10) == 0) {
+      configs = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--configs=N] [--seed=S]\n", argv[0]);
+      return 2;
+    }
+  }
+  nmrs::Rng master(seed);
+  for (int i = 0; i < configs; ++i) {
+    nmrs::CheckConfig(i, master.Next64());
+    if ((i + 1) % 50 == 0 || i + 1 == configs) {
+      std::printf("chaos soak: %d/%d configs ok\n", i + 1, configs);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("chaos soak: all %d configs ok\n", configs);
+  return 0;
+}

@@ -290,6 +290,71 @@ void StressQueryEngine() {
               queries.size());
 }
 
+// The fault path under contention: 8 workers share the batch quarantine
+// log and fault-counter accounting while transients, bad pages and
+// clean-view retries fire. Outcomes must be identical across worker
+// counts and runs (the docs/ROBUSTNESS.md determinism contract).
+void StressFaultBatch() {
+  Rng rng(777);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(6000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kSRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  QueryEngineOptions base;
+  base.faults.seed = 4242;
+  base.faults.transient_read_p = 0.03;
+  base.faults.bad_pages.insert({prepared->stored.file(), 1});
+  base.rs.retry.max_attempts = 2;
+  base.max_query_retries = 1;
+
+  BatchResult reference;
+  bool have_reference = false;
+  for (size_t workers : {1u, 8u, 8u}) {
+    QueryEngineOptions opts = base;
+    opts.num_workers = workers;
+    QueryEngine engine(*prepared, space, Algorithm::kSRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!batch->statuses[i].ok()) {
+        NMRS_CHECK(batch->statuses[i].IsStorageFault()) << batch->statuses[i];
+      }
+    }
+    if (!have_reference) {
+      reference = std::move(*batch);
+      have_reference = true;
+      continue;
+    }
+    NMRS_CHECK(batch->total_io == reference.total_io);
+    NMRS_CHECK(batch->quarantined == reference.quarantined);
+    NMRS_CHECK_EQ(batch->queries_retried, reference.queries_retried);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NMRS_CHECK(batch->results[i].rows == reference.results[i].rows);
+      NMRS_CHECK(batch->results[i].stats.io == reference.results[i].stats.io);
+      NMRS_CHECK(batch->statuses[i].ToString() ==
+                 reference.statuses[i].ToString());
+    }
+  }
+  std::printf("fault batch: %zu queries, %llu retried, %zu quarantined, "
+              "identical across worker counts\n",
+              queries.size(),
+              static_cast<unsigned long long>(reference.queries_retried),
+              reference.quarantined.size());
+}
+
 }  // namespace
 }  // namespace nmrs
 
@@ -300,6 +365,7 @@ int main() {
   nmrs::StressSharedBufferPool();
   nmrs::StressEngineWithSharedCache();
   nmrs::StressQueryEngine();
+  nmrs::StressFaultBatch();
   std::printf("exec stress: all ok\n");
   return 0;
 }

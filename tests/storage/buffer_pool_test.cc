@@ -228,7 +228,7 @@ TEST(BufferPoolTest, StatsFoldIntoIoStats) {
     ASSERT_TRUE(reader.ReadPage(fx.file, p, &out).ok());
   }
   IoStats io = fx.base.stats();
-  reader.AddCacheStatsTo(&io);
+  reader.FoldStatsInto(&io);
   EXPECT_EQ(io.cache_hits, 2u);
   EXPECT_EQ(io.cache_misses, 3u);
   EXPECT_EQ(io.cache_misses, io.TotalReads());

@@ -23,14 +23,43 @@ TEST(SimulatedDiskTest, CreateWriteReadRoundTrip) {
 TEST(SimulatedDiskTest, ReadMissingFileFails) {
   SimulatedDisk disk(64);
   Page out(64);
-  EXPECT_TRUE(disk.ReadPage(99, 0, &out).IsNotFound());
+  Status s = disk.ReadPage(99, 0, &out);
+  EXPECT_TRUE(s.IsNotFound());
+  // The two "nothing there" cases are distinguishable from the message
+  // alone: a missing file names the id and the page being read...
+  EXPECT_NE(s.message().find("99"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("reading page 0"), std::string::npos) << s;
 }
 
 TEST(SimulatedDiskTest, ReadPastEndFails) {
   SimulatedDisk disk(64);
   FileId f = disk.CreateFile("data");
   Page out(64);
-  EXPECT_TRUE(disk.ReadPage(f, 0, &out).IsOutOfRange());
+  Status s = disk.ReadPage(f, 7, &out);
+  EXPECT_TRUE(s.IsOutOfRange());
+  // ... while a short file names the file, the page asked for, and the
+  // page count, so "file unknown" never masquerades as "file too short".
+  EXPECT_NE(s.message().find("'data'"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("page 7 of 0"), std::string::npos) << s;
+}
+
+TEST(SimulatedDiskTest, PagesOfDistinguishesMissingFromEmpty) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("data");
+  auto missing = disk.PagesOf(99);
+  EXPECT_TRUE(missing.status().IsNotFound());
+  auto empty = disk.PagesOf(f);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  ASSERT_TRUE(disk.AppendPage(f, MakePage(64, 0)).ok());
+  EXPECT_EQ(*disk.PagesOf(f), 1u);
+}
+
+TEST(SimulatedDiskTest, FileNameResolvesKnownAndUnknownIds) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("servers");
+  EXPECT_EQ(disk.FileName(f), "servers");
+  EXPECT_EQ(disk.FileName(1234), "<unknown file 1234>");
 }
 
 TEST(SimulatedDiskTest, WriteWrongPageSizeFails) {

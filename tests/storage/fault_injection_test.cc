@@ -1,0 +1,477 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/disk_view.h"
+#include "storage/paged_reader.h"
+
+namespace nmrs {
+namespace {
+
+Page MakePage(size_t size, uint8_t fill) {
+  Page p(size);
+  for (size_t i = 0; i < size; ++i) p[i] = fill;
+  return p;
+}
+
+// A base disk with one file of `pages` pages, byte 0 tagging the index.
+// Pages are sealed iff `seal` so checksum tests can share the fixture.
+struct Fixture {
+  explicit Fixture(int pages, bool seal = false) {
+    file = base.CreateFile("data");
+    for (int i = 0; i < pages; ++i) {
+      Page p = MakePage(base.page_size(), static_cast<uint8_t>(i));
+      if (seal) p.Seal();
+      EXPECT_TRUE(base.AppendPage(file, p).ok());
+    }
+    base.ResetStats();
+  }
+
+  SimulatedDisk base;
+  FileId file = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Page seal / verify
+// ---------------------------------------------------------------------------
+
+TEST(PageSealTest, SealThenVerifyRoundTrips) {
+  Page p = MakePage(512, 0x5A);
+  p.Seal();
+  EXPECT_TRUE(p.VerifySeal());
+}
+
+TEST(PageSealTest, AnyByteFlipFailsVerification) {
+  Page p = MakePage(128, 0x33);
+  p.Seal();
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] ^= 0x01;  // includes flips inside the footer itself
+    EXPECT_FALSE(p.VerifySeal()) << "flip at byte " << i;
+    p[i] ^= 0x01;
+  }
+  EXPECT_TRUE(p.VerifySeal());
+}
+
+TEST(PageSealTest, ResealAfterEditIsValid) {
+  Page p = MakePage(128, 0);
+  p.Seal();
+  p[3] = 77;
+  EXPECT_FALSE(p.VerifySeal());
+  p.Seal();
+  EXPECT_TRUE(p.VerifySeal());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: the pure-function oracle
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsAreDeterministic) {
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.transient_read_p = 0.3;
+  cfg.corrupt_p = 0.2;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  for (uint64_t stream = 0; stream < 4; ++stream) {
+    for (PageId page = 0; page < 64; ++page) {
+      for (uint64_t attempt = 0; attempt < 3; ++attempt) {
+        const ReadFault fa = a.DecideRead(stream, 1, page, attempt);
+        const ReadFault fb = b.DecideRead(stream, 1, page, attempt);
+        EXPECT_EQ(fa.transient, fb.transient);
+        EXPECT_EQ(fa.corrupt, fb.corrupt);
+        EXPECT_EQ(fa.corrupt_offset_raw, fb.corrupt_offset_raw);
+        EXPECT_EQ(fa.corrupt_xor, fb.corrupt_xor);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SeedAndStreamChangeThePattern) {
+  FaultConfig cfg;
+  cfg.transient_read_p = 0.5;
+  cfg.seed = 1;
+  FaultInjector seed1(cfg);
+  cfg.seed = 2;
+  FaultInjector seed2(cfg);
+
+  auto pattern = [](const FaultInjector& inj, uint64_t stream) {
+    std::vector<bool> bits;
+    for (PageId page = 0; page < 256; ++page) {
+      bits.push_back(inj.DecideRead(stream, 0, page, 0).transient);
+    }
+    return bits;
+  };
+  EXPECT_NE(pattern(seed1, 0), pattern(seed2, 0));   // seed matters
+  EXPECT_NE(pattern(seed1, 0), pattern(seed1, 1));   // stream partitions
+  EXPECT_EQ(pattern(seed1, 0), pattern(seed1, 0));   // and is stable
+}
+
+TEST(FaultInjectorTest, RatesRoughlyMatchProbabilities) {
+  FaultConfig cfg;
+  cfg.seed = 99;
+  cfg.transient_read_p = 0.1;
+  FaultInjector inj(cfg);
+  int transients = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (inj.DecideRead(0, 0, static_cast<PageId>(i), 0).transient) {
+      ++transients;
+    }
+  }
+  // 0.1 +- generous slack; a broken mixer would be far outside.
+  EXPECT_GT(transients, kTrials / 20);
+  EXPECT_LT(transients, kTrials / 5);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilitiesNeverFault) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  FaultInjector inj(cfg);
+  EXPECT_FALSE(cfg.enabled());
+  for (PageId page = 0; page < 100; ++page) {
+    const ReadFault f = inj.DecideRead(0, 0, page, 0);
+    EXPECT_FALSE(f.transient);
+    EXPECT_FALSE(f.corrupt);
+  }
+}
+
+TEST(FaultInjectorTest, CorruptXorIsNeverZero) {
+  FaultConfig cfg;
+  cfg.seed = 3;
+  cfg.corrupt_p = 1.0;
+  FaultInjector inj(cfg);
+  for (PageId page = 0; page < 200; ++page) {
+    const ReadFault f = inj.DecideRead(0, 0, page, 0);
+    ASSERT_TRUE(f.corrupt);
+    EXPECT_NE(f.corrupt_xor, 0);  // a zero mask would be a no-op
+  }
+}
+
+TEST(FaultConfigTest, EnabledReflectsAnyFaultSource) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  cfg.transient_read_p = 0.01;
+  EXPECT_TRUE(cfg.enabled());
+  cfg = FaultConfig{};
+  cfg.corrupt_p = 0.01;
+  EXPECT_TRUE(cfg.enabled());
+  cfg = FaultConfig{};
+  cfg.bad_pages.insert({0, 3});
+  EXPECT_TRUE(cfg.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyDisk decorator
+// ---------------------------------------------------------------------------
+
+TEST(FaultyDiskTest, PassThroughWhenConfigInert) {
+  Fixture fx(4);
+  FaultInjector inj(FaultConfig{});
+  FaultyDisk disk(&fx.base, &inj, 0);
+  Page out(0);
+  for (PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(disk.ReadPage(fx.file, p, &out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(p));
+  }
+  // IO accounting lives in the wrapped disk, unchanged by wrapping.
+  EXPECT_EQ(disk.stats().TotalReads(), 4u);
+  EXPECT_EQ(&disk.stats(), &fx.base.stats());
+}
+
+TEST(FaultyDiskTest, BadPageAlwaysReturnsDataLossButChargesIo) {
+  Fixture fx(4);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 2});
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  Page out(0);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Status s = disk.ReadPage(fx.file, 2, &out);
+    EXPECT_TRUE(s.IsDataLoss()) << s;
+    EXPECT_TRUE(s.IsStorageFault());
+    EXPECT_NE(s.message().find("'data'"), std::string::npos) << s;
+    EXPECT_NE(s.message().find("page 2"), std::string::npos) << s;
+  }
+  EXPECT_EQ(fx.base.stats().TotalReads(), 3u);  // the arm still moved
+  ASSERT_TRUE(disk.ReadPage(fx.file, 1, &out).ok());  // neighbors fine
+}
+
+TEST(FaultyDiskTest, TransientFaultsAdvanceWithAttemptNumber) {
+  Fixture fx(64);
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.transient_read_p = 0.5;
+  FaultInjector inj(cfg);
+
+  // Two fresh decorators over the same base replay the identical fault
+  // sequence, because attempts are counted per instance.
+  auto run = [&](int reads_per_page) {
+    FaultyDisk disk(&fx.base, &inj, 0);
+    std::vector<bool> outcome;
+    Page out(0);
+    for (PageId p = 0; p < 64; ++p) {
+      for (int r = 0; r < reads_per_page; ++r) {
+        outcome.push_back(disk.ReadPage(fx.file, p, &out).ok());
+      }
+    }
+    return outcome;
+  };
+  const auto first = run(2);
+  const auto second = run(2);
+  EXPECT_EQ(first, second);
+  // With p = 0.5 over 128 attempts, both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultyDiskTest, CorruptionFlipsExactlyOneByte) {
+  Fixture fx(1);
+  FaultConfig cfg;
+  cfg.seed = 4;
+  cfg.corrupt_p = 1.0;
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  Page clean(0);
+  ASSERT_TRUE(fx.base.ReadPage(fx.file, 0, &clean).ok());
+  Page out(0);
+  ASSERT_TRUE(disk.ReadPage(fx.file, 0, &out).ok());  // silently corrupted
+  int diffs = 0;
+  for (size_t i = 0; i < clean.size(); ++i) diffs += clean[i] != out[i];
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(FaultyDiskTest, WorksOverADiskView) {
+  // The engine wraps each worker's DiskView; faults must apply there and
+  // IO must charge the view, not the base.
+  Fixture fx(4);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 0});
+  FaultInjector inj(cfg);
+  DiskView view(&fx.base);
+  FaultyDisk disk(&view, &inj, 0);
+  Page out(0);
+  EXPECT_TRUE(disk.ReadPage(fx.file, 0, &out).IsDataLoss());
+  EXPECT_TRUE(disk.ReadPage(fx.file, 1, &out).ok());
+  EXPECT_EQ(view.stats().TotalReads(), 2u);
+  EXPECT_EQ(fx.base.stats().TotalReads(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy / QuarantineLog
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffDoublesByDefault) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(1), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(2), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 8.0);
+  policy.backoff_millis = 1.0;
+  policy.backoff_multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 9.0);
+}
+
+TEST(QuarantineLogTest, DeduplicatesAndSorts) {
+  QuarantineLog log;
+  EXPECT_TRUE(log.Report(2, 7));
+  EXPECT_TRUE(log.Report(1, 9));
+  EXPECT_FALSE(log.Report(2, 7));  // duplicate
+  EXPECT_EQ(log.size(), 2u);
+  const auto pages = log.Pages();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], (std::pair<FileId, PageId>{1, 9}));
+  EXPECT_EQ(pages[1], (std::pair<FileId, PageId>{2, 7}));
+}
+
+TEST(QuarantineLogTest, ConcurrentReportsAreSafe) {
+  QuarantineLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log, t] {
+      for (PageId p = 0; p < 100; ++p) {
+        log.Report(static_cast<FileId>(t % 2), p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.size(), 200u);  // 2 files x 100 pages, duplicates folded
+}
+
+// ---------------------------------------------------------------------------
+// PagedReader fault policy
+// ---------------------------------------------------------------------------
+
+TEST(PagedReaderFaultTest, RetriesTransientsAndChargesModeledBackoff) {
+  Fixture fx(8);
+  // Find a page whose attempt-0 read faults but attempt 1 succeeds.
+  FaultConfig cfg;
+  cfg.seed = 21;
+  cfg.transient_read_p = 0.4;
+  FaultInjector inj(cfg);
+  PageId flaky = 0;
+  bool found = false;
+  for (PageId p = 0; p < 8 && !found; ++p) {
+    if (inj.DecideRead(0, fx.file, p, 0).transient &&
+        !inj.DecideRead(0, fx.file, p, 1).transient) {
+      flaky = p;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "seed produced no 1-retry page; pick another seed";
+
+  FaultyDisk disk(&fx.base, &inj, 0);
+  PagedReaderOptions opts;
+  opts.retry.max_attempts = 3;
+  PagedReader reader(&disk, nullptr, opts);
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, flaky, &out).ok());
+  EXPECT_EQ(out[0], static_cast<uint8_t>(flaky));
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.transient_retries, 1u);
+  EXPECT_EQ(io.quarantined_pages, 0u);
+  EXPECT_DOUBLE_EQ(reader.modeled_backoff_millis(),
+                   opts.retry.BackoffMillis(1));
+}
+
+TEST(PagedReaderFaultTest, ExhaustedRetriesBecomeDataLossAndQuarantine) {
+  Fixture fx(2);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 1});
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  QuarantineLog log;
+  PagedReaderOptions opts;
+  opts.retry.max_attempts = 4;
+  opts.quarantine = &log;
+  PagedReader reader(&disk, nullptr, opts);
+  Page out(0);
+  Status s = reader.ReadPage(fx.file, 1, &out);
+  EXPECT_TRUE(s.IsDataLoss()) << s;
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  // kDataLoss is permanent: no retries were spent on it.
+  EXPECT_EQ(io.transient_retries, 0u);
+  EXPECT_EQ(io.quarantined_pages, 1u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.Pages()[0], (std::pair<FileId, PageId>{fx.file, 1}));
+}
+
+TEST(PagedReaderFaultTest, AllAttemptsTransientConvertsToDataLoss) {
+  Fixture fx(2);
+  FaultConfig cfg;
+  cfg.seed = 1;
+  cfg.transient_read_p = 1.0;  // every attempt fails
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  PagedReaderOptions opts;
+  opts.retry.max_attempts = 3;
+  PagedReader reader(&disk, nullptr, opts);
+  Page out(0);
+  Status s = reader.ReadPage(fx.file, 0, &out);
+  EXPECT_TRUE(s.IsDataLoss()) << s;
+  EXPECT_NE(s.message().find("after 3 attempts"), std::string::npos) << s;
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.transient_retries, 2u);  // attempts 1 and 2
+  EXPECT_EQ(io.quarantined_pages, 1u);
+  EXPECT_DOUBLE_EQ(reader.modeled_backoff_millis(),
+                   opts.retry.BackoffMillis(1) + opts.retry.BackoffMillis(2));
+}
+
+TEST(PagedReaderFaultTest, ChecksumCatchesSilentCorruption) {
+  Fixture fx(4, /*seal=*/true);
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.corrupt_p = 1.0;  // every read corrupts: the refetch fails too
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  PagedReaderOptions opts;
+  opts.verify_checksums = true;
+  PagedReader reader(&disk, nullptr, opts);
+  Page out(0);
+  Status s = reader.ReadPage(fx.file, 0, &out);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos);
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.checksum_failures, 2u);  // original + refetch
+  EXPECT_EQ(io.quarantined_pages, 1u);
+}
+
+TEST(PagedReaderFaultTest, WithoutChecksumsCorruptionIsSilent) {
+  Fixture fx(1, /*seal=*/true);
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.corrupt_p = 1.0;
+  FaultInjector inj(cfg);
+  FaultyDisk disk(&fx.base, &inj, 0);
+  PagedReader reader(&disk);  // verify off: the read "succeeds"
+  Page out(0);
+  EXPECT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_FALSE(out.VerifySeal());  // ... with bad bytes
+}
+
+TEST(PagedReaderFaultTest, PoolEvictAndRefetchHealsAPoisonedFrame) {
+  // A corrupted miss fetch lands in the shared pool; the next verified read
+  // must evict the frame, refetch clean bytes, and succeed.
+  Fixture fx(2, /*seal=*/true);
+  BufferPoolOptions popts;
+  popts.capacity_pages = 4;
+  popts.num_shards = 1;
+  BufferPool pool(&fx.base, popts);
+
+  // Poison: read page 0 through a corrupting reader WITHOUT verification,
+  // so the bad bytes are cached.
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.corrupt_p = 1.0;
+  FaultInjector inj(cfg);
+  FaultyDisk faulty(&fx.base, &inj, 0);
+  PagedReader poisoner(&faulty, &pool);
+  Page out(0);
+  ASSERT_TRUE(poisoner.ReadPage(fx.file, 0, &out).ok());
+  ASSERT_FALSE(out.VerifySeal());
+
+  // Heal: a verifying reader over the CLEAN disk hits the poisoned frame,
+  // fails the checksum, evicts, refetches clean bytes and succeeds.
+  PagedReaderOptions vopts;
+  vopts.verify_checksums = true;
+  PagedReader healer(&fx.base, &pool, vopts);
+  ASSERT_TRUE(healer.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_TRUE(out.VerifySeal());
+  IoStats io;
+  healer.FoldStatsInto(&io);
+  EXPECT_EQ(io.checksum_failures, 1u);
+  EXPECT_EQ(io.quarantined_pages, 0u);
+  // And the pool now serves the clean bytes to everyone.
+  Page again(0);
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &again).ok());
+  EXPECT_TRUE(again.VerifySeal());
+}
+
+TEST(BufferPoolEvictTest, EvictDropsResidentUnpinnedFramesOnly) {
+  Fixture fx(3);
+  BufferPoolOptions popts;
+  popts.capacity_pages = 4;
+  popts.num_shards = 1;
+  BufferPool pool(&fx.base, popts);
+  Page out(0);
+  ASSERT_TRUE(pool.ReadThrough(&fx.base, fx.file, 0, &out).ok());
+  EXPECT_TRUE(pool.Evict(fx.file, 0));
+  EXPECT_FALSE(pool.Evict(fx.file, 0));  // already gone
+  EXPECT_FALSE(pool.Evict(fx.file, 2));  // never cached
+  auto pinned = pool.Pin(&fx.base, fx.file, 1);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_FALSE(pool.Evict(fx.file, 1));  // pinned frames stay
+  pinned->Release();
+  EXPECT_TRUE(pool.Evict(fx.file, 1));
+}
+
+}  // namespace
+}  // namespace nmrs

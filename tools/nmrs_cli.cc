@@ -27,12 +27,23 @@
 //   nmrs_cli batch --data=data.csv --matrices=prefix --queries=K
 //            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
 //            [--cache-pages=N | --cache-pct=P] [--seed=S]
+//            [--checksum] [--transient-p=P] [--corrupt-p=P]
+//            [--bad-pages=f:p,f:p,...] [--fault-seed=S] [--retries=N]
+//            [--max-query-retries=N] [--fail-fast]
 //       Samples K query objects and runs them as one batch on the parallel
 //       query engine (W pool workers, each query optionally using T
 //       intra-query threads), printing per-query results and the modeled
 //       batch throughput. --cache-pages / --cache-pct attach a shared
 //       buffer-pool page cache of N pages (or P% of the dataset's pages)
 //       to the engine and print its CacheStats summary (docs/CACHING.md).
+//       The fault flags (docs/ROBUSTNESS.md) inject deterministic storage
+//       faults: --transient-p / --corrupt-p / --bad-pages configure the
+//       FaultConfig (seeded by --fault-seed), --checksum seals dataset
+//       pages with CRC-32C and verifies them on read, --retries sets the
+//       per-page transient retry budget, --max-query-retries re-runs
+//       failed queries on a clean view, and --fail-fast restores the old
+//       first-error batch semantics. Failed queries are reported
+//       individually; the exit code is non-zero iff some query failed.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -352,12 +363,43 @@ int CmdBatch(const Flags& flags) {
   }
 
   SimulatedDisk disk;
-  auto prepared = PrepareDataset(&disk, *data, *algo);
+  PrepareOptions popts;
+  popts.checksum_pages = flags.count("checksum") != 0;
+  auto prepared = PrepareDataset(&disk, *data, *algo, popts);
   if (!prepared.ok()) return Fail(prepared.status().ToString());
 
   QueryEngineOptions eopts;
   eopts.num_workers =
       std::strtoull(FlagOr(flags, "workers", "4").c_str(), nullptr, 10);
+  eopts.faults.seed =
+      std::strtoull(FlagOr(flags, "fault-seed", "1").c_str(), nullptr, 10);
+  eopts.faults.transient_read_p =
+      std::strtod(FlagOr(flags, "transient-p", "0").c_str(), nullptr);
+  eopts.faults.corrupt_p =
+      std::strtod(FlagOr(flags, "corrupt-p", "0").c_str(), nullptr);
+  for (const std::string& tok :
+       StrSplit(FlagOr(flags, "bad-pages", ""), ',')) {
+    if (tok.empty()) continue;
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      return Fail("--bad-pages entries must look like file:page, got '" +
+                  tok + "'");
+    }
+    eopts.faults.bad_pages.insert(
+        {static_cast<FileId>(
+             std::strtoull(tok.substr(0, colon).c_str(), nullptr, 10)),
+         std::strtoull(tok.substr(colon + 1).c_str(), nullptr, 10)});
+  }
+  if (flags.count("retries") != 0) {
+    eopts.rs.retry.max_attempts =
+        std::atoi(FlagOr(flags, "retries", "3").c_str());
+    if (eopts.rs.retry.max_attempts < 1) {
+      return Fail("--retries must be at least 1");
+    }
+  }
+  eopts.max_query_retries =
+      std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
+  eopts.fail_fast = flags.count("fail-fast") != 0;
   eopts.rs.memory = MemoryBudget::FromFraction(
       std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
       prepared->stored.num_pages());
@@ -388,9 +430,16 @@ int CmdBatch(const Flags& flags) {
               engine.num_workers());
   for (int i = 0; i < k; ++i) {
     const QueryStats& s = batch->results[i].stats;
-    std::printf("  Q%-3d %-20s |RS|=%-5zu response=%.2fms\n", i,
-                queries[i].ToString().c_str(), batch->results[i].rows.size(),
-                s.ResponseMillis());
+    if (batch->statuses[i].ok()) {
+      std::printf("  Q%-3d %-20s |RS|=%-5zu response=%.2fms\n", i,
+                  queries[i].ToString().c_str(),
+                  batch->results[i].rows.size(), s.ResponseMillis());
+    } else {
+      std::printf("  Q%-3d %-20s FAILED: %s (partial io %llu pages)\n", i,
+                  queries[i].ToString().c_str(),
+                  batch->statuses[i].ToString().c_str(),
+                  static_cast<unsigned long long>(s.io.Total()));
+    }
   }
   std::printf(
       "total io: %llu seq + %llu rand pages\n"
@@ -399,11 +448,39 @@ int CmdBatch(const Flags& flags) {
       static_cast<unsigned long long>(batch->total_io.TotalRandom()),
       batch->wall_millis, batch->ModeledMakespanMillis(),
       batch->ModeledQps());
+  if (batch->total_io.transient_retries != 0 ||
+      batch->total_io.checksum_failures != 0 ||
+      batch->total_io.quarantined_pages != 0) {
+    std::printf("faults: %llu transient retries, %llu checksum failures, "
+                "%llu quarantined page reads\n",
+                static_cast<unsigned long long>(
+                    batch->total_io.transient_retries),
+                static_cast<unsigned long long>(
+                    batch->total_io.checksum_failures),
+                static_cast<unsigned long long>(
+                    batch->total_io.quarantined_pages));
+  }
+  if (!batch->quarantined.empty()) {
+    std::printf("quarantined pages:");
+    for (const auto& [file, page] : batch->quarantined) {
+      std::printf(" %u:%llu", file, static_cast<unsigned long long>(page));
+    }
+    std::printf("\n");
+  }
+  if (batch->queries_retried != 0) {
+    std::printf("%llu queries recovered via clean-view retry\n",
+                static_cast<unsigned long long>(batch->queries_retried));
+  }
   if (engine.buffer_pool() != nullptr) {
     std::printf("cache (%llu pages): %s\n",
                 static_cast<unsigned long long>(
                     engine.buffer_pool()->capacity_pages()),
                 engine.buffer_pool()->stats().ToString().c_str());
+  }
+  if (!batch->ok()) {
+    std::fprintf(stderr, "%zu of %d queries failed\n", batch->num_failed(),
+                 k);
+    return 1;
   }
   return 0;
 }
