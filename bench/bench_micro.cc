@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/dominance.h"
+#include "core/dominance_kernel.h"
 #include "core/query_distance_table.h"
+#include "data/columnar_batch.h"
 #include "core/skyline.h"
 #include "ops/topk.h"
 #include "core/pipeline.h"
@@ -70,6 +72,36 @@ void BM_PruneCheckMemoized(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PruneCheckMemoized);
+
+// The block-kernel counterpart (core/dominance_kernel.h): verdicts and
+// scalar-equivalent check counts for the whole 10k-row columnar batch per
+// iteration, gather -> compare -> movemask with runtime dispatch. Items
+// processed counts rows, so items/sec is directly comparable to the
+// per-row loops above.
+void BM_PruneCheckKernel(benchmark::State& state) {
+  MicroData d(10000);
+  const auto selected = ResolveSelectedAttrs(d.data.schema(), {});
+  QueryDistanceTable table(d.space, d.data.schema(), d.query, selected);
+  PruneContext ctx(d.space, d.data.schema(), d.query, {}, &table);
+  RowBatch batch(d.data.schema().num_attributes(), false);
+  for (RowId r = 0; r < d.data.num_rows(); ++r) {
+    batch.Append(r, d.data.RowValues(r), nullptr);
+  }
+  ColumnarBatch cols;
+  cols.Build(batch);
+  DominanceKernel kernel(ctx, cols);
+  uint64_t checks = 0;
+  RowId x = 0;
+  for (auto _ : state) {
+    ctx.SetCandidate(d.data.RowValues(x), nullptr);
+    kernel.BeginCandidate();
+    benchmark::DoNotOptimize(kernel.CountPruners(0, cols.size(), &checks));
+    x = (x + 1) % d.data.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cols.size()));
+}
+BENCHMARK(BM_PruneCheckKernel);
 
 void BM_ALTreeInsert(benchmark::State& state) {
   MicroData d(static_cast<uint64_t>(state.range(0)));

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point, four stages (see docs/ROBUSTNESS.md for the last two):
+# CI entry point, six stages (docs/ROBUSTNESS.md covers asan/chaos,
+# docs/KERNELS.md covers the last two):
 #   1. plain   — RelWithDebInfo build + full ctest suite
 #   2. tsan    — ThreadSanitizer build of the gtest-free concurrency
 #                stress binary (tests/exec/stress_test.cc)
@@ -8,6 +9,11 @@
 #                quarantine under instrumentation
 #   4. chaos   — full 500-config fault-injection soak on the plain build
 #                (a 25-config slice already ran inside stage 1's ctest)
+#   5. nosimd  — NMRS_NO_SIMD build + full ctest: the portable scalar lane
+#                evaluators must pass everything the SIMD build passes
+#   6. perf    — bench_kernels --quick on the plain build, then
+#                tools/check_kernel_gate.py fails the run if the kernel is
+#                slower than the scalar loop at the largest cardinality
 # Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
 # gtest-free targets to keep every instrumented frame inside nmrs code.
 set -euo pipefail
@@ -33,5 +39,14 @@ cmake --build build-asan -j"${JOBS}" --target exec_stress --target chaos_soak
 
 echo "=== chaos soak (full 500-config sweep) ==="
 ./build/tests/chaos_soak --configs=500
+
+echo "=== NMRS_NO_SIMD build + tests (portable lane evaluators) ==="
+cmake -B build-nosimd -S . -DNMRS_NO_SIMD=ON
+cmake --build build-nosimd -j"${JOBS}"
+ctest --test-dir build-nosimd --output-on-failure -j"${JOBS}"
+
+echo "=== kernel perf-sanity gate (bench_kernels --quick) ==="
+(cd build && ./bench/bench_kernels --quick)
+python3 tools/check_kernel_gate.py build/BENCH_kernels.json
 
 echo "ci: all ok"

@@ -42,7 +42,10 @@ inline uint64_t Load64(const uint8_t* p) {
          (static_cast<uint64_t>(Load32(p + 4)) << 32);
 }
 
-#if defined(__x86_64__) && defined(__GNUC__)
+// NMRS_NO_SIMD (CMake option, exercised by ci.sh) disables every
+// ISA-specific path in the tree — this one and the AVX2 dominance kernels
+// — so the portable software implementations stay continuously tested.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(NMRS_NO_SIMD)
 #define NMRS_CRC32C_HW 1
 
 // Hardware path: SSE4.2 crc32 over 8-byte lanes (~10x the sliced tables —

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "common/timer.h"
 #include "core/dominance.h"
+#include "core/dominance_kernel.h"
+#include "core/query_distance_table.h"
 #include "core/tree_traversal.h"
+#include "data/columnar_batch.h"
 
 namespace nmrs {
 
@@ -55,7 +60,15 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
 
   PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
                      MakeReaderOptions(opts));
-  PruneContext ctx(space, schema, query, opts.selected_attrs);
+  // The kernels need a table-backed context (cached matrix columns to
+  // gather from); the table changes no Prunes outcome or count, but it is
+  // only built when asked for, keeping the default path seed-identical.
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(schema, opts.selected_attrs);
+  std::optional<QueryDistanceTable> qtable;
+  if (opts.use_kernels) qtable.emplace(space, schema, query, selected);
+  PruneContext ctx(space, schema, query, selected,
+                   qtable ? &*qtable : nullptr);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
@@ -71,9 +84,27 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
     std::vector<bool> alive(batch.size(), true);
 
     RowBatch page(m, numerics);
+    ColumnarBatch cols;
     for (PageId pp = 0; pp < competitors.num_pages(); ++pp) {
       page.Clear();
       NMRS_RETURN_IF_ERROR(competitors.ReadPageVia(&reader, pp, &page));
+      if (opts.use_kernels) {
+        cols.Build(page);
+        DominanceKernel kernel(ctx, cols);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (!alive[i]) continue;
+          ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
+          kernel.BeginCandidate();
+          // Competitors are a different set: no id to spare, so the scan
+          // skips nothing (kInvalidRowId matches no stored row).
+          if (kernel.FindPrunerForward(0, page.size(), kInvalidRowId,
+                                       &stats.pair_tests, &stats.checks)) {
+            alive[i] = false;
+          }
+        }
+        stats.kernel_checks += kernel.kernel_checks();
+        continue;
+      }
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!alive[i]) continue;
         ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));

@@ -5,7 +5,9 @@
 #include "common/sync.h"
 #include "common/timer.h"
 #include "core/dominance.h"
+#include "core/dominance_kernel.h"
 #include "core/query_distance_table.h"
+#include "data/columnar_batch.h"
 #include "storage/paged_reader.h"
 
 namespace nmrs {
@@ -55,6 +57,30 @@ void Phase1CheckRange(const RowBatch& batch, PruneContext& ctx,
   }
 }
 
+// Kernel-path analogue of Phase1CheckRange: identical verdicts and
+// pair/check accounting (DominanceKernel's equivalence contract), with the
+// per-pruner scans evaluated block-at-a-time over the batch's columnar
+// view. The kernel's lane count is added to *kernel_checks.
+void Phase1CheckRangeKernel(const RowBatch& batch, const ColumnarBatch& cols,
+                            PruneContext& ctx, SearchOrder order,
+                            size_t begin, size_t end, uint64_t* pair_tests,
+                            uint64_t* checks, uint64_t* kernel_checks,
+                            uint8_t* pruned) {
+  DominanceKernel kernel(ctx, cols);
+  const size_t n = batch.size();
+  for (size_t i = begin; i < end; ++i) {
+    ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
+    kernel.BeginCandidate();
+    const RowId x_id = batch.id(i);
+    const bool found =
+        order == SearchOrder::kForward
+            ? kernel.FindPrunerForward(0, n, x_id, pair_tests, checks)
+            : kernel.FindPrunerRing(i, x_id, pair_tests, checks);
+    pruned[i] = found ? 1 : 0;
+  }
+  *kernel_checks += kernel.kernel_checks();
+}
+
 // Intra-batch pruning of one loaded batch; appends survivors to *writer.
 // Pruned objects keep acting as pruners (paper Alg. 2 lines 4-7 iterate all
 // loaded Y). With opts.num_threads > 1 the candidate checks are chunked
@@ -68,9 +94,19 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
                    QueryStats* stats, RowWriter* writer) {
   const size_t n = batch.size();
   std::vector<uint8_t> pruned(n, 0);
+  // One columnar (SoA) view per loaded batch feeds every candidate's
+  // kernel scans; chunks share it read-only.
+  ColumnarBatch cols;
+  if (opts.use_kernels) cols.Build(batch);
   if (opts.num_threads <= 1 || n < 2) {
-    Phase1CheckRange(batch, ctx, order, 0, n, &stats->pair_tests,
-                     &stats->checks, pruned.data());
+    if (opts.use_kernels) {
+      Phase1CheckRangeKernel(batch, cols, ctx, order, 0, n,
+                             &stats->pair_tests, &stats->checks,
+                             &stats->kernel_checks, pruned.data());
+    } else {
+      Phase1CheckRange(batch, ctx, order, 0, n, &stats->pair_tests,
+                       &stats->checks, pruned.data());
+    }
   } else {
     // More chunks than threads so the work-stealing pool can balance the
     // uneven per-candidate cost (a candidate pruned early is cheap).
@@ -79,21 +115,33 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
     struct ChunkCounters {
       uint64_t pair_tests = 0;
       uint64_t checks = 0;
+      uint64_t kernel_checks = 0;
     };
     std::vector<ChunkCounters> counters(num_chunks);
     ParallelChunks(opts.executor, opts.num_threads, num_chunks,
                    [&](size_t c) {
                      PruneContext chunk_ctx(space, schema, query,
                                             ctx.selected(), &qtable);
-                     Phase1CheckRange(batch, chunk_ctx, order,
-                                      ChunkBegin(n, num_chunks, c),
-                                      ChunkBegin(n, num_chunks, c + 1),
-                                      &counters[c].pair_tests,
-                                      &counters[c].checks, pruned.data());
+                     if (opts.use_kernels) {
+                       Phase1CheckRangeKernel(batch, cols, chunk_ctx, order,
+                                              ChunkBegin(n, num_chunks, c),
+                                              ChunkBegin(n, num_chunks, c + 1),
+                                              &counters[c].pair_tests,
+                                              &counters[c].checks,
+                                              &counters[c].kernel_checks,
+                                              pruned.data());
+                     } else {
+                       Phase1CheckRange(batch, chunk_ctx, order,
+                                        ChunkBegin(n, num_chunks, c),
+                                        ChunkBegin(n, num_chunks, c + 1),
+                                        &counters[c].pair_tests,
+                                        &counters[c].checks, pruned.data());
+                     }
                    });
     for (const ChunkCounters& cc : counters) {
       stats->pair_tests += cc.pair_tests;
       stats->checks += cc.checks;
+      stats->kernel_checks += cc.kernel_checks;
     }
   }
   for (size_t i = 0; i < n; ++i) {
@@ -107,9 +155,13 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
 
 // Phase 2 (paper Alg. 2 lines 9-19): survivors R are consumed in batches of
 // (memory-1) pages; each batch is refined by one full sequential scan of D.
+// With opts.use_kernels each streamed D-page gets a columnar view shared by
+// all still-alive candidates of the batch; results and accounting match the
+// scalar scan exactly.
 Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
               PagedReader* reader, PruneContext& ctx, uint64_t batch_pages,
-              QueryStats* stats, std::vector<RowId>* out) {
+              const RSOptions& opts, QueryStats* stats,
+              std::vector<RowId>* out) {
   const Schema& schema = data.schema();
   const size_t m = schema.num_attributes();
   const bool numerics = schema.NumNumeric() > 0;
@@ -126,9 +178,25 @@ Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
     std::vector<bool> alive(batch.size(), true);
 
     RowBatch page(m, numerics);
+    ColumnarBatch cols;
     for (PageId dp = 0; dp < d_pages; ++dp) {
       page.Clear();
       NMRS_RETURN_IF_ERROR(data.ReadPageVia(reader, dp, &page));
+      if (opts.use_kernels) {
+        cols.Build(page);
+        DominanceKernel kernel(ctx, cols);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (!alive[i]) continue;
+          ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
+          kernel.BeginCandidate();
+          if (kernel.FindPrunerForward(0, page.size(), batch.id(i),
+                                       &stats->pair_tests, &stats->checks)) {
+            alive[i] = false;
+          }
+        }
+        stats->kernel_checks += kernel.kernel_checks();
+        continue;
+      }
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!alive[i]) continue;
         ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
@@ -206,7 +274,7 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
                           opts.checksum_pages);
   const uint64_t batch_pages = opts.memory.pages - 1;  // 1 page scans D
   NMRS_RETURN_IF_ERROR(Phase2(data, survivors, &reader, ctx, batch_pages,
-                              &stats, &result.rows));
+                              opts, &stats, &result.rows));
   stats.phase2_checks = stats.checks - stats.phase1_checks;
   stats.phase2_millis = phase2_timer.ElapsedMillis();
 

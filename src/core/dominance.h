@@ -76,6 +76,20 @@ class PruneContext {
   /// Null unless a QueryDistanceTable was attached at construction.
   const QueryDistanceTable* table() const { return table_; }
 
+  /// Whether selected position k is a numeric attribute.
+  bool SelectedIsNumeric(size_t k) const { return is_numeric_[k]; }
+
+  /// Memoized-path candidate column for selected position k: the matrix
+  /// column d_a(., x_a) cached by SetCandidate, so CandidateColumn(k)[v] ==
+  /// d_a(v, x_a). Requires a table-backed context and a categorical k;
+  /// this is the array the block dominance kernel gathers from.
+  const double* CandidateColumn(size_t k) const {
+    NMRS_DCHECK(table_ != nullptr && !is_numeric_[k]);
+    return xcol_[k];
+  }
+
+  const SimilaritySpace& space() const { return *space_; }
+
  private:
   const SimilaritySpace* space_;
   const Schema* schema_;

@@ -1,0 +1,372 @@
+#include "core/dominance_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "core/query_distance_table.h"
+#include "sim/similarity_space.h"
+
+// The AVX2 lane evaluators are compiled whenever the toolchain supports
+// per-function ISA targeting and NMRS_NO_SIMD was not requested; whether
+// they *run* is a runtime cpuid decision (ActiveKernelDispatch), mirroring
+// the crc32c.cc hardware path.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(NMRS_NO_SIMD)
+#define NMRS_KERNEL_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace nmrs {
+
+namespace {
+
+/// Lane evaluators: fill `viol` / `strict` bitmasks for rows [0, n),
+/// n <= DominanceKernel::kBlockRows — bit w reports lhs_w > q / lhs_w < q.
+struct LaneFns {
+  // Categorical: lhs_w = col[vals[w]] (col is the matrix column d(., x)).
+  // `active` marks the rows still undecided: lanes of dead 4-row groups
+  // may be skipped entirely (their viol/strict bits are never read — the
+  // caller masks them out), which saves most gathers on late attributes.
+  void (*cat)(const double* col, const ValueId* vals, size_t n,
+              uint32_t active, double q, uint32_t* viol, uint32_t* strict);
+  // Numeric: lhs_w = scale * |y[w] - x|.
+  void (*num)(const double* y, size_t n, uint32_t active, double x,
+              double scale, double q, uint32_t* viol, uint32_t* strict);
+};
+
+void CatLanesScalar(const double* col, const ValueId* vals, size_t n,
+                    uint32_t active, double q, uint32_t* viol,
+                    uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  for (size_t w = 0; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double lhs = col[vals[w]];
+    if (lhs > q) v |= 1u << w;
+    if (lhs < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+void NumLanesScalar(const double* y, size_t n, uint32_t active, double x,
+                    double scale, double q, uint32_t* viol,
+                    uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  for (size_t w = 0; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double lhs = scale * std::fabs(y[w] - x);
+    if (lhs > q) v |= 1u << w;
+    if (lhs < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+constexpr LaneFns kScalarFns = {CatLanesScalar, NumLanesScalar};
+
+#ifdef NMRS_KERNEL_AVX2
+
+__attribute__((target("avx2"))) void CatLanesAvx2(const double* col,
+                                                  const ValueId* vals,
+                                                  size_t n, uint32_t active,
+                                                  double q, uint32_t* viol,
+                                                  uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  const __m256d qv = _mm256_set1_pd(q);
+  // Full-mask gather with a zeroed source: identical to the plain
+  // _mm256_i32gather_pd, but avoids GCC's maybe-uninitialized warning on
+  // the unmasked intrinsic's implicit pass-through operand.
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d ones =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  size_t w = 0;
+  // Two independent gathers per iteration: vgatherdpd has a long latency,
+  // so a single-gather loop serializes on it — the pair keeps the load
+  // ports busy while the first gather is still in flight.
+  for (; w + 8 <= n; w += 8) {
+    if (!((active >> w) & 0xFFu)) continue;
+    const __m128i idx0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + w));
+    const __m128i idx1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + w + 4));
+    const __m256d lhs0 = _mm256_mask_i32gather_pd(zero, col, idx0, ones, 8);
+    const __m256d lhs1 = _mm256_mask_i32gather_pd(zero, col, idx1, ones, 8);
+    const uint32_t v0 = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(lhs0, qv, _CMP_GT_OQ)));
+    const uint32_t v1 = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(lhs1, qv, _CMP_GT_OQ)));
+    const uint32_t s0 = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(lhs0, qv, _CMP_LT_OQ)));
+    const uint32_t s1 = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(lhs1, qv, _CMP_LT_OQ)));
+    v |= (v0 | (v1 << 4)) << w;
+    s |= (s0 | (s1 << 4)) << w;
+  }
+  for (; w + 4 <= n; w += 4) {
+    if (!((active >> w) & 0xFu)) continue;
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + w));
+    const __m256d lhs = _mm256_mask_i32gather_pd(zero, col, idx, ones, 8);
+    v |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(lhs, qv, _CMP_GT_OQ)))
+         << w;
+    s |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(lhs, qv, _CMP_LT_OQ)))
+         << w;
+  }
+  for (; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double lhs = col[vals[w]];
+    if (lhs > q) v |= 1u << w;
+    if (lhs < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+__attribute__((target("avx2"))) void NumLanesAvx2(const double* y, size_t n,
+                                                  uint32_t active, double x,
+                                                  double scale, double q,
+                                                  uint32_t* viol,
+                                                  uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  const __m256d xv = _mm256_set1_pd(x);
+  const __m256d sc = _mm256_set1_pd(scale);
+  const __m256d qv = _mm256_set1_pd(q);
+  // fabs via clearing the sign bit — identical to std::fabs on finite
+  // doubles, so the product matches the scalar NumDist bit for bit.
+  const __m256d absmask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    if (!((active >> w) & 0xFu)) continue;
+    const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(y + w), xv);
+    const __m256d lhs = _mm256_mul_pd(sc, _mm256_and_pd(diff, absmask));
+    v |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(lhs, qv, _CMP_GT_OQ)))
+         << w;
+    s |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(lhs, qv, _CMP_LT_OQ)))
+         << w;
+  }
+  for (; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double lhs = scale * std::fabs(y[w] - x);
+    if (lhs > q) v |= 1u << w;
+    if (lhs < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+constexpr LaneFns kAvx2Fns = {CatLanesAvx2, NumLanesAvx2};
+
+bool DetectAvx2() { return __builtin_cpu_supports("avx2"); }
+
+#endif  // NMRS_KERNEL_AVX2
+
+std::atomic<bool> g_force_scalar{false};
+
+const LaneFns& FnsFor(KernelDispatch d) {
+#ifdef NMRS_KERNEL_AVX2
+  if (d == KernelDispatch::kAvx2) return kAvx2Fns;
+#endif
+  (void)d;
+  return kScalarFns;
+}
+
+}  // namespace
+
+KernelDispatch ActiveKernelDispatch() {
+#ifdef NMRS_KERNEL_AVX2
+  static const bool kAvx2 = DetectAvx2();
+  if (kAvx2 && !g_force_scalar.load(std::memory_order_relaxed)) {
+    return KernelDispatch::kAvx2;
+  }
+#endif
+  return KernelDispatch::kScalar;
+}
+
+const char* KernelDispatchName(KernelDispatch d) {
+  return d == KernelDispatch::kAvx2 ? "avx2" : "scalar";
+}
+
+void ForceScalarKernelDispatchForTest(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+DominanceKernel::DominanceKernel(const PruneContext& ctx,
+                                 const ColumnarBatch& cols)
+    : ctx_(&ctx),
+      cols_(&cols),
+      dispatch_(ActiveKernelDispatch()),
+      num_blocks_((cols.size() + kBlockRows - 1) / kBlockRows) {
+  NMRS_CHECK(ctx.table() != nullptr)
+      << "DominanceKernel needs a table-backed PruneContext";
+  for (AttrId a : ctx.selected()) {
+    NMRS_CHECK(a < cols.num_attrs())
+        << "ColumnarBatch narrower than the context's selection";
+  }
+  block_ready_.assign(num_blocks_, 0);
+  prunes_.assign(cols.size(), 0);
+  nchecks_.assign(cols.size(), 0);
+}
+
+void DominanceKernel::BeginCandidate() {
+  std::fill(block_ready_.begin(), block_ready_.end(), 0);
+}
+
+void DominanceKernel::EnsureBlock(size_t block) {
+  if (block_ready_[block]) return;
+  block_ready_[block] = 1;
+  const size_t begin = block * kBlockRows;
+  const size_t n = std::min(kBlockRows, cols_->size() - begin);
+  const size_t m = ctx_->num_selected();
+  const LaneFns& fns = FnsFor(dispatch_);
+  uint32_t active = n == 32 ? ~0u : ((1u << n) - 1u);
+  uint32_t strict_any = 0;
+  uint16_t* nch = nchecks_.data() + begin;
+  uint8_t* pr = prunes_.data() + begin;
+  for (size_t k = 0; k < m && active != 0; ++k) {
+    const AttrId a = ctx_->selected()[k];
+    uint32_t viol = 0, strict = 0;
+    if (ctx_->SelectedIsNumeric(k)) {
+      fns.num(cols_->numerics(a) + begin, n, active,
+              ctx_->candidate_numerics()[a],
+              ctx_->space().numeric(a).scale(), ctx_->QueryDist(k), &viol,
+              &strict);
+    } else {
+      fns.cat(ctx_->CandidateColumn(k), cols_->values(a) + begin, n, active,
+              ctx_->QueryDist(k), &viol, &strict);
+    }
+    kernel_checks_ += static_cast<uint64_t>(__builtin_popcount(active));
+    // Rows violated now did their last scalar-equivalent check at k.
+    uint32_t newly = active & viol;
+    while (newly != 0) {
+      const unsigned w = static_cast<unsigned>(__builtin_ctz(newly));
+      newly &= newly - 1;
+      nch[w] = static_cast<uint16_t>(k + 1);
+    }
+    strict_any |= strict;
+    active &= ~viol;
+  }
+  // Rows that survived every attribute made all m checks; they prune iff
+  // some attribute was strictly closer (the scalar loop's `strict` flag —
+  // strict bits of violated rows are irrelevant, their prune bit is 0).
+  const uint32_t pruners = active & strict_any;
+  std::memset(pr, 0, n);
+  uint32_t rest = pruners;
+  while (rest != 0) {
+    const unsigned w = static_cast<unsigned>(__builtin_ctz(rest));
+    rest &= rest - 1;
+    pr[w] = 1;
+  }
+  rest = active;
+  while (rest != 0) {
+    const unsigned w = static_cast<unsigned>(__builtin_ctz(rest));
+    rest &= rest - 1;
+    nch[w] = static_cast<uint16_t>(m);
+  }
+}
+
+uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
+                                       uint64_t* checks) {
+  uint64_t pruners = 0;
+  uint64_t nch = 0;
+  const size_t m = ctx_->num_selected();
+  const LaneFns& fns = FnsFor(dispatch_);
+  size_t j = begin;
+  // Partial blocks at the edges go through the cached per-row path.
+  while (j < end && j % kBlockRows != 0) {
+    EnsureBlock(j / kBlockRows);
+    pruners += prunes_[j];
+    nch += nchecks_[j];
+    ++j;
+  }
+  // Full blocks need no per-row artifacts at all: the sum of the scalar
+  // loop's per-row check counts is the number of still-active rows at
+  // each attribute (a row first violated at attribute k is active for
+  // exactly its k+1 checks), and the pruner count is one popcount of the
+  // final survivor & strict mask. Skipping the prunes_/nchecks_ writes
+  // (and their later re-reads) is what makes bulk counting memory-lean on
+  // batches that outgrow L1.
+  for (; j + kBlockRows <= end; j += kBlockRows) {
+    uint32_t active = ~0u;
+    uint32_t strict_any = 0;
+    for (size_t k = 0; k < m && active != 0; ++k) {
+      const AttrId a = ctx_->selected()[k];
+      uint32_t viol = 0, strict = 0;
+      if (ctx_->SelectedIsNumeric(k)) {
+        fns.num(cols_->numerics(a) + j, kBlockRows, active,
+                ctx_->candidate_numerics()[a],
+                ctx_->space().numeric(a).scale(), ctx_->QueryDist(k), &viol,
+                &strict);
+      } else {
+        fns.cat(ctx_->CandidateColumn(k), cols_->values(a) + j, kBlockRows,
+                active, ctx_->QueryDist(k), &viol, &strict);
+      }
+      const uint64_t alive =
+          static_cast<uint64_t>(__builtin_popcount(active));
+      kernel_checks_ += alive;
+      nch += alive;
+      strict_any |= strict;
+      active &= ~viol;
+    }
+    pruners +=
+        static_cast<uint64_t>(__builtin_popcount(active & strict_any));
+  }
+  for (; j < end; ++j) {
+    EnsureBlock(j / kBlockRows);
+    pruners += prunes_[j];
+    nch += nchecks_[j];
+  }
+  *checks += nch;
+  return pruners;
+}
+
+bool DominanceKernel::RowPrunes(size_t j) {
+  EnsureBlock(j / kBlockRows);
+  return prunes_[j] != 0;
+}
+
+uint32_t DominanceKernel::RowChecks(size_t j) {
+  EnsureBlock(j / kBlockRows);
+  return nchecks_[j];
+}
+
+bool DominanceKernel::FindPrunerForward(size_t begin, size_t end,
+                                        RowId skip_id, uint64_t* pair_tests,
+                                        uint64_t* checks) {
+  const RowId* ids = cols_->ids();
+  for (size_t j = begin; j < end; ++j) {
+    if (ids[j] == skip_id) continue;
+    EnsureBlock(j / kBlockRows);
+    ++*pair_tests;
+    *checks += nchecks_[j];
+    if (prunes_[j]) return true;
+  }
+  return false;
+}
+
+bool DominanceKernel::FindPrunerRing(size_t center, RowId skip_id,
+                                     uint64_t* pair_tests,
+                                     uint64_t* checks) {
+  const size_t n = cols_->size();
+  const RowId* ids = cols_->ids();
+  auto try_row = [&](size_t j) {
+    if (ids[j] == skip_id) return false;
+    EnsureBlock(j / kBlockRows);
+    ++*pair_tests;
+    *checks += nchecks_[j];
+    return prunes_[j] != 0;
+  };
+  for (size_t off = 1; off < n; ++off) {
+    if (off <= center && try_row(center - off)) return true;
+    if (center + off < n && try_row(center + off)) return true;
+  }
+  return false;
+}
+
+}  // namespace nmrs

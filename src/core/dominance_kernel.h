@@ -1,0 +1,124 @@
+#ifndef NMRS_CORE_DOMINANCE_KERNEL_H_
+#define NMRS_CORE_DOMINANCE_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/dominance.h"
+#include "data/columnar_batch.h"
+
+namespace nmrs {
+
+/// Which lane-evaluator implementation the kernels run on. Selected once
+/// per process by runtime CPU detection (like the crc32c hardware path):
+/// kAvx2 uses vgatherdpd-style gathers + vectorized compares, kScalar is
+/// the portable blocked fallback with identical semantics. Compiling with
+/// -DNMRS_NO_SIMD (CMake option NMRS_NO_SIMD, exercised by ci.sh) removes
+/// the SIMD path entirely, so the fallback stays continuously tested.
+enum class KernelDispatch { kScalar, kAvx2 };
+
+/// The dispatch the next-constructed kernel will use.
+KernelDispatch ActiveKernelDispatch();
+const char* KernelDispatchName(KernelDispatch d);
+
+/// Test hook: force the portable scalar lane evaluators even when AVX2 is
+/// available, so both paths can be compared in one process. Affects kernels
+/// constructed after the call; not for production use.
+void ForceScalarKernelDispatchForTest(bool force);
+
+/// Block-at-a-time evaluator of the pruning condition of Definition 1: for
+/// a fixed candidate X (set via the PruneContext), decide for a block of
+/// rows Y at once whether forall k: d_k(y_k, x_k) <= d_k(q_k, x_k), with
+/// strict inequality somewhere.
+///
+/// Because X is fixed, each categorical attribute's left-hand side is a
+/// read from one contiguous DissimilarityMatrix column d_k(., x_k)
+/// (PruneContext::CandidateColumn), indexed by the attribute's contiguous
+/// value-id column of the ColumnarBatch — a gather -> compare -> movemask
+/// shape. Per attribute the kernel ANDs survivor masks across the block and
+/// early-exits the attribute loop as soon as no row in the block can still
+/// be a pruner.
+///
+/// ## Equivalence contract (docs/KERNELS.md)
+///
+/// Verdicts are bit-identical to the scalar PruneContext::Prunes loop: the
+/// lane evaluators load the very same doubles (matrix columns / numeric
+/// scaled |y-x|) and compare them against the same cached thresholds
+/// d_k(q_k, x_k), in the same IEEE operations. The Find* adapters also
+/// reproduce the scalar loops' accounting *exactly*: per visited row they
+/// add the number of attribute checks the early-aborting scalar loop would
+/// have made (first violated attribute + 1, or num_selected() if none),
+/// reconstructed from the per-attribute violation masks, and they stop at
+/// the first pruner in the same search order. The block path's own work is
+/// reported separately as kernel_checks(): per attribute processed it adds
+/// the number of rows still alive in the block — a dispatch-independent
+/// count (the SIMD path may compute a few extra dead lanes inside a
+/// surviving 4/8-lane group, the scalar fallback skips them individually),
+/// which surfaces in QueryStats::kernel_checks. It exceeds the scalar
+/// loops' checks only because blocks past the first pruner of an adapter
+/// scan are still evaluated whole.
+///
+/// The context must be table-backed (QueryDistanceTable) — all wired
+/// algorithms build one — and both `ctx` and `cols` are borrowed and must
+/// outlive the kernel. Not thread-safe; parallel chunks build one kernel
+/// per chunk over the shared ColumnarBatch.
+class DominanceKernel {
+ public:
+  /// Rows evaluated per block (one bitmask word).
+  static constexpr size_t kBlockRows = 32;
+
+  DominanceKernel(const PruneContext& ctx, const ColumnarBatch& cols);
+
+  /// Invalidates cached block results; call after ctx.SetCandidate().
+  void BeginCandidate();
+
+  /// Forward scan of rows [begin, end): returns true iff a row with
+  /// id != skip_id prunes the current candidate, stopping there. Adds the
+  /// scalar-equivalent pair/check counts (rows with id == skip_id are
+  /// skipped without counting, like the scalar loops).
+  bool FindPrunerForward(size_t begin, size_t end, RowId skip_id,
+                         uint64_t* pair_tests, uint64_t* checks);
+
+  /// Expanding-ring scan around `center` (offsets +-1, +-2, ..., the SRS
+  /// phase-1 order): same contract as FindPrunerForward.
+  bool FindPrunerRing(size_t center, RowId skip_id, uint64_t* pair_tests,
+                      uint64_t* checks);
+
+  /// Bulk evaluation of rows [begin, end) with no early exit: computes
+  /// every block, adds the scalar-equivalent check count of every row to
+  /// *checks, and returns how many rows prune the candidate. Entry point
+  /// for the throughput benchmarks (bench_kernels), where the per-row
+  /// adapter call overhead would drown the lane work being measured.
+  uint64_t CountPruners(size_t begin, size_t end, uint64_t* checks);
+
+  /// Per-row outcome of the current candidate, computing the row's block
+  /// on first touch. Exposed for tests and the TRS leaf runs.
+  bool RowPrunes(size_t j);
+  /// Scalar-equivalent attribute-check count for row j (first violated
+  /// attribute + 1, or num_selected() when none is violated).
+  uint32_t RowChecks(size_t j);
+
+  /// Alive-row attribute lanes evaluated by the block path since
+  /// construction (block-granular; see class comment).
+  uint64_t kernel_checks() const { return kernel_checks_; }
+
+  /// Dispatch this kernel instance is bound to.
+  KernelDispatch dispatch() const { return dispatch_; }
+
+ private:
+  void EnsureBlock(size_t block);
+
+  const PruneContext* ctx_;
+  const ColumnarBatch* cols_;
+  KernelDispatch dispatch_;
+  size_t num_blocks_;
+  std::vector<uint8_t> block_ready_;  // per block
+  std::vector<uint8_t> prunes_;       // per row, current candidate
+  std::vector<uint16_t> nchecks_;     // per row, scalar-equivalent checks
+  uint64_t kernel_checks_ = 0;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_CORE_DOMINANCE_KERNEL_H_

@@ -4,7 +4,9 @@
 
 #include "common/timer.h"
 #include "core/dominance.h"
+#include "core/dominance_kernel.h"
 #include "core/query_distance_table.h"
+#include "data/columnar_batch.h"
 #include "storage/paged_reader.h"
 
 namespace nmrs {
@@ -33,6 +35,12 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
   const uint64_t total_pages = data.num_pages();
   RowBatch outer(m, numerics);
   RowBatch inner(m, numerics);
+  // Kernel path: column-major view of the current inner page. Cached by
+  // page id — the restart pattern means consecutive candidates mostly get
+  // pruned inside the same early page, so the transpose amortizes.
+  ColumnarBatch cols;
+  PageId cols_page = 0;
+  bool cols_valid = false;
   for (PageId op = 0; op < total_pages; ++op) {
     outer.Clear();
     NMRS_RETURN_IF_ERROR(data.ReadPageVia(&reader, op, &outer));
@@ -46,6 +54,18 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
       for (PageId ip = 0; ip < total_pages && !pruned; ++ip) {
         inner.Clear();
         NMRS_RETURN_IF_ERROR(data.ReadPageVia(&reader, ip, &inner));
+        if (opts.use_kernels) {
+          if (!cols_valid || cols_page != ip) {
+            cols.Build(inner);
+            cols_page = ip;
+            cols_valid = true;
+          }
+          DominanceKernel kernel(ctx, cols);
+          pruned = kernel.FindPrunerForward(0, inner.size(), x_id,
+                                            &stats.pair_tests, &stats.checks);
+          stats.kernel_checks += kernel.kernel_checks();
+          continue;
+        }
         for (size_t j = 0; j < inner.size(); ++j) {
           if (inner.id(j) == x_id) continue;
           ++stats.pair_tests;

@@ -10,6 +10,9 @@ std::string QueryStats::ToString() const {
      << ", p1_batches=" << phase1_batches << ", survivors="
      << phase1_survivors << ", p2_batches=" << phase2_batches
      << ", io=" << io.ToString() << ", compute_ms=" << compute_millis;
+  if (kernel_checks != 0) {
+    os << ", kernel_checks=" << kernel_checks;
+  }
   if (modeled_backoff_millis != 0) {
     os << ", backoff_ms=" << modeled_backoff_millis;
   }

@@ -76,6 +76,19 @@ struct RSOptions {
   /// Optional shared sink recording pages the query gave up on (borrowed;
   /// the QueryEngine owns one per batch). Observational only.
   QuarantineLog* quarantine_log = nullptr;
+
+  /// Evaluate the pruning condition block-at-a-time through the SIMD
+  /// dominance kernels (core/dominance_kernel.h): loaded batches get a
+  /// column-major view and each candidate is checked against 32 rows per
+  /// step via per-attribute gathers from the candidate's matrix column,
+  /// with an AVX2 path selected by runtime CPU dispatch and a portable
+  /// fallback. Reverse-skyline results are bit-identical to the scalar
+  /// path; for Naive/BRS/SRS and the bichromatic block variant the check
+  /// and pair-test counts are also reproduced exactly (mask accounting),
+  /// while TRS reports its kernel phase-1 work as
+  /// QueryStats::kernel_checks instead of tree-group checks. Default off =
+  /// seed-identical execution. See docs/KERNELS.md.
+  bool use_kernels = false;
 };
 
 /// The PagedReader policy implied by a query's RSOptions — every algorithm
@@ -103,6 +116,15 @@ struct QueryStats {
 
   /// Candidate-pruner pair tests begun (each costs >= 1 check).
   uint64_t pair_tests = 0;
+
+  /// Attribute lanes evaluated by the block dominance kernels
+  /// (RSOptions::use_kernels): block width x attributes processed,
+  /// including lanes the early-aborting scalar loop would have skipped.
+  /// Zero when kernels are off. For Naive/BRS/SRS/bichromatic-block this
+  /// is extra instrumentation on top of the exactly-reproduced `checks`;
+  /// for TRS phase 1 it *replaces* the tree-group check accounting (see
+  /// docs/KERNELS.md).
+  uint64_t kernel_checks = 0;
 
   uint64_t phase1_batches = 0;
   uint64_t phase1_survivors = 0;  // |R| written between phases

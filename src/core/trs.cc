@@ -1,11 +1,16 @@
 #include "core/trs.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "altree/al_tree.h"
 #include "common/sync.h"
 #include "common/timer.h"
+#include "core/dominance.h"
+#include "core/dominance_kernel.h"
+#include "core/query_distance_table.h"
 #include "core/tree_traversal.h"
+#include "data/columnar_batch.h"
 #include "storage/paged_reader.h"
 
 namespace nmrs {
@@ -46,6 +51,16 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   Timer phase1_timer;
   FileId scratch_file = disk->CreateFile("trs-scratch");
   RowWriter writer(disk, scratch_file, schema, opts.checksum_pages);
+  // Kernel phase 1 runs on the fast path only (all attributes, all
+  // categorical — exactly when the flat leaf scan below is expressible as
+  // gathers); otherwise the tree traversal is kept as-is.
+  const bool kernel_p1 = opts.use_kernels && ctx.fast_path;
+  std::optional<QueryDistanceTable> kernel_qtable;
+  std::vector<AttrId> kernel_selected;
+  if (kernel_p1) {
+    kernel_selected = ResolveSelectedAttrs(schema, opts.selected_attrs);
+    kernel_qtable.emplace(space, schema, query, kernel_selected);
+  }
   {
     ALTree tree(schema, ctx.attr_order);
     RowBatch page_rows(m, numerics);
@@ -106,7 +121,74 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
         }
       };
 
-      if (opts.num_threads <= 1 || num_leaves < 2) {
+      // Kernel phase 1: every active leaf is one row of a columnar block
+      // and candidate leaf c is checked against the block directly — the
+      // flat scan replaces the tree traversal, whose group-level check
+      // accounting has no scalar-per-row equivalent, so the work surfaces
+      // as QueryStats::kernel_checks (docs/KERNELS.md). Verdicts — and
+      // therefore survivors, results, and IO — are identical: the
+      // traversal is a pruned search for the same Definition-1 pruner,
+      // with "M \ c" realized by skipping c's own leaf iff it holds a
+      // single instance (remaining duplicates still count as pruners).
+      ColumnarBatch leaf_cols;
+      if (kernel_p1 && num_leaves > 0) {
+        std::vector<std::vector<ValueId>> columns(
+            m, std::vector<ValueId>(num_leaves));
+        std::vector<RowId> leaf_ids(num_leaves);
+        std::vector<ValueId> lv(m, 0);
+        for (size_t li = 0; li < num_leaves; ++li) {
+          internal_tree::LeafValues(tree, leaves[li], ctx.attr_order, &lv);
+          for (size_t a = 0; a < m; ++a) columns[a][li] = lv[a];
+          leaf_ids[li] = li;
+        }
+        leaf_cols.BuildFromColumns(num_leaves, columns, leaf_ids);
+      }
+      // Reads `tree` and `leaf_cols` only (no TempRemove), so parallel
+      // chunks share them and skip the private tree copies.
+      auto check_leaves_kernel = [&](size_t begin, size_t end,
+                                     QueryStats* st) {
+        PruneContext kc(space, schema, query, kernel_selected,
+                        &*kernel_qtable);
+        DominanceKernel kernel(kc, leaf_cols);
+        std::vector<ValueId> cv(m, 0);
+        uint64_t unused_pairs = 0, unused_checks = 0;
+        for (size_t li = begin; li < end; ++li) {
+          internal_tree::LeafValues(tree, leaves[li], ctx.attr_order, &cv);
+          ++st->pair_tests;
+          kc.SetCandidate(cv.data(), nullptr);
+          kernel.BeginCandidate();
+          const RowId skip = tree.LeafRows(leaves[li]).size() > 1
+                                 ? kInvalidRowId
+                                 : static_cast<RowId>(li);
+          prunable[li] = kernel.FindPrunerForward(0, num_leaves, skip,
+                                                  &unused_pairs,
+                                                  &unused_checks)
+                             ? 1
+                             : 0;
+        }
+        st->kernel_checks += kernel.kernel_checks();
+      };
+
+      if (kernel_p1) {
+        if (opts.num_threads <= 1 || num_leaves < 2) {
+          check_leaves_kernel(0, num_leaves, &stats);
+        } else {
+          const size_t num_chunks = std::min(
+              num_leaves, static_cast<size_t>(opts.num_threads) * 2);
+          std::vector<QueryStats> chunk_stats(num_chunks);
+          ParallelChunks(opts.executor, opts.num_threads, num_chunks,
+                         [&](size_t c) {
+                           check_leaves_kernel(
+                               ChunkBegin(num_leaves, num_chunks, c),
+                               ChunkBegin(num_leaves, num_chunks, c + 1),
+                               &chunk_stats[c]);
+                         });
+          for (const QueryStats& cs : chunk_stats) {
+            stats.pair_tests += cs.pair_tests;
+            stats.kernel_checks += cs.kernel_checks;
+          }
+        }
+      } else if (opts.num_threads <= 1 || num_leaves < 2) {
         check_leaves(tree, 0, num_leaves, &stats, c_values, rhs, stack,
                      fast_stack, p1_levels);
       } else {

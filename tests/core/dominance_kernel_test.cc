@@ -1,0 +1,284 @@
+// Unit tests of the block dominance kernels (core/dominance_kernel.h):
+// bit-exact verdict and accounting equivalence against the scalar
+// PruneContext::Prunes loop on both dispatch paths, the columnar
+// transpose, and — with asymmetric matrices — the gather orientation
+// (which operand indexes the matrix row vs column).
+#include "core/dominance_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/query_distance_table.h"
+#include "data/columnar_batch.h"
+#include "data/generators.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RunningExample;
+
+RowBatch BatchFromDataset(const Dataset& data) {
+  RowBatch batch(data.schema().num_attributes(),
+                 data.schema().NumNumeric() > 0);
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    batch.Append(r, data.RowValues(r), data.RowNumerics(r));
+  }
+  return batch;
+}
+
+TEST(ColumnarBatchTest, TransposeMatchesRowMajor) {
+  Rng rng(99);
+  Dataset data = GenerateMixed(137, {5, 9, 3}, 2, 4, rng);
+  RowBatch rows = BatchFromDataset(data);
+  ColumnarBatch cols;
+  cols.Build(rows);
+  ASSERT_EQ(cols.size(), rows.size());
+  ASSERT_EQ(cols.num_attrs(), rows.num_attrs());
+  ASSERT_TRUE(cols.has_numerics());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(cols.id(i), rows.id(i));
+    for (AttrId a = 0; a < rows.num_attrs(); ++a) {
+      EXPECT_EQ(cols.values(a)[i], rows.value(i, a)) << i << "/" << a;
+      EXPECT_EQ(cols.numerics(a)[i], rows.numeric(i, a)) << i << "/" << a;
+    }
+  }
+  // Rebuild from a smaller batch must fully replace the old view.
+  RowBatch two(rows.num_attrs(), true);
+  two.Append(rows.id(0), rows.row_values(0), rows.row_numerics(0));
+  cols.Build(two);
+  EXPECT_EQ(cols.size(), 1u);
+}
+
+TEST(ColumnarBatchTest, BuildFromColumns) {
+  const std::vector<std::vector<ValueId>> columns = {{1, 2, 3}, {4, 5, 6}};
+  const std::vector<RowId> ids = {10, 11, 12};
+  ColumnarBatch cols;
+  cols.BuildFromColumns(3, columns, ids);
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols.num_attrs(), 2u);
+  EXPECT_FALSE(cols.has_numerics());
+  EXPECT_EQ(cols.values(0)[2], 3u);
+  EXPECT_EQ(cols.values(1)[0], 4u);
+  EXPECT_EQ(cols.id(1), 11u);
+}
+
+// Every row verdict and per-row check count of the kernel must equal the
+// scalar early-aborting loop, on both dispatch paths.
+void ExpectKernelMatchesScalar(const Dataset& data,
+                               const SimilaritySpace& space,
+                               const Object& query,
+                               const std::vector<AttrId>& selection) {
+  const Schema& schema = data.schema();
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(schema, selection);
+  QueryDistanceTable table(space, schema, query, selected);
+  PruneContext ctx(space, schema, query, selected, &table);
+  RowBatch rows = BatchFromDataset(data);
+  ColumnarBatch cols;
+  cols.Build(rows);
+
+  for (bool force_scalar : {false, true}) {
+    ForceScalarKernelDispatchForTest(force_scalar);
+    DominanceKernel kernel(ctx, cols);
+    if (force_scalar) {
+      ASSERT_EQ(kernel.dispatch(), KernelDispatch::kScalar);
+    }
+    for (RowId x = 0; x < data.num_rows(); x += 3) {
+      ctx.SetCandidate(data.RowValues(x), data.RowNumerics(x));
+      kernel.BeginCandidate();
+      for (RowId y = 0; y < data.num_rows(); ++y) {
+        uint64_t scalar_checks = 0;
+        const bool scalar_prunes =
+            ctx.Prunes(data.RowValues(y), data.RowNumerics(y),
+                       &scalar_checks);
+        EXPECT_EQ(kernel.RowPrunes(y), scalar_prunes)
+            << "x=" << x << " y=" << y << " forced=" << force_scalar;
+        EXPECT_EQ(kernel.RowChecks(y), scalar_checks)
+            << "x=" << x << " y=" << y << " forced=" << force_scalar;
+      }
+    }
+    EXPECT_GT(kernel.kernel_checks(), 0u);
+  }
+  ForceScalarKernelDispatchForTest(false);
+}
+
+TEST(DominanceKernelTest, MatchesScalarOnRunningExample) {
+  RunningExample ex;
+  ExpectKernelMatchesScalar(ex.dataset, ex.space, ex.query, {});
+}
+
+TEST(DominanceKernelTest, MatchesScalarOnRandomAsymmetricInstances) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<size_t> cards(1 + rng.Uniform(4));
+    for (auto& c : cards) c = 2 + rng.Uniform(40);
+    Rng drng = rng.Fork();
+    Rng srng = rng.Fork();
+    Dataset data = GenerateUniform(40 + rng.Uniform(120), cards, drng);
+    SimilaritySpace space;
+    for (size_t c : cards) {
+      space.AddCategorical(MakeRandomMatrix(c, srng, {.symmetric = false}));
+    }
+    Object q = SampleUniformQuery(data, rng);
+    std::vector<AttrId> sel;
+    if (rng.Bernoulli(0.4)) {
+      for (AttrId a = 0; a < cards.size(); ++a) {
+        if (rng.Bernoulli(0.6)) sel.push_back(a);
+      }
+    }
+    ExpectKernelMatchesScalar(data, space, q, sel);
+  }
+}
+
+TEST(DominanceKernelTest, MatchesScalarOnMixedNumericInstance) {
+  Rng rng(31337);
+  Rng drng = rng.Fork();
+  Rng srng = rng.Fork();
+  Dataset data = GenerateMixed(180, {6, 11}, 2, 4, drng);
+  SimilaritySpace space;
+  space.AddCategorical(MakeRandomMatrix(6, srng, {.symmetric = false}));
+  space.AddCategorical(MakeRandomMatrix(11, srng, {.symmetric = false}));
+  space.AddNumeric(NumericDissimilarity(0.7));
+  space.AddNumeric(NumericDissimilarity(1.3));
+  Object q = SampleUniformQuery(data, rng);
+  ExpectKernelMatchesScalar(data, space, q, {});
+  ExpectKernelMatchesScalar(data, space, q, {3, 0});
+}
+
+// Pins the gather orientation on an asymmetric 2-value matrix: the lane
+// value for row Y against candidate X must be d(y, x) — matrix row y,
+// column x — never the transposed d(x, y). The two orientations give
+// opposite verdicts here, so a flipped gather cannot pass.
+TEST(DominanceKernelTest, GatherOrientationOnAsymmetricMatrix) {
+  DissimilarityMatrix mat(2);
+  mat.Set(0, 1, 0.9);  // d(0 -> 1)
+  mat.Set(1, 0, 0.1);  // d(1 -> 0)
+  SimilaritySpace space;
+  space.AddCategorical(std::move(mat));
+  Schema schema = Schema::Categorical({2});
+
+  // Query q=1, candidate x=0: threshold d(q, x) = d(1, 0) = 0.1.
+  // Pruner y=1: lhs = d(y, x) = d(1, 0) = 0.1 -> not < 0.1, no strict
+  // attribute, so y must NOT prune. The flipped lhs d(x, y) = 0.9 would
+  // also not prune (violation), but for y=0: lhs = d(0, 0) = 0 < 0.1
+  // prunes, while flipped d(0, 0) = 0 agrees — so pin the threshold side
+  // too with query q=0, candidate x=1: threshold d(0, 1) = 0.9, y=0 has
+  // lhs d(0, 1) = 0.9 (no strict), flipped d(1, 0) = 0.1 would prune.
+  const std::vector<AttrId> selected = {0};
+  RowBatch rows(1, false);
+  const ValueId v0 = 0, v1 = 1;
+  rows.Append(0, &v0, nullptr);
+  rows.Append(1, &v1, nullptr);
+  ColumnarBatch cols;
+  cols.Build(rows);
+
+  for (bool force_scalar : {false, true}) {
+    ForceScalarKernelDispatchForTest(force_scalar);
+    {
+      Object q({1});
+      QueryDistanceTable table(space, schema, q, selected);
+      PruneContext ctx(space, schema, q, selected, &table);
+      ValueId x = 0;
+      ctx.SetCandidate(&x, nullptr);
+      ASSERT_EQ(ctx.QueryDist(0), 0.1);
+      DominanceKernel kernel(ctx, cols);
+      EXPECT_TRUE(kernel.RowPrunes(0));    // d(0,0)=0 < 0.1
+      EXPECT_FALSE(kernel.RowPrunes(1));   // d(1,0)=0.1, nothing strict
+    }
+    {
+      Object q({0});
+      QueryDistanceTable table(space, schema, q, selected);
+      PruneContext ctx(space, schema, q, selected, &table);
+      ValueId x = 1;
+      ctx.SetCandidate(&x, nullptr);
+      ASSERT_EQ(ctx.QueryDist(0), 0.9);
+      // y=0: lhs = d(0,1) = 0.9 == threshold, not strict -> no prune.
+      // A transposed gather would read d(1,0) = 0.1 and prune.
+      DominanceKernel kernel(ctx, cols);
+      EXPECT_FALSE(kernel.RowPrunes(0));
+      EXPECT_TRUE(kernel.RowPrunes(1) == (space.CatDist(0, 1, 1) < 0.9))
+          << "self-distance row must follow the definition";
+    }
+  }
+  ForceScalarKernelDispatchForTest(false);
+}
+
+// The Find* adapters reproduce the scalar scan loops exactly: same pair and
+// check totals, same first-pruner stop, in forward and expanding-ring order.
+TEST(DominanceKernelTest, FindAdaptersMatchScalarScans) {
+  Rng rng(555);
+  std::vector<size_t> cards = {7, 5, 9};
+  Rng drng = rng.Fork();
+  Rng srng = rng.Fork();
+  Dataset data = GenerateNormal(150, cards, drng);
+  SimilaritySpace space;
+  for (size_t c : cards) {
+    space.AddCategorical(MakeRandomMatrix(c, srng, {.symmetric = false}));
+  }
+  const Schema& schema = data.schema();
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+  Object q = SampleRowQuery(data, rng);
+  QueryDistanceTable table(space, schema, q, selected);
+  PruneContext ctx(space, schema, q, selected, &table);
+  RowBatch rows = BatchFromDataset(data);
+  ColumnarBatch cols;
+  cols.Build(rows);
+  DominanceKernel kernel(ctx, cols);
+
+  const size_t n = rows.size();
+  for (RowId x = 0; x < n; x += 5) {
+    ctx.SetCandidate(data.RowValues(x), nullptr);
+
+    // Scalar forward scan, skipping the candidate's own id.
+    uint64_t s_pairs = 0, s_checks = 0;
+    bool s_found = false;
+    for (size_t j = 0; j < n && !s_found; ++j) {
+      if (rows.id(j) == x) continue;
+      ++s_pairs;
+      s_found = ctx.Prunes(rows.row_values(j), nullptr, &s_checks);
+    }
+    kernel.BeginCandidate();
+    uint64_t k_pairs = 0, k_checks = 0;
+    EXPECT_EQ(kernel.FindPrunerForward(0, n, x, &k_pairs, &k_checks),
+              s_found);
+    EXPECT_EQ(k_pairs, s_pairs) << "x=" << x;
+    EXPECT_EQ(k_checks, s_checks) << "x=" << x;
+
+    // Scalar expanding-ring scan around the candidate's position.
+    s_pairs = s_checks = 0;
+    s_found = false;
+    const size_t center = x;
+    for (size_t off = 1; off < n && !s_found; ++off) {
+      if (off <= center && rows.id(center - off) != x) {
+        ++s_pairs;
+        s_found = ctx.Prunes(rows.row_values(center - off), nullptr,
+                             &s_checks);
+      }
+      if (!s_found && center + off < n && rows.id(center + off) != x) {
+        ++s_pairs;
+        s_found =
+            ctx.Prunes(rows.row_values(center + off), nullptr, &s_checks);
+      }
+    }
+    kernel.BeginCandidate();
+    k_pairs = k_checks = 0;
+    EXPECT_EQ(kernel.FindPrunerRing(center, x, &k_pairs, &k_checks),
+              s_found);
+    EXPECT_EQ(k_pairs, s_pairs) << "ring x=" << x;
+    EXPECT_EQ(k_checks, s_checks) << "ring x=" << x;
+  }
+}
+
+TEST(DominanceKernelTest, DispatchNamesAndForceHook) {
+  EXPECT_STREQ(KernelDispatchName(KernelDispatch::kScalar), "scalar");
+  EXPECT_STREQ(KernelDispatchName(KernelDispatch::kAvx2), "avx2");
+  ForceScalarKernelDispatchForTest(true);
+  EXPECT_EQ(ActiveKernelDispatch(), KernelDispatch::kScalar);
+  ForceScalarKernelDispatchForTest(false);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,237 @@
+// Randomized end-to-end equivalence sweep for RSOptions::use_kernels: on
+// every wired algorithm (Naive, BRS, SRS, TRS, bichromatic block), over
+// categorical and mixed-numeric schemas, attribute subsets, asymmetric
+// matrices, page caching, and intra-query parallelism, the kernel path
+// must return bit-identical rows — and, where the contract promises it
+// (docs/KERNELS.md), bit-identical check accounting — to the scalar path,
+// on both dispatch implementations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bichromatic.h"
+#include "core/dominance_kernel.h"
+#include "core/pipeline.h"
+#include "core/skyline.h"
+#include "data/generators.h"
+#include "storage/buffer_pool.h"
+
+namespace nmrs {
+namespace {
+
+struct SweepInstance {
+  Dataset data;
+  SimilaritySpace space;
+  Object query;
+  std::vector<AttrId> selected;
+  bool mixed = false;
+
+  explicit SweepInstance(Rng& master) : data(Schema::Categorical({1})) {
+    const size_t mc = 1 + master.Uniform(4);
+    std::vector<size_t> cards(mc);
+    for (auto& c : cards) c = 2 + master.Uniform(30);
+    const size_t num_numeric =
+        master.Bernoulli(0.35) ? 1 + master.Uniform(2) : 0;
+    mixed = num_numeric > 0;
+    const uint64_t n = 30 + master.Uniform(350);
+    const bool asym = master.Bernoulli(0.5);
+    Rng drng = master.Fork();
+    Rng srng = master.Fork();
+    Rng qrng = master.Fork();
+    data = mixed ? GenerateMixed(n, cards, num_numeric, 4, drng)
+                 : (master.Bernoulli(0.5) ? GenerateNormal(n, cards, drng)
+                                          : GenerateUniform(n, cards, drng));
+    for (size_t c : cards) {
+      space.AddCategorical(MakeRandomMatrix(c, srng, {.symmetric = !asym}));
+    }
+    for (size_t i = 0; i < num_numeric; ++i) {
+      space.AddNumeric(NumericDissimilarity());
+    }
+    query = master.Bernoulli(0.5) ? SampleUniformQuery(data, qrng)
+                                  : SampleRowQuery(data, qrng);
+    if (master.Bernoulli(0.3)) {
+      const size_t m = data.schema().num_attributes();
+      for (AttrId a = 0; a < m; ++a) {
+        if (master.Bernoulli(0.6)) selected.push_back(a);
+      }
+    }
+  }
+};
+
+void ExpectSameRows(const ReverseSkylineResult& scalar,
+                    const ReverseSkylineResult& kernel,
+                    const char* label) {
+  EXPECT_EQ(scalar.rows, kernel.rows) << label;
+}
+
+// The exact-accounting contract of Naive/BRS/SRS/bichromatic-block.
+void ExpectSameCounts(const QueryStats& scalar, const QueryStats& kernel,
+                      const char* label) {
+  EXPECT_EQ(scalar.checks, kernel.checks) << label;
+  EXPECT_EQ(scalar.pair_tests, kernel.pair_tests) << label;
+  EXPECT_EQ(scalar.phase1_checks, kernel.phase1_checks) << label;
+  EXPECT_EQ(scalar.phase2_checks, kernel.phase2_checks) << label;
+  EXPECT_EQ(scalar.phase1_survivors, kernel.phase1_survivors) << label;
+  EXPECT_EQ(scalar.io, kernel.io) << label;
+  EXPECT_EQ(scalar.kernel_checks, 0u) << label;
+}
+
+class KernelDeterminismSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelDeterminismSweep, WiredAlgorithmsAreBitIdentical) {
+  Rng master(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    SweepInstance inst(master);
+    auto expected =
+        ReverseSkylineOracle(inst.data, inst.space, inst.query,
+                             inst.selected);
+
+    SimulatedDisk disk(128 + master.Uniform(900));
+    RSOptions base;
+    base.memory.pages = 2 + master.Uniform(8);
+    base.selected_attrs = inst.selected;
+    base.num_threads = master.Bernoulli(0.4) ? 3 : 1;
+    const bool cache = master.Bernoulli(0.4);
+
+    for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS,
+                           Algorithm::kSRS, Algorithm::kTRS}) {
+      auto prep = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prep.ok());
+      // One pool per run: a shared pool would carry warm pages from the
+      // scalar run into the kernel run and skew the IO comparison.
+      BufferPool scalar_pool(&disk,
+                             BufferPoolOptions::FromBudget(MemoryBudget{8}));
+      BufferPool kernel_pool(&disk,
+                             BufferPoolOptions::FromBudget(MemoryBudget{8}));
+      RSOptions scalar_opts = base;
+      RSOptions kernel_opts = base;
+      kernel_opts.use_kernels = true;
+      if (cache) {
+        scalar_opts.cache_pages = true;
+        scalar_opts.buffer_pool = &scalar_pool;
+        kernel_opts.cache_pages = true;
+        kernel_opts.buffer_pool = &kernel_pool;
+      }
+      auto scalar = RunReverseSkyline(*prep, inst.space, inst.query, algo,
+                                      scalar_opts);
+      auto kernel = RunReverseSkyline(*prep, inst.space, inst.query, algo,
+                                      kernel_opts);
+      ASSERT_TRUE(scalar.ok() && kernel.ok()) << AlgorithmName(algo);
+      const std::string label =
+          std::string(AlgorithmName(algo)) + " trial " +
+          std::to_string(trial) + " seed " + std::to_string(GetParam());
+      EXPECT_EQ(scalar->rows, expected) << label;
+      ExpectSameRows(*scalar, *kernel, label.c_str());
+      if (algo == Algorithm::kTRS) {
+        // TRS phase 2 is always scalar; phase 1 swaps tree-group checks
+        // for kernel_checks only on the fast path (all attributes, all
+        // categorical), where pair tests (one per candidate leaf) and the
+        // spilled survivors still match exactly.
+        EXPECT_EQ(scalar->stats.phase2_checks, kernel->stats.phase2_checks)
+            << label;
+        EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests)
+            << label;
+        EXPECT_EQ(scalar->stats.phase1_survivors,
+                  kernel->stats.phase1_survivors)
+            << label;
+        EXPECT_EQ(scalar->stats.io, kernel->stats.io)
+            << label;
+        const bool fast_path =
+            !inst.mixed &&
+            (inst.selected.empty() ||
+             inst.selected.size() == inst.data.schema().num_attributes());
+        if (fast_path) {
+          EXPECT_GT(kernel->stats.kernel_checks, 0u) << label;
+        } else {
+          // Off the fast path the flag is inert: everything matches.
+          ExpectSameCounts(scalar->stats, kernel->stats, label.c_str());
+        }
+      } else {
+        ExpectSameCounts(scalar->stats, kernel->stats, label.c_str());
+        if (kernel->stats.pair_tests > 0) {
+          EXPECT_GT(kernel->stats.kernel_checks, 0u) << label;
+        }
+      }
+    }
+  }
+}
+
+// The two lane implementations (AVX2 and portable scalar) must agree on
+// everything, including the kernel_checks instrumentation.
+TEST_P(KernelDeterminismSweep, DispatchPathsAgree) {
+  Rng master(GetParam() ^ 0x5eed);
+  for (int trial = 0; trial < 4; ++trial) {
+    SweepInstance inst(master);
+    SimulatedDisk disk(512);
+    RSOptions opts;
+    opts.memory.pages = 4;
+    opts.selected_attrs = inst.selected;
+    opts.use_kernels = true;
+    for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS,
+                           Algorithm::kTRS}) {
+      auto prep = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prep.ok());
+      auto native =
+          RunReverseSkyline(*prep, inst.space, inst.query, algo, opts);
+      ForceScalarKernelDispatchForTest(true);
+      auto forced =
+          RunReverseSkyline(*prep, inst.space, inst.query, algo, opts);
+      ForceScalarKernelDispatchForTest(false);
+      ASSERT_TRUE(native.ok() && forced.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(native->rows, forced->rows) << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.checks, forced->stats.checks)
+          << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.pair_tests, forced->stats.pair_tests)
+          << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.kernel_checks, forced->stats.kernel_checks)
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST_P(KernelDeterminismSweep, BichromaticBlockIsBitIdentical) {
+  Rng master(GetParam() + 17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t mc = 1 + master.Uniform(3);
+    std::vector<size_t> cards(mc);
+    for (auto& c : cards) c = 2 + master.Uniform(20);
+    Rng crng = master.Fork();
+    Rng prng = master.Fork();
+    Rng srng = master.Fork();
+    Rng qrng = master.Fork();
+    Dataset candidates =
+        GenerateNormal(20 + master.Uniform(150), cards, crng);
+    Dataset competitors =
+        GenerateUniform(20 + master.Uniform(150), cards, prng);
+    SimilaritySpace space;
+    for (size_t c : cards) {
+      space.AddCategorical(MakeRandomMatrix(c, srng, {.symmetric = false}));
+    }
+    Object q = SampleUniformQuery(candidates, qrng);
+
+    SimulatedDisk disk(256);
+    auto stored_c = StoredDataset::Create(&disk, candidates, "bi-cand");
+    auto stored_p = StoredDataset::Create(&disk, competitors, "bi-comp");
+    ASSERT_TRUE(stored_c.ok() && stored_p.ok());
+    RSOptions opts;
+    opts.memory.pages = 2 + master.Uniform(4);
+    auto scalar = BichromaticBlockRS(*stored_c, *stored_p, space, q, opts);
+    opts.use_kernels = true;
+    auto kernel = BichromaticBlockRS(*stored_c, *stored_p, space, q, opts);
+    ASSERT_TRUE(scalar.ok() && kernel.ok());
+    EXPECT_EQ(scalar->rows, kernel->rows) << "trial " << trial;
+    EXPECT_EQ(scalar->stats.checks, kernel->stats.checks)
+        << "trial " << trial;
+    EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests)
+        << "trial " << trial;
+    if (kernel->stats.pair_tests > 0) {
+      EXPECT_GT(kernel->stats.kernel_checks, 0u) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelDeterminismSweep,
+                         ::testing::Values(20260807, 4242, 991));
+
+}  // namespace
+}  // namespace nmrs

@@ -160,5 +160,49 @@ TEST(QueryDistanceTableTest, MemoEquivalenceOnRandomAsymmetricInstance) {
   }
 }
 
+// Pins the operand orientation of the cached per-candidate arrays on an
+// asymmetric matrix — the contract both the scalar memoized Prunes loop
+// and the kernel gather path (core/dominance_kernel.h) rely on:
+//   - FromQuery(k)[v]        == d_a(q_a, v)   (query is the row index)
+//   - PruneContext::QueryDist == d_a(q_a, x_a)
+//   - CandidateColumn(k)[v]  == d_a(v, x_a)   (candidate is the column
+//     index; the pruner value v is the row index)
+// A transposed read of any of these would go unnoticed on the symmetric
+// matrices most tests use.
+TEST(QueryDistanceTableTest, AsymmetricOrientationOfCandidateArrays) {
+  Rng rng(20260807);
+  const std::vector<size_t> cards = {6, 4};
+  SimilaritySpace space = MakeAsymmetricSpace(cards, rng);
+  Schema schema = Schema::Categorical(cards);
+  const Object query({3, 1});
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+  QueryDistanceTable table(space, schema, query, selected);
+  PruneContext ctx(space, schema, query, selected, &table);
+
+  bool saw_asymmetry = false;
+  std::vector<ValueId> x = {0, 0};
+  for (x[0] = 0; x[0] < cards[0]; ++x[0]) {
+    for (x[1] = 0; x[1] < cards[1]; ++x[1]) {
+      ctx.SetCandidate(x.data(), nullptr);
+      for (size_t k = 0; k < selected.size(); ++k) {
+        const AttrId a = selected[k];
+        ASSERT_EQ(ctx.QueryDist(k), space.CatDist(a, query.values[a], x[a]))
+            << "threshold must be d(q, x), not d(x, q)";
+        const double* col = ctx.CandidateColumn(k);
+        for (ValueId v = 0; v < cards[a]; ++v) {
+          ASSERT_EQ(col[v], space.CatDist(a, v, x[a]))
+              << "lhs must be d(v, x), not d(x, v) — attr " << a
+              << " value " << v;
+          if (space.CatDist(a, v, x[a]) != space.CatDist(a, x[a], v)) {
+            saw_asymmetry = true;
+          }
+        }
+      }
+    }
+  }
+  // The random matrices must actually distinguish the two orientations.
+  EXPECT_TRUE(saw_asymmetry);
+}
+
 }  // namespace
 }  // namespace nmrs

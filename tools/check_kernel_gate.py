@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Perf-sanity gate on a freshly emitted BENCH_kernels.json.
+
+ci.sh runs `bench_kernels --quick` and then this script: the build fails
+if the block dominance kernel is *slower* than the scalar early-abort loop
+(speedup < 1.0) on the largest-cardinality micro config, where the gather
+-> compare -> movemask shape has the most work per byte and should win by
+the widest margin. The threshold is deliberately looser than the 1.5x
+shape check bench_kernels itself reports, so a loaded CI host does not
+flake the build while a real regression (kernel slower than scalar) still
+fails it.
+
+Usage: check_kernel_gate.py [path/to/BENCH_kernels.json]
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"kernel-gate: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    micro = [r for r in doc.get("runs", []) if r.get("config") == "micro"]
+    if not micro:
+        print(f"kernel-gate: no micro runs in {path}", file=sys.stderr)
+        return 1
+
+    if any(r.get("dispatch") != "avx2" for r in micro):
+        # The blocked scalar fallback is only expected to be around parity
+        # with the early-abort loop; the gate guards the SIMD path.
+        print("kernel-gate: SKIP — non-avx2 dispatch, nothing to gate")
+        return 0
+
+    top_card = max(r["cardinality"] for r in micro)
+    gated = [r for r in micro if r["cardinality"] == top_card]
+    worst = min(gated, key=lambda r: r["speedup"])
+    ok = worst["speedup"] >= THRESHOLD
+    verdict = "OK" if ok else "FAIL"
+    print(
+        f"kernel-gate: {verdict} — dispatch={worst.get('dispatch', '?')} "
+        f"cardinality={top_card} rows={worst['num_rows']} "
+        f"speedup={worst['speedup']:.2f} (need >= {THRESHOLD:.1f})"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

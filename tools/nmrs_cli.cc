@@ -9,8 +9,11 @@
 //
 //   nmrs_cli query --data=data.csv --matrices=prefix --query=1,2,3
 //            [--algo=trs|srs|brs|naive|tsrs|ttrs] [--mem=0.1]
-//            [--attrs=0,2] [--seed=S]
+//            [--attrs=0,2] [--kernels] [--seed=S]
 //       Runs a reverse-skyline query and prints the result rows + stats.
+//       --kernels turns on the block dominance kernels (docs/KERNELS.md)
+//       and prints which lane evaluators runtime dispatch picked
+//       (avx2/scalar); the result rows are identical either way.
 //
 //   nmrs_cli compare --data=data.csv --matrices=prefix --query=1,2,3
 //       Runs BRS, SRS and TRS on the same query and prints a comparison.
@@ -26,7 +29,7 @@
 //
 //   nmrs_cli batch --data=data.csv --matrices=prefix --queries=K
 //            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
-//            [--cache-pages=N | --cache-pct=P] [--seed=S]
+//            [--cache-pages=N | --cache-pct=P] [--kernels] [--seed=S]
 //            [--checksum] [--transient-p=P] [--corrupt-p=P]
 //            [--bad-pages=f:p,f:p,...] [--fault-seed=S] [--retries=N]
 //            [--max-query-retries=N] [--fail-fast]
@@ -220,6 +223,10 @@ void PrintStats(const QueryStats& s) {
       static_cast<unsigned long long>(s.io.TotalSequential()),
       static_cast<unsigned long long>(s.io.TotalRandom()),
       s.compute_millis, s.ResponseMillis());
+  if (s.kernel_checks != 0) {
+    std::printf("  kernel_checks=%llu\n",
+                static_cast<unsigned long long>(s.kernel_checks));
+  }
 }
 
 int CmdQuery(const Flags& flags) {
@@ -238,6 +245,11 @@ int CmdQuery(const Flags& flags) {
       prepared->stored.num_pages());
   for (uint64_t a : ParseUintList(FlagOr(flags, "attrs", ""))) {
     opts.selected_attrs.push_back(static_cast<AttrId>(a));
+  }
+  opts.use_kernels = flags.count("kernels") != 0;
+  if (opts.use_kernels) {
+    std::printf("dominance kernels on (dispatch: %s)\n",
+                KernelDispatchName(ActiveKernelDispatch()));
   }
 
   auto result =
@@ -404,6 +416,11 @@ int CmdBatch(const Flags& flags) {
       std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
       prepared->stored.num_pages());
   eopts.rs.num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+  eopts.rs.use_kernels = flags.count("kernels") != 0;
+  if (eopts.rs.use_kernels) {
+    std::printf("dominance kernels on (dispatch: %s)\n",
+                KernelDispatchName(ActiveKernelDispatch()));
+  }
   if (flags.count("cache-pages") != 0 && flags.count("cache-pct") != 0) {
     return Fail("--cache-pages and --cache-pct are mutually exclusive");
   }
