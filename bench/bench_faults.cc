@@ -17,6 +17,15 @@
 //    latency (never slept), so the interesting output is how the modeled
 //    makespan inflates with p while the answer stays exactly the clean
 //    rows — the storm is absorbed, not returned to the caller.
+//
+// 3. "failover" — the checksummed batch against N in {1, 2, 3} storage
+//    replicas where replica 0 permanently loses pages (data_loss_p = 1e-3
+//    plus page 0 pinned bad, so every sweep sees at least one loss), the
+//    others stay clean, and clean-view query retries are disabled: any
+//    recovery is page-granular failover alone (docs/ROBUSTNESS.md). N = 1
+//    is the damage baseline (queries fail); the shape check demands that
+//    N >= 2 completes every query with rows identical to the fault-free
+//    run and a nonzero failover count.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -225,6 +234,88 @@ void RunRetryStorm(const Workload& w, JsonWriter* json) {
   table.Print();
 }
 
+void RunFailover(const Workload& w, JsonWriter* json, bool* recovered_out) {
+  SimulatedDisk disk;
+  PrepareOptions popts;
+  popts.checksum_pages = true;
+  auto prepared = PrepareDataset(&disk, w.data, Algorithm::kSRS, popts);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  QueryEngineOptions base;
+  base.num_workers = 4;
+  base.rs.memory =
+      MemoryBudget::FromFraction(0.1, prepared->stored.num_pages());
+  base.max_query_retries = 0;  // recovery must come from failover alone
+
+  // Fault-free reference rows.
+  BatchResult clean;
+  {
+    auto batch =
+        QueryEngine(*prepared, w.space, Algorithm::kSRS, base).RunBatch(
+            w.queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    NMRS_CHECK(batch->ok()) << batch->first_error();
+    clean = std::move(*batch);
+  }
+
+  FaultConfig lossy;
+  lossy.seed = 4242;
+  lossy.data_loss_p = 1e-3;
+  // Page 0 pinned bad: the probabilistic draw may select zero pages on a
+  // small --quick dataset, and the shape check needs a guaranteed loss.
+  lossy.bad_pages.insert({prepared->stored.file(), 0});
+
+  Table table({"replicas", "failed", "failovers", "replica_reads",
+               "modeled_ms", "rows_vs_clean"});
+  *recovered_out = true;
+  for (int n : {1, 2, 3}) {
+    QueryEngineOptions opts = base;
+    opts.rs.resilience.replicas = n;
+    if (n == 1) {
+      opts.faults = lossy;
+    } else {
+      opts.replica_faults.assign(static_cast<size_t>(n), FaultConfig{});
+      opts.replica_faults[0] = lossy;
+    }
+    auto batch =
+        QueryEngine(*prepared, w.space, Algorithm::kSRS, opts).RunBatch(
+            w.queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+
+    bool rows_match = true;
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      if (batch->statuses[i].ok() &&
+          batch->results[i].rows != clean.results[i].rows) {
+        rows_match = false;
+      }
+    }
+    if (n >= 2 &&
+        (!batch->ok() || batch->total_io.failovers == 0 || !rows_match)) {
+      *recovered_out = false;
+    }
+
+    table.AddRow({std::to_string(n), std::to_string(batch->num_failed()),
+                  std::to_string(batch->total_io.failovers),
+                  std::to_string(batch->total_io.ReplicaReadsTotal()),
+                  Fmt(batch->ModeledMakespanMillis(), 2),
+                  rows_match ? "identical" : "DIVERGED"});
+
+    json->BeginRun();
+    json->Field("workload", std::string("failover"));
+    json->Field("replicas", static_cast<uint64_t>(n));
+    json->Field("data_loss_p", lossy.data_loss_p);
+    json->Field("num_rows", w.data.num_rows());
+    json->Field("num_queries", static_cast<uint64_t>(w.queries.size()));
+    json->Field("queries_failed",
+                static_cast<uint64_t>(batch->num_failed()));
+    json->Field("rows_identical_to_clean",
+                static_cast<uint64_t>(rows_match));
+    json->Field("modeled_makespan_millis", batch->ModeledMakespanMillis());
+    EmitIoFields(json, batch->total_io);
+  }
+  table.Print();
+}
+
 void Run(int argc, char** argv) {
   Args args = Args::Parse(argc, argv, 1.0);
   Banner("Fault-handling overhead when no faults fire");
@@ -240,6 +331,10 @@ void Run(int argc, char** argv) {
   Banner("Retry storms: transient faults absorbed as modeled backoff");
   RunRetryStorm(w, &json);
 
+  Banner("Replica failover: one lossy replica, recovery page by page");
+  bool failover_recovered = true;
+  RunFailover(w, &json, &failover_recovered);
+
   ShapeCheck("fault-machinery-rows-identical", rows_identical,
              "rows identical across seed path, checksummed pages, and "
              "armed-but-inert injector");
@@ -247,6 +342,9 @@ void Run(int argc, char** argv) {
              "checksums + armed injector cost " +
                  Fmt(armed_overhead * 100, 2) +
                  "% wall vs the seed path (need < 3%)");
+  ShapeCheck("failover-recovers-with-2-replicas", failover_recovered,
+             "with >= 2 replicas and one lossy, every query completes with "
+             "the fault-free rows and failovers > 0");
 
   const char* out = "BENCH_faults.json";
   if (json.WriteFile(out)) std::printf("wrote %s\n", out);

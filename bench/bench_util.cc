@@ -163,6 +163,8 @@ void EmitIoFields(JsonWriter* json, const IoStats& io) {
   json->Field("transient_retries", io.transient_retries);
   json->Field("checksum_failures", io.checksum_failures);
   json->Field("quarantined_pages", io.quarantined_pages);
+  json->Field("failovers", io.failovers);
+  json->Field("replica_reads_total", io.ReplicaReadsTotal());
 }
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}

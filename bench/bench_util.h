@@ -80,11 +80,12 @@ class JsonWriter {
 
 /// Emits the standard IO field block every IO-reporting bench shares:
 /// total_seq_io / total_rand_io, the buffer-pool counters
-/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio), and
-/// the fault counters (transient_retries / checksum_failures /
-/// quarantined_pages). Fields not exercised by a run are zero, keeping one
-/// JSON schema across uncached, cached, clean and chaos runs. Call between
-/// BeginRun() and the next BeginRun().
+/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio), the
+/// fault counters (transient_retries / checksum_failures /
+/// quarantined_pages) and the replica failover counters (failovers /
+/// replica_reads_total). Fields not exercised by a run are zero, keeping
+/// one JSON schema across uncached, cached, clean and chaos runs. Call
+/// between BeginRun() and the next BeginRun().
 void EmitIoFields(JsonWriter* json, const IoStats& io);
 
 /// Aligned-column table printer for the figure/table reproductions.

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# CI entry point, six stages (docs/ROBUSTNESS.md covers asan/chaos,
-# docs/KERNELS.md covers the last two):
+# CI entry point, seven stages (docs/ROBUSTNESS.md covers asan/chaos/
+# replica, docs/KERNELS.md covers the last two):
 #   1. plain   — RelWithDebInfo build + full ctest suite
 #   2. tsan    — ThreadSanitizer build of the gtest-free concurrency
-#                stress binary (tests/exec/stress_test.cc)
+#                stress binary (tests/exec/stress_test.cc), including the
+#                concurrent replica-failover / shared-pool stress
 #   3. asan    — Address+UBSan build of the gtest-free binaries; the fault
 #                path exercises checksum verification, retry loops and
 #                quarantine under instrumentation
 #   4. chaos   — full 500-config fault-injection soak on the plain build
 #                (a 25-config slice already ran inside stage 1's ctest)
-#   5. nosimd  — NMRS_NO_SIMD build + full ctest: the portable scalar lane
+#   5. replica — chaos sweep restricted to multi-replica configs: one
+#                faulted (sometimes dead) replica out of 2..3, where
+#                page-granular failover must recover every query
+#   6. nosimd  — NMRS_NO_SIMD build + full ctest: the portable scalar lane
 #                evaluators must pass everything the SIMD build passes
-#   6. perf    — bench_kernels --quick on the plain build, then
+#   7. perf    — bench_kernels --quick on the plain build, then
 #                tools/check_kernel_gate.py fails the run if the kernel is
 #                slower than the scalar loop at the largest cardinality
 # Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
@@ -39,6 +43,9 @@ cmake --build build-asan -j"${JOBS}" --target exec_stress --target chaos_soak
 
 echo "=== chaos soak (full 500-config sweep) ==="
 ./build/tests/chaos_soak --configs=500
+
+echo "=== replica chaos sweep (multi-replica failover contract) ==="
+./build/tests/chaos_soak --configs=150 --min-replicas=2
 
 echo "=== NMRS_NO_SIMD build + tests (portable lane evaluators) ==="
 cmake -B build-nosimd -S . -DNMRS_NO_SIMD=ON

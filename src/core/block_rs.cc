@@ -247,7 +247,7 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   // ---- Phase 1: intra-batch pruning, spill survivors. ----
   Timer phase1_timer;
   FileId scratch = disk->CreateFile("rs-scratch");
-  RowWriter writer(disk, scratch, schema, opts.checksum_pages);
+  RowWriter writer(disk, scratch, schema, opts.resilience.checksum_pages);
   const uint64_t total_pages = data.num_pages();
   for (PageId start = 0; start < total_pages; start += opts.memory.pages) {
     ++stats.phase1_batches;
@@ -271,7 +271,7 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
   // ---- Phase 2: refine survivors against full scans of D. ----
   Timer phase2_timer;
   StoredDataset survivors(disk, scratch, schema, writer.rows_written(),
-                          opts.checksum_pages);
+                          opts.resilience.checksum_pages);
   const uint64_t batch_pages = opts.memory.pages - 1;  // 1 page scans D
   NMRS_RETURN_IF_ERROR(Phase2(data, survivors, &reader, ctx, batch_pages,
                               opts, &stats, &result.rows));

@@ -82,7 +82,8 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
 
-  const RowCodec codec(schema, disk->page_size(), opts.checksum_pages);
+  const RowCodec codec(schema, disk->page_size(),
+                       opts.resilience.checksum_pages);
   // One page buffers the input; the rest holds the window.
   const uint64_t window_budget =
       (opts.memory.pages - 1) * disk->page_size();
@@ -99,7 +100,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
   for (;;) {
     ++stats.phase1_batches;  // = BNL passes
     FileId spill_file = disk->CreateFile("bnl-spill");
-    RowWriter spill(disk, spill_file, schema, opts.checksum_pages);
+    RowWriter spill(disk, spill_file, schema, opts.resilience.checksum_pages);
     uint64_t counter = 0;
     uint64_t first_spill_ts = ~uint64_t{0};
 
@@ -183,7 +184,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
 
     // Next pass input = carried window entries + spilled objects.
     FileId next_file = disk->CreateFile("bnl-next");
-    RowWriter next(disk, next_file, schema, opts.checksum_pages);
+    RowWriter next(disk, next_file, schema, opts.resilience.checksum_pages);
     for (const auto& entry : carry) {
       NMRS_RETURN_IF_ERROR(next.Add(entry.id, entry.values.data(),
                                     numerics ? entry.numerics.data()
@@ -204,7 +205,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
     NMRS_RETURN_IF_ERROR(next.Finish());
     NMRS_RETURN_IF_ERROR(disk->DeleteFile(spill_file));
     input = StoredDataset(disk, next_file, schema, next.rows_written(),
-                          opts.checksum_pages);
+                          opts.resilience.checksum_pages);
     input_is_temp = true;
   }
 

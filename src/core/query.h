@@ -60,22 +60,23 @@ struct RSOptions {
   bool cache_pages = false;
   BufferPool* buffer_pool = nullptr;
 
-  /// Verify the CRC-32C footer of every page read (docs/ROBUSTNESS.md).
-  /// Only valid when the dataset — and therefore this query's scratch
-  /// spills, which inherit the flag — was prepared with
-  /// PrepareOptions::checksum_pages. A mismatch that survives one refetch
-  /// surfaces as kCorruption. Default off = seed-identical page layout and
-  /// IO.
-  bool checksum_pages = false;
+  /// Fault-survival policy (docs/ROBUSTNESS.md): checksum verification,
+  /// transient-retry budget, quarantine reporting, replica failover. One
+  /// struct instead of loose fields so algorithms, the batch engine and the
+  /// CLI stay in sync. Default == everything off = seed-identical behavior.
+  /// `resilience.checksum_pages` is only valid when the dataset — and
+  /// therefore this query's scratch spills, which inherit the flag — was
+  /// prepared with PrepareOptions::checksum_pages.
+  ResiliencePolicy resilience;
 
-  /// Transient-read retry budget and modeled backoff (applies when the
-  /// disk underneath can return kUnavailable, i.e. a FaultyDisk). Inert on
-  /// a clean disk.
-  RetryPolicy retry;
-
-  /// Optional shared sink recording pages the query gave up on (borrowed;
-  /// the QueryEngine owns one per batch). Observational only.
-  QuarantineLog* quarantine_log = nullptr;
+  /// Failover replicas of the frozen base files, in replica order (element
+  /// r-1 serves replica r; the disk the algorithm runs over is replica 0).
+  /// Runtime handles, not policy: the QueryEngine fills these per query
+  /// task from its ReplicaSet when resilience.replicas > 1. Only files with
+  /// id < failover_limit fail over (scratch spills exist on the primary
+  /// view only).
+  std::vector<SimulatedDisk*> failover_disks;
+  FileId failover_limit = PagedReaderOptions::kNoFailoverLimit;
 
   /// Evaluate the pruning condition block-at-a-time through the SIMD
   /// dominance kernels (core/dominance_kernel.h): loaded batches get a
@@ -91,13 +92,23 @@ struct RSOptions {
   bool use_kernels = false;
 };
 
-/// The PagedReader policy implied by a query's RSOptions — every algorithm
-/// builds its reader from this so the fault-handling behavior is uniform.
-inline PagedReaderOptions MakeReaderOptions(const RSOptions& opts) {
+/// The PagedReader policy implied by a ResiliencePolicy. Replica handles
+/// are runtime state, not policy, so the overload below supplies them.
+inline PagedReaderOptions MakeReaderOptions(const ResiliencePolicy& policy) {
   PagedReaderOptions r;
-  r.verify_checksums = opts.checksum_pages;
-  r.retry = opts.retry;
-  r.quarantine = opts.quarantine_log;
+  r.verify_checksums = policy.checksum_pages;
+  r.retry = policy.retry;
+  r.quarantine = policy.quarantine_log;
+  return r;
+}
+
+/// The PagedReader policy implied by a query's RSOptions — every algorithm
+/// builds its reader from this so the fault-handling and failover behavior
+/// is uniform.
+inline PagedReaderOptions MakeReaderOptions(const RSOptions& opts) {
+  PagedReaderOptions r = MakeReaderOptions(opts.resilience);
+  r.failover = opts.failover_disks;
+  r.failover_limit = opts.failover_limit;
   return r;
 }
 

@@ -50,7 +50,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   // ---- Phase 1 (Alg. 3 lines 1-7). ----
   Timer phase1_timer;
   FileId scratch_file = disk->CreateFile("trs-scratch");
-  RowWriter writer(disk, scratch_file, schema, opts.checksum_pages);
+  RowWriter writer(disk, scratch_file, schema, opts.resilience.checksum_pages);
   // Kernel phase 1 runs on the fast path only (all attributes, all
   // categorical — exactly when the flat leaf scan below is expressible as
   // gathers); otherwise the tree traversal is kept as-is.
@@ -245,7 +245,7 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
   // ---- Phase 2 (Alg. 3 lines 8-16). ----
   Timer phase2_timer;
   StoredDataset survivors(disk, scratch_file, schema, writer.rows_written(),
-                          opts.checksum_pages);
+                          opts.resilience.checksum_pages);
   {
     ALTree tree(schema, ctx.attr_order);
     RowBatch page_rows(m, numerics);

@@ -32,17 +32,28 @@ QueryEngine::QueryEngine(const PreparedDataset& prepared,
       pool_(opts.num_workers > 0 ? opts.num_workers
                                  : std::max(1u,
                                             std::thread::hardware_concurrency())) {
-  views_.reserve(pool_.num_threads());
-  for (size_t w = 0; w < pool_.num_threads(); ++w) {
-    views_.push_back(std::make_unique<DiskView>(prepared_->stored.disk()));
+  ReplicaSetOptions rso;
+  rso.num_replicas =
+      std::clamp(opts_.rs.resilience.replicas, 1,
+                 static_cast<int>(IoStats::kMaxReplicas));
+  rso.num_workers = static_cast<int>(pool_.num_threads());
+  if (!opts_.replica_faults.empty()) {
+    NMRS_CHECK(opts_.replica_faults.size() ==
+               static_cast<size_t>(rso.num_replicas))
+        << "replica_faults must cover every replica";
+    rso.faults = opts_.replica_faults;
+  } else if (opts_.faults.enabled()) {
+    rso.faults = {opts_.faults};  // template; ReplicaSet derives the seeds
   }
-  if (opts_.faults.enabled()) {
-    injector_ = std::make_unique<FaultInjector>(opts_.faults);
-  }
+  rso.replica_fault_seed_base = opts_.rs.resilience.replica_fault_seed_base;
+  rso.fault_ceiling = prepared_->stored.disk()->next_file_id();
+  replica_set_ =
+      std::make_unique<ReplicaSet>(prepared_->stored.disk(), std::move(rso));
+
   // Fault batches run shared-nothing (see QueryEngineOptions::faults): a
   // shared cache would let one query's faulted fetch leak into another
   // query's reads in a scheduling-dependent way.
-  if (opts_.cache_pages > 0 && injector_ == nullptr) {
+  if (opts_.cache_pages > 0 && !replica_set_->faulted()) {
     BufferPoolOptions pool_opts;
     pool_opts.capacity_pages = opts_.cache_pages;
     pool_cache_ = std::make_unique<BufferPool>(prepared_->stored.disk(),
@@ -69,24 +80,34 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
                   &wg, i] {
       const int w = pool_.CurrentWorkerIndex();
       NMRS_CHECK_GE(w, 0);
-      DiskView* view = views_[static_cast<size_t>(w)].get();
+      const int num_replicas = replica_set_->num_replicas();
+      DiskView* view = replica_set_->view(w, 0);
 
       // With fault injection on, this query reads through its own
-      // FaultyDisk whose stream is the query index — each query's fault
-      // pattern is fixed by the config, not by which worker runs it. The
-      // fault ceiling restricts injection to the frozen base files:
-      // scratch-file ids are assigned in execution order, so faulting them
-      // would reintroduce a scheduling dependence.
-      std::unique_ptr<FaultyDisk> faulty;
-      SimulatedDisk* qdisk = view;
-      if (injector_ != nullptr) {
-        faulty = std::make_unique<FaultyDisk>(
-            view, injector_.get(), static_cast<uint64_t>(i),
-            prepared_->stored.disk()->next_file_id());
-        qdisk = faulty.get();
+      // FaultyDisk per replica whose stream is the query index — each
+      // query's fault pattern is fixed by the config, not by which worker
+      // runs it. The fault ceiling restricts injection to the frozen base
+      // files: scratch-file ids are assigned in execution order, so
+      // faulting them would reintroduce a scheduling dependence.
+      std::vector<std::unique_ptr<FaultyDisk>> wrappers;
+      std::vector<SimulatedDisk*> disks = replica_set_->MakeQueryDisks(
+          w, static_cast<uint64_t>(i), &wrappers);
+      SimulatedDisk* qdisk = disks[0];
+
+      // Failover replica views persist across the queries this worker
+      // runs, so reset their disk arms: within a query the failover read
+      // sequence is then fixed, making its seq/rand IO split independent
+      // of which queries ran earlier on this worker. (The primary view
+      // keeps the pre-replica arm behavior untouched.)
+      for (int r = 1; r < num_replicas; ++r) {
+        replica_set_->view(w, r)->InvalidateArmPosition();
       }
 
       RSOptions rs = opts_.rs;
+      if (num_replicas > 1) {
+        rs.failover_disks.assign(disks.begin() + 1, disks.end());
+        rs.failover_limit = prepared_->stored.disk()->next_file_id();
+      }
       if (rs.num_threads > 1 && rs.executor == nullptr) rs.executor = &pool_;
       if (pool_cache_ != nullptr) {
         rs.cache_pages = true;
@@ -97,19 +118,26 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
       }
       // A checksummed dataset implies verification: sealing pages and then
       // not checking them would silently waste the footer.
-      if (prepared_->stored.checksum_pages()) rs.checksum_pages = true;
+      if (prepared_->stored.checksum_pages()) {
+        rs.resilience.checksum_pages = true;
+      }
       // Queries report to the batch-local log; a caller-supplied log gets
       // the batch's findings folded in after the join.
-      rs.quarantine_log = &quarantine;
+      rs.resilience.quarantine_log = &quarantine;
 
       const int attempts = 1 + std::max(0, opts_.max_query_retries);
       // Placeholder only: the loop below always runs at least one attempt.
       StatusOr<ReverseSkylineResult> result =
           Status::Internal("query never ran");
       for (int attempt = 0; attempt < attempts; ++attempt) {
-        // Retries model a replica read: re-run on the clean view, no
-        // fault wrapper.
+        // Retries re-run on the clean view: no fault wrapper, and no
+        // failover disks either (the clean view cannot fail, so page
+        // failover has nothing to do there).
         SimulatedDisk* attempt_disk = attempt == 0 ? qdisk : view;
+        if (attempt == 1) {
+          rs.failover_disks.clear();
+          rs.failover_limit = PagedReaderOptions::kNoFailoverLimit;
+        }
         // Re-wrap the prepared dataset over this attempt's disk: the file
         // id and layout are the base disk's, the IO accounting (and any
         // injected faults) are this disk's.
@@ -119,7 +147,9 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
                           prepared_->stored.num_rows(),
                           prepared_->stored.checksum_pages()),
             prepared_->attr_order, prepared_->prepare_millis};
-        const IoStats before = view->stats();
+        // Worker-wide snapshot: a failed attempt's failover reads landed
+        // on this worker's other replica views, not just the primary.
+        const IoStats before = replica_set_->WorkerStats(w);
         result = RunReverseSkyline(local, *space_, queries[i], algo_, rs);
         if (result.ok()) {
           if (attempt > 0) retried.fetch_add(1, std::memory_order_relaxed);
@@ -131,7 +161,7 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
         // accounting), so a recovered query is indistinguishable from one
         // that ran clean the first time.
         ReverseSkylineResult partial;
-        partial.stats.io = view->stats() - before;
+        partial.stats.io = replica_set_->WorkerStats(w) - before;
         batch.results[i] = std::move(partial);
         if (!result.status().IsStorageFault()) break;
       }
@@ -159,10 +189,10 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
   batch.wall_millis = timer.ElapsedMillis();
   batch.queries_retried = retried.load(std::memory_order_relaxed);
   batch.quarantined = quarantine.Pages();
-  if (opts_.rs.quarantine_log != nullptr) {
+  if (opts_.rs.resilience.quarantine_log != nullptr) {
     // The caller supplied its own log; fold this batch's findings in.
     for (const auto& [file, page] : batch.quarantined) {
-      opts_.rs.quarantine_log->Report(file, page);
+      opts_.rs.resilience.quarantine_log->Report(file, page);
     }
   }
   return batch;

@@ -16,6 +16,7 @@
 #include "storage/disk_view.h"
 #include "storage/fault_injection.h"
 #include "storage/io_stats.h"
+#include "storage/replica_set.h"
 
 namespace nmrs {
 
@@ -43,7 +44,20 @@ struct QueryEngineOptions {
   /// run shared-nothing: the shared page cache is disabled, because one
   /// query's corrupted fetch landing in a shared frame would leak into
   /// other queries in a scheduling-dependent way.
+  ///
+  /// With rs.resilience.replicas > 1 this config is the *template* for
+  /// every replica: replica 0 runs it verbatim, replica r runs it under
+  /// seed ReplicaSet::ReplicaSeed(faults.seed, ..., r) — independent fault
+  /// processes over identical data, so page reads fail over
+  /// (docs/ROBUSTNESS.md).
   FaultConfig faults;
+
+  /// Explicit per-replica fault configs; overrides the `faults` template
+  /// when non-empty (size must then equal rs.resilience.replicas; a
+  /// disabled entry leaves that replica clean). This is how tests model
+  /// asymmetric failures, e.g. one totally dead replica among healthy
+  /// ones.
+  std::vector<FaultConfig> replica_faults;
 
   /// Legacy error semantics: when true, RunBatch returns the first
   /// per-query error as a bare error status (after the whole batch has
@@ -145,6 +159,10 @@ class QueryEngine {
   size_t num_workers() const { return pool_.num_threads(); }
   Algorithm algorithm() const { return algo_; }
 
+  /// Storage replicas this engine reads through (>= 1 always exists; the
+  /// single-replica set is what used to be the per-worker view list).
+  const ReplicaSet& replicas() const { return *replica_set_; }
+
   /// The shared page cache, or null when cache_pages was 0. Its stats()
   /// aggregate over every batch run so far.
   const BufferPool* buffer_pool() const { return pool_cache_.get(); }
@@ -162,9 +180,11 @@ class QueryEngine {
   Algorithm algo_;
   QueryEngineOptions opts_;
   ThreadPool pool_;
-  std::vector<std::unique_ptr<DiskView>> views_;  // one per worker
-  std::unique_ptr<BufferPool> pool_cache_;        // shared; null = off
-  std::unique_ptr<FaultInjector> injector_;       // null = faults off
+  // Per-(worker, replica) views plus per-replica fault oracles; replaces
+  // the old per-worker view list + single injector (a 1-replica set is
+  // exactly that).
+  std::unique_ptr<ReplicaSet> replica_set_;
+  std::unique_ptr<BufferPool> pool_cache_;  // shared; null = off
 };
 
 }  // namespace nmrs

@@ -31,7 +31,23 @@ uint64_t DecisionSeed(uint64_t seed, uint64_t stream, FileId file, PageId page,
   return h;
 }
 
+// Salt separating the per-page data-loss draw from the per-attempt
+// transient/corrupt draws (which start from Mix64(seed) with no salt).
+constexpr uint64_t kDataLossSalt = 0xBAD5EC7042ull;
+
 }  // namespace
+
+bool FaultInjector::IsBadPage(FileId file, PageId page) const {
+  if (config_.bad_pages.count({file, page}) > 0) return true;
+  if (config_.data_loss_p <= 0.0) return false;
+  // Pure function of (seed, file, page) only: the same sectors are bad for
+  // every query stream and every retry attempt.
+  uint64_t h = Mix64(config_.seed ^ kDataLossSalt);
+  h = Mix64(h ^ file);
+  h = Mix64(h ^ page);
+  Rng rng(h);
+  return rng.Bernoulli(config_.data_loss_p);
+}
 
 ReadFault FaultInjector::DecideRead(uint64_t stream, FileId file, PageId page,
                                     uint64_t attempt) const {

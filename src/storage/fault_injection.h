@@ -40,12 +40,20 @@ struct FaultConfig {
   /// (one byte XOR-flipped). Only checksums can catch this.
   double corrupt_p = 0.0;
 
+  /// Probability that any given (file, page) is permanently unreadable —
+  /// drawn once per page as a pure function of (seed, file, page), *not* of
+  /// stream or attempt, so it models bad sectors: the same pages are gone
+  /// for every query and every retry. Like `bad_pages`, every read attempt
+  /// fails with kDataLoss.
+  double data_loss_p = 0.0;
+
   /// Pages that are permanently unreadable: every attempt fails with
   /// kDataLoss. Retries never help; PagedReader quarantines these.
   std::set<std::pair<FileId, PageId>> bad_pages;
 
   bool enabled() const {
-    return transient_read_p > 0.0 || corrupt_p > 0.0 || !bad_pages.empty();
+    return transient_read_p > 0.0 || corrupt_p > 0.0 || data_loss_p > 0.0 ||
+           !bad_pages.empty();
   }
 };
 
@@ -65,10 +73,10 @@ class FaultInjector {
 
   const FaultConfig& config() const { return config_; }
 
-  /// True if (file, page) is configured permanently bad.
-  bool IsBadPage(FileId file, PageId page) const {
-    return config_.bad_pages.count({file, page}) > 0;
-  }
+  /// True if (file, page) is permanently bad: either listed in
+  /// `bad_pages`, or selected by the `data_loss_p` draw (a pure function of
+  /// seed/file/page — independent of stream and attempt, see FaultConfig).
+  bool IsBadPage(FileId file, PageId page) const;
 
   /// Decides the fault outcome for attempt `attempt` (0-based) of reading
   /// (file, page) on fault stream `stream`. Deterministic: equal arguments
@@ -119,6 +127,40 @@ class QuarantineLog {
  private:
   mutable std::mutex mu_;
   std::set<std::pair<FileId, PageId>> pages_;
+};
+
+/// Everything a reader needs to know about surviving storage faults, in one
+/// struct: checksum verification, the transient-retry budget, where to
+/// report pages that are gone for good, and how many storage replicas exist
+/// to fail over to. Embedded in RSOptions and QueryEngineOptions and
+/// consumed by MakeReaderOptions, so algorithms, the batch engine and the
+/// CLI all speak the same resilience vocabulary. Default-constructed ==
+/// everything off: no checksums, 3 transient attempts, no quarantine
+/// reporting, a single replica (no failover) — bit-identical to the
+/// pre-replica behavior.
+struct ResiliencePolicy {
+  /// Verify (and for writers, seal) CRC32C page trailers. Readers treat a
+  /// mismatch as kCorruption: evict + refetch once, then fail over /
+  /// quarantine.
+  bool checksum_pages = false;
+
+  /// Transient (kUnavailable) retry budget per page read, per replica.
+  RetryPolicy retry;
+
+  /// If set, pages every replica failed on are reported here. Borrowed, not
+  /// owned; must outlive the query.
+  QuarantineLog* quarantine_log = nullptr;
+
+  /// Number of storage replicas (>= 1). With N > 1 the batch engine builds
+  /// a ReplicaSet of N FaultyDisks over the same frozen base files, each
+  /// with its own fault seed, and PagedReader fails over page-by-page.
+  /// 1 == no failover, byte-identical to the single-disk code path.
+  int replicas = 1;
+
+  /// Replica r (r > 0) faults with seed `base_seed + replica_fault_seed_base
+  /// + r`; replica 0 keeps the configured seed verbatim so replicas=1 runs
+  /// reproduce single-disk fault patterns exactly.
+  uint64_t replica_fault_seed_base = 0x7265706Cull;  // "repl"
 };
 
 /// A SimulatedDisk decorator that injects the faults a FaultInjector

@@ -20,6 +20,18 @@ std::string IoStats::ToString() const {
        << ", checksum_failures=" << checksum_failures
        << ", quarantined_pages=" << quarantined_pages;
   }
+  // And the failover counters in single-replica runs.
+  if (failovers != 0 || ReplicaReadsTotal() != 0) {
+    os << ", failovers=" << failovers << ", replica_reads=[";
+    size_t last = 0;
+    for (size_t r = 0; r < kMaxReplicas; ++r) {
+      if (replica_reads[r] != 0) last = r;
+    }
+    for (size_t r = 0; r <= last; ++r) {
+      os << (r == 0 ? "" : ", ") << replica_reads[r];
+    }
+    os << "]";
+  }
   os << "}";
   return os.str();
 }

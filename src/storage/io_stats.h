@@ -1,6 +1,7 @@
 #ifndef NMRS_STORAGE_IO_STATS_H_
 #define NMRS_STORAGE_IO_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -39,6 +40,23 @@ struct IoStats {
   uint64_t checksum_failures = 0;
   uint64_t quarantined_pages = 0;
 
+  // Replica-failover traffic (docs/ROBUSTNESS.md). `failovers` counts page
+  // reads that exhausted their retry/verify policy on one replica and were
+  // served by another; `replica_reads[r]` counts the physical read attempts
+  // PagedReader routed to replica r of its replica list (0 = the primary it
+  // was constructed over). All stay 0 when no failover replicas are
+  // attached (ResiliencePolicy::replicas == 1), so single-replica runs keep
+  // the pre-failover accounting bit-for-bit.
+  static constexpr size_t kMaxReplicas = 8;
+  uint64_t failovers = 0;
+  std::array<uint64_t, kMaxReplicas> replica_reads{};
+
+  uint64_t ReplicaReadsTotal() const {
+    uint64_t n = 0;
+    for (uint64_t r : replica_reads) n += r;
+    return n;
+  }
+
   uint64_t TotalReads() const { return seq_reads + rand_reads; }
   uint64_t TotalWrites() const { return seq_writes + rand_writes; }
   uint64_t TotalSequential() const { return seq_reads + seq_writes; }
@@ -65,6 +83,10 @@ struct IoStats {
     transient_retries += o.transient_retries;
     checksum_failures += o.checksum_failures;
     quarantined_pages += o.quarantined_pages;
+    failovers += o.failovers;
+    for (size_t r = 0; r < kMaxReplicas; ++r) {
+      replica_reads[r] += o.replica_reads[r];
+    }
     return *this;
   }
 
@@ -87,6 +109,11 @@ struct IoStats {
         << "checksum_failures underflow";
     NMRS_DCHECK(o.quarantined_pages <= quarantined_pages)
         << "quarantined_pages underflow";
+    NMRS_DCHECK(o.failovers <= failovers) << "failovers underflow";
+    for (size_t i = 0; i < kMaxReplicas; ++i) {
+      NMRS_DCHECK(o.replica_reads[i] <= replica_reads[i])
+          << "replica_reads underflow";
+    }
     IoStats r = *this;
     r.seq_reads -= o.seq_reads;
     r.rand_reads -= o.rand_reads;
@@ -98,6 +125,10 @@ struct IoStats {
     r.transient_retries -= o.transient_retries;
     r.checksum_failures -= o.checksum_failures;
     r.quarantined_pages -= o.quarantined_pages;
+    r.failovers -= o.failovers;
+    for (size_t i = 0; i < kMaxReplicas; ++i) {
+      r.replica_reads[i] -= o.replica_reads[i];
+    }
     return r;
   }
 
@@ -126,6 +157,11 @@ class ConcurrentIoStats {
                                  std::memory_order_relaxed);
     quarantined_pages_.fetch_add(s.quarantined_pages,
                                  std::memory_order_relaxed);
+    failovers_.fetch_add(s.failovers, std::memory_order_relaxed);
+    for (size_t r = 0; r < IoStats::kMaxReplicas; ++r) {
+      replica_reads_[r].fetch_add(s.replica_reads[r],
+                                  std::memory_order_relaxed);
+    }
   }
 
   IoStats Snapshot() const {
@@ -140,6 +176,10 @@ class ConcurrentIoStats {
     s.transient_retries = transient_retries_.load(std::memory_order_relaxed);
     s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
     s.quarantined_pages = quarantined_pages_.load(std::memory_order_relaxed);
+    s.failovers = failovers_.load(std::memory_order_relaxed);
+    for (size_t r = 0; r < IoStats::kMaxReplicas; ++r) {
+      s.replica_reads[r] = replica_reads_[r].load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -154,6 +194,8 @@ class ConcurrentIoStats {
   std::atomic<uint64_t> transient_retries_{0};
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> quarantined_pages_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::array<std::atomic<uint64_t>, IoStats::kMaxReplicas> replica_reads_{};
 };
 
 /// Converts page-IO counts into modeled milliseconds. Defaults approximate a

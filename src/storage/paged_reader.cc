@@ -3,22 +3,44 @@
 #include <algorithm>
 #include <string>
 
+#include "common/check.h"
+
 namespace nmrs {
 
-Status PagedReader::RawRead(FileId file, PageId page, Page* out) {
+Status PagedReader::RawRead(SimulatedDisk* d, FileId file, PageId page,
+                            Page* out) {
   if (pool_ != nullptr && pool_->Caches(file)) {
     BufferPool::ReadEvent ev;
-    Status s = pool_->ReadThrough(disk_, file, page, out, &ev);
+    Status s = pool_->ReadThrough(d, file, page, out, &ev);
     if (!s.ok()) return s;
     stats_.hits += ev.hit ? 1 : 0;
     stats_.misses += ev.hit ? 0 : 1;
     stats_.evictions += ev.evicted ? 1 : 0;
     return s;
   }
-  return disk_->ReadPage(file, page, out);
+  return d->ReadPage(file, page, out);
 }
 
-Status PagedReader::ReadPage(FileId file, PageId page, Page* out) {
+Status PagedReader::ReplicaRead(SimulatedDisk* d, int replica, FileId file,
+                                PageId page, Page* out, bool bypass_pool) {
+  const auto read = [&] {
+    return bypass_pool ? d->ReadPage(file, page, out)
+                       : RawRead(d, file, page, out);
+  };
+  if (replica < 0) return read();
+  NMRS_DCHECK(replica < static_cast<int>(IoStats::kMaxReplicas));
+  ++replica_reads_[replica];
+  if (replica == 0) return read();
+  // Non-primary replicas live on their own disks, which nobody deltas for
+  // per-query IO attribution — capture the charge here.
+  const IoStats before = d->stats();
+  Status s = read();
+  failover_io_ += d->stats() - before;
+  return s;
+}
+
+Status PagedReader::ReadWithPolicy(SimulatedDisk* d, int replica, FileId file,
+                                   PageId page, Page* out) {
   const int max_attempts = std::max(1, opts_.retry.max_attempts);
   Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -26,7 +48,7 @@ Status PagedReader::ReadPage(FileId file, PageId page, Page* out) {
       ++transient_retries_;
       modeled_backoff_millis_ += opts_.retry.BackoffMillis(attempt);
     }
-    last = RawRead(file, page, out);
+    last = ReplicaRead(d, replica, file, page, out);
     if (last.IsUnavailable()) continue;  // transient: spend a retry
     if (!last.ok()) break;               // permanent: surface below
 
@@ -38,29 +60,80 @@ Status PagedReader::ReadPage(FileId file, PageId page, Page* out) {
     // refetch once from disk before declaring the page corrupt.
     ++checksum_failures_;
     if (pool_ != nullptr && pool_->Caches(file)) pool_->Evict(file, page);
-    Status refetch = RawRead(file, page, out);
+    Status refetch = ReplicaRead(d, replica, file, page, out);
     if (refetch.ok()) {
       if (out->VerifySeal()) return refetch;
       ++checksum_failures_;
     }
+    // In a failover configuration the evict + refetch pair is not atomic:
+    // another reader's corrupting primary may have re-poisoned the shared
+    // frame in between, so a pool-routed failure says nothing about THIS
+    // replica. Consult its disk directly before condemning it; the verdict
+    // below must be about the replica, not about pool traffic. (Single-disk
+    // mode skips this so replicas=1 stays bit-identical to the seed.)
+    if (replica >= 0 && pool_ != nullptr && pool_->Caches(file)) {
+      Status direct =
+          ReplicaRead(d, replica, file, page, out, /*bypass_pool=*/true);
+      if (direct.ok() && out->VerifySeal()) {
+        pool_->Evict(file, page);  // drop the poisoned frame
+        return direct;
+      }
+      if (direct.ok()) ++checksum_failures_;
+    }
     last = Status::Corruption(
         "checksum mismatch on page " + std::to_string(page) + " of file '" +
-        disk_->FileName(file) + "' (id " + std::to_string(file) +
+        d->FileName(file) + "' (id " + std::to_string(file) +
         "), persisted across a refetch");
     break;
   }
 
   if (last.IsUnavailable()) {
     last = Status::DataLoss("page " + std::to_string(page) + " of file '" +
-                            disk_->FileName(file) + "' (id " +
+                            d->FileName(file) + "' (id " +
                             std::to_string(file) + ") unreadable after " +
                             std::to_string(max_attempts) +
                             " attempts: " + last.message());
   }
-  if (last.IsDataLoss() || last.IsCorruption()) {
-    ++quarantined_pages_;
-    if (opts_.quarantine != nullptr) opts_.quarantine->Report(file, page);
+  return last;
+}
+
+Status PagedReader::ReadPage(FileId file, PageId page, Page* out) {
+  if (opts_.failover.empty() || file >= opts_.failover_limit) {
+    // Single-replica path: identical to the pre-failover reader, including
+    // its accounting (no replica_reads).
+    Status last = ReadWithPolicy(disk_, /*replica=*/-1, file, page, out);
+    if (last.IsDataLoss() || last.IsCorruption()) {
+      ++quarantined_pages_;
+      if (opts_.quarantine != nullptr) opts_.quarantine->Report(file, page);
+    }
+    return last;
   }
+
+  const int n = 1 + static_cast<int>(opts_.failover.size());
+  NMRS_CHECK(n <= static_cast<int>(IoStats::kMaxReplicas))
+      << "too many failover replicas";
+  const int start = current_replica_;
+  Status last;
+  for (int k = 0; k < n; ++k) {
+    const int r = (start + k) % n;
+    SimulatedDisk* d = r == 0 ? disk_ : opts_.failover[r - 1];
+    if (k > 0 && pool_ != nullptr && pool_->Caches(file)) {
+      // The frame may hold the failed replica's bytes; evict so the read
+      // below actually refetches from replica r and the pool heals from a
+      // replica with good bytes.
+      pool_->Evict(file, page);
+    }
+    last = ReadWithPolicy(d, r, file, page, out);
+    if (last.ok()) {
+      if (k > 0) ++failovers_;
+      current_replica_ = r;  // sticky preference for subsequent reads
+      return last;
+    }
+  }
+
+  // Every replica failed this page: it is truly lost.
+  ++quarantined_pages_;
+  if (opts_.quarantine != nullptr) opts_.quarantine->Report(file, page);
   return last;
 }
 

@@ -1,6 +1,8 @@
 #ifndef NMRS_STORAGE_PAGED_READER_H_
 #define NMRS_STORAGE_PAGED_READER_H_
 
+#include <vector>
+
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
@@ -10,20 +12,40 @@ namespace nmrs {
 
 /// Per-query read policy for PagedReader. Default-constructed == seed
 /// behavior: no verification, retries configured but inert (a clean disk
-/// never returns kUnavailable, so the loop exits on the first attempt).
+/// never returns kUnavailable, so the loop exits on the first attempt),
+/// no failover replicas.
 struct PagedReaderOptions {
+  /// All file ids are failover-eligible (standalone use over frozen disks).
+  static constexpr FileId kNoFailoverLimit = ~FileId{0};
+
   /// Verify the CRC-32C footer (Page::VerifySeal) on every page read. Only
   /// valid for datasets written with checksums enabled
   /// (RSOptions::checksum_pages / PrepareOptions::checksum_pages).
   bool verify_checksums = false;
 
-  /// Transient-failure retry budget and modeled backoff.
+  /// Transient-failure retry budget and modeled backoff, applied per
+  /// replica: each replica gets the full budget before the reader fails
+  /// over.
   RetryPolicy retry;
 
   /// Optional shared sink for pages this reader gives up on. Purely
   /// observational (never read back), so sharing one log across queries
-  /// does not couple their behavior.
+  /// does not couple their behavior. With failover replicas attached, only
+  /// pages *every* replica failed are reported — a page one replica lost
+  /// but another served is not gone.
   QuarantineLog* quarantine = nullptr;
+
+  /// Additional storage replicas of the same frozen base files, in replica
+  /// order: replica 0 is the primary disk the reader was constructed over,
+  /// failover[r-1] is replica r. Borrowed; must outlive the reader. Empty
+  /// == no failover, byte-identical to the single-disk code path.
+  std::vector<SimulatedDisk*> failover;
+
+  /// Only files with id < failover_limit fail over; reads of files at or
+  /// above it (per-query scratch spills, which exist only on the primary
+  /// view) always take the single-disk path. The batch engine passes the
+  /// frozen base disk's next_file_id().
+  FileId failover_limit = kNoFailoverLimit;
 };
 
 /// The per-query facade the algorithms read pages through — and, as of the
@@ -49,8 +71,16 @@ struct PagedReaderOptions {
 ///   single refetch — evicting the possibly-poisoned frame from the pool
 ///   first, so the shared cache heals instead of serving the same bad
 ///   bytes forever. A second failure surfaces as kCorruption.
-/// - Pages this reader gives up on (kDataLoss / kCorruption) count one
-///   quarantined_pages each and are reported to the QuarantineLog, if any.
+/// - With failover replicas attached, a page read that exhausted its
+///   retry/verify policy on one replica (kDataLoss, kCorruption, or
+///   persistent kUnavailable) is retried on replica (r+1) % N for that
+///   page only, counting one `failovers`; the replica that served the page
+///   becomes the preferred replica for subsequent reads. The pool frame is
+///   evicted before each failover hop, so the shared cache heals from
+///   whichever replica has good bytes.
+/// - Pages this reader gives up on — all replicas failed, or the single
+///   disk failed with no replicas attached — count one quarantined_pages
+///   each and are reported to the QuarantineLog, if any.
 ///
 /// Not thread-safe: one PagedReader per worker/query, like the DiskView it
 /// wraps. The shared BufferPool behind it is what synchronizes.
@@ -58,9 +88,10 @@ class PagedReader {
  public:
   explicit PagedReader(SimulatedDisk* disk, BufferPool* pool = nullptr,
                        PagedReaderOptions opts = {})
-      : disk_(disk), pool_(pool), opts_(opts) {}
+      : disk_(disk), pool_(pool), opts_(std::move(opts)) {}
 
-  /// Reads one page, applying the retry / verify / quarantine policy.
+  /// Reads one page, applying the retry / verify / failover / quarantine
+  /// policy.
   Status ReadPage(FileId file, PageId page, Page* out);
 
   SimulatedDisk* disk() const { return disk_; }
@@ -77,8 +108,18 @@ class PagedReader {
   /// storms show up in ResponseMillis without any wall-clock dependence.
   double modeled_backoff_millis() const { return modeled_backoff_millis_; }
 
-  /// Folds this reader's cache and fault counters into `io` (the charged
-  /// reads are already there via the disk).
+  /// Page reads this reader served from a replica other than the one it
+  /// started on (0 without failover replicas).
+  uint64_t failovers() const { return failovers_; }
+
+  /// Replica this reader currently prefers (0 = the primary disk).
+  int current_replica() const { return current_replica_; }
+
+  /// Folds this reader's cache, fault and failover counters into `io`. The
+  /// primary disk's charged reads are already there (the algorithms delta
+  /// its stats); reads this reader routed to failover replicas are not —
+  /// they landed on the replicas' own disks — so their IO is captured here
+  /// too.
   void FoldStatsInto(IoStats* io) const {
     io->cache_hits += stats_.hits;
     io->cache_misses += stats_.misses;
@@ -86,11 +127,33 @@ class PagedReader {
     io->transient_retries += transient_retries_;
     io->checksum_failures += checksum_failures_;
     io->quarantined_pages += quarantined_pages_;
+    io->failovers += failovers_;
+    for (size_t r = 0; r < IoStats::kMaxReplicas; ++r) {
+      io->replica_reads[r] += replica_reads_[r];
+    }
+    *io += failover_io_;
   }
 
  private:
   // One read through the pool-or-disk route, no fault policy applied.
-  Status RawRead(FileId file, PageId page, Page* out);
+  Status RawRead(SimulatedDisk* d, FileId file, PageId page, Page* out);
+
+  // RawRead plus replica accounting. `replica` < 0 == single-disk mode (no
+  // counting — keeps replicas=1 accounting bit-identical); replica 0 is the
+  // primary (already charged by the caller's stats delta); replicas > 0
+  // additionally capture the replica disk's IO delta into failover_io_.
+  // `bypass_pool` skips the buffer pool: used after a verification failure
+  // to get the authoritative bytes of THIS replica, immune to other
+  // threads re-poisoning the shared frame between our evict and refetch.
+  Status ReplicaRead(SimulatedDisk* d, int replica, FileId file, PageId page,
+                     Page* out, bool bypass_pool = false);
+
+  // The full retry + verify policy against one disk. Returns OK, or the
+  // terminal failure for this replica (kDataLoss / kCorruption); never
+  // quarantines — that is the caller's call, which knows whether other
+  // replicas remain.
+  Status ReadWithPolicy(SimulatedDisk* d, int replica, FileId file,
+                        PageId page, Page* out);
 
   SimulatedDisk* disk_;
   BufferPool* pool_;
@@ -99,6 +162,10 @@ class PagedReader {
   uint64_t transient_retries_ = 0;
   uint64_t checksum_failures_ = 0;
   uint64_t quarantined_pages_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t replica_reads_[IoStats::kMaxReplicas] = {};
+  IoStats failover_io_;
+  int current_replica_ = 0;
   double modeled_backoff_millis_ = 0.0;
 };
 

@@ -1,0 +1,96 @@
+#include "storage/replica_set.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+std::vector<FaultConfig> ReplicaSet::DeriveConfigs(const FaultConfig& tmpl,
+                                                   uint64_t seed_base, int n) {
+  std::vector<FaultConfig> configs(static_cast<size_t>(n), tmpl);
+  for (int r = 0; r < n; ++r) {
+    configs[static_cast<size_t>(r)].seed = ReplicaSeed(tmpl.seed, seed_base, r);
+  }
+  return configs;
+}
+
+ReplicaSet::ReplicaSet(const SimulatedDisk* base, ReplicaSetOptions opts)
+    : opts_(std::move(opts)) {
+  NMRS_CHECK(base != nullptr);
+  NMRS_CHECK(opts_.num_replicas >= 1) << "a replica set needs >= 1 replica";
+  NMRS_CHECK(opts_.num_workers >= 1);
+  const size_t n = static_cast<size_t>(opts_.num_replicas);
+  if (opts_.faults.size() == 1 && opts_.num_replicas > 1) {
+    opts_.faults = DeriveConfigs(opts_.faults[0],
+                                 opts_.replica_fault_seed_base,
+                                 opts_.num_replicas);
+  }
+  NMRS_CHECK(opts_.faults.empty() || opts_.faults.size() == n)
+      << "per-replica fault configs must cover every replica";
+
+  injectors_.resize(n);
+  for (size_t r = 0; r < opts_.faults.size(); ++r) {
+    if (opts_.faults[r].enabled()) {
+      injectors_[r] = std::make_unique<FaultInjector>(opts_.faults[r]);
+    }
+  }
+
+  views_.reserve(static_cast<size_t>(opts_.num_workers) * n);
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    for (size_t r = 0; r < n; ++r) {
+      views_.push_back(std::make_unique<DiskView>(base));
+    }
+  }
+}
+
+bool ReplicaSet::faulted() const {
+  for (const auto& inj : injectors_) {
+    if (inj != nullptr) return true;
+  }
+  return false;
+}
+
+const FaultInjector* ReplicaSet::injector(int replica) const {
+  NMRS_DCHECK(replica >= 0 && replica < opts_.num_replicas);
+  return injectors_[static_cast<size_t>(replica)].get();
+}
+
+DiskView* ReplicaSet::view(int worker, int replica) const {
+  NMRS_DCHECK(worker >= 0 && worker < opts_.num_workers);
+  NMRS_DCHECK(replica >= 0 && replica < opts_.num_replicas);
+  return views_[static_cast<size_t>(worker) *
+                    static_cast<size_t>(opts_.num_replicas) +
+                static_cast<size_t>(replica)]
+      .get();
+}
+
+IoStats ReplicaSet::WorkerStats(int worker) const {
+  IoStats total;
+  for (int r = 0; r < opts_.num_replicas; ++r) {
+    total += view(worker, r)->stats();
+  }
+  return total;
+}
+
+std::vector<SimulatedDisk*> ReplicaSet::MakeQueryDisks(
+    int worker, uint64_t stream,
+    std::vector<std::unique_ptr<FaultyDisk>>* wrappers) const {
+  NMRS_CHECK(wrappers != nullptr);
+  std::vector<SimulatedDisk*> disks;
+  disks.reserve(static_cast<size_t>(opts_.num_replicas));
+  for (int r = 0; r < opts_.num_replicas; ++r) {
+    DiskView* v = view(worker, r);
+    const FaultInjector* inj = injector(r);
+    if (inj == nullptr) {
+      disks.push_back(v);
+      continue;
+    }
+    wrappers->push_back(std::make_unique<FaultyDisk>(v, inj, stream,
+                                                     opts_.fault_ceiling));
+    disks.push_back(wrappers->back().get());
+  }
+  return disks;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,101 @@
+#ifndef NMRS_STORAGE_REPLICA_SET_H_
+#define NMRS_STORAGE_REPLICA_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/disk_view.h"
+#include "storage/fault_injection.h"
+#include "storage/io_stats.h"
+
+namespace nmrs {
+
+/// Configuration for a ReplicaSet. `faults` may be:
+///   - empty: every replica is clean (no FaultyDisk wrapping),
+///   - size 1: a template — replica r faults with the template config under
+///     seed ReplicaSeed(template.seed, replica_fault_seed_base, r),
+///   - size num_replicas: fully explicit per-replica configs (a disabled
+///     config leaves that replica clean).
+struct ReplicaSetOptions {
+  int num_replicas = 1;
+  int num_workers = 1;
+  std::vector<FaultConfig> faults;
+  uint64_t replica_fault_seed_base = ResiliencePolicy{}.replica_fault_seed_base;
+  FileId fault_ceiling = FaultyDisk::kNoFaultCeiling;
+};
+
+/// N storage replicas of one frozen base disk, for a pool of workers.
+///
+/// Physically there is one copy of the dataset bytes (every replica is a
+/// DiskView over the same base — replicas hold identical data by
+/// construction, exactly like real replication of a frozen dataset); what
+/// differs per replica is the *fault process*: each replica r gets its own
+/// FaultInjector whose seed is derived from the base seed, so replicas fail
+/// independently and a page lost on one is (almost always) readable on
+/// another. Replica 0 keeps the configured seed verbatim, so a 1-replica
+/// set reproduces single-disk fault patterns bit-for-bit.
+///
+/// Per (worker, replica) there is a dedicated DiskView, giving every worker
+/// its own disk arms and IO accounting on every replica — per-query IO
+/// stays independent of what other workers do, replica reads included.
+///
+/// Thread-compatibility: construction and the const accessors are safe to
+/// use from any thread once built; a given view(worker, r) is single-owner,
+/// like any DiskView.
+class ReplicaSet {
+ public:
+  /// `base` is borrowed and must outlive the set, and must stay
+  /// structurally frozen (the DiskView contract).
+  ReplicaSet(const SimulatedDisk* base, ReplicaSetOptions opts);
+
+  int num_replicas() const { return opts_.num_replicas; }
+  int num_workers() const { return opts_.num_workers; }
+
+  /// True if any replica injects faults.
+  bool faulted() const;
+
+  /// Replica r's fault oracle, or nullptr if replica r is clean.
+  const FaultInjector* injector(int replica) const;
+
+  /// Worker `worker`'s view of replica `replica`.
+  DiskView* view(int worker, int replica) const;
+
+  /// Sum of worker `worker`'s IO across all of its replica views. Deltas of
+  /// this are what "IO charged to worker w since ..." means once failover
+  /// reads can land on any replica.
+  IoStats WorkerStats(int worker) const;
+
+  /// Builds the disk list one query task reads through: element r serves
+  /// replica r, wrapped in a fresh FaultyDisk on fault stream `stream` when
+  /// replica r injects faults (fresh wrapper per query == fault attempt
+  /// counters restart per query, the PR 3 determinism contract). Wrappers
+  /// are appended to *wrappers, which the caller keeps alive while the
+  /// returned pointers are in use.
+  std::vector<SimulatedDisk*> MakeQueryDisks(
+      int worker, uint64_t stream,
+      std::vector<std::unique_ptr<FaultyDisk>>* wrappers) const;
+
+  /// The fault seed replica r runs under: r == 0 keeps `seed` verbatim
+  /// (1-replica sets reproduce single-disk patterns exactly); r > 0 gets
+  /// seed + base + r.
+  static uint64_t ReplicaSeed(uint64_t seed, uint64_t base, int replica) {
+    return replica == 0 ? seed : seed + base + static_cast<uint64_t>(replica);
+  }
+
+  /// Expands a single template config into n per-replica configs with
+  /// derived seeds (see ReplicaSeed).
+  static std::vector<FaultConfig> DeriveConfigs(const FaultConfig& tmpl,
+                                                uint64_t seed_base, int n);
+
+ private:
+  ReplicaSetOptions opts_;
+  // injectors_[r] is null when replica r is clean.
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  // views_[worker * num_replicas + replica].
+  std::vector<std::unique_ptr<DiskView>> views_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_REPLICA_SET_H_

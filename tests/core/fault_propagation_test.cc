@@ -53,7 +53,7 @@ class FaultPropagationTest : public ::testing::Test {
         prepared->attr_order, 0};
     RSOptions rs;
     rs.memory = MemoryBudget{2};
-    rs.retry.max_attempts = 2;
+    rs.resilience.retry.max_attempts = 2;
     auto result = RunReverseSkyline(local_prep, instance_.space, query_, algo,
                                     rs);
     return result.ok() ? Status::OK() : result.status();
@@ -117,7 +117,7 @@ TEST_F(FaultPropagationTest, RareTransientsAreAbsorbedByRetries) {
                       prepared->stored.schema(), prepared->stored.num_rows()),
         prepared->attr_order, 0};
     RSOptions rs;
-    rs.retry.max_attempts = 8;
+    rs.resilience.retry.max_attempts = 8;
     auto result =
         RunReverseSkyline(local, instance_.space, query_, algo, rs);
     ASSERT_TRUE(result.ok()) << AlgorithmName(algo) << ": "
@@ -181,6 +181,49 @@ TEST_F(FaultPropagationTest, BichromaticSurfacesFaultsFromEitherSet) {
   }
 }
 
+TEST_F(FaultPropagationTest, StandaloneFailoverRecoversEveryAlgorithm) {
+  // Without the QueryEngine: a bad middle page on the primary disk plus
+  // one clean failover replica (RSOptions::failover_disks) lets every
+  // algorithm return the fault-free rows, with the failover visible in its
+  // IO accounting.
+  for (Algorithm algo :
+       {Algorithm::kNaive, Algorithm::kBRS, Algorithm::kSRS, Algorithm::kTRS,
+        Algorithm::kTileSRS, Algorithm::kTileTRS}) {
+    SimulatedDisk base;
+    auto prepared = PrepareDataset(&base, instance_.data, algo);
+    ASSERT_TRUE(prepared.ok()) << prepared.status();
+    auto expected =
+        RunReverseSkyline(*prepared, instance_.space, query_, algo);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    FaultConfig cfg;
+    const PageId bad =
+        static_cast<PageId>(base.NumPages(prepared->stored.file()) / 2);
+    cfg.bad_pages.insert({prepared->stored.file(), bad});
+    FaultInjector injector(cfg);
+    DiskView primary(&base);
+    DiskView replica(&base);
+    FaultyDisk faulty(&primary, &injector, /*stream=*/0,
+                      /*fault_ceiling=*/base.next_file_id());
+    PreparedDataset local{
+        StoredDataset(&faulty, prepared->stored.file(),
+                      prepared->stored.schema(), prepared->stored.num_rows()),
+        prepared->attr_order, 0};
+    RSOptions rs;
+    rs.memory = MemoryBudget{2};
+    rs.failover_disks = {&replica};
+    rs.failover_limit = base.next_file_id();
+    auto result =
+        RunReverseSkyline(local, instance_.space, query_, algo, rs);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo) << ": "
+                             << result.status();
+    EXPECT_EQ(result->rows, expected->rows) << AlgorithmName(algo);
+    EXPECT_GT(result->stats.io.failovers, 0u) << AlgorithmName(algo);
+    EXPECT_GT(result->stats.io.replica_reads[1], 0u) << AlgorithmName(algo);
+    EXPECT_EQ(result->stats.io.quarantined_pages, 0u) << AlgorithmName(algo);
+  }
+}
+
 TEST_F(FaultPropagationTest, ChecksummedDatasetDetectsSilentCorruption) {
   // End-to-end: dataset sealed at prepare time, every read corrupted, the
   // query must fail with kCorruption instead of returning wrong rows.
@@ -204,7 +247,7 @@ TEST_F(FaultPropagationTest, ChecksummedDatasetDetectsSilentCorruption) {
                     /*checksum_pages=*/true),
       prepared->attr_order, 0};
   RSOptions rs;
-  rs.checksum_pages = true;
+  rs.resilience.checksum_pages = true;
   auto result =
       RunReverseSkyline(local, instance_.space, query_, Algorithm::kSRS, rs);
   ASSERT_FALSE(result.ok()) << "corruption slipped past the checksums";

@@ -11,7 +11,14 @@
 // Deliberately gtest-free (like exec_stress) so sanitizer builds contain
 // only instrumented nmrs code. Exits 0 on success, aborts on violation.
 //
-// Usage: chaos_soak [--configs=N] [--seed=S]   (defaults: 500, 20260807)
+// Configs also draw 1..3 storage replicas; most multi-replica configs
+// fault a single replica (sometimes killing it outright), where the
+// contract tightens to "page-granular failover recovers every query".
+// --min-replicas=2 restricts the sweep to multi-replica configs (the ci.sh
+// replica chaos stage).
+//
+// Usage: chaos_soak [--configs=N] [--seed=S] [--min-replicas=R]
+// (defaults: 500, 20260807, 1)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +76,8 @@ FaultConfig MakeFaults(Rng& rng, const PreparedDataset& prepared,
     const double corrupt_grades[] = {0.0, 1e-3, 1e-2};
     cfg.corrupt_p = corrupt_grades[rng.Uniform(3)];
   }
+  const double loss_grades[] = {0.0, 1e-3, 1e-2};
+  cfg.data_loss_p = loss_grades[rng.Uniform(3)];
   const uint64_t pages =
       prepared.stored.disk()->NumPages(prepared.stored.file());
   const size_t num_bad = rng.Uniform(3);  // 0..2 permanently bad pages
@@ -80,10 +89,14 @@ FaultConfig MakeFaults(Rng& rng, const PreparedDataset& prepared,
 }
 
 uint64_t FaultCounterSum(const IoStats& io) {
-  return io.transient_retries + io.checksum_failures + io.quarantined_pages;
+  // A failover-recovered query legitimately charges extra IO (the failed
+  // replica attempt + the replica read), so failovers count as "touched by
+  // faults" alongside the PR 3 counters.
+  return io.transient_retries + io.checksum_failures + io.quarantined_pages +
+         io.failovers;
 }
 
-void CheckConfig(int index, uint64_t scenario_seed) {
+void CheckConfig(int index, uint64_t scenario_seed, int min_replicas) {
   Rng rng(scenario_seed);
   Scenario s = MakeScenario(rng);
 
@@ -107,8 +120,29 @@ void CheckConfig(int index, uint64_t scenario_seed) {
 
   QueryEngineOptions fopts;
   fopts.faults = MakeFaults(rng, *prepared, s.checksums);
-  fopts.rs.retry.max_attempts = 1 + static_cast<int>(rng.Uniform(3));
+  fopts.rs.resilience.retry.max_attempts = 1 + static_cast<int>(rng.Uniform(3));
   fopts.max_query_retries = static_cast<int>(rng.Uniform(2));
+
+  // Replica failover (docs/ROBUSTNESS.md): 1..3 replicas. With >= 2, most
+  // configs fault only replica 0 — sometimes killing it outright — which
+  // upgrades the contract: page-granular failover to the healthy replicas
+  // must recover EVERY query, no failures allowed.
+  const int replicas =
+      min_replicas +
+      static_cast<int>(rng.Uniform(static_cast<uint64_t>(4 - min_replicas)));
+  bool expect_zero_failures = false;
+  if (replicas >= 2) {
+    fopts.rs.resilience.replicas = replicas;
+    if (rng.Bernoulli(0.7)) {
+      FaultConfig lossy = fopts.faults;
+      if (rng.Bernoulli(0.25)) lossy.data_loss_p = 1.0;  // dead replica
+      fopts.faults = FaultConfig{};
+      fopts.replica_faults.assign(static_cast<size_t>(replicas),
+                                  FaultConfig{});
+      fopts.replica_faults[0] = lossy;
+      expect_zero_failures = true;
+    }
+  }
 
   BatchResult reference;
   bool have_reference = false;
@@ -118,6 +152,13 @@ void CheckConfig(int index, uint64_t scenario_seed) {
     auto batch =
         QueryEngine(*prepared, s.space, s.algo, opts).RunBatch(s.queries);
     NMRS_CHECK(batch.ok()) << "config " << index << ": " << batch.status();
+
+    if (expect_zero_failures) {
+      NMRS_CHECK(batch->ok())
+          << "config " << index << " (replicas=" << replicas
+          << ", one faulted): failover left " << batch->num_failed()
+          << " failed queries; first: " << batch->first_error();
+    }
 
     for (size_t i = 0; i < s.queries.size(); ++i) {
       const Status& st = batch->statuses[i];
@@ -129,9 +170,13 @@ void CheckConfig(int index, uint64_t scenario_seed) {
         // Bit-identical IO: a fault-free query trivially, a retried-and-
         // absorbed query is skipped (its IO legitimately includes the
         // retries), a clean-view-recovered query reports the clean
-        // attempt's stats and so also matches.
-        const IoStats& io = batch->results[i].stats.io;
+        // attempt's stats and so also matches. Replica accounting is
+        // normalized away first: with failover replicas attached every
+        // read counts into replica_reads, which the (replica-less) clean
+        // baseline leaves at zero.
+        IoStats io = batch->results[i].stats.io;
         if (FaultCounterSum(io) == 0) {
+          io.replica_reads = {};
           NMRS_CHECK(io == clean.results[i].stats.io)
               << "config " << index << " query " << i
               << ": fault-free IO diverged";
@@ -170,19 +215,28 @@ void CheckConfig(int index, uint64_t scenario_seed) {
 int main(int argc, char** argv) {
   int configs = 500;
   uint64_t seed = 20260807;
+  int min_replicas = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--configs=", 10) == 0) {
       configs = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--min-replicas=", 15) == 0) {
+      min_replicas = std::atoi(argv[i] + 15);
+      if (min_replicas < 1 || min_replicas > 3) {
+        std::fprintf(stderr, "--min-replicas must be in [1, 3]\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--configs=N] [--seed=S]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--configs=N] [--seed=S] [--min-replicas=R]\n",
+                   argv[0]);
       return 2;
     }
   }
   nmrs::Rng master(seed);
   for (int i = 0; i < configs; ++i) {
-    nmrs::CheckConfig(i, master.Next64());
+    nmrs::CheckConfig(i, master.Next64(), min_replicas);
     if ((i + 1) % 50 == 0 || i + 1 == configs) {
       std::printf("chaos soak: %d/%d configs ok\n", i + 1, configs);
       std::fflush(stdout);

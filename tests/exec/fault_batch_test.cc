@@ -74,7 +74,7 @@ TEST_F(FaultBatchTest, FaultsOffIsBitIdenticalToDefaultEngine) {
   BatchResult plain = CleanBaseline();
   QueryEngineOptions off;
   off.faults = FaultConfig{};  // disabled
-  off.rs.checksum_pages = false;
+  off.rs.resilience.checksum_pages = false;
   off.max_query_retries = 0;
   BatchResult explicit_off = RunWith(off);
   ExpectIdentical(plain, explicit_off);
@@ -146,7 +146,7 @@ TEST_F(FaultBatchTest, TransientStormIsolatesAffectedQueries) {
   QueryEngineOptions opts;
   opts.faults.seed = 1009;
   opts.faults.transient_read_p = 0.05;
-  opts.rs.retry.max_attempts = 1;
+  opts.rs.resilience.retry.max_attempts = 1;
   BatchResult batch = RunWith(opts);
 
   EXPECT_GT(batch.num_failed(), 0u) << "seed produced no affected query";
@@ -209,7 +209,8 @@ TEST_F(FaultBatchTest, FaultPatternIsIndependentOfWorkerCountAndRuns) {
   QueryEngineOptions opts;
   opts.faults.seed = 99;
   opts.faults.transient_read_p = 0.05;
-  opts.rs.retry.max_attempts = 2;  // some retries fire and are absorbed
+  // Some retries fire and are absorbed.
+  opts.rs.resilience.retry.max_attempts = 2;
 
   BatchResult reference = RunWith(opts);  // default workers
   EXPECT_GT(reference.total_io.transient_retries, 0u);
@@ -265,6 +266,147 @@ TEST_F(FaultBatchTest, ChecksummedBatchSurvivesCorruptionViaRetry) {
                 static_cast<uint64_t>(batch->queries_retried),
             0u)
       << "corruption config fired nothing; raise corrupt_p";
+  for (size_t i = 0; i < batch->results.size(); ++i) {
+    EXPECT_EQ(batch->results[i].rows, clean->results[i].rows)
+        << "query " << i;
+  }
+}
+
+TEST_F(FaultBatchTest, ReplicaFailoverCompletesBatchWithZeroFailures) {
+  // The PR 5 acceptance scenario: one replica suffers persistent data loss
+  // (p = 1e-3 probabilistic bad sectors plus a guaranteed bad page 0 every
+  // scan crosses), the other replica(s) are healthy, and there are NO
+  // query-level retries — recovery must come entirely from page-granular
+  // failover. The batch completes with zero failed queries and rows
+  // bit-identical to the fault-free run.
+  BatchResult clean = CleanBaseline();
+  for (int replicas : {2, 3}) {
+    FaultConfig lossy;
+    lossy.seed = 4242;
+    lossy.data_loss_p = 1e-3;
+    lossy.bad_pages.insert({prepared().stored.file(), 0});
+
+    QueryEngineOptions opts;
+    opts.rs.resilience.replicas = replicas;
+    opts.replica_faults.assign(static_cast<size_t>(replicas), FaultConfig{});
+    opts.replica_faults[0] = lossy;
+    opts.max_query_retries = 0;
+    BatchResult batch = RunWith(opts);
+
+    EXPECT_TRUE(batch.ok()) << "replicas=" << replicas << ": "
+                            << batch.first_error();
+    EXPECT_EQ(batch.num_failed(), 0u);
+    EXPECT_EQ(batch.queries_retried, 0u);  // no clean-view re-runs happened
+    EXPECT_TRUE(batch.quarantined.empty());  // no page failed EVERY replica
+    EXPECT_GT(batch.total_io.failovers, 0u);
+    EXPECT_GT(batch.total_io.replica_reads[1], 0u);
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+      EXPECT_EQ(batch.results[i].rows, clean.results[i].rows)
+          << "replicas=" << replicas << " query " << i;
+    }
+  }
+}
+
+TEST_F(FaultBatchTest, TotallyDeadReplicaIsDeterministicAcrossWorkerCounts) {
+  // Replica 0 loses every page (p = 1.0): each reader pays one failover,
+  // then sticks to the surviving replica. Results, statuses, and the full
+  // per-query IO accounting (failovers and replica_reads included) must be
+  // independent of worker count and repeatable.
+  BatchResult clean = CleanBaseline();
+  FaultConfig dead;
+  dead.seed = 5;
+  dead.data_loss_p = 1.0;
+
+  QueryEngineOptions opts;
+  opts.rs.resilience.replicas = 2;
+  opts.replica_faults = {dead, FaultConfig{}};
+  BatchResult reference = RunWith(opts);
+
+  EXPECT_TRUE(reference.ok()) << reference.first_error();
+  EXPECT_GT(reference.total_io.failovers, 0u);
+  EXPECT_GT(reference.total_io.replica_reads[1], 0u);
+  for (size_t i = 0; i < reference.results.size(); ++i) {
+    EXPECT_EQ(reference.results[i].rows, clean.results[i].rows)
+        << "query " << i;
+  }
+  for (size_t workers : {1u, 8u}) {
+    QueryEngineOptions o = opts;
+    o.num_workers = workers;
+    BatchResult batch = RunWith(o);
+    ExpectIdentical(reference, batch);
+  }
+}
+
+TEST_F(FaultBatchTest, SingleReplicaIsBitIdenticalToTheUnreplicatedEngine) {
+  // replicas = 1 must be a pure no-op: same fault pattern (replica 0 keeps
+  // the seed verbatim), same results, same accounting as an engine that
+  // never heard of replicas — and the failover counters stay zero.
+  QueryEngineOptions opts;
+  opts.faults.seed = 99;
+  opts.faults.transient_read_p = 0.05;
+  opts.rs.resilience.retry.max_attempts = 2;
+  BatchResult unreplicated = RunWith(opts);
+
+  QueryEngineOptions one = opts;
+  one.rs.resilience.replicas = 1;
+  BatchResult single = RunWith(one);
+  ExpectIdentical(unreplicated, single);
+  EXPECT_EQ(single.total_io.failovers, 0u);
+  EXPECT_EQ(single.total_io.ReplicaReadsTotal(), 0u);
+}
+
+TEST_F(FaultBatchTest, AllReplicasLosingAPageStillFailsTheQuery) {
+  // Failover is not magic: when every replica lost the same page (same
+  // explicit bad_pages on both), the queries that need it must still fail
+  // and the page must be quarantined.
+  FaultConfig lossy;
+  lossy.seed = 1;
+  lossy.bad_pages.insert({prepared().stored.file(), 0});
+
+  QueryEngineOptions opts;
+  opts.rs.resilience.replicas = 2;
+  opts.replica_faults = {lossy, lossy};
+  BatchResult batch = RunWith(opts);
+
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.num_failed(), wl_.queries.size());
+  EXPECT_TRUE(batch.first_error().IsDataLoss()) << batch.first_error();
+  ASSERT_EQ(batch.quarantined.size(), 1u);
+  EXPECT_EQ(batch.quarantined[0],
+            (std::pair<FileId, PageId>{prepared().stored.file(), 0}));
+}
+
+TEST_F(FaultBatchTest, FailoverComposesWithChecksumsAndCorruption) {
+  // Replica 0 silently corrupts aggressively; the dataset is checksummed,
+  // so verification catches it and page reads fail over to the clean
+  // replica instead of surfacing kCorruption.
+  SimulatedDisk disk;
+  PrepareOptions popts;
+  popts.checksum_pages = true;
+  auto prepared =
+      PrepareDataset(&disk, wl_.instance.data, Algorithm::kSRS, popts);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  QueryEngine clean_engine(*prepared, wl_.instance.space, Algorithm::kSRS,
+                           QueryEngineOptions{});
+  auto clean = clean_engine.RunBatch(wl_.queries);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->ok()) << clean->first_error();
+
+  FaultConfig corrupting;
+  corrupting.seed = 3;
+  corrupting.corrupt_p = 0.05;
+
+  QueryEngineOptions opts;
+  opts.rs.resilience.replicas = 2;
+  opts.replica_faults = {corrupting, FaultConfig{}};
+  QueryEngine engine(*prepared, wl_.instance.space, Algorithm::kSRS, opts);
+  auto batch = engine.RunBatch(wl_.queries);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_TRUE(batch->ok()) << batch->first_error();
+  EXPECT_GT(batch->total_io.checksum_failures, 0u)
+      << "corruption config fired nothing; raise corrupt_p";
+  EXPECT_GT(batch->total_io.failovers, 0u);
   for (size_t i = 0; i < batch->results.size(); ++i) {
     EXPECT_EQ(batch->results[i].rows, clean->results[i].rows)
         << "query " << i;

@@ -317,7 +317,7 @@ void StressFaultBatch() {
   base.faults.seed = 4242;
   base.faults.transient_read_p = 0.03;
   base.faults.bad_pages.insert({prepared->stored.file(), 1});
-  base.rs.retry.max_attempts = 2;
+  base.rs.resilience.retry.max_attempts = 2;
   base.max_query_retries = 1;
 
   BatchResult reference;
@@ -355,6 +355,124 @@ void StressFaultBatch() {
               reference.quarantined.size());
 }
 
+// Concurrent page-granular failover against one shared BufferPool: every
+// thread reads through its own corrupting primary replica with a clean
+// failover replica behind it, all routed through the same pool. Failing
+// reads evict shared frames while other threads fetch and heal them — the
+// shared-cache race the replica layer must survive (and the reason fault
+// BATCHES run shared-nothing; standalone readers may still share a pool).
+// Every read must come back verified, from whichever replica had good
+// bytes.
+void StressConcurrentFailover() {
+  SimulatedDisk base;
+  const FileId f = base.CreateFile("sealed");
+  constexpr uint64_t kPages = 64;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    Page page(base.page_size());
+    for (size_t i = 0; i < page.size(); ++i) {
+      page[i] = static_cast<uint8_t>(p + i);
+    }
+    page.Seal();
+    NMRS_CHECK(base.AppendPage(f, page).ok());
+  }
+
+  BufferPoolOptions popts;
+  popts.capacity_pages = 16;  // eviction pressure on top of the healing
+  BufferPool pool(&base, popts);
+
+  constexpr int kThreads = 8;
+  ReplicaSetOptions rso;
+  rso.num_replicas = 2;
+  rso.num_workers = kThreads;
+  FaultConfig corrupting;
+  corrupting.seed = 31337;
+  corrupting.corrupt_p = 0.3;
+  rso.faults = {corrupting, FaultConfig{}};
+  ReplicaSet set(&base, rso);
+
+  std::atomic<uint64_t> failovers{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&set, &pool, &failovers, f, t] {
+      std::vector<std::unique_ptr<FaultyDisk>> wrappers;
+      auto disks = set.MakeQueryDisks(t, static_cast<uint64_t>(t), &wrappers);
+      PagedReaderOptions opts;
+      opts.verify_checksums = true;
+      opts.failover = {disks[1]};
+      PagedReader reader(disks[0], &pool, opts);
+      Page out(0);
+      for (int i = 0; i < 400; ++i) {
+        const PageId p = static_cast<PageId>((t * 7 + i) % kPages);
+        NMRS_CHECK(reader.ReadPage(f, p, &out).ok())
+            << "thread " << t << " page " << p;
+        NMRS_CHECK(out.VerifySeal()) << "thread " << t << " page " << p;
+      }
+      failovers.fetch_add(reader.failovers(), std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  NMRS_CHECK(failovers.load() > 0) << "corrupt_p fired no failover";
+  std::printf("concurrent failover: %d threads, %llu failovers, "
+              "all reads verified\n",
+              kThreads, static_cast<unsigned long long>(failovers.load()));
+}
+
+// A replica batch under contention: replica 0 is completely dead, results
+// and per-query accounting (failovers included) must still be identical
+// across worker counts and repeat runs.
+void StressReplicaBatch() {
+  Rng rng(888);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(6000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kSRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  QueryEngineOptions base;
+  base.rs.resilience.replicas = 2;
+  FaultConfig dead;
+  dead.seed = 6;
+  dead.data_loss_p = 1.0;
+  base.replica_faults = {dead, FaultConfig{}};
+
+  BatchResult reference;
+  bool have_reference = false;
+  for (size_t workers : {1u, 8u, 8u}) {
+    QueryEngineOptions opts = base;
+    opts.num_workers = workers;
+    QueryEngine engine(*prepared, space, Algorithm::kSRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    NMRS_CHECK(batch->ok()) << batch->first_error();
+    if (!have_reference) {
+      reference = std::move(*batch);
+      have_reference = true;
+      continue;
+    }
+    NMRS_CHECK(batch->total_io == reference.total_io);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NMRS_CHECK(batch->results[i].rows == reference.results[i].rows);
+      NMRS_CHECK(batch->results[i].stats.io == reference.results[i].stats.io);
+    }
+  }
+  NMRS_CHECK(reference.total_io.failovers > 0);
+  std::printf("replica batch: %zu queries over a dead replica, %llu "
+              "failovers, identical across worker counts\n",
+              queries.size(),
+              static_cast<unsigned long long>(reference.total_io.failovers));
+}
+
 }  // namespace
 }  // namespace nmrs
 
@@ -366,6 +484,8 @@ int main() {
   nmrs::StressEngineWithSharedCache();
   nmrs::StressQueryEngine();
   nmrs::StressFaultBatch();
+  nmrs::StressConcurrentFailover();
+  nmrs::StressReplicaBatch();
   std::printf("exec stress: all ok\n");
   return 0;
 }

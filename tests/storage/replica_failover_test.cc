@@ -1,0 +1,411 @@
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/disk_view.h"
+#include "storage/fault_injection.h"
+#include "storage/paged_reader.h"
+#include "storage/replica_set.h"
+
+namespace nmrs {
+namespace {
+
+Page MakePage(size_t size, uint8_t fill) {
+  Page p(size);
+  for (size_t i = 0; i < size; ++i) p[i] = fill;
+  return p;
+}
+
+// A frozen base disk with one file of `pages` pages, byte 0 tagging the
+// index, plus one DiskView per requested replica — the standalone analogue
+// of what ReplicaSet builds for the engine.
+struct ReplicaFixture {
+  explicit ReplicaFixture(int pages, int replicas, bool seal = false) {
+    file = base.CreateFile("data");
+    for (int i = 0; i < pages; ++i) {
+      Page p = MakePage(base.page_size(), static_cast<uint8_t>(i));
+      if (seal) p.Seal();
+      EXPECT_TRUE(base.AppendPage(file, p).ok());
+    }
+    base.ResetStats();
+    for (int r = 0; r < replicas; ++r) {
+      views.push_back(std::make_unique<DiskView>(&base));
+    }
+  }
+
+  SimulatedDisk base;
+  FileId file = 0;
+  std::vector<std::unique_ptr<DiskView>> views;
+};
+
+// ---------------------------------------------------------------------------
+// FaultConfig::data_loss_p: the probabilistic bad-sector draw
+// ---------------------------------------------------------------------------
+
+TEST(DataLossDrawTest, IsDeterministicAndSeedDependent) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.data_loss_p = 0.2;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  cfg.seed = 6;
+  FaultInjector c(cfg);
+  int bad = 0;
+  bool differs = false;
+  for (PageId page = 0; page < 512; ++page) {
+    EXPECT_EQ(a.IsBadPage(0, page), b.IsBadPage(0, page));
+    differs |= a.IsBadPage(0, page) != c.IsBadPage(0, page);
+    bad += a.IsBadPage(0, page) ? 1 : 0;
+  }
+  EXPECT_TRUE(differs) << "seed does not influence the data-loss draw";
+  // 512 draws at p=0.2: expect ~102, accept a generous band.
+  EXPECT_GT(bad, 50);
+  EXPECT_LT(bad, 180);
+}
+
+TEST(DataLossDrawTest, EveryAttemptAndStreamSeesTheSameBadPages) {
+  // Bad sectors are a property of the (simulated) medium: FaultyDisk must
+  // return kDataLoss for the same pages on every stream and every retry.
+  ReplicaFixture fx(64, /*replicas=*/1);
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.data_loss_p = 0.1;
+  FaultInjector inj(cfg);
+  for (uint64_t stream = 0; stream < 3; ++stream) {
+    FaultyDisk disk(fx.views[0].get(), &inj, stream);
+    for (PageId page = 0; page < 64; ++page) {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        Page out(0);
+        const Status s = disk.ReadPage(fx.file, page, &out);
+        EXPECT_EQ(s.IsDataLoss(), inj.IsBadPage(fx.file, page))
+            << "stream " << stream << " page " << page;
+      }
+    }
+  }
+}
+
+TEST(DataLossDrawTest, EnablesFaultConfig) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  cfg.data_loss_p = 1e-3;
+  EXPECT_TRUE(cfg.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// PagedReader page-granular failover
+// ---------------------------------------------------------------------------
+
+TEST(PagedReaderFailoverTest, BadPrimaryPageIsServedByTheNextReplica) {
+  ReplicaFixture fx(4, /*replicas=*/2);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 2});
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, /*stream=*/0);
+
+  PagedReaderOptions opts;
+  opts.failover = {fx.views[1].get()};
+  PagedReader reader(&primary, nullptr, opts);
+
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 2, &out).ok());
+  EXPECT_EQ(out[0], 2);  // the replica serves the same frozen bytes
+  EXPECT_EQ(reader.failovers(), 1u);
+  EXPECT_EQ(reader.current_replica(), 1);
+
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.failovers, 1u);
+  EXPECT_EQ(io.replica_reads[0], 1u);  // the failed primary attempt
+  EXPECT_EQ(io.replica_reads[1], 1u);  // the read that served the page
+  EXPECT_EQ(io.quarantined_pages, 0u);  // not lost: a replica had it
+}
+
+TEST(PagedReaderFailoverTest, FailoverChargesTheReplicaReadToTheQuery) {
+  ReplicaFixture fx(4, /*replicas=*/2);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 0});
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, 0);
+
+  PagedReaderOptions opts;
+  opts.failover = {fx.views[1].get()};
+  PagedReader reader(&primary, nullptr, opts);
+
+  const IoStats primary_before = fx.views[0]->stats();
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+
+  // The algorithms charge `primary delta + FoldStatsInto`; the replica-1
+  // read must appear in the fold (it landed on a disk nobody deltas).
+  IoStats io = fx.views[0]->stats() - primary_before;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.TotalReads(), 2u);  // failed primary attempt + replica read
+  EXPECT_EQ(fx.views[1]->stats().TotalReads(), 1u);
+}
+
+TEST(PagedReaderFailoverTest, PreferenceSticksToTheServingReplica) {
+  ReplicaFixture fx(8, /*replicas=*/2);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 0});
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, 0);
+
+  PagedReaderOptions opts;
+  opts.failover = {fx.views[1].get()};
+  PagedReader reader(&primary, nullptr, opts);
+
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  ASSERT_EQ(reader.current_replica(), 1);
+  // Subsequent reads start on replica 1 and never touch the primary.
+  for (PageId p = 1; p < 8; ++p) {
+    ASSERT_TRUE(reader.ReadPage(fx.file, p, &out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(p));
+  }
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.failovers, 1u);  // only the first page failed over
+  EXPECT_EQ(io.replica_reads[0], 1u);
+  EXPECT_EQ(io.replica_reads[1], 8u);
+}
+
+TEST(PagedReaderFailoverTest, AllReplicasFailingSurfacesDataLoss) {
+  ReplicaFixture fx(2, /*replicas=*/3);
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 1});
+  // Same bad page on every replica: the page is truly gone.
+  FaultInjector inj(cfg);
+  FaultyDisk r0(fx.views[0].get(), &inj, 0);
+  FaultyDisk r1(fx.views[1].get(), &inj, 0);
+  FaultyDisk r2(fx.views[2].get(), &inj, 0);
+
+  QuarantineLog log;
+  PagedReaderOptions opts;
+  opts.failover = {&r1, &r2};
+  opts.quarantine = &log;
+  PagedReader reader(&r0, nullptr, opts);
+
+  Page out(0);
+  const Status s = reader.ReadPage(fx.file, 1, &out);
+  EXPECT_TRUE(s.IsDataLoss()) << s;
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.quarantined_pages, 1u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(io.replica_reads[0], 1u);
+  EXPECT_EQ(io.replica_reads[1], 1u);
+  EXPECT_EQ(io.replica_reads[2], 1u);
+  // A page read that ends in failure is not a failover — nothing served it.
+  EXPECT_EQ(io.failovers, 0u);
+
+  // Page 0 is fine everywhere and is served by the preferred (still 0,
+  // nothing succeeded elsewhere) replica.
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_EQ(reader.current_replica(), 0);
+}
+
+TEST(PagedReaderFailoverTest, ScratchFilesAboveTheLimitNeverFailOver) {
+  ReplicaFixture fx(2, /*replicas=*/2);
+  // A scratch file created on the primary view only (the real spill
+  // situation: scratch exists on no other replica).
+  const FileId scratch = fx.views[0]->CreateFile("spill");
+  Page sp = MakePage(fx.base.page_size(), 0xAB);
+  ASSERT_TRUE(fx.views[0]->AppendPage(scratch, sp).ok());
+
+  FaultConfig cfg;
+  cfg.bad_pages.insert({fx.file, 0});
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, 0,
+                     /*fault_ceiling=*/fx.base.next_file_id());
+
+  PagedReaderOptions opts;
+  opts.failover = {fx.views[1].get()};
+  opts.failover_limit = fx.base.next_file_id();
+  PagedReader reader(&primary, nullptr, opts);
+
+  Page out(0);
+  // Scratch read takes the single-disk path: no replica accounting at all.
+  ASSERT_TRUE(reader.ReadPage(scratch, 0, &out).ok());
+  EXPECT_EQ(out[0], 0xAB);
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.ReplicaReadsTotal(), 0u);
+
+  // Base file reads still fail over.
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_EQ(reader.failovers(), 1u);
+}
+
+TEST(PagedReaderFailoverTest, ChecksumFailureFailsOverAndHealsThePool) {
+  // Replica 0 corrupts every read; with checksums on, the reader must fail
+  // over to replica 1 AND leave good bytes in the shared pool frame.
+  ReplicaFixture fx(2, /*replicas=*/2, /*seal=*/true);
+  BufferPoolOptions popts;
+  popts.capacity_pages = 4;
+  popts.num_shards = 1;
+  BufferPool pool(&fx.base, popts);
+
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.corrupt_p = 1.0;
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, 0);
+
+  PagedReaderOptions opts;
+  opts.verify_checksums = true;
+  opts.failover = {fx.views[1].get()};
+  PagedReader reader(&primary, &pool, opts);
+
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_TRUE(out.VerifySeal());
+  EXPECT_EQ(reader.failovers(), 1u);
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_GE(io.checksum_failures, 2u);  // primary read + its refetch
+
+  // The pool frame must hold replica 1's good bytes now: a fresh clean
+  // reader gets a verified hit without touching any disk.
+  DiskView clean(&fx.base);
+  PagedReaderOptions vopts;
+  vopts.verify_checksums = true;
+  PagedReader verifier(&clean, &pool, vopts);
+  ASSERT_TRUE(verifier.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_TRUE(out.VerifySeal());
+  EXPECT_EQ(verifier.cache_stats().hits, 1u);
+  EXPECT_EQ(clean.stats().TotalReads(), 0u);
+}
+
+TEST(PagedReaderFailoverTest, PersistentTransientsFailOverToo) {
+  ReplicaFixture fx(2, /*replicas=*/2);
+  FaultConfig cfg;
+  cfg.seed = 1;
+  cfg.transient_read_p = 1.0;  // replica 0 never completes a read
+  FaultInjector inj(cfg);
+  FaultyDisk primary(fx.views[0].get(), &inj, 0);
+
+  PagedReaderOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.failover = {fx.views[1].get()};
+  PagedReader reader(&primary, nullptr, opts);
+
+  Page out(0);
+  ASSERT_TRUE(reader.ReadPage(fx.file, 0, &out).ok());
+  EXPECT_EQ(out[0], 0);
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.failovers, 1u);
+  EXPECT_EQ(io.transient_retries, 2u);  // the full budget, spent on r0
+  EXPECT_EQ(io.replica_reads[0], 3u);
+  EXPECT_EQ(io.replica_reads[1], 1u);
+}
+
+TEST(PagedReaderFailoverTest, NoReplicasMeansCountersStayZero) {
+  ReplicaFixture fx(4, /*replicas=*/1);
+  PagedReader reader(fx.views[0].get());
+  Page out(0);
+  for (PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(reader.ReadPage(fx.file, p, &out).ok());
+  }
+  IoStats io;
+  reader.FoldStatsInto(&io);
+  EXPECT_EQ(io.failovers, 0u);
+  EXPECT_EQ(io.ReplicaReadsTotal(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaSet
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaSetTest, DerivesPerReplicaSeedsWithReplicaZeroVerbatim) {
+  FaultConfig tmpl;
+  tmpl.seed = 42;
+  tmpl.transient_read_p = 0.1;
+  const uint64_t base = ResiliencePolicy{}.replica_fault_seed_base;
+  const auto configs = ReplicaSet::DeriveConfigs(tmpl, base, 3);
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_EQ(configs[0].seed, 42u);  // replicas=1 reproduces single-disk
+  EXPECT_EQ(configs[1].seed, 42u + base + 1);
+  EXPECT_EQ(configs[2].seed, 42u + base + 2);
+  for (const auto& c : configs) {
+    EXPECT_DOUBLE_EQ(c.transient_read_p, 0.1);
+  }
+}
+
+TEST(ReplicaSetTest, ViewsServeTheSameFrozenBytesPerWorkerAndReplica) {
+  ReplicaFixture fx(3, /*replicas=*/0);
+  ReplicaSetOptions rso;
+  rso.num_replicas = 2;
+  rso.num_workers = 2;
+  ReplicaSet set(&fx.base, rso);
+  EXPECT_FALSE(set.faulted());
+  for (int w = 0; w < 2; ++w) {
+    for (int r = 0; r < 2; ++r) {
+      Page out(0);
+      ASSERT_TRUE(set.view(w, r)->ReadPage(fx.file, 1, &out).ok());
+      EXPECT_EQ(out[0], 1);
+    }
+  }
+  // Each view charges its own stats; WorkerStats sums a worker's replicas.
+  EXPECT_EQ(set.WorkerStats(0).TotalReads(), 2u);
+  EXPECT_EQ(set.WorkerStats(1).TotalReads(), 2u);
+}
+
+TEST(ReplicaSetTest, MakeQueryDisksWrapsOnlyFaultedReplicas) {
+  ReplicaFixture fx(2, /*replicas=*/0);
+  ReplicaSetOptions rso;
+  rso.num_replicas = 2;
+  rso.num_workers = 1;
+  FaultConfig dead;
+  dead.seed = 7;
+  dead.data_loss_p = 1.0;
+  rso.faults = {dead, FaultConfig{}};  // replica 0 dead, replica 1 clean
+  ReplicaSet set(&fx.base, rso);
+  EXPECT_TRUE(set.faulted());
+  EXPECT_NE(set.injector(0), nullptr);
+  EXPECT_EQ(set.injector(1), nullptr);
+
+  std::vector<std::unique_ptr<FaultyDisk>> wrappers;
+  const auto disks = set.MakeQueryDisks(0, /*stream=*/3, &wrappers);
+  ASSERT_EQ(disks.size(), 2u);
+  ASSERT_EQ(wrappers.size(), 1u);
+  EXPECT_EQ(disks[0], wrappers[0].get());
+  EXPECT_EQ(disks[1], set.view(0, 1));
+
+  Page out(0);
+  EXPECT_TRUE(disks[0]->ReadPage(fx.file, 0, &out).IsDataLoss());
+  EXPECT_TRUE(disks[1]->ReadPage(fx.file, 0, &out).ok());
+}
+
+TEST(ReplicaSetTest, SingleConfigTemplateFansOutToEveryReplica) {
+  ReplicaFixture fx(2, /*replicas=*/0);
+  ReplicaSetOptions rso;
+  rso.num_replicas = 3;
+  rso.num_workers = 1;
+  FaultConfig tmpl;
+  tmpl.seed = 9;
+  tmpl.transient_read_p = 0.2;
+  rso.faults = {tmpl};
+  ReplicaSet set(&fx.base, rso);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_NE(set.injector(r), nullptr) << "replica " << r;
+    EXPECT_EQ(set.injector(r)->config().seed,
+              ReplicaSet::ReplicaSeed(9, rso.replica_fault_seed_base, r));
+  }
+  // Derived seeds give genuinely different fault patterns per replica.
+  int differs = 0;
+  for (PageId page = 0; page < 128; ++page) {
+    const bool a =
+        set.injector(0)->DecideRead(0, fx.file, page, 0).transient;
+    const bool b =
+        set.injector(1)->DecideRead(0, fx.file, page, 0).transient;
+    differs += a != b ? 1 : 0;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -9,11 +9,15 @@
 //
 //   nmrs_cli query --data=data.csv --matrices=prefix --query=1,2,3
 //            [--algo=trs|srs|brs|naive|tsrs|ttrs] [--mem=0.1]
-//            [--attrs=0,2] [--kernels] [--seed=S]
+//            [--attrs=0,2] [--kernels] [--seed=S] [common fault flags]
 //       Runs a reverse-skyline query and prints the result rows + stats.
 //       --kernels turns on the block dominance kernels (docs/KERNELS.md)
 //       and prints which lane evaluators runtime dispatch picked
-//       (avx2/scalar); the result rows are identical either way.
+//       (avx2/scalar); the result rows are identical either way. The
+//       common fault flags (see batch) work here too: with faults or
+//       --replicas=N > 1 the query runs against replica 0's faulty view
+//       with the remaining replicas attached for page-granular failover,
+//       exactly as the batch engine wires each query.
 //
 //   nmrs_cli compare --data=data.csv --matrices=prefix --query=1,2,3
 //       Runs BRS, SRS and TRS on the same query and prints a comparison.
@@ -31,8 +35,10 @@
 //            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
 //            [--cache-pages=N | --cache-pct=P] [--kernels] [--seed=S]
 //            [--checksum] [--transient-p=P] [--corrupt-p=P]
-//            [--bad-pages=f:p,f:p,...] [--fault-seed=S] [--retries=N]
-//            [--max-query-retries=N] [--fail-fast]
+//            [--data-loss-p=P] [--bad-pages=f:p,f:p,...] [--fault-seed=S]
+//            [--retries=N] [--max-query-retries=N] [--fail-fast]
+//            [--replicas=N] [--replica-seed-base=S]
+//            [--bad-replicas=r:loss_p,...]
 //       Samples K query objects and runs them as one batch on the parallel
 //       query engine (W pool workers, each query optionally using T
 //       intra-query threads), printing per-query results and the modeled
@@ -40,19 +46,27 @@
 //       buffer-pool page cache of N pages (or P% of the dataset's pages)
 //       to the engine and print its CacheStats summary (docs/CACHING.md).
 //       The fault flags (docs/ROBUSTNESS.md) inject deterministic storage
-//       faults: --transient-p / --corrupt-p / --bad-pages configure the
-//       FaultConfig (seeded by --fault-seed), --checksum seals dataset
-//       pages with CRC-32C and verifies them on read, --retries sets the
-//       per-page transient retry budget, --max-query-retries re-runs
-//       failed queries on a clean view, and --fail-fast restores the old
-//       first-error batch semantics. Failed queries are reported
-//       individually; the exit code is non-zero iff some query failed.
+//       faults: --transient-p / --corrupt-p / --data-loss-p / --bad-pages
+//       configure the FaultConfig (seeded by --fault-seed), --checksum
+//       seals dataset pages with CRC-32C and verifies them on read,
+//       --retries sets the per-page transient retry budget,
+//       --max-query-retries re-runs failed queries on a clean view, and
+//       --fail-fast restores the old first-error batch semantics.
+//       --replicas=N models N storage replicas with independent fault
+//       streams (ResiliencePolicy, seed base --replica-seed-base) and
+//       fails reads over page by page; --bad-replicas=r:loss_p restricts
+//       the faults to the listed replicas (replica r gets the shared
+//       FaultConfig with data_loss_p forced to loss_p, everyone else runs
+//       clean). Failed queries are reported individually; the exit code
+//       is non-zero iff some query failed.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "nmrs.h"
+#include "storage/replica_set.h"
 
 namespace nmrs {
 namespace {
@@ -150,6 +164,124 @@ StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
   return Status::InvalidArgument("unknown algorithm '" + name + "'");
 }
 
+// Flags shared by every query-running command (query, compare, influence,
+// batch): --mem, --attrs, --threads, --kernels, --checksum, --retries,
+// --replicas, --replica-seed-base. One parse path so the commands cannot
+// drift apart again (batch had grown resilience flags `query` could not
+// spell).
+Status ParseCommonOptions(const Flags& flags, uint64_t dataset_pages,
+                          RSOptions* rs) {
+  rs->memory = MemoryBudget::FromFraction(
+      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
+      dataset_pages);
+  for (uint64_t a : ParseUintList(FlagOr(flags, "attrs", ""))) {
+    rs->selected_attrs.push_back(static_cast<AttrId>(a));
+  }
+  rs->num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
+  if (rs->num_threads < 1) {
+    return Status::InvalidArgument("--threads must be at least 1");
+  }
+  rs->use_kernels = flags.count("kernels") != 0;
+  rs->resilience.checksum_pages = flags.count("checksum") != 0;
+  if (flags.count("retries") != 0) {
+    rs->resilience.retry.max_attempts =
+        std::atoi(FlagOr(flags, "retries", "3").c_str());
+    if (rs->resilience.retry.max_attempts < 1) {
+      return Status::InvalidArgument("--retries must be at least 1");
+    }
+  }
+  const int replicas = std::atoi(FlagOr(flags, "replicas", "1").c_str());
+  if (replicas < 1 || replicas > static_cast<int>(IoStats::kMaxReplicas)) {
+    return Status::InvalidArgument(
+        "--replicas must be in [1, " +
+        std::to_string(IoStats::kMaxReplicas) + "]");
+  }
+  rs->resilience.replicas = replicas;
+  if (flags.count("replica-seed-base") != 0) {
+    rs->resilience.replica_fault_seed_base = std::strtoull(
+        FlagOr(flags, "replica-seed-base", "0").c_str(), nullptr, 10);
+  }
+  return Status::OK();
+}
+
+void MaybePrintKernelBanner(const RSOptions& rs) {
+  if (!rs.use_kernels) return;
+  std::printf("dominance kernels on (dispatch: %s)\n",
+              KernelDispatchName(ActiveKernelDispatch()));
+}
+
+// Fault-injection flags shared by query and batch (docs/ROBUSTNESS.md):
+// --fault-seed, --transient-p, --corrupt-p, --data-loss-p, --bad-pages.
+Status ParseFaultFlags(const Flags& flags, FaultConfig* cfg) {
+  cfg->seed =
+      std::strtoull(FlagOr(flags, "fault-seed", "1").c_str(), nullptr, 10);
+  cfg->transient_read_p =
+      std::strtod(FlagOr(flags, "transient-p", "0").c_str(), nullptr);
+  cfg->corrupt_p = std::strtod(FlagOr(flags, "corrupt-p", "0").c_str(),
+                               nullptr);
+  cfg->data_loss_p =
+      std::strtod(FlagOr(flags, "data-loss-p", "0").c_str(), nullptr);
+  for (const std::string& tok :
+       StrSplit(FlagOr(flags, "bad-pages", ""), ',')) {
+    if (tok.empty()) continue;
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "--bad-pages entries must look like file:page, got '" + tok + "'");
+    }
+    cfg->bad_pages.insert(
+        {static_cast<FileId>(
+             std::strtoull(tok.substr(0, colon).c_str(), nullptr, 10)),
+         std::strtoull(tok.substr(colon + 1).c_str(), nullptr, 10)});
+  }
+  return Status::OK();
+}
+
+// --bad-replicas=r:loss_p,...: pins the faults to the listed replicas only.
+// Replica r gets the shared FaultConfig with data_loss_p forced to loss_p
+// (and its usual derived per-replica seed); every unlisted replica runs
+// clean. Without the flag a faulty template fans out to ALL replicas with
+// derived seeds (ReplicaSet::DeriveConfigs).
+Status ParseBadReplicas(const Flags& flags, const FaultConfig& base,
+                        const ResiliencePolicy& policy,
+                        std::vector<FaultConfig>* out) {
+  const std::string spec = FlagOr(flags, "bad-replicas", "");
+  if (spec.empty()) return Status::OK();
+  out->assign(static_cast<size_t>(policy.replicas), FaultConfig{});
+  for (const std::string& tok : StrSplit(spec, ',')) {
+    if (tok.empty()) continue;
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "--bad-replicas entries must look like replica:loss_p, got '" +
+          tok + "'");
+    }
+    const int r = std::atoi(tok.substr(0, colon).c_str());
+    if (r < 0 || r >= policy.replicas) {
+      return Status::InvalidArgument(
+          "--bad-replicas index " + std::to_string(r) +
+          " out of range for --replicas=" + std::to_string(policy.replicas));
+    }
+    FaultConfig cfg = base;
+    cfg.seed = ReplicaSet::ReplicaSeed(base.seed,
+                                       policy.replica_fault_seed_base, r);
+    cfg.data_loss_p = std::strtod(tok.substr(colon + 1).c_str(), nullptr);
+    (*out)[static_cast<size_t>(r)] = cfg;
+  }
+  return Status::OK();
+}
+
+std::string ReplicaReadsSummary(const IoStats& io) {
+  std::string out;
+  for (size_t r = 0; r < IoStats::kMaxReplicas; ++r) {
+    if (io.replica_reads[r] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += "r" + std::to_string(r) + "=" +
+           std::to_string(io.replica_reads[r]);
+  }
+  return out;
+}
+
 int CmdGenerate(const Flags& flags) {
   const uint64_t rows =
       std::strtoull(FlagOr(flags, "rows", "1000").c_str(), nullptr, 10);
@@ -227,6 +359,19 @@ void PrintStats(const QueryStats& s) {
     std::printf("  kernel_checks=%llu\n",
                 static_cast<unsigned long long>(s.kernel_checks));
   }
+  if (s.io.transient_retries != 0 || s.io.checksum_failures != 0 ||
+      s.io.quarantined_pages != 0 || s.io.failovers != 0) {
+    std::printf(
+        "  faults: %llu transient retries, %llu checksum failures, "
+        "%llu quarantined page reads, %llu failovers\n",
+        static_cast<unsigned long long>(s.io.transient_retries),
+        static_cast<unsigned long long>(s.io.checksum_failures),
+        static_cast<unsigned long long>(s.io.quarantined_pages),
+        static_cast<unsigned long long>(s.io.failovers));
+  }
+  if (s.io.ReplicaReadsTotal() != 0) {
+    std::printf("  replica reads: %s\n", ReplicaReadsSummary(s.io).c_str());
+  }
 }
 
 int CmdQuery(const Flags& flags) {
@@ -236,24 +381,48 @@ int CmdQuery(const Flags& flags) {
   if (!algo.ok()) return Fail(algo.status().ToString());
 
   SimulatedDisk disk;
-  auto prepared = PrepareDataset(&disk, setup->data, *algo);
+  PrepareOptions popts;
+  popts.checksum_pages = flags.count("checksum") != 0;
+  auto prepared = PrepareDataset(&disk, setup->data, *algo, popts);
   if (!prepared.ok()) return Fail(prepared.status().ToString());
 
   RSOptions opts;
-  opts.memory = MemoryBudget::FromFraction(
-      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
-      prepared->stored.num_pages());
-  for (uint64_t a : ParseUintList(FlagOr(flags, "attrs", ""))) {
-    opts.selected_attrs.push_back(static_cast<AttrId>(a));
-  }
-  opts.use_kernels = flags.count("kernels") != 0;
-  if (opts.use_kernels) {
-    std::printf("dominance kernels on (dispatch: %s)\n",
-                KernelDispatchName(ActiveKernelDispatch()));
+  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(), &opts);
+  if (!st.ok()) return Fail(st.ToString());
+  MaybePrintKernelBanner(opts);
+
+  FaultConfig faults;
+  st = ParseFaultFlags(flags, &faults);
+  if (!st.ok()) return Fail(st.ToString());
+
+  // Standalone replica wiring: with faults or --replicas > 1 the query runs
+  // against replica 0's faulty view with the remaining replicas attached
+  // as page-granular failover targets — the same shape the batch engine
+  // builds for each query.
+  PreparedDataset target = *prepared;
+  std::unique_ptr<ReplicaSet> replica_set;
+  std::vector<std::unique_ptr<FaultyDisk>> wrappers;
+  if (faults.enabled() || opts.resilience.replicas > 1) {
+    ReplicaSetOptions rso;
+    rso.num_replicas = opts.resilience.replicas;
+    rso.num_workers = 1;
+    rso.faults = {faults};
+    rso.replica_fault_seed_base = opts.resilience.replica_fault_seed_base;
+    rso.fault_ceiling = disk.next_file_id();
+    replica_set = std::make_unique<ReplicaSet>(&disk, rso);
+    auto disks = replica_set->MakeQueryDisks(0, /*stream=*/0, &wrappers);
+    target.stored =
+        StoredDataset(disks[0], prepared->stored.file(),
+                      prepared->stored.schema(), prepared->stored.num_rows(),
+                      prepared->stored.checksum_pages());
+    if (disks.size() > 1) {
+      opts.failover_disks.assign(disks.begin() + 1, disks.end());
+      opts.failover_limit = disk.next_file_id();
+    }
   }
 
   auto result =
-      RunReverseSkyline(*prepared, setup->space, setup->query, *algo, opts);
+      RunReverseSkyline(target, setup->space, setup->query, *algo, opts);
   if (!result.ok()) return Fail(result.status().ToString());
 
   std::printf("RS(Q) via %s: %zu rows\n",
@@ -279,9 +448,9 @@ int CmdCompare(const Flags& flags) {
     auto prepared = PrepareDataset(&disk, setup->data, algo);
     if (!prepared.ok()) return Fail(prepared.status().ToString());
     RSOptions opts;
-    opts.memory = MemoryBudget::FromFraction(
-        std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
-        prepared->stored.num_pages());
+    Status st = ParseCommonOptions(flags, prepared->stored.num_pages(),
+                                   &opts);
+    if (!st.ok()) return Fail(st.ToString());
     auto result = RunReverseSkyline(*prepared, setup->space, setup->query,
                                     algo, opts);
     if (!result.ok()) return Fail(result.status().ToString());
@@ -333,9 +502,8 @@ int CmdInfluence(const Flags& flags) {
   auto prepared = PrepareDataset(&disk, *data, Algorithm::kTRS);
   if (!prepared.ok()) return Fail(prepared.status().ToString());
   RSOptions opts;
-  opts.memory = MemoryBudget::FromFraction(
-      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
-      prepared->stored.num_pages());
+  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(), &opts);
+  if (!st.ok()) return Fail(st.ToString());
   auto report = AnalyzeInfluence(*prepared, *space, queries, Algorithm::kTRS,
                                  opts);
   if (!report.ok()) return Fail(report.status().ToString());
@@ -383,44 +551,18 @@ int CmdBatch(const Flags& flags) {
   QueryEngineOptions eopts;
   eopts.num_workers =
       std::strtoull(FlagOr(flags, "workers", "4").c_str(), nullptr, 10);
-  eopts.faults.seed =
-      std::strtoull(FlagOr(flags, "fault-seed", "1").c_str(), nullptr, 10);
-  eopts.faults.transient_read_p =
-      std::strtod(FlagOr(flags, "transient-p", "0").c_str(), nullptr);
-  eopts.faults.corrupt_p =
-      std::strtod(FlagOr(flags, "corrupt-p", "0").c_str(), nullptr);
-  for (const std::string& tok :
-       StrSplit(FlagOr(flags, "bad-pages", ""), ',')) {
-    if (tok.empty()) continue;
-    const size_t colon = tok.find(':');
-    if (colon == std::string::npos) {
-      return Fail("--bad-pages entries must look like file:page, got '" +
-                  tok + "'");
-    }
-    eopts.faults.bad_pages.insert(
-        {static_cast<FileId>(
-             std::strtoull(tok.substr(0, colon).c_str(), nullptr, 10)),
-         std::strtoull(tok.substr(colon + 1).c_str(), nullptr, 10)});
-  }
-  if (flags.count("retries") != 0) {
-    eopts.rs.retry.max_attempts =
-        std::atoi(FlagOr(flags, "retries", "3").c_str());
-    if (eopts.rs.retry.max_attempts < 1) {
-      return Fail("--retries must be at least 1");
-    }
-  }
+  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(),
+                                 &eopts.rs);
+  if (!st.ok()) return Fail(st.ToString());
+  MaybePrintKernelBanner(eopts.rs);
+  st = ParseFaultFlags(flags, &eopts.faults);
+  if (!st.ok()) return Fail(st.ToString());
+  st = ParseBadReplicas(flags, eopts.faults, eopts.rs.resilience,
+                        &eopts.replica_faults);
+  if (!st.ok()) return Fail(st.ToString());
   eopts.max_query_retries =
       std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
   eopts.fail_fast = flags.count("fail-fast") != 0;
-  eopts.rs.memory = MemoryBudget::FromFraction(
-      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
-      prepared->stored.num_pages());
-  eopts.rs.num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
-  eopts.rs.use_kernels = flags.count("kernels") != 0;
-  if (eopts.rs.use_kernels) {
-    std::printf("dominance kernels on (dispatch: %s)\n",
-                KernelDispatchName(ActiveKernelDispatch()));
-  }
   if (flags.count("cache-pages") != 0 && flags.count("cache-pct") != 0) {
     return Fail("--cache-pages and --cache-pct are mutually exclusive");
   }
@@ -467,15 +609,21 @@ int CmdBatch(const Flags& flags) {
       batch->ModeledQps());
   if (batch->total_io.transient_retries != 0 ||
       batch->total_io.checksum_failures != 0 ||
-      batch->total_io.quarantined_pages != 0) {
+      batch->total_io.quarantined_pages != 0 ||
+      batch->total_io.failovers != 0) {
     std::printf("faults: %llu transient retries, %llu checksum failures, "
-                "%llu quarantined page reads\n",
+                "%llu quarantined page reads, %llu failovers\n",
                 static_cast<unsigned long long>(
                     batch->total_io.transient_retries),
                 static_cast<unsigned long long>(
                     batch->total_io.checksum_failures),
                 static_cast<unsigned long long>(
-                    batch->total_io.quarantined_pages));
+                    batch->total_io.quarantined_pages),
+                static_cast<unsigned long long>(batch->total_io.failovers));
+  }
+  if (batch->total_io.ReplicaReadsTotal() != 0) {
+    std::printf("replica reads: %s\n",
+                ReplicaReadsSummary(batch->total_io).c_str());
   }
   if (!batch->quarantined.empty()) {
     std::printf("quarantined pages:");
