@@ -90,7 +90,8 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
       NMRS_RETURN_IF_ERROR(competitors.ReadPageVia(&reader, pp, &page));
       if (opts.use_kernels) {
         cols.Build(page);
-        DominanceKernel kernel(ctx, cols);
+        DominanceKernel kernel(
+            ctx, cols, {opts.kernel_promote_rows, DominanceKernel::kBlockRows});
         for (size_t i = 0; i < batch.size(); ++i) {
           if (!alive[i]) continue;
           ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
@@ -103,6 +104,9 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
           }
         }
         stats.kernel_checks += kernel.kernel_checks();
+        stats.kernel_promotions += kernel.promotions();
+        stats.kernel_scalar_rows += kernel.scalar_rows();
+        stats.kernel_block_rows += kernel.block_rows();
         continue;
       }
       for (size_t i = 0; i < batch.size(); ++i) {

@@ -1,6 +1,8 @@
 #include "core/block_rs.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 
 #include "common/sync.h"
 #include "common/timer.h"
@@ -19,6 +21,38 @@ enum class SearchOrder {
   kForward,  // BRS: plain 0..n scan
   kRing,     // SRS: offsets ±1, ±2, ... from the candidate's sorted position
 };
+
+// Per-chunk phase-1 counters, summed into QueryStats in chunk order so the
+// totals match the sequential run exactly (all six are order-independent
+// sums, but summing in chunk order keeps the contract obvious).
+struct Phase1Counters {
+  uint64_t pair_tests = 0;
+  uint64_t checks = 0;
+  uint64_t kernel_checks = 0;
+  uint64_t kernel_promotions = 0;
+  uint64_t kernel_scalar_rows = 0;
+  uint64_t kernel_block_rows = 0;
+
+  void FoldInto(QueryStats* stats) const {
+    stats->pair_tests += pair_tests;
+    stats->checks += checks;
+    stats->kernel_checks += kernel_checks;
+    stats->kernel_promotions += kernel_promotions;
+    stats->kernel_scalar_rows += kernel_scalar_rows;
+    stats->kernel_block_rows += kernel_block_rows;
+  }
+};
+
+// The kernel policy of a phase-1 scan: the ring order visits short
+// alternating runs around the candidate, so promoted candidates evaluate
+// narrow 8-row windows; the forward order scans long contiguous stretches
+// where the full 32-row window amortizes best.
+KernelPolicy Phase1Policy(const RSOptions& opts, SearchOrder order) {
+  return {opts.kernel_promote_rows,
+          order == SearchOrder::kRing
+              ? static_cast<uint32_t>(DominanceKernel::kGroupRows)
+              : static_cast<uint32_t>(DominanceKernel::kBlockRows)};
+}
 
 // Checks candidates [begin, end) of `batch` against all loaded rows and
 // records which are pruned. `ctx` and the counters belong to the caller
@@ -59,26 +93,76 @@ void Phase1CheckRange(const RowBatch& batch, PruneContext& ctx,
 
 // Kernel-path analogue of Phase1CheckRange: identical verdicts and
 // pair/check accounting (DominanceKernel's equivalence contract), with the
-// per-pruner scans evaluated block-at-a-time over the batch's columnar
-// view. The kernel's lane count is added to *kernel_checks.
+// per-pruner scans evaluated adaptively — scalar probe first, blocks after
+// promotion — over the batch's columnar view. The kernel's lane count and
+// adaptive telemetry are added to *counters.
 void Phase1CheckRangeKernel(const RowBatch& batch, const ColumnarBatch& cols,
                             PruneContext& ctx, SearchOrder order,
-                            size_t begin, size_t end, uint64_t* pair_tests,
-                            uint64_t* checks, uint64_t* kernel_checks,
-                            uint8_t* pruned) {
-  DominanceKernel kernel(ctx, cols);
+                            KernelPolicy policy, size_t begin, size_t end,
+                            Phase1Counters* counters, uint8_t* pruned) {
+  DominanceKernel kernel(ctx, cols, policy);
   const size_t n = batch.size();
+  // Ring-scan futility trial. The ring order exists because sorted data
+  // puts likely pruners next to the candidate, and the kernel path can
+  // lose to the row-major scalar loop from both ends of that spectrum:
+  //
+  //  * Promotions too common — a candidate that survives its
+  //    neighborhood usually has no pruner at all, and for those the
+  //    narrow 8-row windows re-evaluate every attribute of rows the
+  //    scalar early-abort would skip after one. Promoted ring
+  //    candidates average hundreds of window rows each, so even a few
+  //    percent of them dominate the chunk's lane work.
+  //  * Probes too short — when nearly every candidate is resolved by
+  //    its immediate neighbors (average probe length a row or two),
+  //    block evaluation never engages and the kernel degenerates into
+  //    the scalar loop plus per-candidate setup, paying one cache line
+  //    per attribute column where the row-major loop pays one per row.
+  //
+  // Each chunk therefore watches its first kRingTrial candidates and
+  // hands the rest of the chunk back to the row-major scalar scan once
+  // promotions exceed a thirty-second of candidates seen, or once the
+  // probed-row average drops to two rows per candidate or less; the
+  // kernel stays engaged only in the middle band where probes run long
+  // enough to amortize candidate setup while promotions stay rare.
+  // Promotion policy only changes evaluation strategy, never verdicts,
+  // and the fallback is the reference loop itself, so results and check
+  // totals are unaffected; both rates depend only on verdict order,
+  // keeping the cut deterministic and dispatch-invariant. Configured
+  // promote_rows of 0 ("always block") and never are explicit regimes
+  // exempt from the trial.
+  constexpr size_t kRingTrial = 64;
+  const bool adaptive_ring =
+      order == SearchOrder::kRing && policy.promote_rows > 0 &&
+      policy.promote_rows != std::numeric_limits<uint32_t>::max();
+  size_t trialed = 0;
   for (size_t i = begin; i < end; ++i) {
+    if (adaptive_ring && trialed >= kRingTrial &&
+        (kernel.promotions() * 32 > trialed ||
+         kernel.scalar_rows() <= trialed * 2)) {
+      counters->kernel_checks += kernel.kernel_checks();
+      counters->kernel_promotions += kernel.promotions();
+      counters->kernel_scalar_rows += kernel.scalar_rows();
+      counters->kernel_block_rows += kernel.block_rows();
+      Phase1CheckRange(batch, ctx, order, i, end, &counters->pair_tests,
+                       &counters->checks, pruned);
+      return;
+    }
     ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
     kernel.BeginCandidate();
     const RowId x_id = batch.id(i);
     const bool found =
         order == SearchOrder::kForward
-            ? kernel.FindPrunerForward(0, n, x_id, pair_tests, checks)
-            : kernel.FindPrunerRing(i, x_id, pair_tests, checks);
+            ? kernel.FindPrunerForward(0, n, x_id, &counters->pair_tests,
+                                       &counters->checks)
+            : kernel.FindPrunerRing(i, x_id, &counters->pair_tests,
+                                    &counters->checks);
     pruned[i] = found ? 1 : 0;
+    if (adaptive_ring) ++trialed;
   }
-  *kernel_checks += kernel.kernel_checks();
+  counters->kernel_checks += kernel.kernel_checks();
+  counters->kernel_promotions += kernel.promotions();
+  counters->kernel_scalar_rows += kernel.scalar_rows();
+  counters->kernel_block_rows += kernel.block_rows();
 }
 
 // Intra-batch pruning of one loaded batch; appends survivors to *writer.
@@ -100,9 +184,11 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
   if (opts.use_kernels) cols.Build(batch);
   if (opts.num_threads <= 1 || n < 2) {
     if (opts.use_kernels) {
-      Phase1CheckRangeKernel(batch, cols, ctx, order, 0, n,
-                             &stats->pair_tests, &stats->checks,
-                             &stats->kernel_checks, pruned.data());
+      Phase1Counters counters;
+      Phase1CheckRangeKernel(batch, cols, ctx, order,
+                             Phase1Policy(opts, order), 0, n, &counters,
+                             pruned.data());
+      counters.FoldInto(stats);
     } else {
       Phase1CheckRange(batch, ctx, order, 0, n, &stats->pair_tests,
                        &stats->checks, pruned.data());
@@ -112,24 +198,17 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
     // uneven per-candidate cost (a candidate pruned early is cheap).
     const size_t num_chunks =
         std::min(n, static_cast<size_t>(opts.num_threads) * 4);
-    struct ChunkCounters {
-      uint64_t pair_tests = 0;
-      uint64_t checks = 0;
-      uint64_t kernel_checks = 0;
-    };
-    std::vector<ChunkCounters> counters(num_chunks);
+    std::vector<Phase1Counters> counters(num_chunks);
     ParallelChunks(opts.executor, opts.num_threads, num_chunks,
                    [&](size_t c) {
                      PruneContext chunk_ctx(space, schema, query,
                                             ctx.selected(), &qtable);
                      if (opts.use_kernels) {
                        Phase1CheckRangeKernel(batch, cols, chunk_ctx, order,
+                                              Phase1Policy(opts, order),
                                               ChunkBegin(n, num_chunks, c),
                                               ChunkBegin(n, num_chunks, c + 1),
-                                              &counters[c].pair_tests,
-                                              &counters[c].checks,
-                                              &counters[c].kernel_checks,
-                                              pruned.data());
+                                              &counters[c], pruned.data());
                      } else {
                        Phase1CheckRange(batch, chunk_ctx, order,
                                         ChunkBegin(n, num_chunks, c),
@@ -138,10 +217,8 @@ Status Phase1Batch(const RowBatch& batch, const SimilaritySpace& space,
                                         &counters[c].checks, pruned.data());
                      }
                    });
-    for (const ChunkCounters& cc : counters) {
-      stats->pair_tests += cc.pair_tests;
-      stats->checks += cc.checks;
-      stats->kernel_checks += cc.kernel_checks;
+    for (const Phase1Counters& cc : counters) {
+      cc.FoldInto(stats);
     }
   }
   for (size_t i = 0; i < n; ++i) {
@@ -184,7 +261,8 @@ Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
       NMRS_RETURN_IF_ERROR(data.ReadPageVia(reader, dp, &page));
       if (opts.use_kernels) {
         cols.Build(page);
-        DominanceKernel kernel(ctx, cols);
+        DominanceKernel kernel(
+            ctx, cols, {opts.kernel_promote_rows, DominanceKernel::kBlockRows});
         for (size_t i = 0; i < batch.size(); ++i) {
           if (!alive[i]) continue;
           ctx.SetCandidate(batch.row_values(i), batch.row_numerics(i));
@@ -195,6 +273,9 @@ Status Phase2(const StoredDataset& data, const StoredDataset& survivors,
           }
         }
         stats->kernel_checks += kernel.kernel_checks();
+        stats->kernel_promotions += kernel.promotions();
+        stats->kernel_scalar_rows += kernel.scalar_rows();
+        stats->kernel_block_rows += kernel.block_rows();
         continue;
       }
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -302,6 +383,199 @@ StatusOr<ReverseSkylineResult> SortReverseSkyline(
     const Object& query, const RSOptions& opts) {
   return RunBlockAlgorithm(sorted_data, space, query, opts,
                            SearchOrder::kRing);
+}
+
+StatusOr<std::vector<ReverseSkylineResult>> SharedScanReverseSkylines(
+    const StoredDataset& data, const SimilaritySpace& space,
+    const std::vector<Object>& queries, const RSOptions& opts,
+    bool ring_order, SharedScanStats* shared) {
+  SimulatedDisk* disk = data.disk();
+  const Schema& schema = data.schema();
+  const size_t m = schema.num_attributes();
+  const bool numerics = schema.NumNumeric() > 0;
+  if (opts.memory.pages < 2) {
+    return Status::InvalidArgument(
+        "block algorithms need a memory budget of at least 2 pages");
+  }
+  SharedScanStats discard;
+  if (shared == nullptr) shared = &discard;
+  std::vector<ReverseSkylineResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  const SearchOrder order =
+      ring_order ? SearchOrder::kRing : SearchOrder::kForward;
+  const KernelPolicy policy = Phase1Policy(opts, order);
+  const size_t nq = queries.size();
+
+  disk->InvalidateArmPosition();
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(schema, opts.selected_attrs);
+
+  // Per-query derived state. Every query evaluates the same candidates in
+  // the same order as its single-query run; only the loop nesting changes
+  // (candidate-major instead of query-major), which the bit-identity
+  // contract survives because the per-(query, candidate) work is
+  // independent.
+  struct QueryRun {
+    std::unique_ptr<QueryDistanceTable> qtable;
+    std::unique_ptr<PruneContext> ctx;
+    std::unique_ptr<DominanceKernel> kernel;  // rebuilt per loaded batch
+    FileId scratch = 0;
+    std::unique_ptr<RowWriter> writer;
+  };
+  std::vector<QueryRun> runs(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    runs[q].qtable = std::make_unique<QueryDistanceTable>(space, schema,
+                                                          queries[q], selected);
+    runs[q].ctx = std::make_unique<PruneContext>(space, schema, queries[q],
+                                                 selected, runs[q].qtable.get());
+    runs[q].scratch = disk->CreateFile("rs-shared-scratch");
+    runs[q].writer = std::make_unique<RowWriter>(
+        disk, runs[q].scratch, schema, opts.resilience.checksum_pages);
+  }
+
+  // ---- Phase 1: one scan of D feeds every query's intra-batch pruning ----
+  Timer shared_timer;
+  PagedReader shared_reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                            MakeReaderOptions(opts));
+  const IoStats phase1_before = disk->stats();
+  IoStats spill_io;  // per-query scratch writes inside the phase-1 window
+  SharedCandidateCache cache;
+  const uint64_t total_pages = data.num_pages();
+  std::vector<uint8_t> pruned;
+  for (PageId start = 0; start < total_pages; start += opts.memory.pages) {
+    const PageId end =
+        std::min<PageId>(start + opts.memory.pages, total_pages);
+    RowBatch batch(m, numerics);
+    for (PageId p = start; p < end; ++p) {
+      NMRS_RETURN_IF_ERROR(data.ReadPageVia(&shared_reader, p, &batch));
+    }
+    const size_t n = batch.size();
+    ColumnarBatch cols;
+    if (opts.use_kernels) {
+      cols.Build(batch);
+      cache.Attach(*runs[0].ctx, cols);
+      for (QueryRun& r : runs) {
+        r.kernel =
+            std::make_unique<DominanceKernel>(*r.ctx, cols, policy, &cache);
+      }
+    }
+    pruned.assign(nq * n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      // Candidate-major: fix candidate X on every query's context, gather
+      // its attribute blocks once (the shared cache), then run each
+      // query's compare-only pruner search.
+      for (QueryRun& r : runs) {
+        r.ctx->SetCandidate(batch.row_values(i), batch.row_numerics(i));
+      }
+      if (opts.use_kernels) cache.SetCandidate(*runs[0].ctx);
+      const RowId x_id = batch.id(i);
+      for (size_t q = 0; q < nq; ++q) {
+        QueryRun& r = runs[q];
+        QueryStats& st = results[q].stats;
+        bool found = false;
+        if (opts.use_kernels) {
+          r.kernel->BeginCandidate();
+          found = order == SearchOrder::kForward
+                      ? r.kernel->FindPrunerForward(0, n, x_id,
+                                                    &st.pair_tests, &st.checks)
+                      : r.kernel->FindPrunerRing(i, x_id, &st.pair_tests,
+                                                 &st.checks);
+        } else {
+          // Exact replica of Phase1CheckRange's per-candidate scan.
+          auto try_pruner = [&](size_t j) {
+            if (batch.id(j) == x_id) return false;
+            ++st.pair_tests;
+            return r.ctx->Prunes(batch.row_values(j), batch.row_numerics(j),
+                                 &st.checks);
+          };
+          if (order == SearchOrder::kForward) {
+            for (size_t j = 0; j < n && !found; ++j) {
+              if (j == i) continue;
+              found = try_pruner(j);
+            }
+          } else {
+            for (size_t off = 1; off < n && !found; ++off) {
+              if (off <= i) found = try_pruner(i - off);
+              if (!found && i + off < n) found = try_pruner(i + off);
+            }
+          }
+        }
+        pruned[q * n + i] = found ? 1 : 0;
+      }
+    }
+    // Per-query survivor spills, in scan order, with the writes charged to
+    // the query (same FlushPartial cadence as the single-query path).
+    for (size_t q = 0; q < nq; ++q) {
+      QueryRun& r = runs[q];
+      QueryStats& st = results[q].stats;
+      ++st.phase1_batches;
+      if (opts.use_kernels) {
+        st.kernel_checks += r.kernel->kernel_checks();
+        st.kernel_promotions += r.kernel->promotions();
+        st.kernel_scalar_rows += r.kernel->scalar_rows();
+        st.kernel_block_rows += r.kernel->block_rows();
+      }
+      const IoStats spill_before = disk->stats();
+      for (size_t i = 0; i < n; ++i) {
+        if (!pruned[q * n + i]) {
+          NMRS_RETURN_IF_ERROR(r.writer->Add(batch.id(i), batch.row_values(i),
+                                             batch.row_numerics(i)));
+        }
+      }
+      NMRS_RETURN_IF_ERROR(r.writer->FlushPartial());
+      const IoStats delta = disk->stats() - spill_before;
+      st.io += delta;
+      spill_io += delta;
+    }
+    if (opts.use_kernels) {
+      shared->shared_gather_blocks += cache.blocks_filled();
+    }
+    ++shared->shared_batches;
+  }
+  for (size_t q = 0; q < nq; ++q) {
+    QueryRun& r = runs[q];
+    QueryStats& st = results[q].stats;
+    const IoStats finish_before = disk->stats();
+    NMRS_RETURN_IF_ERROR(r.writer->Finish());
+    const IoStats delta = disk->stats() - finish_before;
+    st.io += delta;
+    spill_io += delta;
+    st.phase1_survivors = r.writer->rows_written();
+    st.phase1_checks = st.checks;
+  }
+  shared->shared_io += (disk->stats() - phase1_before) - spill_io;
+  shared_reader.FoldStatsInto(&shared->shared_io);
+  shared->modeled_backoff_millis += shared_reader.modeled_backoff_millis();
+  shared->shared_millis += shared_timer.ElapsedMillis();
+
+  // ---- Phase 2: per query, reusing the single-query refinement ----
+  const uint64_t batch_pages = opts.memory.pages - 1;
+  for (size_t q = 0; q < nq; ++q) {
+    QueryRun& r = runs[q];
+    QueryStats& st = results[q].stats;
+    Timer phase2_timer;
+    disk->InvalidateArmPosition();
+    const IoStats phase2_before = disk->stats();
+    PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
+                       MakeReaderOptions(opts));
+    StoredDataset survivors(disk, r.scratch, schema, r.writer->rows_written(),
+                            opts.resilience.checksum_pages);
+    NMRS_RETURN_IF_ERROR(Phase2(data, survivors, &reader, *r.ctx, batch_pages,
+                                opts, &st, &results[q].rows));
+    NMRS_RETURN_IF_ERROR(disk->DeleteFile(r.scratch));
+    st.phase2_checks = st.checks - st.phase1_checks;
+    st.phase2_millis = phase2_timer.ElapsedMillis();
+    st.io += disk->stats() - phase2_before;
+    reader.FoldStatsInto(&st.io);
+    st.modeled_backoff_millis = reader.modeled_backoff_millis();
+    std::sort(results[q].rows.begin(), results[q].rows.end());
+    st.result_size = results[q].rows.size();
+    // The shared pass isn't attributable per query: phase1_millis stays 0
+    // and compute_millis covers this query's own (phase-2) work.
+    st.compute_millis = st.phase2_millis;
+  }
+  return results;
 }
 
 }  // namespace nmrs

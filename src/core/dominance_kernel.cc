@@ -24,6 +24,10 @@ namespace {
 
 /// Lane evaluators: fill `viol` / `strict` bitmasks for rows [0, n),
 /// n <= DominanceKernel::kBlockRows — bit w reports lhs_w > q / lhs_w < q.
+/// The *_fill evaluators materialize the lhs array itself (for the
+/// SharedCandidateCache), and `cmp` compares a materialized lhs array —
+/// the same doubles and the same IEEE compares, so fused and cached
+/// evaluation produce identical masks.
 struct LaneFns {
   // Categorical: lhs_w = col[vals[w]] (col is the matrix column d(., x)).
   // `active` marks the rows still undecided: lanes of dead 4-row groups
@@ -34,6 +38,15 @@ struct LaneFns {
   // Numeric: lhs_w = scale * |y[w] - x|.
   void (*num)(const double* y, size_t n, uint32_t active, double x,
               double scale, double q, uint32_t* viol, uint32_t* strict);
+  // Compare-only pass over a materialized lhs array.
+  void (*cmp)(const double* lhs, size_t n, uint32_t active, double q,
+              uint32_t* viol, uint32_t* strict);
+  // lhs materialization (all n rows — the array is shared by queries
+  // whose active masks differ).
+  void (*cat_fill)(const double* col, const ValueId* vals, size_t n,
+                   double* lhs);
+  void (*num_fill)(const double* y, size_t n, double x, double scale,
+                   double* lhs);
 };
 
 void CatLanesScalar(const double* col, const ValueId* vals, size_t n,
@@ -64,7 +77,32 @@ void NumLanesScalar(const double* y, size_t n, uint32_t active, double x,
   *strict = s;
 }
 
-constexpr LaneFns kScalarFns = {CatLanesScalar, NumLanesScalar};
+void CmpLanesScalar(const double* lhs, size_t n, uint32_t active, double q,
+                    uint32_t* viol, uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  for (size_t w = 0; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double l = lhs[w];
+    if (l > q) v |= 1u << w;
+    if (l < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+void CatFillScalar(const double* col, const ValueId* vals, size_t n,
+                   double* lhs) {
+  for (size_t w = 0; w < n; ++w) lhs[w] = col[vals[w]];
+}
+
+void NumFillScalar(const double* y, size_t n, double x, double scale,
+                   double* lhs) {
+  for (size_t w = 0; w < n; ++w) lhs[w] = scale * std::fabs(y[w] - x);
+}
+
+constexpr LaneFns kScalarFns = {CatLanesScalar, NumLanesScalar,
+                                CmpLanesScalar, CatFillScalar,
+                                NumFillScalar};
 
 #ifdef NMRS_KERNEL_AVX2
 
@@ -161,7 +199,65 @@ __attribute__((target("avx2"))) void NumLanesAvx2(const double* y, size_t n,
   *strict = s;
 }
 
-constexpr LaneFns kAvx2Fns = {CatLanesAvx2, NumLanesAvx2};
+__attribute__((target("avx2"))) void CmpLanesAvx2(const double* lhs,
+                                                  size_t n, uint32_t active,
+                                                  double q, uint32_t* viol,
+                                                  uint32_t* strict) {
+  uint32_t v = 0, s = 0;
+  const __m256d qv = _mm256_set1_pd(q);
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    if (!((active >> w) & 0xFu)) continue;
+    const __m256d l = _mm256_loadu_pd(lhs + w);
+    v |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(l, qv, _CMP_GT_OQ)))
+         << w;
+    s |= static_cast<uint32_t>(
+             _mm256_movemask_pd(_mm256_cmp_pd(l, qv, _CMP_LT_OQ)))
+         << w;
+  }
+  for (; w < n; ++w) {
+    if (!((active >> w) & 1u)) continue;
+    const double l = lhs[w];
+    if (l > q) v |= 1u << w;
+    if (l < q) s |= 1u << w;
+  }
+  *viol = v;
+  *strict = s;
+}
+
+__attribute__((target("avx2"))) void CatFillAvx2(const double* col,
+                                                 const ValueId* vals,
+                                                 size_t n, double* lhs) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + w));
+    _mm256_storeu_pd(lhs + w,
+                     _mm256_mask_i32gather_pd(zero, col, idx, ones, 8));
+  }
+  for (; w < n; ++w) lhs[w] = col[vals[w]];
+}
+
+__attribute__((target("avx2"))) void NumFillAvx2(const double* y, size_t n,
+                                                 double x, double scale,
+                                                 double* lhs) {
+  const __m256d xv = _mm256_set1_pd(x);
+  const __m256d sc = _mm256_set1_pd(scale);
+  const __m256d absmask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(y + w), xv);
+    _mm256_storeu_pd(lhs + w, _mm256_mul_pd(sc, _mm256_and_pd(diff, absmask)));
+  }
+  for (; w < n; ++w) lhs[w] = scale * std::fabs(y[w] - x);
+}
+
+constexpr LaneFns kAvx2Fns = {CatLanesAvx2, NumLanesAvx2, CmpLanesAvx2,
+                              CatFillAvx2, NumFillAvx2};
 
 bool DetectAvx2() { return __builtin_cpu_supports("avx2"); }
 
@@ -197,42 +293,152 @@ void ForceScalarKernelDispatchForTest(bool force) {
   g_force_scalar.store(force, std::memory_order_relaxed);
 }
 
+void SharedCandidateCache::Attach(const PruneContext& ctx,
+                                  const ColumnarBatch& cols) {
+  NMRS_CHECK(ctx.table() != nullptr)
+      << "SharedCandidateCache needs a table-backed PruneContext";
+  cols_ = &cols;
+  dispatch_ = ActiveKernelDispatch();
+  const size_t m = ctx.num_selected();
+  attrs_.assign(ctx.selected().begin(), ctx.selected().end());
+  is_numeric_.assign(m, 0);
+  num_scale_.assign(m, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    if (ctx.SelectedIsNumeric(k)) {
+      is_numeric_[k] = 1;
+      num_scale_[k] = ctx.space().numeric(attrs_[k]).scale();
+    }
+  }
+  xcol_.assign(m, nullptr);
+  xnum_.assign(m, 0.0);
+  num_blocks_ =
+      (cols.size() + DominanceKernel::kBlockRows - 1) /
+      DominanceKernel::kBlockRows;
+  padded_rows_ = num_blocks_ * DominanceKernel::kBlockRows;
+  lhs_.assign(m * padded_rows_, 0.0);
+  ready_.assign(m * num_blocks_, 0);
+  blocks_filled_ = 0;
+}
+
+void SharedCandidateCache::SetCandidate(const PruneContext& ctx) {
+  const size_t m = attrs_.size();
+  for (size_t k = 0; k < m; ++k) {
+    if (is_numeric_[k]) {
+      xnum_[k] = ctx.candidate_numerics()[attrs_[k]];
+    } else {
+      // The cached matrix column d(., x) — a pointer into the
+      // SimilaritySpace, identical for every query's context.
+      xcol_[k] = ctx.CandidateColumn(k);
+    }
+  }
+  std::fill(ready_.begin(), ready_.end(), 0);
+}
+
+const double* SharedCandidateCache::EnsureLhs(size_t k, size_t block) {
+  double* base = lhs_.data() + k * padded_rows_ +
+                 block * DominanceKernel::kBlockRows;
+  uint8_t& r = ready_[k * num_blocks_ + block];
+  if (!r) {
+    r = 1;
+    ++blocks_filled_;
+    const size_t begin = block * DominanceKernel::kBlockRows;
+    const size_t n =
+        std::min(DominanceKernel::kBlockRows, cols_->size() - begin);
+    const LaneFns& fns = FnsFor(dispatch_);
+    const AttrId a = attrs_[k];
+    if (is_numeric_[k]) {
+      fns.num_fill(cols_->numerics(a) + begin, n, xnum_[k], num_scale_[k],
+                   base);
+    } else {
+      fns.cat_fill(xcol_[k], cols_->values(a) + begin, n, base);
+    }
+  }
+  return base;
+}
+
 DominanceKernel::DominanceKernel(const PruneContext& ctx,
-                                 const ColumnarBatch& cols)
+                                 const ColumnarBatch& cols,
+                                 KernelPolicy policy,
+                                 SharedCandidateCache* shared)
     : ctx_(&ctx),
       cols_(&cols),
+      shared_(shared),
       dispatch_(ActiveKernelDispatch()),
-      num_blocks_((cols.size() + kBlockRows - 1) / kBlockRows) {
+      policy_(policy),
+      num_groups_((cols.size() + kGroupRows - 1) / kGroupRows) {
   NMRS_CHECK(ctx.table() != nullptr)
       << "DominanceKernel needs a table-backed PruneContext";
   for (AttrId a : ctx.selected()) {
     NMRS_CHECK(a < cols.num_attrs())
         << "ColumnarBatch narrower than the context's selection";
   }
-  block_ready_.assign(num_blocks_, 0);
+  NMRS_CHECK(policy_.block_rows == kGroupRows ||
+             policy_.block_rows == kBlockRows)
+      << "block_rows must be 8 or 32";
+  if (shared_ != nullptr) {
+    NMRS_CHECK(shared_->attached() && shared_->batch() == &cols)
+        << "SharedCandidateCache bound to a different batch";
+    NMRS_CHECK(shared_->num_selected() == ctx.num_selected())
+        << "sharing queries must agree on the attribute selection";
+  }
+  group_epoch_.assign(num_groups_, 0);
   prunes_.assign(cols.size(), 0);
   nchecks_.assign(cols.size(), 0);
+  bulk_active_.assign(ctx.num_selected(), 0);
+  promoted_ = policy_.promote_rows == 0;
 }
 
 void DominanceKernel::BeginCandidate() {
-  std::fill(block_ready_.begin(), block_ready_.end(), 0);
+  ++epoch_;
+  survived_ = 0;
+  promoted_ = policy_.promote_rows == 0;
 }
 
-void DominanceKernel::EnsureBlock(size_t block) {
-  if (block_ready_[block]) return;
-  block_ready_[block] = 1;
-  const size_t begin = block * kBlockRows;
-  const size_t n = std::min(kBlockRows, cols_->size() - begin);
+bool DominanceKernel::ProbeRow(size_t j, uint32_t* nch) const {
+  // Mirrors PruneContext::Prunes on the memoized (table-backed) path: the
+  // same column loads, the same scale * |y - x| product, the same compare
+  // order and early abort — so the probe's verdict and check count are the
+  // scalar loop's, bit for bit.
+  const size_t m = ctx_->num_selected();
+  bool strict = false;
+  for (size_t k = 0; k < m; ++k) {
+    const AttrId a = ctx_->selected()[k];
+    const double q = ctx_->QueryDist(k);
+    double lhs;
+    if (ctx_->SelectedIsNumeric(k)) {
+      lhs = ctx_->space().numeric(a).scale() *
+            std::fabs(cols_->numerics(a)[j] - ctx_->candidate_numerics()[a]);
+    } else {
+      lhs = ctx_->CandidateColumn(k)[cols_->values(a)[j]];
+    }
+    if (lhs > q) {
+      *nch = static_cast<uint32_t>(k + 1);
+      return false;
+    }
+    if (lhs < q) strict = true;
+  }
+  *nch = static_cast<uint32_t>(m);
+  return strict;
+}
+
+void DominanceKernel::EvalRows(size_t begin, size_t n,
+                               uint32_t init_active) {
   const size_t m = ctx_->num_selected();
   const LaneFns& fns = FnsFor(dispatch_);
-  uint32_t active = n == 32 ? ~0u : ((1u << n) - 1u);
+  uint32_t active = init_active;
   uint32_t strict_any = 0;
   uint16_t* nch = nchecks_.data() + begin;
   uint8_t* pr = prunes_.data() + begin;
+  block_rows_ += static_cast<uint64_t>(__builtin_popcount(init_active));
+  const size_t block = begin / kBlockRows;
+  const size_t block_off = begin - block * kBlockRows;
   for (size_t k = 0; k < m && active != 0; ++k) {
     const AttrId a = ctx_->selected()[k];
     uint32_t viol = 0, strict = 0;
-    if (ctx_->SelectedIsNumeric(k)) {
+    if (shared_ != nullptr) {
+      const double* lhs = shared_->EnsureLhs(k, block) + block_off;
+      fns.cmp(lhs, n, active, ctx_->QueryDist(k), &viol, &strict);
+    } else if (ctx_->SelectedIsNumeric(k)) {
       fns.num(cols_->numerics(a) + begin, n, active,
               ctx_->candidate_numerics()[a],
               ctx_->space().numeric(a).scale(), ctx_->QueryDist(k), &viol,
@@ -255,13 +461,14 @@ void DominanceKernel::EnsureBlock(size_t block) {
   // Rows that survived every attribute made all m checks; they prune iff
   // some attribute was strictly closer (the scalar loop's `strict` flag —
   // strict bits of violated rows are irrelevant, their prune bit is 0).
+  // Only the requested rows are written: other rows of the window may
+  // carry results from an earlier (narrower) evaluation.
   const uint32_t pruners = active & strict_any;
-  std::memset(pr, 0, n);
-  uint32_t rest = pruners;
+  uint32_t rest = init_active;
   while (rest != 0) {
     const unsigned w = static_cast<unsigned>(__builtin_ctz(rest));
     rest &= rest - 1;
-    pr[w] = 1;
+    pr[w] = static_cast<uint8_t>((pruners >> w) & 1u);
   }
   rest = active;
   while (rest != 0) {
@@ -269,6 +476,29 @@ void DominanceKernel::EnsureBlock(size_t block) {
     rest &= rest - 1;
     nch[w] = static_cast<uint16_t>(m);
   }
+}
+
+void DominanceKernel::EvalWindow(size_t row) {
+  size_t begin, span;
+  if (policy_.block_rows >= kBlockRows) {
+    begin = row & ~(kBlockRows - 1);
+    span = kBlockRows;
+  } else {
+    begin = row & ~(kGroupRows - 1);
+    span = kGroupRows;
+  }
+  const size_t n = std::min(span, cols_->size() - begin);
+  uint32_t want = 0;
+  const size_t g0 = begin / kGroupRows;
+  const size_t g_end = (begin + n + kGroupRows - 1) / kGroupRows;
+  for (size_t g = g0; g < g_end; ++g) {
+    if (GroupReady(g)) continue;
+    group_epoch_[g] = epoch_;
+    const size_t lo = g * kGroupRows - begin;
+    const size_t cnt = std::min(kGroupRows, n - lo);
+    want |= ((1u << cnt) - 1u) << lo;
+  }
+  if (want != 0) EvalRows(begin, n, want);
 }
 
 uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
@@ -280,7 +510,7 @@ uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
   size_t j = begin;
   // Partial blocks at the edges go through the cached per-row path.
   while (j < end && j % kBlockRows != 0) {
-    EnsureBlock(j / kBlockRows);
+    EnsureRow(j);
     pruners += prunes_[j];
     nch += nchecks_[j];
     ++j;
@@ -298,7 +528,11 @@ uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
     for (size_t k = 0; k < m && active != 0; ++k) {
       const AttrId a = ctx_->selected()[k];
       uint32_t viol = 0, strict = 0;
-      if (ctx_->SelectedIsNumeric(k)) {
+      if (shared_ != nullptr) {
+        const double* lhs = shared_->EnsureLhs(k, j / kBlockRows);
+        fns.cmp(lhs, kBlockRows, active, ctx_->QueryDist(k), &viol,
+                &strict);
+      } else if (ctx_->SelectedIsNumeric(k)) {
         fns.num(cols_->numerics(a) + j, kBlockRows, active,
                 ctx_->candidate_numerics()[a],
                 ctx_->space().numeric(a).scale(), ctx_->QueryDist(k), &viol,
@@ -318,7 +552,7 @@ uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
         static_cast<uint64_t>(__builtin_popcount(active & strict_any));
   }
   for (; j < end; ++j) {
-    EnsureBlock(j / kBlockRows);
+    EnsureRow(j);
     pruners += prunes_[j];
     nch += nchecks_[j];
   }
@@ -327,27 +561,162 @@ uint64_t DominanceKernel::CountPruners(size_t begin, size_t end,
 }
 
 bool DominanceKernel::RowPrunes(size_t j) {
-  EnsureBlock(j / kBlockRows);
+  EnsureRow(j);
   return prunes_[j] != 0;
 }
 
 uint32_t DominanceKernel::RowChecks(size_t j) {
-  EnsureBlock(j / kBlockRows);
+  EnsureRow(j);
   return nchecks_[j];
+}
+
+bool DominanceKernel::BulkWindow(size_t begin, size_t n,
+                                 uint64_t* pair_tests, uint64_t* checks) {
+  // Like CountPruners' full-block loop, the window computes lane masks
+  // only — no prunes_/nchecks_ writes, no later re-reads. The scalar
+  // accounting falls out of the per-attribute survivor masks alone: a row
+  // first violated at attribute k was active for exactly its k+1 checks,
+  // so each row's scalar check count is the number of masks its bit
+  // survives into, and summing over rows is one popcount per attribute.
+  // Restricting the popcounts to the lanes at or before the first pruner
+  // reproduces the early-aborting loop's stop exactly.
+  const size_t m = ctx_->num_selected();
+  const LaneFns& fns = FnsFor(dispatch_);
+  const uint32_t full = n >= 32 ? ~0u : ((1u << n) - 1u);
+  uint32_t active = full;
+  uint32_t strict_any = 0;
+  block_rows_ += static_cast<uint64_t>(n);
+  const size_t block = begin / kBlockRows;
+  const size_t block_off = begin - block * kBlockRows;
+  size_t k = 0;
+  for (; k < m && active != 0; ++k) {
+    bulk_active_[k] = active;
+    const AttrId a = ctx_->selected()[k];
+    uint32_t viol = 0, strict = 0;
+    if (shared_ != nullptr) {
+      const double* lhs = shared_->EnsureLhs(k, block) + block_off;
+      fns.cmp(lhs, n, active, ctx_->QueryDist(k), &viol, &strict);
+    } else if (ctx_->SelectedIsNumeric(k)) {
+      fns.num(cols_->numerics(a) + begin, n, active,
+              ctx_->candidate_numerics()[a],
+              ctx_->space().numeric(a).scale(), ctx_->QueryDist(k), &viol,
+              &strict);
+    } else {
+      fns.cat(ctx_->CandidateColumn(k), cols_->values(a) + begin, n, active,
+              ctx_->QueryDist(k), &viol, &strict);
+    }
+    kernel_checks_ += static_cast<uint64_t>(__builtin_popcount(active));
+    strict_any |= strict;
+    active &= ~viol;
+  }
+  const size_t levels = k;
+  const uint32_t pruners = active & strict_any;
+  uint64_t nch = 0;
+  if (pruners == 0) {
+    *pair_tests += n;
+    for (size_t l = 0; l < levels; ++l) {
+      nch += static_cast<uint64_t>(__builtin_popcount(bulk_active_[l]));
+    }
+    *checks += nch;
+    return false;
+  }
+  const unsigned f = static_cast<unsigned>(__builtin_ctz(pruners));
+  const uint32_t upto = f >= 31 ? ~0u : ((1u << (f + 1)) - 1u);
+  *pair_tests += f + 1;
+  for (size_t l = 0; l < levels; ++l) {
+    nch += static_cast<uint64_t>(
+        __builtin_popcount(bulk_active_[l] & upto));
+  }
+  *checks += nch;
+  return true;
 }
 
 bool DominanceKernel::FindPrunerForward(size_t begin, size_t end,
                                         RowId skip_id, uint64_t* pair_tests,
                                         uint64_t* checks) {
   const RowId* ids = cols_->ids();
-  for (size_t j = begin; j < end; ++j) {
+  size_t j = begin;
+  // Pre-promotion: the exact scalar early-abort loop.
+  for (; j < end && !promoted_; ++j) {
     if (ids[j] == skip_id) continue;
-    EnsureBlock(j / kBlockRows);
     ++*pair_tests;
-    *checks += nchecks_[j];
-    if (prunes_[j]) return true;
+    bool p;
+    if (GroupReady(j >> 3)) {
+      // Already block-evaluated (an external RowPrunes touch): reuse.
+      *checks += nchecks_[j];
+      p = prunes_[j] != 0;
+    } else {
+      uint32_t nch;
+      p = ProbeRow(j, &nch);
+      ++scalar_rows_;
+      *checks += nch;
+    }
+    if (p) return true;
+    if (++survived_ >= policy_.promote_rows) {
+      promoted_ = true;
+      ++promotions_;
+    }
+  }
+  // Post-promotion: window at a time. Windows fully inside the range with
+  // no prior evaluation and no skipped row take the bulk path; the rest
+  // (range edges, groups a probe reused, the window holding skip_id) go
+  // through the per-row artifacts so reuse stays coherent.
+  const size_t W =
+      policy_.block_rows >= kBlockRows ? kBlockRows : kGroupRows;
+  while (j < end) {
+    const size_t wb = j & ~(W - 1);
+    const size_t wn = std::min(W, cols_->size() - wb);
+    const size_t we = std::min(end, wb + wn);
+    bool per_row = j != wb || we != wb + wn;
+    for (size_t g = wb / kGroupRows;
+         !per_row && g * kGroupRows < wb + wn; ++g) {
+      per_row = GroupReady(g);
+    }
+    for (size_t r = wb; !per_row && r < wb + wn; ++r) {
+      per_row = ids[r] == skip_id;
+    }
+    if (per_row) {
+      for (; j < we; ++j) {
+        if (ids[j] == skip_id) continue;
+        ++*pair_tests;
+        EnsureRow(j);
+        *checks += nchecks_[j];
+        if (prunes_[j]) return true;
+      }
+      continue;
+    }
+    if (BulkWindow(wb, wn, pair_tests, checks)) return true;
+    j = wb + wn;
   }
   return false;
+}
+
+DominanceKernel::ProbeResult DominanceKernel::ProbeForward(
+    size_t begin, size_t end, RowId skip_id, uint64_t* pair_tests,
+    uint64_t* checks) {
+  if (promoted_) return ProbeResult::kPromoted;
+  const RowId* ids = cols_->ids();
+  for (size_t j = begin; j < end; ++j) {
+    if (ids[j] == skip_id) continue;
+    ++*pair_tests;
+    bool p;
+    if (GroupReady(j >> 3)) {
+      *checks += nchecks_[j];
+      p = prunes_[j] != 0;
+    } else {
+      uint32_t nch;
+      p = ProbeRow(j, &nch);
+      ++scalar_rows_;
+      *checks += nch;
+    }
+    if (p) return ProbeResult::kPruner;
+    if (++survived_ >= policy_.promote_rows) {
+      promoted_ = true;
+      ++promotions_;
+      return ProbeResult::kPromoted;
+    }
+  }
+  return ProbeResult::kExhausted;
 }
 
 bool DominanceKernel::FindPrunerRing(size_t center, RowId skip_id,
@@ -357,8 +726,26 @@ bool DominanceKernel::FindPrunerRing(size_t center, RowId skip_id,
   const RowId* ids = cols_->ids();
   auto try_row = [&](size_t j) {
     if (ids[j] == skip_id) return false;
-    EnsureBlock(j / kBlockRows);
     ++*pair_tests;
+    if (!promoted_) {
+      bool p;
+      if (GroupReady(j >> 3)) {
+        *checks += nchecks_[j];
+        p = prunes_[j] != 0;
+      } else {
+        uint32_t nch;
+        p = ProbeRow(j, &nch);
+        ++scalar_rows_;
+        *checks += nch;
+      }
+      if (p) return true;
+      if (++survived_ >= policy_.promote_rows) {
+        promoted_ = true;
+        ++promotions_;
+      }
+      return false;
+    }
+    EnsureRow(j);
     *checks += nchecks_[j];
     return prunes_[j] != 0;
   };

@@ -2,6 +2,7 @@
 #define NMRS_CORE_DOMINANCE_KERNEL_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/types.h"
@@ -27,6 +28,76 @@ const char* KernelDispatchName(KernelDispatch d);
 /// constructed after the call; not for production use.
 void ForceScalarKernelDispatchForTest(bool force);
 
+/// When a candidate graduates from the scalar probe loop to block
+/// evaluation (docs/KERNELS.md). Every candidate starts on the exact
+/// scalar early-aborting loop; only after it survives `promote_rows`
+/// pruner tests — evidence that its scan is long enough for bulk work to
+/// amortize — do the Find* adapters switch to evaluating `block_rows` rows
+/// at a time through the lane evaluators. promote_rows == 0 promotes
+/// immediately (the pre-adaptive always-block behavior). `block_rows`
+/// selects the evaluation window: 32 for forward scans, 8 for
+/// expanding-ring and leaf scans whose per-candidate visit runs are short.
+struct KernelPolicy {
+  uint32_t promote_rows = 0;
+  uint32_t block_rows = 32;
+};
+
+/// Shared per-candidate cache of the *left-hand sides* of the pruning
+/// condition: for a fixed candidate X, the values d_k(y, x_k) gathered per
+/// attribute are a pure function of (space, X, batch) — the query only
+/// supplies the thresholds d_k(q, x_k). A batch of queries scanning the
+/// same rows against the same candidate can therefore gather each
+/// attribute block once and reduce every query's evaluation to a
+/// compare-only pass, which is what the cross-query shared scan
+/// (docs/KERNELS.md) does: attach one cache to the batch, SetCandidate
+/// once per candidate, and hand the cache to every query's
+/// DominanceKernel.
+///
+/// Blocks of 32 rows x one selected attribute are filled lazily on first
+/// demand by any sharing kernel. The cached doubles are loaded/computed by
+/// the same operations as the fused lane evaluators, so verdicts stay
+/// bit-identical. Not thread-safe: one cache serves the kernels of one
+/// shared scan, which evaluate a candidate's queries sequentially.
+class SharedCandidateCache {
+ public:
+  /// Binds the cache to a batch; `ctx` supplies the attribute selection
+  /// geometry, which every sharing query must agree on (same resolved
+  /// selection — guaranteed when they share RSOptions::selected_attrs).
+  /// Both are borrowed and must outlive the cache.
+  void Attach(const PruneContext& ctx, const ColumnarBatch& cols);
+
+  /// Fixes candidate X and invalidates every cached block. Any sharing
+  /// query's context works: the candidate columns and numeric values it
+  /// caches are query-independent.
+  void SetCandidate(const PruneContext& ctx);
+
+  /// The lhs array for selected attribute k over rows
+  /// [block*32, min(block*32+32, n)), filling it on first touch.
+  const double* EnsureLhs(size_t k, size_t block);
+
+  bool attached() const { return cols_ != nullptr; }
+  const ColumnarBatch* batch() const { return cols_; }
+  size_t num_selected() const { return attrs_.size(); }
+
+  /// Attribute-blocks gathered since Attach (each serves every sharing
+  /// query; the saving vs per-query kernels is (Q-1)/Q of the gathers).
+  uint64_t blocks_filled() const { return blocks_filled_; }
+
+ private:
+  const ColumnarBatch* cols_ = nullptr;
+  KernelDispatch dispatch_ = KernelDispatch::kScalar;
+  std::vector<AttrId> attrs_;       // selected physical attribute ids
+  std::vector<uint8_t> is_numeric_; // aligned with attrs_
+  std::vector<double> num_scale_;   // numeric k: dissimilarity scale
+  std::vector<const double*> xcol_; // categorical k: column d(., x)
+  std::vector<double> xnum_;        // numeric k: candidate value
+  size_t padded_rows_ = 0;
+  size_t num_blocks_ = 0;
+  std::vector<double> lhs_;         // [k * padded_rows_ + row]
+  std::vector<uint8_t> ready_;      // [k * num_blocks_ + block]
+  uint64_t blocks_filled_ = 0;
+};
+
 /// Block-at-a-time evaluator of the pruning condition of Definition 1: for
 /// a fixed candidate X (set via the PruneContext), decide for a block of
 /// rows Y at once whether forall k: d_k(y_k, x_k) <= d_k(q_k, x_k), with
@@ -40,83 +111,182 @@ void ForceScalarKernelDispatchForTest(bool force);
 /// early-exits the attribute loop as soon as no row in the block can still
 /// be a pruner.
 ///
+/// ## Adaptive dispatch (KernelPolicy)
+///
+/// Bulk evaluation only wins when the candidate's pruner scan is long; a
+/// candidate pruned by one of its first few neighbours is cheapest on the
+/// plain scalar loop. The Find* adapters therefore start every candidate
+/// on an exact replica of the scalar early-aborting loop and promote it to
+/// block evaluation only after it survives KernelPolicy::promote_rows
+/// tests. Evaluation is group-granular (8-row groups tracked separately),
+/// so a promoted candidate computes 8- or 32-row windows
+/// (KernelPolicy::block_rows) without re-evaluating probed groups. The
+/// promotion decision depends only on verdicts, which are
+/// dispatch-invariant — so promotions, scalar/block row splits and
+/// kernel_checks all agree between the AVX2 and portable paths.
+///
 /// ## Equivalence contract (docs/KERNELS.md)
 ///
 /// Verdicts are bit-identical to the scalar PruneContext::Prunes loop: the
-/// lane evaluators load the very same doubles (matrix columns / numeric
-/// scaled |y-x|) and compare them against the same cached thresholds
-/// d_k(q_k, x_k), in the same IEEE operations. The Find* adapters also
-/// reproduce the scalar loops' accounting *exactly*: per visited row they
-/// add the number of attribute checks the early-aborting scalar loop would
-/// have made (first violated attribute + 1, or num_selected() if none),
-/// reconstructed from the per-attribute violation masks, and they stop at
-/// the first pruner in the same search order. The block path's own work is
-/// reported separately as kernel_checks(): per attribute processed it adds
-/// the number of rows still alive in the block — a dispatch-independent
-/// count (the SIMD path may compute a few extra dead lanes inside a
-/// surviving 4/8-lane group, the scalar fallback skips them individually),
-/// which surfaces in QueryStats::kernel_checks. It exceeds the scalar
-/// loops' checks only because blocks past the first pruner of an adapter
-/// scan are still evaluated whole.
+/// lane evaluators (and the pre-promotion probe) load the very same
+/// doubles (matrix columns / numeric scaled |y-x|) and compare them
+/// against the same cached thresholds d_k(q_k, x_k), in the same IEEE
+/// operations. The Find* adapters also reproduce the scalar loops'
+/// accounting *exactly*, in both regimes: per visited row they add the
+/// number of attribute checks the early-aborting scalar loop would have
+/// made (first violated attribute + 1, or num_selected() if none) —
+/// probed rows natively, block rows reconstructed from the per-attribute
+/// violation masks — and they stop at the first pruner in the same search
+/// order. The block path's own work is reported separately as
+/// kernel_checks(): per attribute processed it adds the number of rows
+/// still alive in the window — a dispatch- and grouping-independent count
+/// equal to the sum of the block-evaluated rows' scalar check counts plus
+/// the lanes past an adapter's first pruner that the window computed
+/// anyway.
 ///
 /// The context must be table-backed (QueryDistanceTable) — all wired
 /// algorithms build one — and both `ctx` and `cols` are borrowed and must
 /// outlive the kernel. Not thread-safe; parallel chunks build one kernel
-/// per chunk over the shared ColumnarBatch.
+/// per chunk over the shared ColumnarBatch. With a SharedCandidateCache
+/// the block path compares against the cache's lhs arrays instead of
+/// gathering privately (cross-query scan sharing); the cache must be
+/// attached to the same batch and its SetCandidate must track ctx's.
 class DominanceKernel {
  public:
-  /// Rows evaluated per block (one bitmask word).
+  /// Rows evaluated per wide block (one bitmask word).
   static constexpr size_t kBlockRows = 32;
+  /// Group granularity of lazy evaluation, and the narrow block width.
+  static constexpr size_t kGroupRows = 8;
 
-  DominanceKernel(const PruneContext& ctx, const ColumnarBatch& cols);
+  DominanceKernel(const PruneContext& ctx, const ColumnarBatch& cols,
+                  KernelPolicy policy = {},
+                  SharedCandidateCache* shared = nullptr);
 
-  /// Invalidates cached block results; call after ctx.SetCandidate().
+  /// Invalidates cached block results and restarts the adaptive probe;
+  /// call after ctx.SetCandidate().
   void BeginCandidate();
 
   /// Forward scan of rows [begin, end): returns true iff a row with
   /// id != skip_id prunes the current candidate, stopping there. Adds the
   /// scalar-equivalent pair/check counts (rows with id == skip_id are
-  /// skipped without counting, like the scalar loops).
+  /// skipped without counting, like the scalar loops). Once the candidate
+  /// is promoted, whole untouched windows are evaluated in bulk — masks
+  /// only, no per-row artifacts — with the scalar accounting reconstructed
+  /// from the per-attribute survivor masks (see BulkWindow).
   bool FindPrunerForward(size_t begin, size_t end, RowId skip_id,
                          uint64_t* pair_tests, uint64_t* checks);
+
+  /// Outcome of a probe-only scan (ProbeForward).
+  enum class ProbeResult {
+    kPruner,     // a pruner was found; the scan stopped there
+    kExhausted,  // all rows probed, none prunes the candidate
+    kPromoted,   // the candidate survived promote_rows tests; the caller
+                 // should switch to its bulk strategy for the remainder
+  };
+
+  /// The pre-promotion half of FindPrunerForward on its own: probes rows
+  /// [begin, end) with the exact scalar loop and returns kPromoted as soon
+  /// as the candidate graduates (immediately when promote_rows == 0),
+  /// instead of falling through to block evaluation. Callers with a
+  /// better-than-flat strategy for stubborn candidates — TRS escapes to
+  /// the pruned ALTree traversal — use this to keep the cheap early-abort
+  /// probe without committing to a flat block scan. Accounting matches
+  /// the scalar loop for every row actually probed.
+  ProbeResult ProbeForward(size_t begin, size_t end, RowId skip_id,
+                           uint64_t* pair_tests, uint64_t* checks);
 
   /// Expanding-ring scan around `center` (offsets +-1, +-2, ..., the SRS
   /// phase-1 order): same contract as FindPrunerForward.
   bool FindPrunerRing(size_t center, RowId skip_id, uint64_t* pair_tests,
                       uint64_t* checks);
 
+  /// Turns off promotion for every subsequent candidate: the scalar probe
+  /// runs to completion instead of graduating to block windows. Callers'
+  /// futility policies use this when a trial shows block evaluation is not
+  /// paying for the workload at hand (e.g. ring scans whose candidates
+  /// routinely survive their neighborhood). Verdicts and accounting are
+  /// unaffected — only the evaluation strategy changes. Takes effect at
+  /// the next BeginCandidate().
+  void DisablePromotion() {
+    policy_.promote_rows = std::numeric_limits<uint32_t>::max();
+  }
+
   /// Bulk evaluation of rows [begin, end) with no early exit: computes
   /// every block, adds the scalar-equivalent check count of every row to
   /// *checks, and returns how many rows prune the candidate. Entry point
   /// for the throughput benchmarks (bench_kernels), where the per-row
   /// adapter call overhead would drown the lane work being measured.
+  /// Always block-evaluates (the adaptive policy governs the Find*
+  /// adapters only).
   uint64_t CountPruners(size_t begin, size_t end, uint64_t* checks);
 
-  /// Per-row outcome of the current candidate, computing the row's block
-  /// on first touch. Exposed for tests and the TRS leaf runs.
+  /// Per-row outcome of the current candidate, computing the row's window
+  /// on first touch. Exposed for tests.
   bool RowPrunes(size_t j);
   /// Scalar-equivalent attribute-check count for row j (first violated
   /// attribute + 1, or num_selected() when none is violated).
   uint32_t RowChecks(size_t j);
 
   /// Alive-row attribute lanes evaluated by the block path since
-  /// construction (block-granular; see class comment).
+  /// construction (see class comment). Dispatch-independent.
   uint64_t kernel_checks() const { return kernel_checks_; }
+
+  /// Adaptive-policy telemetry since construction, dispatch-independent:
+  /// candidates promoted to block evaluation, rows evaluated by the
+  /// scalar probe, and rows evaluated by block windows.
+  uint64_t promotions() const { return promotions_; }
+  uint64_t scalar_rows() const { return scalar_rows_; }
+  uint64_t block_rows() const { return block_rows_; }
 
   /// Dispatch this kernel instance is bound to.
   KernelDispatch dispatch() const { return dispatch_; }
 
  private:
-  void EnsureBlock(size_t block);
+  // Evaluates the policy-width window containing `row` (its not-yet-ready
+  // 8-row groups only) and marks those groups ready.
+  void EvalWindow(size_t row);
+  // Lane evaluation of rows [begin, begin+n) restricted to `init_active`
+  // (bit w = row begin+w), filling prunes_/nchecks_ for those rows.
+  void EvalRows(size_t begin, size_t n, uint32_t init_active);
+  // A group's artifacts are valid iff it was evaluated for the current
+  // candidate. Epochs make BeginCandidate O(1) — with one kernel check per
+  // candidate over thousands of candidates per batch, clearing a per-group
+  // array each time would cost O(rows^2) per batch.
+  inline bool GroupReady(size_t g) const {
+    return group_epoch_[g] == epoch_;
+  }
+  inline void EnsureRow(size_t j) {
+    if (!GroupReady(j >> 3)) EvalWindow(j);
+  }
+  // Exact scalar probe of row j: same loads, compares and early-abort as
+  // PruneContext::Prunes on the current candidate.
+  bool ProbeRow(size_t j, uint32_t* nch) const;
+  // Bulk evaluation of the whole window [begin, begin+n) with no per-row
+  // artifacts, used by the promoted forward scan. Adds the exact scalar
+  // accounting (stopping at the first pruner like the early-aborting
+  // loop) and returns whether the window contains one. The window must
+  // not contain the skipped row or any already-evaluated group.
+  bool BulkWindow(size_t begin, size_t n, uint64_t* pair_tests,
+                  uint64_t* checks);
 
   const PruneContext* ctx_;
   const ColumnarBatch* cols_;
+  SharedCandidateCache* shared_;
   KernelDispatch dispatch_;
-  size_t num_blocks_;
-  std::vector<uint8_t> block_ready_;  // per block
-  std::vector<uint8_t> prunes_;       // per row, current candidate
-  std::vector<uint16_t> nchecks_;     // per row, scalar-equivalent checks
+  KernelPolicy policy_;
+  size_t num_groups_;
+  uint64_t epoch_ = 1;                  // current candidate's epoch
+  std::vector<uint64_t> group_epoch_;   // per 8-row group: last evaluation
+  std::vector<uint8_t> prunes_;         // per row, current candidate
+  std::vector<uint16_t> nchecks_;       // per row, scalar-equivalent checks
+  std::vector<uint32_t> bulk_active_;   // per attribute, BulkWindow scratch
+  // Adaptive per-candidate state.
+  uint32_t survived_ = 0;
+  bool promoted_ = true;
   uint64_t kernel_checks_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t scalar_rows_ = 0;
+  uint64_t block_rows_ = 0;
 };
 
 }  // namespace nmrs

@@ -60,10 +60,15 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
             cols_page = ip;
             cols_valid = true;
           }
-          DominanceKernel kernel(ctx, cols);
+          DominanceKernel kernel(
+              ctx, cols,
+              {opts.kernel_promote_rows, DominanceKernel::kBlockRows});
           pruned = kernel.FindPrunerForward(0, inner.size(), x_id,
                                             &stats.pair_tests, &stats.checks);
           stats.kernel_checks += kernel.kernel_checks();
+          stats.kernel_promotions += kernel.promotions();
+          stats.kernel_scalar_rows += kernel.scalar_rows();
+          stats.kernel_block_rows += kernel.block_rows();
           continue;
         }
         for (size_t j = 0; j < inner.size(); ++j) {

@@ -13,6 +13,12 @@ std::string QueryStats::ToString() const {
   if (kernel_checks != 0) {
     os << ", kernel_checks=" << kernel_checks;
   }
+  if (kernel_promotions != 0 || kernel_scalar_rows != 0 ||
+      kernel_block_rows != 0) {
+    os << ", kernel_promotions=" << kernel_promotions
+       << ", kernel_scalar_rows=" << kernel_scalar_rows
+       << ", kernel_block_rows=" << kernel_block_rows;
+  }
   if (modeled_backoff_millis != 0) {
     os << ", backoff_ms=" << modeled_backoff_millis;
   }

@@ -90,6 +90,19 @@ struct RSOptions {
   /// QueryStats::kernel_checks instead of tree-group checks. Default off =
   /// seed-identical execution. See docs/KERNELS.md.
   bool use_kernels = false;
+
+  /// Adaptive promotion threshold of the kernel path (docs/KERNELS.md):
+  /// each candidate starts on the exact scalar early-aborting loop and
+  /// switches to block evaluation only after surviving this many pruner
+  /// tests — so candidates pruned by a close neighbour never pay for
+  /// whole blocks, and only long scans (where bulk evaluation amortizes)
+  /// are promoted. 0 = promote immediately (the always-block behavior of
+  /// the original kernels). Any value yields bit-identical results and
+  /// check accounting; only the work split between the probe and the
+  /// block path moves (QueryStats::kernel_scalar_rows /
+  /// kernel_block_rows / kernel_promotions). The default came from the
+  /// bench_kernels promote-threshold sweep.
+  uint32_t kernel_promote_rows = 16;
 };
 
 /// The PagedReader policy implied by a ResiliencePolicy. Replica handles
@@ -136,6 +149,15 @@ struct QueryStats {
   /// for TRS phase 1 it *replaces* the tree-group check accounting (see
   /// docs/KERNELS.md).
   uint64_t kernel_checks = 0;
+
+  /// Adaptive kernel-dispatch telemetry (RSOptions::kernel_promote_rows;
+  /// zero when kernels are off). Candidates promoted from the scalar
+  /// probe to block evaluation, rows evaluated by the probe, and rows
+  /// evaluated by block windows. Dispatch-independent: the AVX2 and
+  /// portable paths report identical values.
+  uint64_t kernel_promotions = 0;
+  uint64_t kernel_scalar_rows = 0;
+  uint64_t kernel_block_rows = 0;
 
   uint64_t phase1_batches = 0;
   uint64_t phase1_survivors = 0;  // |R| written between phases

@@ -61,6 +61,13 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
     kernel_selected = ResolveSelectedAttrs(schema, opts.selected_attrs);
     kernel_qtable.emplace(space, schema, query, kernel_selected);
   }
+  // Probe-futility memory across phase-1 batches: once a batch's probed
+  // candidates escape in the majority, later batches of the same query
+  // skip the probe — and the columnar build and kernel setup that feed
+  // it — outright, falling back to the plain traversal path. Batches
+  // load pages in a fixed order, so the cut is deterministic per
+  // configuration, and verdicts are regime-independent either way.
+  bool probe_batches = true;
   {
     ALTree tree(schema, ctx.attr_order);
     RowBatch page_rows(m, numerics);
@@ -121,73 +128,211 @@ StatusOr<ReverseSkylineResult> TreeReverseSkyline(
         }
       };
 
-      // Kernel phase 1: every active leaf is one row of a columnar block
-      // and candidate leaf c is checked against the block directly — the
-      // flat scan replaces the tree traversal, whose group-level check
-      // accounting has no scalar-per-row equivalent, so the work surfaces
-      // as QueryStats::kernel_checks (docs/KERNELS.md). Verdicts — and
-      // therefore survivors, results, and IO — are identical: the
-      // traversal is a pruned search for the same Definition-1 pruner,
-      // with "M \ c" realized by skipping c's own leaf iff it holds a
-      // single instance (remaining duplicates still count as pruners).
+      // Kernel phase 1, probe -> traversal hybrid: a short prefix of the
+      // active leaves becomes a columnar block and every candidate leaf
+      // c starts on the early-aborting scalar probe over it — a leaf
+      // with a pruner within a handful of scan rows resolves cheaper
+      // than starting a traversal. A probed row either prunes (the probe
+      // stops) or survives (it counts toward promotion), so a probe
+      // never reads past RSOptions::kernel_promote_rows survivors —
+      // which is why a prefix of ~8x promote_rows rows is all the block
+      // the probe can ever use, and all that is built. A candidate that
+      // survives promote_rows tests, or exhausts a partial prefix
+      // without a verdict, escapes to the pruned ALTree traversal
+      // instead of a flat block scan: group-level subtree pruning skips
+      // most of the block wholesale, which no flat evaluation (scalar or
+      // SIMD) can match on the stubborn survivors. (When the prefix
+      // covers every leaf — promote_rows huge, or few leaves —
+      // exhaustion is a definitive no-pruner verdict, preserving the
+      // full-scan accounting of the promote=never regime.) Whether
+      // probing pays at all is data-dependent — on value-clustered
+      // batches nearly every leaf escapes — so each chunk watches its
+      // probed candidates and stops probing when escapes reach a
+      // majority past the kProbeTrial mark, and a majority-escaping
+      // batch turns probing off for the query's remaining batches (the
+      // escape decision depends only on verdicts, keeping the cut
+      // deterministic and dispatch-invariant). Verdicts — and therefore
+      // survivors, results, and IO — are identical in all regimes:
+      // probe and traversal are both exact Definition-1 pruner
+      // searches, with "M \ c" realized by skipping c's own leaf in the
+      // probe iff it holds a single instance (remaining duplicates still
+      // count as pruners) and by TempRemoveLeaf in the traversal. Probe
+      // work surfaces as kernel_scalar_rows; traversals add their
+      // group-level check counts to QueryStats::checks as on the scalar
+      // path (docs/KERNELS.md). With promote 0 every candidate would
+      // escape immediately, so the columnar block is not even built.
+      const bool probe_p1 =
+          kernel_p1 && opts.kernel_promote_rows > 0 && probe_batches;
+      const size_t probe_prefix = static_cast<size_t>(std::min<uint64_t>(
+          num_leaves,
+          std::max<uint64_t>(128, 8ull * opts.kernel_promote_rows)));
+      // The block holds the `probe_prefix` leaves CLOSEST to q, not the
+      // first in scan order: leaves similar to q sit at the center of
+      // every candidate's dynamic skyline and are by far the likeliest
+      // pruners, while sorted leaf order would fill the block with
+      // whatever value combinations sort first (usually no pruner of
+      // anything). Sorting is by the summed per-level query thresholds
+      // with index tie-breaks, so the block — and every verdict and
+      // counter downstream — is deterministic.
       ColumnarBatch leaf_cols;
-      if (kernel_p1 && num_leaves > 0) {
-        std::vector<std::vector<ValueId>> columns(
-            m, std::vector<ValueId>(num_leaves));
-        std::vector<RowId> leaf_ids(num_leaves);
+      std::vector<ValueId> all_vals;  // row-major leaf values, reused for cv
+      if (probe_p1 && num_leaves > 0) {
+        all_vals.resize(num_leaves * m);
+        std::vector<double> score(num_leaves, 0.0);
         std::vector<ValueId> lv(m, 0);
         for (size_t li = 0; li < num_leaves; ++li) {
           internal_tree::LeafValues(tree, leaves[li], ctx.attr_order, &lv);
-          for (size_t a = 0; a < m; ++a) columns[a][li] = lv[a];
-          leaf_ids[li] = li;
+          double s = 0.0;
+          for (size_t l = 0; l < m; ++l) {
+            s += ctx.q_row_by_level[l][lv[ctx.attr_order[l]]];
+          }
+          score[li] = s;
+          for (size_t a = 0; a < m; ++a) all_vals[li * m + a] = lv[a];
         }
-        leaf_cols.BuildFromColumns(num_leaves, columns, leaf_ids);
+        std::vector<uint32_t> ord(num_leaves);
+        for (size_t li = 0; li < num_leaves; ++li) {
+          ord[li] = static_cast<uint32_t>(li);
+        }
+        std::partial_sort(ord.begin(), ord.begin() + probe_prefix, ord.end(),
+                          [&](uint32_t a, uint32_t b) {
+                            if (score[a] != score[b]) {
+                              return score[a] < score[b];
+                            }
+                            return a < b;
+                          });
+        std::vector<std::vector<ValueId>> columns(
+            m, std::vector<ValueId>(probe_prefix));
+        std::vector<RowId> leaf_ids(probe_prefix);
+        for (size_t k = 0; k < probe_prefix; ++k) {
+          for (size_t a = 0; a < m; ++a) {
+            columns[a][k] = all_vals[static_cast<size_t>(ord[k]) * m + a];
+          }
+          leaf_ids[k] = ord[k];
+        }
+        leaf_cols.BuildFromColumns(probe_prefix, columns, leaf_ids);
       }
-      // Reads `tree` and `leaf_cols` only (no TempRemove), so parallel
-      // chunks share them and skip the private tree copies.
-      auto check_leaves_kernel = [&](size_t begin, size_t end,
-                                     QueryStats* st) {
+      // Probes leaf_cols for the cheap candidates and escapes to the
+      // traversal of `t` for the promoted ones; TempRemoveLeaf mutates,
+      // so parallel chunks pass private tree copies like the scalar path.
+      auto check_leaves_kernel = [&](ALTree& t, size_t begin, size_t end,
+                                     QueryStats* st,
+                                     std::vector<FastEntry>& t_fast_stack,
+                                     std::vector<Phase1Level>& levels,
+                                     size_t* out_trialed,
+                                     size_t* out_escaped) {
+        // Probe-futility trial: once this many candidates have been
+        // probed, a chunk whose escapes reach a majority stops probing —
+        // the probe rows were pure overhead on top of the traversals
+        // they failed to avoid. The check is rolling, not one-shot at
+        // the trial boundary: escape rates drift within a batch, and a
+        // majority-escaping stretch anywhere means the probe is losing
+        // from there on.
+        constexpr size_t kProbeTrial = 64;
         PruneContext kc(space, schema, query, kernel_selected,
                         &*kernel_qtable);
-        DominanceKernel kernel(kc, leaf_cols);
+        DominanceKernel kernel(
+            kc, leaf_cols,
+            KernelPolicy{opts.kernel_promote_rows,
+                         static_cast<uint32_t>(DominanceKernel::kGroupRows)});
         std::vector<ValueId> cv(m, 0);
         uint64_t unused_pairs = 0, unused_checks = 0;
+        bool probing = true;
+        size_t trialed = 0, escaped = 0;
+        // A partial prefix cannot prove "no pruner anywhere" — only a
+        // block covering every leaf makes exhaustion a verdict.
+        const bool exhaust_resolves = probe_prefix == num_leaves;
         for (size_t li = begin; li < end; ++li) {
-          internal_tree::LeafValues(tree, leaves[li], ctx.attr_order, &cv);
+          const NodeId leaf = leaves[li];
+          // The scoring pass already walked every leaf's values — skip
+          // the per-candidate walk up the tree.
+          for (size_t a = 0; a < m; ++a) cv[a] = all_vals[li * m + a];
           ++st->pair_tests;
-          kc.SetCandidate(cv.data(), nullptr);
-          kernel.BeginCandidate();
-          const RowId skip = tree.LeafRows(leaves[li]).size() > 1
-                                 ? kInvalidRowId
-                                 : static_cast<RowId>(li);
-          prunable[li] = kernel.FindPrunerForward(0, num_leaves, skip,
-                                                  &unused_pairs,
-                                                  &unused_checks)
-                             ? 1
-                             : 0;
+          bool resolved = false;
+          bool p = false;
+          if (probing) {
+            kc.SetCandidate(cv.data(), nullptr);
+            kernel.BeginCandidate();
+            // Block rows carry original leaf indices as ids, so skipping
+            // c's own single-instance leaf works wherever (and whether)
+            // it landed in the reordered block.
+            const RowId skip = t.LeafRows(leaf).size() == 1
+                                   ? static_cast<RowId>(li)
+                                   : kInvalidRowId;
+            const DominanceKernel::ProbeResult probe = kernel.ProbeForward(
+                0, probe_prefix, skip, &unused_pairs, &unused_checks);
+            if (probe == DominanceKernel::ProbeResult::kPruner) {
+              resolved = true;
+              p = true;
+            } else if (probe == DominanceKernel::ProbeResult::kExhausted &&
+                       exhaust_resolves) {
+              resolved = true;
+            } else {
+              ++escaped;
+            }
+            if (++trialed >= kProbeTrial && escaped * 2 > trialed) {
+              probing = false;
+            }
+          }
+          if (!resolved) {
+            for (size_t l = 0; l < m; ++l) {
+              const AttrId a = ctx.attr_order[l];
+              levels[l].col = space.matrix(a).ColumnTo(cv[a]);
+              levels[l].rhs = ctx.q_row_by_level[l][cv[a]];
+            }
+            t.TempRemoveLeaf(leaf);
+            p = internal_tree::IsPrunableFast(t, levels, st, t_fast_stack);
+            t.TempRestore(leaf);
+          }
+          prunable[li] = p ? 1 : 0;
         }
         st->kernel_checks += kernel.kernel_checks();
+        st->kernel_promotions += kernel.promotions();
+        st->kernel_scalar_rows += kernel.scalar_rows();
+        st->kernel_block_rows += kernel.block_rows();
+        *out_trialed += trialed;
+        *out_escaped += escaped;
       };
 
-      if (kernel_p1) {
+      if (probe_p1) {
+        size_t trialed = 0, escaped = 0;
         if (opts.num_threads <= 1 || num_leaves < 2) {
-          check_leaves_kernel(0, num_leaves, &stats);
+          check_leaves_kernel(tree, 0, num_leaves, &stats, fast_stack,
+                              p1_levels, &trialed, &escaped);
         } else {
           const size_t num_chunks = std::min(
               num_leaves, static_cast<size_t>(opts.num_threads) * 2);
           std::vector<QueryStats> chunk_stats(num_chunks);
+          std::vector<size_t> chunk_trialed(num_chunks, 0);
+          std::vector<size_t> chunk_escaped(num_chunks, 0);
           ParallelChunks(opts.executor, opts.num_threads, num_chunks,
                          [&](size_t c) {
+                           ALTree chunk_tree = tree;
+                           std::vector<FastEntry> cf;
+                           cf.reserve(256);
+                           std::vector<Phase1Level> cl(m);
                            check_leaves_kernel(
+                               chunk_tree,
                                ChunkBegin(num_leaves, num_chunks, c),
                                ChunkBegin(num_leaves, num_chunks, c + 1),
-                               &chunk_stats[c]);
+                               &chunk_stats[c], cf, cl, &chunk_trialed[c],
+                               &chunk_escaped[c]);
                          });
-          for (const QueryStats& cs : chunk_stats) {
+          for (size_t c = 0; c < num_chunks; ++c) {
+            const QueryStats& cs = chunk_stats[c];
             stats.pair_tests += cs.pair_tests;
+            stats.checks += cs.checks;
             stats.kernel_checks += cs.kernel_checks;
+            stats.kernel_promotions += cs.kernel_promotions;
+            stats.kernel_scalar_rows += cs.kernel_scalar_rows;
+            stats.kernel_block_rows += cs.kernel_block_rows;
+            trialed += chunk_trialed[c];
+            escaped += chunk_escaped[c];
           }
         }
+        // A majority-escaping batch condemns the probe for the rest of
+        // the query: later batches take the scalar dispatch below and
+        // skip the columnar build entirely.
+        probe_batches = escaped * 2 <= trialed;
       } else if (opts.num_threads <= 1 || num_leaves < 2) {
         check_leaves(tree, 0, num_leaves, &stats, c_values, rhs, stack,
                      fast_stack, p1_levels);

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/sync.h"
 #include "common/timer.h"
+#include "core/block_rs.h"
 
 namespace nmrs {
 
@@ -63,6 +64,12 @@ QueryEngine::QueryEngine(const PreparedDataset& prepared,
 
 StatusOr<BatchResult> QueryEngine::RunBatch(
     const std::vector<Object>& queries) {
+  // Reject out-of-range policies up front instead of bending them: the
+  // constructor clamps replicas to build a usable ReplicaSet, but running
+  // a batch under a policy the accounting cannot represent would silently
+  // drop replica reads (see ResiliencePolicy::Validate).
+  NMRS_RETURN_IF_ERROR(opts_.rs.resilience.Validate());
+
   BatchResult batch;
   batch.results.resize(queries.size());
   batch.statuses.assign(queries.size(), Status::OK());
@@ -73,6 +80,111 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
   QuarantineLog quarantine;
   std::atomic<uint64_t> retried{0};
   WaitGroup wg;
+
+  // Cross-query scan sharing applies when nothing couples a query to its
+  // own private disk wrapper: no fault injection (a shared fetch must be
+  // clean for everyone), no replica failover (failover views are per query
+  // task), and a BRS/SRS plan (the shared pass implements their phase 1).
+  const bool shared_eligible =
+      opts_.shared_scan && !replica_set_->faulted() &&
+      replica_set_->num_replicas() == 1 &&
+      (algo_ == Algorithm::kBRS || algo_ == Algorithm::kSRS);
+  if (shared_eligible && !queries.empty()) {
+    ConcurrentIoStats shared_io;
+    std::atomic<uint64_t> shared_batches{0};
+    std::atomic<uint64_t> shared_groups{0};
+    // Groups are formed by query index, so membership — and therefore
+    // every per-query result and the batch totals — is independent of
+    // worker count and work-stealing order; only which worker runs a
+    // group varies.
+    const size_t group_size = std::max<size_t>(1, opts_.shared_scan_group);
+    const size_t num_groups = (queries.size() + group_size - 1) / group_size;
+    wg.Add(static_cast<int>(num_groups));
+    for (size_t g = 0; g < num_groups; ++g) {
+      pool_.Submit([this, &queries, &batch, &total_io, &quarantine,
+                    &shared_io, &shared_batches, &shared_groups, &wg,
+                    group_size, g] {
+        const int w = pool_.CurrentWorkerIndex();
+        NMRS_CHECK_GE(w, 0);
+        DiskView* view = replica_set_->view(w, 0);
+        const size_t lo = g * group_size;
+        const size_t hi = std::min(queries.size(), lo + group_size);
+
+        RSOptions rs = opts_.rs;
+        if (pool_cache_ != nullptr) {
+          rs.cache_pages = true;
+          rs.buffer_pool = pool_cache_.get();
+        } else {
+          rs.cache_pages = false;
+          rs.buffer_pool = nullptr;
+        }
+        if (prepared_->stored.checksum_pages()) {
+          rs.resilience.checksum_pages = true;
+        }
+        rs.resilience.quarantine_log = &quarantine;
+
+        StoredDataset local(view, prepared_->stored.file(),
+                            prepared_->stored.schema(),
+                            prepared_->stored.num_rows(),
+                            prepared_->stored.checksum_pages());
+        const std::vector<Object> group(queries.begin() + lo,
+                                        queries.begin() + hi);
+        SharedScanStats ss;
+        const IoStats before = replica_set_->WorkerStats(w);
+        auto res = SharedScanReverseSkylines(local, *space_, group, rs,
+                                             /*ring_order=*/algo_ ==
+                                                 Algorithm::kSRS,
+                                             &ss);
+        double modeled = ss.shared_millis + ss.modeled_backoff_millis +
+                         IoCostModel{}.EstimateMillis(ss.shared_io);
+        if (res.ok()) {
+          for (size_t q = lo; q < hi; ++q) {
+            batch.results[q] = std::move((*res)[q - lo]);
+            total_io.Add(batch.results[q].stats.io);
+            modeled += batch.results[q].stats.ResponseMillis();
+          }
+          total_io.Add(ss.shared_io);
+          shared_io.Add(ss.shared_io);
+          shared_batches.fetch_add(ss.shared_batches,
+                                   std::memory_order_relaxed);
+          shared_groups.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The whole group dies together (the shared pass is one run);
+          // charge its partial IO to the batch, unattributed per query.
+          for (size_t q = lo; q < hi; ++q) {
+            batch.statuses[q] = res.status();
+          }
+          const IoStats partial = replica_set_->WorkerStats(w) - before;
+          total_io.Add(partial);
+          modeled = IoCostModel{}.EstimateMillis(partial);
+        }
+        // Only this worker's thread touches its slot. The shared pass's
+        // modeled time lands on the worker that ran it, like any query.
+        batch.worker_modeled_millis[static_cast<size_t>(w)] += modeled;
+        wg.Done();
+      });
+    }
+    wg.Wait();
+
+    if (opts_.fail_fast) {
+      Status first = batch.first_error();
+      if (!first.ok()) return first;
+    }
+    batch.total_io = total_io.Snapshot();
+    batch.shared_io = shared_io.Snapshot();
+    batch.shared_scan_batches =
+        shared_batches.load(std::memory_order_relaxed);
+    batch.shared_scan_groups = shared_groups.load(std::memory_order_relaxed);
+    batch.wall_millis = timer.ElapsedMillis();
+    batch.quarantined = quarantine.Pages();
+    if (opts_.rs.resilience.quarantine_log != nullptr) {
+      for (const auto& [file, page] : batch.quarantined) {
+        opts_.rs.resilience.quarantine_log->Report(file, page);
+      }
+    }
+    return batch;
+  }
+
   wg.Add(static_cast<int>(queries.size()));
 
   for (size_t i = 0; i < queries.size(); ++i) {

@@ -70,6 +70,24 @@ struct QueryEngineOptions {
   /// on a clean view — no fault wrapper — modeling a replica read.
   /// Non-storage errors are never retried.
   int max_query_retries = 0;
+
+  /// Cross-query scan sharing (docs/KERNELS.md): for BRS/SRS batches,
+  /// groups of `shared_scan_group` consecutive queries run their phase 1
+  /// through ONE pass over the dataset (SharedScanReverseSkylines) instead
+  /// of one pass per query — each fetched page feeds every query of the
+  /// group, and with rs.use_kernels the per-candidate attribute gathers are
+  /// shared too. Per-query rows and check accounting are bit-identical to
+  /// per-query execution; the scan's own IO is reported once per group
+  /// (BatchResult::shared_io) instead of once per query. Grouping is by
+  /// query index, so results and totals are independent of worker count.
+  ///
+  /// Falls back to per-query execution — silently, per group of
+  /// eligibility — when the batch runs fault injection (shared frames would
+  /// leak one query's faulted fetch into another's reads), when replica
+  /// failover is configured (failover views are per query task), or when
+  /// the algorithm is not BRS/SRS. Default off = per-query execution.
+  bool shared_scan = false;
+  size_t shared_scan_group = 16;
 };
 
 /// Outcome of one RunBatch call.
@@ -113,6 +131,20 @@ struct BatchResult {
   /// Queries that failed a faulty run and succeeded on a clean-view re-run
   /// (QueryEngineOptions::max_query_retries).
   uint64_t queries_retried = 0;
+
+  /// Shared-scan execution counters (QueryEngineOptions::shared_scan; all
+  /// zero when it is off or every group fell back to per-query runs).
+  /// `shared_scan_groups` = query groups that ran phase 1 through one
+  /// shared pass; `shared_scan_batches` = memory-sized batches those passes
+  /// loaded (each feeding every query of its group); `shared_io` = the
+  /// shared passes' page IO, reported here once instead of Q times in
+  /// per-query stats, and included in total_io. Under shared scans
+  /// per-query QueryStats::io covers only that query's own scratch spills
+  /// and phase-2 scan, so sum(results[i].stats.io) + shared_io ==
+  /// total_io.
+  uint64_t shared_scan_groups = 0;
+  uint64_t shared_scan_batches = 0;
+  IoStats shared_io;
 
   /// Pages any query in this batch gave up on (kDataLoss / kCorruption),
   /// sorted — the batch's quarantine set.

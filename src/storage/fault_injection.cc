@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "common/check.h"
 #include "common/rng.h"
+#include "storage/io_stats.h"
 
 namespace nmrs {
 
@@ -67,6 +70,25 @@ ReadFault FaultInjector::DecideRead(uint64_t stream, FileId file, PageId page,
     fault.corrupt_xor = static_cast<uint8_t>(1 + rng.Uniform(255));
   }
   return fault;
+}
+
+Status ResiliencePolicy::Validate() const {
+  if (replicas < 1 ||
+      replicas > static_cast<int>(IoStats::kMaxReplicas)) {
+    return Status::InvalidArgument(
+        "ResiliencePolicy::replicas must be between 1 and " +
+        std::to_string(IoStats::kMaxReplicas) + " (got " +
+        std::to_string(replicas) +
+        "): per-replica read accounting (IoStats::replica_reads) is a "
+        "fixed-width array, and replicas beyond it would silently serve "
+        "no reads");
+  }
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "RetryPolicy::max_attempts must be >= 1 (got " +
+        std::to_string(retry.max_attempts) + ")");
+  }
+  return Status::OK();
 }
 
 bool QuarantineLog::Report(FileId file, PageId page) {

@@ -161,6 +161,15 @@ struct ResiliencePolicy {
   /// + r`; replica 0 keeps the configured seed verbatim so replicas=1 runs
   /// reproduce single-disk fault patterns exactly.
   uint64_t replica_fault_seed_base = 0x7265706Cull;  // "repl"
+
+  /// Rejects configurations the runtime cannot honor instead of silently
+  /// bending them: `replicas` must be in [1, IoStats::kMaxReplicas] (the
+  /// per-replica read accounting is a fixed-width array, so a larger count
+  /// used to be clamped silently — replica 9+ would neither serve reads nor
+  /// appear in any counter), and the retry budget must allow at least one
+  /// attempt. Callers that accept a policy from outside (the batch engine,
+  /// the CLI) validate before running.
+  Status Validate() const;
 };
 
 /// A SimulatedDisk decorator that injects the faults a FaultInjector

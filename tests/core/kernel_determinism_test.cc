@@ -1,8 +1,10 @@
 // Randomized end-to-end equivalence sweep for RSOptions::use_kernels: on
 // every wired algorithm (Naive, BRS, SRS, TRS, bichromatic block), over
 // categorical and mixed-numeric schemas, attribute subsets, asymmetric
-// matrices, page caching, and intra-query parallelism, the kernel path
-// must return bit-identical rows — and, where the contract promises it
+// matrices, page caching, intra-query parallelism, replica failover, and
+// the whole adaptive-promotion range (RSOptions::kernel_promote_rows from
+// "always block" to "never promote"), the kernel path must return
+// bit-identical rows — and, where the contract promises it
 // (docs/KERNELS.md), bit-identical check accounting — to the scalar path,
 // on both dispatch implementations.
 #include <gtest/gtest.h>
@@ -15,9 +17,41 @@
 #include "core/skyline.h"
 #include "data/generators.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk_view.h"
+#include "storage/fault_injection.h"
 
 namespace nmrs {
 namespace {
+
+// The promotion thresholds every equivalence sweep runs: always-block
+// (pre-adaptive), promote-after-2, the default-ish 16, and never-promote
+// (the pure scalar-probe regime).
+constexpr uint32_t kPromoteSweep[] = {0u, 2u, 16u, 1u << 30};
+
+// The adaptive telemetry invariants at the sweep's extremes; anything in
+// between mixes the regimes and only the bit-identity checks apply.
+void ExpectAdaptiveInvariants(const QueryStats& kernel, uint32_t promote,
+                              bool trs_hybrid, const std::string& label) {
+  if (promote == 0) {
+    // Immediate promotion: no scalar probing.
+    EXPECT_EQ(kernel.kernel_scalar_rows, 0u) << label;
+    if (trs_hybrid) {
+      // TRS promotion escapes to the pruned tree traversal, not to block
+      // evaluation: with promote 0 every candidate goes straight to the
+      // traversal and the block path never runs.
+      EXPECT_EQ(kernel.kernel_block_rows, 0u) << label;
+      EXPECT_EQ(kernel.kernel_checks, 0u) << label;
+    } else if (kernel.pair_tests > 0) {
+      // Any visited row was evaluated by a block.
+      EXPECT_GT(kernel.kernel_checks, 0u) << label;
+    }
+  } else if (promote == (1u << 30)) {
+    // Never promoted: the block path never runs.
+    EXPECT_EQ(kernel.kernel_promotions, 0u) << label;
+    EXPECT_EQ(kernel.kernel_block_rows, 0u) << label;
+    EXPECT_EQ(kernel.kernel_checks, 0u) << label;
+  }
+}
 
 struct SweepInstance {
   Dataset data;
@@ -74,6 +108,9 @@ void ExpectSameCounts(const QueryStats& scalar, const QueryStats& kernel,
   EXPECT_EQ(scalar.phase1_survivors, kernel.phase1_survivors) << label;
   EXPECT_EQ(scalar.io, kernel.io) << label;
   EXPECT_EQ(scalar.kernel_checks, 0u) << label;
+  EXPECT_EQ(scalar.kernel_promotions, 0u) << label;
+  EXPECT_EQ(scalar.kernel_scalar_rows, 0u) << label;
+  EXPECT_EQ(scalar.kernel_block_rows, 0u) << label;
 }
 
 class KernelDeterminismSweep : public ::testing::TestWithParam<uint64_t> {};
@@ -98,58 +135,67 @@ TEST_P(KernelDeterminismSweep, WiredAlgorithmsAreBitIdentical) {
       auto prep = PrepareDataset(&disk, inst.data, algo, {});
       ASSERT_TRUE(prep.ok());
       // One pool per run: a shared pool would carry warm pages from the
-      // scalar run into the kernel run and skew the IO comparison.
+      // scalar run into the kernel runs and skew the IO comparison.
       BufferPool scalar_pool(&disk,
                              BufferPoolOptions::FromBudget(MemoryBudget{8}));
-      BufferPool kernel_pool(&disk,
-                             BufferPoolOptions::FromBudget(MemoryBudget{8}));
       RSOptions scalar_opts = base;
-      RSOptions kernel_opts = base;
-      kernel_opts.use_kernels = true;
       if (cache) {
         scalar_opts.cache_pages = true;
         scalar_opts.buffer_pool = &scalar_pool;
-        kernel_opts.cache_pages = true;
-        kernel_opts.buffer_pool = &kernel_pool;
       }
       auto scalar = RunReverseSkyline(*prep, inst.space, inst.query, algo,
                                       scalar_opts);
-      auto kernel = RunReverseSkyline(*prep, inst.space, inst.query, algo,
-                                      kernel_opts);
-      ASSERT_TRUE(scalar.ok() && kernel.ok()) << AlgorithmName(algo);
-      const std::string label =
-          std::string(AlgorithmName(algo)) + " trial " +
-          std::to_string(trial) + " seed " + std::to_string(GetParam());
-      EXPECT_EQ(scalar->rows, expected) << label;
-      ExpectSameRows(*scalar, *kernel, label.c_str());
-      if (algo == Algorithm::kTRS) {
-        // TRS phase 2 is always scalar; phase 1 swaps tree-group checks
-        // for kernel_checks only on the fast path (all attributes, all
-        // categorical), where pair tests (one per candidate leaf) and the
-        // spilled survivors still match exactly.
-        EXPECT_EQ(scalar->stats.phase2_checks, kernel->stats.phase2_checks)
-            << label;
-        EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests)
-            << label;
-        EXPECT_EQ(scalar->stats.phase1_survivors,
-                  kernel->stats.phase1_survivors)
-            << label;
-        EXPECT_EQ(scalar->stats.io, kernel->stats.io)
-            << label;
-        const bool fast_path =
-            !inst.mixed &&
+      ASSERT_TRUE(scalar.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(scalar->rows, expected) << AlgorithmName(algo);
+      for (const uint32_t promote : kPromoteSweep) {
+        BufferPool kernel_pool(
+            &disk, BufferPoolOptions::FromBudget(MemoryBudget{8}));
+        RSOptions kernel_opts = base;
+        kernel_opts.use_kernels = true;
+        kernel_opts.kernel_promote_rows = promote;
+        if (cache) {
+          kernel_opts.cache_pages = true;
+          kernel_opts.buffer_pool = &kernel_pool;
+        }
+        auto kernel = RunReverseSkyline(*prep, inst.space, inst.query, algo,
+                                        kernel_opts);
+        ASSERT_TRUE(kernel.ok()) << AlgorithmName(algo);
+        const std::string label =
+            std::string(AlgorithmName(algo)) + " trial " +
+            std::to_string(trial) + " promote " + std::to_string(promote) +
+            " seed " + std::to_string(GetParam());
+        ExpectSameRows(*scalar, *kernel, label.c_str());
+        const bool trs_fast_path =
+            algo == Algorithm::kTRS && !inst.mixed &&
             (inst.selected.empty() ||
              inst.selected.size() == inst.data.schema().num_attributes());
-        if (fast_path) {
-          EXPECT_GT(kernel->stats.kernel_checks, 0u) << label;
+        if (algo == Algorithm::kTRS) {
+          // TRS phase 2 is always scalar; on the fast path (all
+          // attributes, all categorical) phase 1 probes the flat leaf
+          // block and escapes promoted candidates to the tree traversal,
+          // so `checks` carries only the escaped traversals' group-level
+          // counts while pair tests (one per candidate leaf) and the
+          // spilled survivors still match exactly.
+          EXPECT_EQ(scalar->stats.phase2_checks,
+                    kernel->stats.phase2_checks)
+              << label;
+          EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests)
+              << label;
+          EXPECT_EQ(scalar->stats.phase1_survivors,
+                    kernel->stats.phase1_survivors)
+              << label;
+          EXPECT_EQ(scalar->stats.io, kernel->stats.io)
+              << label;
+          if (!trs_fast_path) {
+            // Off the fast path the flag is inert: everything matches.
+            ExpectSameCounts(scalar->stats, kernel->stats, label.c_str());
+          }
         } else {
-          // Off the fast path the flag is inert: everything matches.
           ExpectSameCounts(scalar->stats, kernel->stats, label.c_str());
         }
-      } else {
-        ExpectSameCounts(scalar->stats, kernel->stats, label.c_str());
-        if (kernel->stats.pair_tests > 0) {
-          EXPECT_GT(kernel->stats.kernel_checks, 0u) << label;
+        if (trs_fast_path || algo != Algorithm::kTRS) {
+          ExpectAdaptiveInvariants(kernel->stats, promote,
+                                   algo == Algorithm::kTRS, label);
         }
       }
     }
@@ -157,7 +203,10 @@ TEST_P(KernelDeterminismSweep, WiredAlgorithmsAreBitIdentical) {
 }
 
 // The two lane implementations (AVX2 and portable scalar) must agree on
-// everything, including the kernel_checks instrumentation.
+// everything, including the kernel_checks instrumentation and the adaptive
+// telemetry — the promotion decision depends only on verdicts, which are
+// dispatch-invariant. promote_rows = 3 keeps both regimes (probe and
+// block) active in every run.
 TEST_P(KernelDeterminismSweep, DispatchPathsAgree) {
   Rng master(GetParam() ^ 0x5eed);
   for (int trial = 0; trial < 4; ++trial) {
@@ -167,6 +216,7 @@ TEST_P(KernelDeterminismSweep, DispatchPathsAgree) {
     opts.memory.pages = 4;
     opts.selected_attrs = inst.selected;
     opts.use_kernels = true;
+    opts.kernel_promote_rows = 3;
     for (Algorithm algo : {Algorithm::kBRS, Algorithm::kSRS,
                            Algorithm::kTRS}) {
       auto prep = PrepareDataset(&disk, inst.data, algo, {});
@@ -185,6 +235,70 @@ TEST_P(KernelDeterminismSweep, DispatchPathsAgree) {
           << AlgorithmName(algo);
       EXPECT_EQ(native->stats.kernel_checks, forced->stats.kernel_checks)
           << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.kernel_promotions,
+                forced->stats.kernel_promotions)
+          << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.kernel_scalar_rows,
+                forced->stats.kernel_scalar_rows)
+          << AlgorithmName(algo);
+      EXPECT_EQ(native->stats.kernel_block_rows,
+                forced->stats.kernel_block_rows)
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+// Adaptive promotion composes with replica failover: a permanently bad
+// middle page on the primary plus one clean replica must leave rows and
+// check accounting bit-identical to the fault-free scalar run, at every
+// promotion threshold. A fresh FaultyDisk per run keeps the deterministic
+// fault stream aligned across runs.
+TEST_P(KernelDeterminismSweep, AdaptivePromotionSurvivesReplicaFailover) {
+  Rng master(GetParam() ^ 0xfa11);
+  SweepInstance inst(master);
+  for (Algorithm algo :
+       {Algorithm::kNaive, Algorithm::kBRS, Algorithm::kSRS,
+        Algorithm::kTRS}) {
+    SimulatedDisk base(256);
+    auto prep = PrepareDataset(&base, inst.data, algo, {});
+    ASSERT_TRUE(prep.ok());
+    RSOptions clean_opts;
+    clean_opts.memory.pages = 3;
+    clean_opts.selected_attrs = inst.selected;
+    auto expected =
+        RunReverseSkyline(*prep, inst.space, inst.query, algo, clean_opts);
+    ASSERT_TRUE(expected.ok()) << AlgorithmName(algo);
+
+    FaultConfig cfg;
+    const PageId bad =
+        static_cast<PageId>(base.NumPages(prep->stored.file()) / 2);
+    cfg.bad_pages.insert({prep->stored.file(), bad});
+    for (const uint32_t promote : kPromoteSweep) {
+      FaultInjector injector(cfg);
+      DiskView primary(&base);
+      DiskView replica(&base);
+      FaultyDisk faulty(&primary, &injector, /*stream=*/0,
+                        /*fault_ceiling=*/base.next_file_id());
+      PreparedDataset local{
+          StoredDataset(&faulty, prep->stored.file(), prep->stored.schema(),
+                        prep->stored.num_rows()),
+          prep->attr_order, 0};
+      RSOptions rs = clean_opts;
+      rs.use_kernels = true;
+      rs.kernel_promote_rows = promote;
+      rs.failover_disks = {&replica};
+      rs.failover_limit = base.next_file_id();
+      auto result =
+          RunReverseSkyline(local, inst.space, inst.query, algo, rs);
+      ASSERT_TRUE(result.ok())
+          << AlgorithmName(algo) << ": " << result.status();
+      const std::string label = std::string(AlgorithmName(algo)) +
+                                " promote " + std::to_string(promote);
+      EXPECT_EQ(result->rows, expected->rows) << label;
+      EXPECT_EQ(result->stats.pair_tests, expected->stats.pair_tests)
+          << label;
+      EXPECT_GT(result->stats.io.failovers, 0u) << label;
+      EXPECT_GT(result->stats.io.replica_reads[1], 0u) << label;
     }
   }
 }
@@ -216,16 +330,19 @@ TEST_P(KernelDeterminismSweep, BichromaticBlockIsBitIdentical) {
     RSOptions opts;
     opts.memory.pages = 2 + master.Uniform(4);
     auto scalar = BichromaticBlockRS(*stored_c, *stored_p, space, q, opts);
-    opts.use_kernels = true;
-    auto kernel = BichromaticBlockRS(*stored_c, *stored_p, space, q, opts);
-    ASSERT_TRUE(scalar.ok() && kernel.ok());
-    EXPECT_EQ(scalar->rows, kernel->rows) << "trial " << trial;
-    EXPECT_EQ(scalar->stats.checks, kernel->stats.checks)
-        << "trial " << trial;
-    EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests)
-        << "trial " << trial;
-    if (kernel->stats.pair_tests > 0) {
-      EXPECT_GT(kernel->stats.kernel_checks, 0u) << "trial " << trial;
+    ASSERT_TRUE(scalar.ok());
+    for (const uint32_t promote : kPromoteSweep) {
+      opts.use_kernels = true;
+      opts.kernel_promote_rows = promote;
+      auto kernel = BichromaticBlockRS(*stored_c, *stored_p, space, q, opts);
+      ASSERT_TRUE(kernel.ok());
+      const std::string label = "trial " + std::to_string(trial) +
+                                " promote " + std::to_string(promote);
+      EXPECT_EQ(scalar->rows, kernel->rows) << label;
+      EXPECT_EQ(scalar->stats.checks, kernel->stats.checks) << label;
+      EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests) << label;
+      ExpectAdaptiveInvariants(kernel->stats, promote, /*trs_hybrid=*/false,
+                               label);
     }
   }
 }

@@ -1,13 +1,33 @@
 #!/usr/bin/env python3
 """Perf-sanity gate on a freshly emitted BENCH_kernels.json.
 
-ci.sh runs `bench_kernels --quick` and then this script: the build fails
-if the block dominance kernel is *slower* than the scalar early-abort loop
-(speedup < 1.0) on the largest-cardinality micro config, where the gather
--> compare -> movemask shape has the most work per byte and should win by
-the widest margin. The threshold is deliberately looser than the 1.5x
-shape check bench_kernels itself reports, so a loaded CI host does not
-flake the build while a real regression (kernel slower than scalar) still
+ci.sh runs `bench_kernels --quick` and then this script. The build fails
+if any of these hold:
+
+  1. Any run that reports an `identical` field says 0 — the kernels or the
+     shared scan changed results. This is a correctness gate and applies
+     on every dispatch.
+  2. micro: the block dominance kernel is *slower* than the scalar
+     early-abort loop (speedup < 1.0) on the largest-cardinality micro
+     config, where the gather -> compare -> movemask shape has the most
+     work per byte and should win by the widest margin. avx2 dispatch
+     only: the blocked scalar fallback is expected to be around parity.
+  3. e2e: adaptive dispatch (every candidate starts on the early-abort
+     scalar probe, promoted to block evaluation only after surviving the
+     promotion threshold) must not lose to the plain scalar path
+     end-to-end (speedup < 1.0). avx2 only, same reasoning as the micro
+     gate.
+  4. shared_scan: one shared phase-1 pass per query group must beat
+     per-query scans by >= 1.5x on modeled makespan at paper scale
+     (>= 1M rows; the committed BENCH_kernels.json is a full-mode run).
+     Quick-mode CI runs amortize less fixed per-batch work and hover
+     right at 1.5x, so they get a 1.4x guardrail instead of a flake.
+     The win is deduplicated IO, not SIMD, so this gate applies on
+     every dispatch.
+
+The perf thresholds are deliberately looser than the shape checks
+bench_kernels itself reports (1.5x micro, 1.9x shared at paper scale), so
+a loaded CI host does not flake the build while a real regression still
 fails it.
 
 Usage: check_kernel_gate.py [path/to/BENCH_kernels.json]
@@ -16,7 +36,11 @@ Usage: check_kernel_gate.py [path/to/BENCH_kernels.json]
 import json
 import sys
 
-THRESHOLD = 1.0
+MICRO_THRESHOLD = 1.0
+E2E_THRESHOLD = 1.0
+SHARED_THRESHOLD = 1.5  # full-scale runs (>= SHARED_FULL_ROWS rows)
+SHARED_THRESHOLD_QUICK = 1.4
+SHARED_FULL_ROWS = 1_000_000
 
 
 def main() -> int:
@@ -28,28 +52,75 @@ def main() -> int:
         print(f"kernel-gate: cannot read {path}: {e}", file=sys.stderr)
         return 1
 
-    micro = [r for r in doc.get("runs", []) if r.get("config") == "micro"]
+    runs = doc.get("runs", [])
+    failures = []
+
+    # 1. Correctness: every run carrying an identical flag must say 1.
+    broken = [r for r in runs if r.get("identical") == 0]
+    for r in broken:
+        failures.append(
+            f"identical=0 on config={r.get('config')} algo={r.get('algo')}"
+        )
+
+    # 2. micro throughput (avx2 only).
+    micro = [r for r in runs if r.get("config") == "micro"]
     if not micro:
         print(f"kernel-gate: no micro runs in {path}", file=sys.stderr)
         return 1
+    if all(r.get("dispatch") == "avx2" for r in micro):
+        top_card = max(r["cardinality"] for r in micro)
+        gated = [r for r in micro if r["cardinality"] == top_card]
+        worst = min(gated, key=lambda r: r["speedup"])
+        ok = worst["speedup"] >= MICRO_THRESHOLD
+        print(
+            f"kernel-gate: micro {'OK' if ok else 'FAIL'} — "
+            f"cardinality={top_card} rows={worst['num_rows']} "
+            f"speedup={worst['speedup']:.2f} (need >= {MICRO_THRESHOLD:.1f})"
+        )
+        if not ok:
+            failures.append(f"micro speedup {worst['speedup']:.2f}")
+    else:
+        print("kernel-gate: micro SKIP — non-avx2 dispatch")
 
-    if any(r.get("dispatch") != "avx2" for r in micro):
-        # The blocked scalar fallback is only expected to be around parity
-        # with the early-abort loop; the gate guards the SIMD path.
-        print("kernel-gate: SKIP — non-avx2 dispatch, nothing to gate")
-        return 0
+    # 3. e2e adaptive dispatch (avx2 only).
+    e2e = [r for r in runs if r.get("config") == "e2e"]
+    avx2_e2e = [r for r in e2e if r.get("dispatch") == "avx2"]
+    if avx2_e2e:
+        worst = min(avx2_e2e, key=lambda r: r["speedup"])
+        ok = worst["speedup"] >= E2E_THRESHOLD
+        print(
+            f"kernel-gate: e2e {'OK' if ok else 'FAIL'} — "
+            f"algo={worst.get('algo')} speedup={worst['speedup']:.2f} "
+            f"(need >= {E2E_THRESHOLD:.1f})"
+        )
+        if not ok:
+            failures.append(
+                f"e2e {worst.get('algo')} speedup {worst['speedup']:.2f}"
+            )
+    elif e2e:
+        print("kernel-gate: e2e SKIP — non-avx2 dispatch")
 
-    top_card = max(r["cardinality"] for r in micro)
-    gated = [r for r in micro if r["cardinality"] == top_card]
-    worst = min(gated, key=lambda r: r["speedup"])
-    ok = worst["speedup"] >= THRESHOLD
-    verdict = "OK" if ok else "FAIL"
-    print(
-        f"kernel-gate: {verdict} — dispatch={worst.get('dispatch', '?')} "
-        f"cardinality={top_card} rows={worst['num_rows']} "
-        f"speedup={worst['speedup']:.2f} (need >= {THRESHOLD:.1f})"
-    )
-    return 0 if ok else 1
+    # 4. shared scans (every dispatch: the win is deduplicated IO).
+    for r in runs:
+        if r.get("config") != "shared_scan":
+            continue
+        full_scale = r.get("num_rows", 0) >= SHARED_FULL_ROWS
+        floor = SHARED_THRESHOLD if full_scale else SHARED_THRESHOLD_QUICK
+        ok = r["speedup"] >= floor
+        print(
+            f"kernel-gate: shared_scan {'OK' if ok else 'FAIL'} — "
+            f"queries={r.get('num_queries')} "
+            f"speedup={r['speedup']:.2f} (need >= {floor:.1f} at "
+            f"{r.get('num_rows')} rows)"
+        )
+        if not ok:
+            failures.append(f"shared_scan speedup {r['speedup']:.2f}")
+
+    if failures:
+        print("kernel-gate: FAIL — " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("kernel-gate: all gates passed")
+    return 0
 
 
 if __name__ == "__main__":

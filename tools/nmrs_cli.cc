@@ -9,11 +9,17 @@
 //
 //   nmrs_cli query --data=data.csv --matrices=prefix --query=1,2,3
 //            [--algo=trs|srs|brs|naive|tsrs|ttrs] [--mem=0.1]
-//            [--attrs=0,2] [--kernels] [--seed=S] [common fault flags]
+//            [--attrs=0,2] [--kernels] [--promote-rows=N] [--seed=S]
+//            [common fault flags]
 //       Runs a reverse-skyline query and prints the result rows + stats.
 //       --kernels turns on the block dominance kernels (docs/KERNELS.md)
 //       and prints which lane evaluators runtime dispatch picked
-//       (avx2/scalar); the result rows are identical either way. The
+//       (avx2/scalar) plus the adaptive-dispatch telemetry (candidates
+//       promoted to block evaluation, rows evaluated by the scalar probe
+//       vs. block windows); --promote-rows=N sets how many rows a
+//       candidate must survive before promotion (0 = promote immediately,
+//       the pre-adaptive behavior). The result rows are identical either
+//       way. The
 //       common fault flags (see batch) work here too: with faults or
 //       --replicas=N > 1 the query runs against replica 0's faulty view
 //       with the remaining replicas attached for page-granular failover,
@@ -33,7 +39,9 @@
 //
 //   nmrs_cli batch --data=data.csv --matrices=prefix --queries=K
 //            [--workers=W] [--threads=T] [--algo=trs|srs|brs] [--mem=0.1]
-//            [--cache-pages=N | --cache-pct=P] [--kernels] [--seed=S]
+//            [--cache-pages=N | --cache-pct=P] [--kernels]
+//            [--promote-rows=N] [--shared-scan] [--shared-group=G]
+//            [--seed=S]
 //            [--checksum] [--transient-p=P] [--corrupt-p=P]
 //            [--data-loss-p=P] [--bad-pages=f:p,f:p,...] [--fault-seed=S]
 //            [--retries=N] [--max-query-retries=N] [--fail-fast]
@@ -58,7 +66,13 @@
 //       the faults to the listed replicas (replica r gets the shared
 //       FaultConfig with data_loss_p forced to loss_p, everyone else runs
 //       clean). Failed queries are reported individually; the exit code
-//       is non-zero iff some query failed.
+//       is non-zero iff some query failed. --shared-scan runs groups of
+//       --shared-group=G consecutive BRS/SRS queries through one shared
+//       phase-1 pass over the dataset (docs/KERNELS.md) — bit-identical
+//       per-query results, the scan's IO charged once per group — and
+//       prints the shared-scan summary; it silently falls back to
+//       per-query execution under fault injection, replica failover, or
+//       other algorithms.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -182,6 +196,10 @@ Status ParseCommonOptions(const Flags& flags, uint64_t dataset_pages,
     return Status::InvalidArgument("--threads must be at least 1");
   }
   rs->use_kernels = flags.count("kernels") != 0;
+  if (flags.count("promote-rows") != 0) {
+    rs->kernel_promote_rows = static_cast<uint32_t>(std::strtoul(
+        FlagOr(flags, "promote-rows", "16").c_str(), nullptr, 10));
+  }
   rs->resilience.checksum_pages = flags.count("checksum") != 0;
   if (flags.count("retries") != 0) {
     rs->resilience.retry.max_attempts =
@@ -206,8 +224,9 @@ Status ParseCommonOptions(const Flags& flags, uint64_t dataset_pages,
 
 void MaybePrintKernelBanner(const RSOptions& rs) {
   if (!rs.use_kernels) return;
-  std::printf("dominance kernels on (dispatch: %s)\n",
-              KernelDispatchName(ActiveKernelDispatch()));
+  std::printf("dominance kernels on (dispatch: %s, promote after %u rows)\n",
+              KernelDispatchName(ActiveKernelDispatch()),
+              rs.kernel_promote_rows);
 }
 
 // Fault-injection flags shared by query and batch (docs/ROBUSTNESS.md):
@@ -355,9 +374,15 @@ void PrintStats(const QueryStats& s) {
       static_cast<unsigned long long>(s.io.TotalSequential()),
       static_cast<unsigned long long>(s.io.TotalRandom()),
       s.compute_millis, s.ResponseMillis());
-  if (s.kernel_checks != 0) {
-    std::printf("  kernel_checks=%llu\n",
-                static_cast<unsigned long long>(s.kernel_checks));
+  if (s.kernel_checks != 0 || s.kernel_scalar_rows != 0 ||
+      s.kernel_promotions != 0) {
+    std::printf(
+        "  kernel_checks=%llu  promotions=%llu  scalar_rows=%llu  "
+        "block_rows=%llu\n",
+        static_cast<unsigned long long>(s.kernel_checks),
+        static_cast<unsigned long long>(s.kernel_promotions),
+        static_cast<unsigned long long>(s.kernel_scalar_rows),
+        static_cast<unsigned long long>(s.kernel_block_rows));
   }
   if (s.io.transient_retries != 0 || s.io.checksum_failures != 0 ||
       s.io.quarantined_pages != 0 || s.io.failovers != 0) {
@@ -563,6 +588,14 @@ int CmdBatch(const Flags& flags) {
   eopts.max_query_retries =
       std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
   eopts.fail_fast = flags.count("fail-fast") != 0;
+  eopts.shared_scan = flags.count("shared-scan") != 0;
+  if (flags.count("shared-group") != 0) {
+    eopts.shared_scan_group = std::strtoull(
+        FlagOr(flags, "shared-group", "16").c_str(), nullptr, 10);
+    if (eopts.shared_scan_group < 1) {
+      return Fail("--shared-group must be at least 1");
+    }
+  }
   if (flags.count("cache-pages") != 0 && flags.count("cache-pct") != 0) {
     return Fail("--cache-pages and --cache-pct are mutually exclusive");
   }
@@ -607,6 +640,32 @@ int CmdBatch(const Flags& flags) {
       static_cast<unsigned long long>(batch->total_io.TotalRandom()),
       batch->wall_millis, batch->ModeledMakespanMillis(),
       batch->ModeledQps());
+  if (eopts.rs.use_kernels) {
+    uint64_t kchecks = 0, promos = 0, scalar_rows = 0, block_rows = 0;
+    for (const auto& r : batch->results) {
+      kchecks += r.stats.kernel_checks;
+      promos += r.stats.kernel_promotions;
+      scalar_rows += r.stats.kernel_scalar_rows;
+      block_rows += r.stats.kernel_block_rows;
+    }
+    std::printf("kernels: %llu kernel checks, %llu promotions, "
+                "%llu scalar rows, %llu block rows\n",
+                static_cast<unsigned long long>(kchecks),
+                static_cast<unsigned long long>(promos),
+                static_cast<unsigned long long>(scalar_rows),
+                static_cast<unsigned long long>(block_rows));
+  }
+  if (eopts.shared_scan) {
+    if (batch->shared_scan_groups != 0) {
+      std::printf("shared scans: %llu groups, %llu shared batches, "
+                  "%llu shared pages\n",
+                  static_cast<unsigned long long>(batch->shared_scan_groups),
+                  static_cast<unsigned long long>(batch->shared_scan_batches),
+                  static_cast<unsigned long long>(batch->shared_io.Total()));
+    } else {
+      std::printf("shared scans: fell back to per-query execution\n");
+    }
+  }
   if (batch->total_io.transient_retries != 0 ||
       batch->total_io.checksum_failures != 0 ||
       batch->total_io.quarantined_pages != 0 ||
