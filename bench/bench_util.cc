@@ -151,7 +151,26 @@ bool JsonWriter::WriteFile(const std::string& path) const {
   return true;
 }
 
+std::vector<std::string> JsonWriter::RunKeys(size_t i) const {
+  NMRS_CHECK(i < runs_.size());
+  std::vector<std::string> keys;
+  keys.reserve(runs_[i].size());
+  for (const auto& [key, value] : runs_[i]) keys.push_back(key);
+  return keys;
+}
+
 void EmitIoFields(JsonWriter* json, const IoStats& io) {
+  // Schema pin: every IoStats counter must be represented below. Growing
+  // IoStats bumps its size and trips this assert until the new counter is
+  // emitted (or folded into a derived field) — no more silent drops.
+  static_assert(sizeof(IoStats) ==
+                    (11 + IoStats::kMaxReplicas) * sizeof(uint64_t),
+                "IoStats changed: extend EmitIoFields (and the schema pin "
+                "test) to cover the new counters");
+  json->Field("seq_reads", io.seq_reads);
+  json->Field("rand_reads", io.rand_reads);
+  json->Field("seq_writes", io.seq_writes);
+  json->Field("rand_writes", io.rand_writes);
   json->Field("total_seq_io", io.TotalSequential());
   json->Field("total_rand_io", io.TotalRandom());
   json->Field("cache_hits", io.cache_hits);
@@ -165,6 +184,17 @@ void EmitIoFields(JsonWriter* json, const IoStats& io) {
   json->Field("quarantined_pages", io.quarantined_pages);
   json->Field("failovers", io.failovers);
   json->Field("replica_reads_total", io.ReplicaReadsTotal());
+}
+
+void EmitMessageFields(JsonWriter* json, const MessageStats& messages,
+                       const MessageCostModel& net) {
+  static_assert(sizeof(MessageStats) == 3 * sizeof(uint64_t),
+                "MessageStats changed: extend EmitMessageFields (and the "
+                "schema pin test) to cover the new counters");
+  json->Field("net_messages", messages.messages);
+  json->Field("net_bytes", messages.bytes);
+  json->Field("net_rounds", messages.rounds);
+  json->Field("net_millis", net.EstimateMillis(messages));
 }
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}

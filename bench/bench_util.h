@@ -8,6 +8,7 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "shard/message_stats.h"
 #include "sim/similarity_space.h"
 #include "storage/io_stats.h"
 
@@ -72,21 +73,38 @@ class JsonWriter {
   /// IO failure.
   bool WriteFile(const std::string& path) const;
 
+  /// The keys of run `i` in insertion order — what schema-pin tests and
+  /// gate scripts introspect instead of re-parsing the JSON.
+  std::vector<std::string> RunKeys(size_t i) const;
+  size_t num_runs() const { return runs_.size(); }
+
  private:
   std::string name_;
   // Each run is a list of (key, pre-encoded JSON value) pairs.
   std::vector<std::vector<std::pair<std::string, std::string>>> runs_;
 };
 
-/// Emits the standard IO field block every IO-reporting bench shares:
-/// total_seq_io / total_rand_io, the buffer-pool counters
-/// (cache_hits / cache_misses / cache_evictions / cache_hit_ratio), the
-/// fault counters (transient_retries / checksum_failures /
-/// quarantined_pages) and the replica failover counters (failovers /
-/// replica_reads_total). Fields not exercised by a run are zero, keeping
-/// one JSON schema across uncached, cached, clean and chaos runs. Call
-/// between BeginRun() and the next BeginRun().
+/// Emits the standard IO field block every IO-reporting bench shares: the
+/// four raw read/write counters plus the derived total_seq_io /
+/// total_rand_io, the buffer-pool counters (cache_hits / cache_misses /
+/// cache_evictions / cache_hit_ratio), the fault counters
+/// (transient_retries / checksum_failures / quarantined_pages) and the
+/// replica failover counters (failovers / replica_reads_total). Every
+/// IoStats counter is represented — a static_assert in the implementation
+/// pins sizeof(IoStats), so growing IoStats without extending this emitter
+/// fails the build instead of silently dropping the new counter (which is
+/// exactly what happened to the fault counters once). Fields not exercised
+/// by a run are zero, keeping one JSON schema across uncached, cached,
+/// clean and chaos runs. Call between BeginRun() and the next BeginRun().
 void EmitIoFields(JsonWriter* json, const IoStats& io);
+
+/// Emits the exchange-traffic block of a sharded run — net_messages /
+/// net_bytes / net_rounds plus the modeled net_millis under `net` —
+/// sizeof-pinned against MessageStats like EmitIoFields is against
+/// IoStats. Zero for single-shard runs, keeping one schema across shard
+/// counts.
+void EmitMessageFields(JsonWriter* json, const MessageStats& messages,
+                       const MessageCostModel& net = {});
 
 /// Aligned-column table printer for the figure/table reproductions.
 class Table {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point, seven stages (docs/ROBUSTNESS.md covers asan/chaos/
-# replica, docs/KERNELS.md covers the last two):
+# CI entry point, eight stages (docs/ROBUSTNESS.md covers asan/chaos/
+# replica, docs/KERNELS.md covers 6-7, docs/SHARDING.md covers 8):
 #   1. plain   — RelWithDebInfo build + full ctest suite
 #   2. tsan    — ThreadSanitizer build of the gtest-free concurrency
 #                stress binary (tests/exec/stress_test.cc), including the
@@ -18,6 +18,10 @@
 #   7. perf    — bench_kernels --quick on the plain build, then
 #                tools/check_kernel_gate.py fails the run if the kernel is
 #                slower than the scalar loop at the largest cardinality
+#   8. shards  — bench_shards --quick, then tools/check_shard_gate.py
+#                fails the run if sharded results are not bit-identical to
+#                single-shard or the 4-shard modeled speedup drops
+#                below 2.0x on the scan-heavy workload
 # Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
 # gtest-free targets to keep every instrumented frame inside nmrs code.
 set -euo pipefail
@@ -55,5 +59,9 @@ ctest --test-dir build-nosimd --output-on-failure -j"${JOBS}"
 echo "=== kernel perf-sanity gate (bench_kernels --quick) ==="
 (cd build && ./bench/bench_kernels --quick)
 python3 tools/check_kernel_gate.py build/BENCH_kernels.json
+
+echo "=== shard correctness + speedup gate (bench_shards --quick) ==="
+(cd build && ./bench/bench_shards --quick)
+python3 tools/check_shard_gate.py build/BENCH_shards.json
 
 echo "ci: all ok"

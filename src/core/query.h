@@ -183,6 +183,30 @@ struct QueryStats {
     return compute_millis + model.EstimateMillis(io) + modeled_backoff_millis;
   }
 
+  /// Folds another query-fragment's counters into this one: all counts, IO
+  /// and time fields are summed. `result_size` is NOT touched — fragments
+  /// of one logical query (e.g. its per-shard runs) each report their local
+  /// result size, and only the merger knows the final one. The sharded
+  /// executor merges per-shard and exchange-phase stats with this.
+  void MergeFrom(const QueryStats& o) {
+    checks += o.checks;
+    phase1_checks += o.phase1_checks;
+    phase2_checks += o.phase2_checks;
+    pair_tests += o.pair_tests;
+    kernel_checks += o.kernel_checks;
+    kernel_promotions += o.kernel_promotions;
+    kernel_scalar_rows += o.kernel_scalar_rows;
+    kernel_block_rows += o.kernel_block_rows;
+    phase1_batches += o.phase1_batches;
+    phase1_survivors += o.phase1_survivors;
+    phase2_batches += o.phase2_batches;
+    io += o.io;
+    phase1_millis += o.phase1_millis;
+    phase2_millis += o.phase2_millis;
+    compute_millis += o.compute_millis;
+    modeled_backoff_millis += o.modeled_backoff_millis;
+  }
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,187 @@
+#ifndef NMRS_EXEC_SHARDED_ENGINE_H_
+#define NMRS_EXEC_SHARDED_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/pipeline.h"
+#include "core/query.h"
+#include "data/object.h"
+#include "exec/query_engine.h"
+#include "exec/thread_pool.h"
+#include "shard/message_stats.h"
+#include "shard/shard_plan.h"
+#include "sim/similarity_space.h"
+#include "storage/buffer_pool.h"
+#include "storage/replica_set.h"
+
+namespace nmrs {
+
+/// Options of the sharded executor: the full QueryEngine vocabulary applied
+/// per shard (every shard is modeled as one machine with `num_workers`
+/// workers, `rs.memory` pages of working memory, its own `cache_pages` page
+/// cache, and — with resilience.replicas > 1 — its own replica set), plus
+/// the network cost model for the pruner exchange.
+struct ShardedEngineOptions {
+  QueryEngineOptions engine;
+  MessageCostModel net;
+};
+
+/// Per-query sharding telemetry.
+struct ShardQueryBreakdown {
+  /// Local reverse-skyline sizes per shard — the phase-1 candidate counts
+  /// the exchange ships (zero for shards the query failed on).
+  std::vector<uint64_t> shard_candidates;
+  /// This query's exchange traffic (zero with one shard: no exchange runs).
+  MessageStats messages;
+};
+
+/// Outcome of one ShardedQueryEngine::RunBatch, mirroring BatchResult with
+/// per-(shard, worker) modeled time and the exchange ledger added.
+struct ShardedBatchResult {
+  /// results[i] answers queries[i]: rows are bit-identical to single-shard
+  /// execution for every shard count; stats are the sum over the query's
+  /// per-shard local runs, export scans and verify passes (deterministic
+  /// for a fixed shard count, but shard-count-dependent — see
+  /// docs/SHARDING.md).
+  std::vector<ReverseSkylineResult> results;
+  std::vector<Status> statuses;
+  std::vector<ShardQueryBreakdown> breakdown;
+
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+  Status first_error() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  size_t num_failed() const {
+    size_t n = 0;
+    for (const Status& s : statuses) n += s.ok() ? 0 : 1;
+    return n;
+  }
+
+  /// (query, shard) tasks that failed a faulty run and succeeded on a
+  /// clean-view re-run (QueryEngineOptions::max_query_retries).
+  uint64_t tasks_retried = 0;
+
+  /// Shared-scan counters, as in BatchResult but per (group, shard) pass.
+  uint64_t shared_scan_groups = 0;
+  uint64_t shared_scan_batches = 0;
+  IoStats shared_io;
+
+  std::vector<std::pair<FileId, PageId>> quarantined;
+  IoStats total_io;
+
+  /// Exchange traffic summed over all queries.
+  MessageStats total_messages;
+
+  double wall_millis = 0;
+
+  /// modeled[s][w]: modeled busy time of worker w on shard s. Each shard is
+  /// one machine whose workers own private DiskViews of the shard replica
+  /// set, so all S x W (shard, worker) lanes overlap.
+  std::vector<std::vector<double>> shard_worker_modeled_millis;
+
+  /// Largest single modeled task (one query's scatter run or verify pass)
+  /// per shard: the critical-path lower bound ModeledMakespanMillis uses.
+  std::vector<double> shard_max_task_modeled_millis;
+
+  /// The cost model the batch ran under (copied from the options so the
+  /// makespan math is self-contained).
+  MessageCostModel net;
+
+  double ExchangeModeledMillis() const {
+    return net.EstimateMillis(total_messages);
+  }
+
+  /// Busiest shard under an idealized per-shard schedule, plus the
+  /// exchange cost. Each shard is one machine with W worker lanes, so its
+  /// phase time is the LPT bound max(total_modeled_work / W, largest
+  /// single task) — deterministic in the task set rather than in how the
+  /// host pool happened to interleave tasks (the raw lanes stay available
+  /// as telemetry). Shards overlap; the exchange is modeled as serialized
+  /// through the gather coordinator (a deliberately conservative model —
+  /// see docs/SHARDING.md).
+  double ModeledMakespanMillis() const;
+  double ModeledQps() const;
+};
+
+/// Scatter/gather executor over a ShardedDataset (docs/SHARDING.md): every
+/// query fans out to all non-empty shards, each shard runs the *complete*
+/// configured algorithm (naive/BRS/SRS/TRS — kernels, adaptive dispatch,
+/// caching, faults and failover all apply per shard, unchanged) over its
+/// local rows, producing its local reverse skyline; the pruner exchange
+/// then gathers every shard's surviving candidates, broadcasts the merged
+/// set back, and each shard streams its local rows past the foreign
+/// candidates (pruned local rows still prune — the relation is not
+/// transitive). A candidate survives iff every shard's verdict clears it,
+/// which makes the merged row set bit-identical to single-shard execution
+/// by construction, for any partitioning.
+///
+/// Determinism contract: rows and statuses are independent of worker count
+/// and scheduling, and equal to the single-shard rows for every shard
+/// count. With num_shards == 1 over a Partition(num_shards=1) dataset the
+/// engine reads the base file itself with fault stream == the query index
+/// — counters and IO then reproduce QueryEngine bit-for-bit. With more
+/// shards, per-query counters are deterministic for a fixed shard count
+/// but necessarily differ from the single-shard counters.
+///
+/// Fault streams: (query q, shard s) reads under stream q + (s << 32), a
+/// pure function of the pair, so fault patterns stay independent of worker
+/// count; shard 0 keeps stream q, preserving the single-shard pattern.
+class ShardedQueryEngine {
+ public:
+  /// `sharded`, `space` are borrowed and must outlive the engine; the base
+  /// disk must stay structurally frozen for the engine's lifetime (the
+  /// ShardedDataset's files are part of the frozen structure).
+  ShardedQueryEngine(const ShardedDataset& sharded,
+                     const SimilaritySpace& space, Algorithm algo,
+                     ShardedEngineOptions opts = {});
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  int num_shards() const { return sharded_->num_shards(); }
+  Algorithm algorithm() const { return algo_; }
+
+  /// Shard s's replica set / page cache (cache null when cache_pages == 0
+  /// or the batch runs fault injection, as in QueryEngine).
+  const ReplicaSet& replicas(int s) const { return *replica_sets_[s]; }
+  const BufferPool* buffer_pool(int s) const { return pool_caches_[s].get(); }
+
+  /// Runs every query through scatter -> exchange -> verify -> merge,
+  /// blocking until the batch completes. Per-query isolation as in
+  /// QueryEngine: a storage fault on any shard fails only that query.
+  StatusOr<ShardedBatchResult> RunBatch(const std::vector<Object>& queries);
+
+ private:
+  uint64_t Stream(size_t query, int shard) const {
+    return static_cast<uint64_t>(query) +
+           (static_cast<uint64_t>(shard) << 32);
+  }
+
+  const ShardedDataset* sharded_;
+  const SimilaritySpace* space_;
+  Algorithm algo_;
+  ShardedEngineOptions opts_;
+  ThreadPool pool_;
+  FileId fault_ceiling_;
+  // Per-shard replica sets and page caches: per-(worker, shard) DiskViews
+  // live inside the replica sets; per-shard pools route each shard's pages
+  // through its own cache.
+  std::vector<std::unique_ptr<ReplicaSet>> replica_sets_;
+  std::vector<std::unique_ptr<BufferPool>> pool_caches_;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_EXEC_SHARDED_ENGINE_H_

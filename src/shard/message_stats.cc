@@ -1,0 +1,13 @@
+#include "shard/message_stats.h"
+
+#include <sstream>
+
+namespace nmrs {
+
+std::string MessageStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << messages << " bytes=" << bytes << " rounds=" << rounds;
+  return os.str();
+}
+
+}  // namespace nmrs

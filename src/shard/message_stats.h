@@ -1,0 +1,70 @@
+#ifndef NMRS_SHARD_MESSAGE_STATS_H_
+#define NMRS_SHARD_MESSAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace nmrs {
+
+/// Counts the network traffic of a scatter/gather query the way IoStats
+/// counts page traffic (docs/SHARDING.md). The sharded executor runs on one
+/// machine, so no bytes actually cross a wire — like SimulatedDisk, the
+/// point is a deterministic ledger of what a distributed deployment *would*
+/// send, so benchmarks can weigh scatter/gather speedup against
+/// communication overhead.
+///
+/// A "message" is one logical shard-to-coordinator or coordinator-to-shard
+/// transfer (candidate export, pruner broadcast, verdict return); `bytes`
+/// is the payload those messages carry (candidate rows at their on-disk
+/// row_bytes encoding, verdicts at one bit per candidate); a "round" is one
+/// synchronization barrier of the exchange protocol — every participating
+/// shard must finish the round before any shard starts the next.
+struct MessageStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t rounds = 0;
+
+  MessageStats& operator+=(const MessageStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    rounds += o.rounds;
+    return *this;
+  }
+
+  /// Difference of two cumulative ledgers, with the same underflow contract
+  /// as IoStats::operator-.
+  MessageStats operator-(const MessageStats& o) const {
+    NMRS_DCHECK(o.messages <= messages) << "messages underflow";
+    NMRS_DCHECK(o.bytes <= bytes) << "bytes underflow";
+    NMRS_DCHECK(o.rounds <= rounds) << "rounds underflow";
+    return {messages - o.messages, bytes - o.bytes, rounds - o.rounds};
+  }
+
+  bool operator==(const MessageStats& o) const = default;
+
+  std::string ToString() const;
+};
+
+/// Converts a MessageStats ledger into modeled milliseconds, exactly as
+/// IoCostModel converts page counts. Defaults approximate a same-rack
+/// datacenter network: ~50 us fixed cost per message (RPC framing +
+/// scheduling), ~1 GB/s effective payload bandwidth, ~0.2 ms per
+/// synchronization round (the barrier latency itself, on top of the
+/// per-message costs of that round).
+struct MessageCostModel {
+  double ms_per_message = 0.05;
+  double ms_per_mib = 1.0;
+  double ms_per_round = 0.2;
+
+  double EstimateMillis(const MessageStats& s) const {
+    return ms_per_message * static_cast<double>(s.messages) +
+           ms_per_mib * (static_cast<double>(s.bytes) / (1024.0 * 1024.0)) +
+           ms_per_round * static_cast<double>(s.rounds);
+  }
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_SHARD_MESSAGE_STATS_H_

@@ -1,0 +1,151 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "order/zorder.h"
+
+namespace nmrs {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix for the hash partitioner.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Morton key of one row, discretized exactly like TileZOrder: each
+// attribute's value id is scaled into [0, effective_tiles) and the tile
+// coordinates are bit-interleaved in physical attribute order.
+std::vector<uint64_t> ZKeys(const RowBatch& rows, const Schema& schema,
+                            size_t tiles_per_dim) {
+  const size_t m = schema.num_attributes();
+  unsigned bits = 1;
+  while ((1u << bits) < tiles_per_dim) ++bits;
+  const unsigned max_bits = static_cast<unsigned>(64 / std::max<size_t>(m, 1));
+  if (bits > max_bits) bits = max_bits;
+  const size_t effective_tiles = std::min<size_t>(tiles_per_dim, 1u << bits);
+
+  std::vector<uint64_t> keys(rows.size());
+  std::vector<uint32_t> coords(m);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const ValueId* row = rows.row_values(r);
+    for (size_t a = 0; a < m; ++a) {
+      const size_t card = schema.attribute(a).cardinality;
+      uint64_t t = card <= 1 ? 0
+                             : static_cast<uint64_t>(row[a]) *
+                                   effective_tiles / card;
+      if (t >= effective_tiles) t = effective_tiles - 1;
+      coords[a] = static_cast<uint32_t>(t);
+    }
+    keys[r] = ZValue(coords, bits);
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::string_view ShardByName(ShardBy s) {
+  switch (s) {
+    case ShardBy::kZOrderRange:
+      return "zorder";
+    case ShardBy::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+std::vector<int> AssignRowsToShards(const RowBatch& rows, const Schema& schema,
+                                    const ShardPlanOptions& opts) {
+  NMRS_CHECK_GE(opts.num_shards, 1);
+  const size_t n = rows.size();
+  const size_t num_shards = static_cast<size_t>(opts.num_shards);
+  std::vector<int> shard_of(n, 0);
+  if (num_shards == 1 || n == 0) return shard_of;
+
+  if (opts.shard_by == ShardBy::kHash) {
+    for (size_t r = 0; r < n; ++r) {
+      shard_of[r] = static_cast<int>(
+          Mix64(static_cast<uint64_t>(rows.id(r)) ^ opts.hash_seed) %
+          num_shards);
+    }
+    return shard_of;
+  }
+
+  // Z-order range: rank rows by (Morton key, stored position) — the
+  // position tiebreak makes duplicate-key runs split deterministically —
+  // and cut the rank space into num_shards equal ranges. With more shards
+  // than rows the trailing ranges are empty; the partition is still total.
+  const std::vector<uint64_t> keys = ZKeys(rows, schema, opts.tiles_per_dim);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  for (size_t rank = 0; rank < n; ++rank) {
+    shard_of[order[rank]] = static_cast<int>(rank * num_shards / n);
+  }
+  return shard_of;
+}
+
+StatusOr<ShardedDataset> ShardedDataset::Partition(
+    const PreparedDataset& base, const ShardPlanOptions& opts) {
+  if (opts.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  ShardedDataset sharded(base, opts);
+  if (opts.num_shards == 1) {
+    // The single shard IS the base file: no copy, no partitioning IO, and
+    // sharded execution over it reads the very same pages a single-shard
+    // run would.
+    sharded.shards_.push_back(base.stored);
+    return sharded;
+  }
+
+  Timer timer;
+  SimulatedDisk* disk = base.stored.disk();
+  const Schema& schema = base.stored.schema();
+  const bool checksum = base.stored.checksum_pages();
+  const IoStats io_before = disk->stats();
+  disk->InvalidateArmPosition();
+
+  RowBatch rows(schema.num_attributes(), schema.NumNumeric() > 0);
+  NMRS_RETURN_IF_ERROR(base.stored.ReadAll(&rows));
+  NMRS_CHECK(rows.size() == base.stored.num_rows());
+  const std::vector<int> shard_of = AssignRowsToShards(rows, schema, opts);
+
+  // One pass per shard over the in-memory rows, appending in stored order:
+  // each shard file is a stored-order subsequence of the base, so the
+  // SRS/TRS sort and tile-cluster invariants survive partitioning.
+  for (int s = 0; s < opts.num_shards; ++s) {
+    const FileId file = disk->CreateFile("shard-" + std::to_string(s));
+    RowWriter writer(disk, file, schema, checksum);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (shard_of[r] != s) continue;
+      NMRS_RETURN_IF_ERROR(
+          writer.Add(rows.id(r), rows.row_values(r), rows.row_numerics(r)));
+    }
+    NMRS_RETURN_IF_ERROR(writer.Finish());
+    sharded.shards_.emplace_back(disk, file, schema, writer.rows_written(),
+                                 checksum);
+  }
+
+  sharded.partition_io_ = disk->stats() - io_before;
+  sharded.partition_millis_ = timer.ElapsedMillis();
+  return sharded;
+}
+
+std::vector<uint64_t> ShardedDataset::RowsPerShard() const {
+  std::vector<uint64_t> rows;
+  rows.reserve(shards_.size());
+  for (const StoredDataset& s : shards_) rows.push_back(s.num_rows());
+  return rows;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,105 @@
+#ifndef NMRS_SHARD_SHARD_PLAN_H_
+#define NMRS_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/pipeline.h"
+#include "data/object.h"
+#include "data/stored_dataset.h"
+#include "storage/io_stats.h"
+
+namespace nmrs {
+
+/// How rows are assigned to shards (docs/SHARDING.md).
+enum class ShardBy {
+  /// Balanced Z-order ranges: every row gets a Morton key from its tile
+  /// coordinates (the TileZOrder discretization of order/zorder.h), rows are
+  /// ranked by (key, stored position) and the rank space is cut into
+  /// num_shards equal ranges. Spatially close rows land on the same shard,
+  /// so a shard's local pruning sees the neighbours most likely to prune
+  /// its candidates.
+  kZOrderRange,
+  /// Seeded hash of the RowId: uniform and order-oblivious, the baseline
+  /// any-key partitioner.
+  kHash,
+};
+
+std::string_view ShardByName(ShardBy s);
+
+struct ShardPlanOptions {
+  /// Number of shards (>= 1). 1 == no partitioning: the single shard
+  /// aliases the base file verbatim, so sharded execution degenerates to
+  /// exactly the single-shard code path.
+  int num_shards = 1;
+
+  ShardBy shard_by = ShardBy::kZOrderRange;
+
+  /// Z-key resolution for kZOrderRange (tiles per dimension, as in
+  /// PrepareOptions::tiles_per_dim). Finer tiles separate rows that coarse
+  /// tiles would tie; ties are broken by stored position either way.
+  size_t tiles_per_dim = 8;
+
+  /// Seed of the kHash row mix.
+  uint64_t hash_seed = 0x73686172ull;  // "shar"
+};
+
+/// Assigns every row of `rows` to a shard in [0, opts.num_shards). Total
+/// (every row gets exactly one shard) and deterministic (a pure function of
+/// the row contents, the schema and the options — independent of disk
+/// layout, thread count, or any prior partitioning). Exposed separately
+/// from Partition so the edge cases — empty shards, one dominant key,
+/// more shards than rows, duplicate keys straddling a range boundary — can
+/// be tested without a disk.
+std::vector<int> AssignRowsToShards(const RowBatch& rows, const Schema& schema,
+                                    const ShardPlanOptions& opts);
+
+/// A frozen base dataset split into per-shard files on the same
+/// SimulatedDisk, each a row-subset of the base in its original stored
+/// order (so per-shard SRS/TRS sort and tile invariants hold: a subsequence
+/// of sorted data is sorted). Shard files are created by Partition and are
+/// part of the disk's frozen structure afterwards — build engines (and
+/// their DiskViews / BufferPools / fault ceilings) only after partitioning.
+class ShardedDataset {
+ public:
+  /// Splits `base` into opts.num_shards shard files. With num_shards == 1
+  /// no files are created and shard(0) aliases the base file — zero
+  /// partitioning IO, bit-identical single-shard execution. The read of the
+  /// base and the shard writes are one-time preprocessing, reported in
+  /// partition_io()/partition_millis() (charged to the base disk like
+  /// PrepareDataset's serialization).
+  static StatusOr<ShardedDataset> Partition(const PreparedDataset& base,
+                                            const ShardPlanOptions& opts);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardPlanOptions& options() const { return opts_; }
+  const PreparedDataset& base() const { return base_; }
+
+  /// Shard s as a dataset on the base disk (s == 0 aliases the base file
+  /// when num_shards == 1). May hold zero rows.
+  const StoredDataset& shard(int s) const { return shards_[s]; }
+  uint64_t shard_rows(int s) const { return shards_[s].num_rows(); }
+
+  /// Rows per shard, in shard order.
+  std::vector<uint64_t> RowsPerShard() const;
+
+  IoStats partition_io() const { return partition_io_; }
+  double partition_millis() const { return partition_millis_; }
+
+ private:
+  ShardedDataset(PreparedDataset base, ShardPlanOptions opts)
+      : base_(std::move(base)), opts_(opts) {}
+
+  PreparedDataset base_;
+  ShardPlanOptions opts_;
+  std::vector<StoredDataset> shards_;
+  IoStats partition_io_;
+  double partition_millis_ = 0;
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_SHARD_SHARD_PLAN_H_

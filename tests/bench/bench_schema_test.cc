@@ -1,0 +1,76 @@
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gtest/gtest.h"
+
+namespace nmrs {
+namespace bench {
+namespace {
+
+// Pins the JSON schema of the shared emitters. Gate scripts
+// (tools/check_*_gate.py) key off these field names, so a rename or a
+// dropped counter must fail here, not in CI archaeology. The companion
+// static_asserts in bench_util.cc pin the *struct* sizes, so a counter
+// added to IoStats/MessageStats cannot be silently absent from the schema.
+
+TEST(BenchSchemaTest, EmitIoFieldsCoversEveryCounter) {
+  IoStats io;
+  io.seq_reads = 1;
+  io.rand_reads = 2;
+  io.seq_writes = 3;
+  io.rand_writes = 4;
+  io.cache_hits = 5;
+  io.cache_misses = 6;
+  io.cache_evictions = 7;
+  io.transient_retries = 8;
+  io.checksum_failures = 9;
+  io.quarantined_pages = 10;
+  io.failovers = 11;
+  io.replica_reads[0] = 12;
+  io.replica_reads[1] = 13;
+
+  JsonWriter json("schema_pin");
+  json.BeginRun();
+  EmitIoFields(&json, io);
+
+  const std::vector<std::string> want = {
+      "seq_reads",         "rand_reads",        "seq_writes",
+      "rand_writes",       "total_seq_io",      "total_rand_io",
+      "cache_hits",        "cache_misses",      "cache_evictions",
+      "cache_hit_ratio",   "transient_retries", "checksum_failures",
+      "quarantined_pages", "failovers",         "replica_reads_total",
+  };
+  EXPECT_EQ(json.RunKeys(0), want);
+}
+
+TEST(BenchSchemaTest, EmitMessageFieldsCoversEveryCounter) {
+  MessageStats msg;
+  msg.messages = 3;
+  msg.bytes = 4096;
+  msg.rounds = 3;
+
+  JsonWriter json("schema_pin");
+  json.BeginRun();
+  EmitMessageFields(&json, msg);
+
+  const std::vector<std::string> want = {"net_messages", "net_bytes",
+                                         "net_rounds", "net_millis"};
+  EXPECT_EQ(json.RunKeys(0), want);
+}
+
+TEST(BenchSchemaTest, FieldsAccumulatePerRun) {
+  JsonWriter json("schema_pin");
+  json.BeginRun();
+  EmitIoFields(&json, IoStats{});
+  EmitMessageFields(&json, MessageStats{});
+  json.BeginRun();
+  EmitMessageFields(&json, MessageStats{});
+  ASSERT_EQ(json.num_runs(), 2u);
+  EXPECT_EQ(json.RunKeys(0).size(), 19u);
+  EXPECT_EQ(json.RunKeys(1).size(), 4u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nmrs

@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "exec/query_engine.h"
+#include "exec/sharded_engine.h"
 #include "sim/dissimilarity_matrix.h"
 
 namespace nmrs {
@@ -205,6 +206,72 @@ void CheckConfig(int index, uint64_t scenario_seed, int min_replicas) {
       NMRS_CHECK(batch->total_io == reference.total_io);
       NMRS_CHECK(batch->quarantined == reference.quarantined);
       NMRS_CHECK(batch->queries_retried == reference.queries_retried);
+    }
+  }
+
+  // Sharded scatter/gather leg (docs/SHARDING.md): the same fault config
+  // through 1..4 shards. The contract extends across shard counts: an ok
+  // query returns exactly the clean single-shard rows no matter how the
+  // data was partitioned, a failed query reports a storage fault, and
+  // nothing observable depends on the worker count. (Any bad_pages target
+  // the base file, so with > 1 shard they go dormant — the probabilistic
+  // fault processes still run against every shard file.)
+  ShardPlanOptions plan;
+  plan.num_shards = 1 + static_cast<int>(rng.Uniform(4));
+  plan.shard_by =
+      rng.Bernoulli(0.5) ? ShardBy::kZOrderRange : ShardBy::kHash;
+  auto sharded = ShardedDataset::Partition(*prepared, plan);
+  NMRS_CHECK(sharded.ok()) << sharded.status();
+
+  ShardedBatchResult sharded_ref;
+  bool have_sharded_ref = false;
+  for (size_t workers : {1u, 4u}) {
+    ShardedEngineOptions sopts;
+    sopts.engine = fopts;
+    sopts.engine.num_workers = workers;
+    auto batch = ShardedQueryEngine(*sharded, s.space, s.algo, sopts)
+                     .RunBatch(s.queries);
+    NMRS_CHECK(batch.ok()) << "config " << index
+                           << " (shards=" << plan.num_shards
+                           << "): " << batch.status();
+
+    if (expect_zero_failures) {
+      NMRS_CHECK(batch->ok())
+          << "config " << index << " (shards=" << plan.num_shards
+          << ", replicas=" << replicas << ", one faulted): failover left "
+          << batch->num_failed()
+          << " failed queries; first: " << batch->first_error();
+    }
+
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      if (batch->statuses[i].ok()) {
+        NMRS_CHECK(batch->results[i].rows == clean.results[i].rows)
+            << "config " << index << " query " << i << " (shards="
+            << plan.num_shards << "): rows depend on the partitioning";
+      } else {
+        NMRS_CHECK(batch->statuses[i].IsStorageFault())
+            << "config " << index << " query " << i
+            << ": non-storage failure " << batch->statuses[i];
+        NMRS_CHECK(batch->results[i].rows.empty());
+      }
+    }
+
+    if (!have_sharded_ref) {
+      sharded_ref = std::move(*batch);
+      have_sharded_ref = true;
+    } else {
+      for (size_t i = 0; i < s.queries.size(); ++i) {
+        NMRS_CHECK(batch->results[i].rows == sharded_ref.results[i].rows);
+        NMRS_CHECK(batch->results[i].stats.io ==
+                   sharded_ref.results[i].stats.io)
+            << "config " << index << " query " << i
+            << ": sharded per-query IO depends on worker count";
+        NMRS_CHECK(batch->statuses[i].ToString() ==
+                   sharded_ref.statuses[i].ToString());
+      }
+      NMRS_CHECK(batch->total_io == sharded_ref.total_io);
+      NMRS_CHECK(batch->total_messages == sharded_ref.total_messages);
+      NMRS_CHECK(batch->tasks_retried == sharded_ref.tasks_retried);
     }
   }
 }

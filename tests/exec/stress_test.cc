@@ -12,6 +12,7 @@
 #include "common/sync.h"
 #include "data/generators.h"
 #include "exec/query_engine.h"
+#include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
 #include "sim/dissimilarity_matrix.h"
 #include "storage/buffer_pool.h"
@@ -537,6 +538,91 @@ void StressReplicaBatch() {
               static_cast<unsigned long long>(reference.total_io.failovers));
 }
 
+// Sharded scatter/gather under maximum scheduling pressure: many workers,
+// few queries' worth of (query, shard) tasks per phase, a shared cache per
+// shard, plus a run with a dead replica 0 — every combination must produce
+// the same rows as the 1-shard run and be worker-count invariant. This is
+// the TSan workout for the exchange data structures (per-(query, shard)
+// slots, verdict bitmaps, the shared quarantine log and IO ledgers).
+void StressShardedBatch() {
+  Rng rng(4242);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(5000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kBRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  std::vector<std::vector<RowId>> want;
+  for (int shards = 1; shards <= 4; ++shards) {
+    ShardPlanOptions plan;
+    plan.num_shards = shards;
+    auto sharded = ShardedDataset::Partition(*prepared, plan);
+    NMRS_CHECK(sharded.ok()) << sharded.status();
+
+    ShardedBatchResult reference;
+    bool have_reference = false;
+    for (size_t workers : {1u, 8u, 8u}) {
+      ShardedEngineOptions opts;
+      opts.engine.num_workers = workers;
+      opts.engine.cache_pages = 32;
+      ShardedQueryEngine engine(*sharded, space, Algorithm::kBRS, opts);
+      auto batch = engine.RunBatch(queries);
+      NMRS_CHECK(batch.ok()) << batch.status();
+      NMRS_CHECK(batch->ok()) << batch->first_error();
+      if (!have_reference) {
+        reference = std::move(*batch);
+        have_reference = true;
+        continue;
+      }
+      NMRS_CHECK(batch->total_messages == reference.total_messages);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        NMRS_CHECK(batch->results[i].rows == reference.results[i].rows);
+      }
+    }
+
+    if (shards == 1) {
+      for (const auto& r : reference.results) want.push_back(r.rows);
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        NMRS_CHECK(reference.results[i].rows == want[i])
+            << "shards=" << shards << " query " << i;
+      }
+    }
+
+    // A dead replica 0 on every shard: page-granular failover must still
+    // produce the same rows with all workers fighting over the exchange.
+    ShardedEngineOptions fopts;
+    fopts.engine.num_workers = 8;
+    fopts.engine.rs.resilience.replicas = 2;
+    FaultConfig dead;
+    dead.seed = 6;
+    dead.data_loss_p = 1.0;
+    fopts.engine.replica_faults = {dead, FaultConfig{}};
+    ShardedQueryEngine engine(*sharded, space, Algorithm::kBRS, fopts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    NMRS_CHECK(batch->ok()) << batch->first_error();
+    NMRS_CHECK(batch->total_io.failovers > 0);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NMRS_CHECK(batch->results[i].rows == want[i]);
+    }
+  }
+  std::printf("sharded batch: %zu queries x shards 1..4, cache + dead "
+              "replica, rows identical throughout\n",
+              queries.size());
+}
+
 }  // namespace
 }  // namespace nmrs
 
@@ -551,6 +637,7 @@ int main() {
   nmrs::StressFaultBatch();
   nmrs::StressConcurrentFailover();
   nmrs::StressReplicaBatch();
+  nmrs::StressShardedBatch();
   std::printf("exec stress: all ok\n");
   return 0;
 }

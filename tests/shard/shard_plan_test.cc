@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "shard/shard_plan.h"
+#include "testing/test_util.h"
+
+namespace nmrs {
+namespace {
+
+using testing::RandomInstance;
+
+// Partitioner edge cases: assignments must be total and deterministic, and
+// Partition must survive empty shards, one-shard degeneracy, more shards
+// than rows, and duplicate keys straddling a range boundary.
+
+RowBatch MakeRows(const Schema& schema,
+                  const std::vector<std::vector<ValueId>>& rows) {
+  RowBatch batch(schema.num_attributes(), schema.NumNumeric() > 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    batch.Append(static_cast<RowId>(i), rows[i].data(), nullptr);
+  }
+  return batch;
+}
+
+void ExpectTotal(const std::vector<int>& shard_of, int num_shards,
+                 size_t num_rows) {
+  ASSERT_EQ(shard_of.size(), num_rows);
+  for (int s : shard_of) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, num_shards);
+  }
+}
+
+TEST(AssignRowsToShardsTest, TotalAndDeterministicBothPartitioners) {
+  RandomInstance inst(7, 500, {5, 9, 4});
+  const Schema& schema = inst.data.schema();
+  RowBatch rows(schema.num_attributes(), false);
+  for (RowId i = 0; i < inst.data.num_rows(); ++i) {
+    rows.Append(i, inst.data.RowValues(i), nullptr);
+  }
+  for (ShardBy by : {ShardBy::kZOrderRange, ShardBy::kHash}) {
+    ShardPlanOptions opts;
+    opts.num_shards = 3;
+    opts.shard_by = by;
+    const std::vector<int> a = AssignRowsToShards(rows, schema, opts);
+    ExpectTotal(a, 3, rows.size());
+    const std::vector<int> b = AssignRowsToShards(rows, schema, opts);
+    EXPECT_EQ(a, b) << ShardByName(by);
+    // Every shard gets work on a 500-row instance.
+    std::set<int> used(a.begin(), a.end());
+    EXPECT_EQ(used.size(), 3u) << ShardByName(by);
+  }
+}
+
+TEST(AssignRowsToShardsTest, OneShardAndEmptyInputDegenerate) {
+  const Schema schema = Schema::Categorical({4, 4});
+  RowBatch rows = MakeRows(schema, {{0, 1}, {3, 2}, {1, 1}});
+  ShardPlanOptions opts;  // num_shards = 1
+  EXPECT_EQ(AssignRowsToShards(rows, schema, opts),
+            (std::vector<int>{0, 0, 0}));
+
+  RowBatch empty(schema.num_attributes(), false);
+  opts.num_shards = 4;
+  EXPECT_TRUE(AssignRowsToShards(empty, schema, opts).empty());
+}
+
+TEST(AssignRowsToShardsTest, ZOrderDuplicateKeysSplitByStoredPosition) {
+  // Every row has the same key, so every Z-key ties: the rank cut must
+  // still spread rows across shards (ties broken by stored position) and
+  // keep each shard a contiguous run of the stored order.
+  const Schema schema = Schema::Categorical({3, 3});
+  RowBatch rows = MakeRows(
+      schema, {{1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}});
+  ShardPlanOptions opts;
+  opts.num_shards = 3;
+  opts.shard_by = ShardBy::kZOrderRange;
+  const std::vector<int> shard_of = AssignRowsToShards(rows, schema, opts);
+  ExpectTotal(shard_of, 3, 7);
+  // rank * 3 / 7 over ranks 0..6 = {0,0,0,1,1,2,2}, in stored order.
+  EXPECT_EQ(shard_of, (std::vector<int>{0, 0, 0, 1, 1, 2, 2}));
+}
+
+TEST(AssignRowsToShardsTest, MoreShardsThanRowsLeavesTrailingShardsEmpty) {
+  const Schema schema = Schema::Categorical({8});
+  RowBatch rows = MakeRows(schema, {{0}, {7}});
+  ShardPlanOptions opts;
+  opts.num_shards = 5;
+  const std::vector<int> shard_of = AssignRowsToShards(rows, schema, opts);
+  ExpectTotal(shard_of, 5, 2);
+  // Two distinct keys, five range cuts: the rows land on different shards.
+  EXPECT_NE(shard_of[0], shard_of[1]);
+}
+
+TEST(ShardedDatasetTest, PartitionIsTotalOrderPreservingAndHandlesEmpty) {
+  RandomInstance inst(11, 300, {4, 5, 6});
+  SimulatedDisk disk;
+  auto prep = PrepareDataset(&disk, inst.data, Algorithm::kSRS);
+  ASSERT_TRUE(prep.ok()) << prep.status();
+
+  // Skew the plan so some shard very likely ends up empty: more shards
+  // than distinct z-tiles at the coarsest resolution.
+  ShardPlanOptions opts;
+  opts.num_shards = 7;
+  opts.tiles_per_dim = 2;
+  auto sharded = ShardedDataset::Partition(*prep, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(sharded->num_shards(), 7);
+
+  // Base stored position of every row id (SRS prep reorders rows, so the
+  // stored sequence is not ascending-id).
+  std::vector<size_t> base_pos(prep->stored.num_rows());
+  {
+    RowBatch page(inst.data.schema().num_attributes(), false);
+    PagedReader reader(prep->stored.disk(), nullptr, {});
+    size_t pos = 0;
+    for (PageId p = 0; p < prep->stored.num_pages(); ++p) {
+      page.Clear();
+      ASSERT_TRUE(prep->stored.ReadPageVia(&reader, p, &page).ok());
+      for (size_t i = 0; i < page.size(); ++i) base_pos[page.id(i)] = pos++;
+    }
+  }
+
+  // Totality: shard row counts sum to the base count; every shard file is
+  // readable even when empty; each shard keeps its rows in base stored
+  // order (the SRS/TRS invariant: a subsequence of sorted data is sorted).
+  uint64_t total = 0;
+  for (int s = 0; s < 7; ++s) {
+    total += sharded->shard_rows(s);
+    RowBatch out(inst.data.schema().num_attributes(), false);
+    RowBatch page(inst.data.schema().num_attributes(), false);
+    PagedReader reader(sharded->shard(s).disk(), nullptr, {});
+    for (PageId p = 0; p < sharded->shard(s).num_pages(); ++p) {
+      page.Clear();
+      ASSERT_TRUE(sharded->shard(s).ReadPageVia(&reader, p, &page).ok());
+      for (size_t i = 0; i < page.size(); ++i) {
+        out.Append(page.id(i), page.row_values(i), nullptr);
+      }
+    }
+    for (size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LT(base_pos[out.id(i - 1)], base_pos[out.id(i)]) << "shard " << s;
+    }
+  }
+  EXPECT_EQ(total, prep->stored.num_rows());
+  EXPECT_GT(sharded->partition_io().Total(), 0u);
+
+  // Determinism: partitioning the same base again yields the same split.
+  auto again = ShardedDataset::Partition(*prep, opts);
+  ASSERT_TRUE(again.ok()) << again.status();
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_EQ(sharded->shard_rows(s), again->shard_rows(s)) << "shard " << s;
+  }
+}
+
+TEST(ShardedDatasetTest, SingleShardAliasesBaseFile) {
+  RandomInstance inst(13, 100, {4, 4});
+  SimulatedDisk disk;
+  auto prep = PrepareDataset(&disk, inst.data, Algorithm::kBRS);
+  ASSERT_TRUE(prep.ok()) << prep.status();
+  const uint64_t files_before = disk.next_file_id();
+
+  auto sharded = ShardedDataset::Partition(*prep, ShardPlanOptions{});
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(sharded->num_shards(), 1);
+  EXPECT_EQ(sharded->shard(0).file(), prep->stored.file());
+  EXPECT_EQ(disk.next_file_id(), files_before);  // no new files
+  EXPECT_EQ(sharded->partition_io().Total(), 0u);
+  EXPECT_EQ(sharded->shard_rows(0), prep->stored.num_rows());
+}
+
+TEST(ShardedDatasetTest, RejectsNonPositiveShardCount) {
+  RandomInstance inst(17, 20, {3, 3});
+  SimulatedDisk disk;
+  auto prep = PrepareDataset(&disk, inst.data, Algorithm::kBRS);
+  ASSERT_TRUE(prep.ok()) << prep.status();
+  ShardPlanOptions opts;
+  opts.num_shards = 0;
+  EXPECT_EQ(ShardedDataset::Partition(*prep, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nmrs

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Correctness + perf gate on a freshly emitted BENCH_shards.json.
+
+ci.sh runs `bench_shards --quick` and then this script. The build fails
+if any of these hold:
+
+  1. Any run says identical=0 — the sharded scatter/gather + pruner
+     exchange changed result rows relative to the single-shard reference.
+     Bit-identity across shard counts and partitioners is the exchange's
+     core contract (docs/SHARDING.md), so this gate has no threshold and
+     applies on every run.
+  2. The 4-shard z-order run's modeled makespan speedup over 1 shard is
+     below 2.0x. The bench workload is scan-heavy with a per-machine page
+     cache sized to a quarter of the base file, so four shards hold their
+     slice resident while one machine thrashes; the deterministic LPT
+     makespan model (max(total_work/W, largest task) per shard, plus the
+     serialized exchange) lands well above 3x on both quick and full
+     runs, so 2.0x is a regression floor, not a flake line.
+
+The bench itself reports the same two conditions as shape checks; this
+script re-derives them from the JSON so CI fails even if the bench's
+stdout is lost, and so the committed BENCH_shards.json can be re-audited
+offline.
+
+Usage: check_shard_gate.py [path/to/BENCH_shards.json]
+"""
+
+import json
+import sys
+
+SPEEDUP_THRESHOLD = 2.0
+GATED_SHARDS = 4
+GATED_PARTITIONER = "zorder"
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_shards.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"shard-gate: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    runs = doc.get("runs", [])
+    if not runs:
+        print(f"shard-gate: no runs in {path}", file=sys.stderr)
+        return 1
+    failures = []
+
+    # 1. Correctness: every run must reproduce the single-shard rows.
+    for r in runs:
+        if r.get("identical") == 0:
+            failures.append(
+                f"identical=0 at shards={r.get('shards')} "
+                f"shard_by={r.get('shard_by')}"
+            )
+    if not failures:
+        print(f"shard-gate: bit-identity OK across {len(runs)} runs")
+
+    # 2. Modeled speedup at the widest z-order fan-out.
+    gated = [
+        r
+        for r in runs
+        if r.get("shards") == GATED_SHARDS
+        and r.get("shard_by") == GATED_PARTITIONER
+    ]
+    if not gated:
+        print(
+            f"shard-gate: no shards={GATED_SHARDS} {GATED_PARTITIONER} "
+            f"run in {path}",
+            file=sys.stderr,
+        )
+        return 1
+    worst = min(gated, key=lambda r: r.get("speedup_vs_1_shard", 0.0))
+    speedup = worst.get("speedup_vs_1_shard", 0.0)
+    ok = speedup >= SPEEDUP_THRESHOLD
+    print(
+        f"shard-gate: speedup {'OK' if ok else 'FAIL'} — "
+        f"shards={GATED_SHARDS} ({GATED_PARTITIONER}) "
+        f"rows={worst.get('num_rows')} queries={worst.get('num_queries')} "
+        f"speedup={speedup:.2f} (need >= {SPEEDUP_THRESHOLD:.1f})"
+    )
+    if not ok:
+        failures.append(f"4-shard modeled speedup {speedup:.2f}")
+
+    if failures:
+        print("shard-gate: FAIL — " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("shard-gate: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

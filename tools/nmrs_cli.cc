@@ -10,6 +10,7 @@
 //   nmrs_cli query --data=data.csv --matrices=prefix --query=1,2,3
 //            [--algo=trs|srs|brs|naive|tsrs|ttrs] [--mem=0.1]
 //            [--attrs=0,2] [--kernels] [--promote-rows=N] [--seed=S]
+//            [--shards=N] [--shard-by=zorder|hash]
 //            [common fault flags]
 //       Runs a reverse-skyline query and prints the result rows + stats.
 //       --kernels turns on the block dominance kernels (docs/KERNELS.md)
@@ -47,6 +48,7 @@
 //            [--retries=N] [--max-query-retries=N] [--fail-fast]
 //            [--replicas=N] [--replica-seed-base=S]
 //            [--bad-replicas=r:loss_p,...]
+//            [--shards=N] [--shard-by=zorder|hash]
 //       Samples K query objects and runs them as one batch on the parallel
 //       query engine (W pool workers, each query optionally using T
 //       intra-query threads), printing per-query results and the modeled
@@ -73,6 +75,15 @@
 //       prints the shared-scan summary; it silently falls back to
 //       per-query execution under fault injection, replica failover, or
 //       other algorithms.
+//
+//       --shards=N (query and batch modes) partitions the prepared dataset
+//       into N shards (--shard-by=zorder Z-order ranges, the default, or
+//       --shard-by=hash) and runs the scatter/gather executor with the
+//       cross-shard pruner exchange (docs/SHARDING.md) instead of the
+//       single-shard engine — result rows are bit-identical either way.
+//       Per-query output adds the per-shard candidate counts and the
+//       exchange's message/byte/round ledger; the batch summary adds the
+//       total MessageStats and the modeled network cost.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -256,6 +267,36 @@ Status ParseFaultFlags(const Flags& flags, FaultConfig* cfg) {
   return Status::OK();
 }
 
+// --shards=N / --shard-by=zorder|hash (docs/SHARDING.md).
+Status ParseShardPlan(const Flags& flags, ShardPlanOptions* plan) {
+  plan->num_shards = std::atoi(FlagOr(flags, "shards", "1").c_str());
+  if (plan->num_shards < 1) {
+    return Status::InvalidArgument("--shards must be at least 1");
+  }
+  const std::string by = FlagOr(flags, "shard-by", "zorder");
+  if (by == "zorder") {
+    plan->shard_by = ShardBy::kZOrderRange;
+  } else if (by == "hash") {
+    plan->shard_by = ShardBy::kHash;
+  } else {
+    return Status::InvalidArgument("--shard-by must be 'zorder' or 'hash'");
+  }
+  return Status::OK();
+}
+
+std::string ShardCandidateSummary(const ShardQueryBreakdown& b) {
+  std::string out = "cands/shard=[";
+  for (size_t s = 0; s < b.shard_candidates.size(); ++s) {
+    if (s > 0) out += ",";
+    out += std::to_string(b.shard_candidates[s]);
+  }
+  out += "]";
+  if (b.messages.messages != 0) {
+    out += " exchange: " + b.messages.ToString();
+  }
+  return out;
+}
+
 // --bad-replicas=r:loss_p,...: pins the faults to the listed replicas only.
 // Replica r gets the shared FaultConfig with data_loss_p forced to loss_p
 // (and its usual derived per-replica seed); every unlisted replica runs
@@ -419,6 +460,40 @@ int CmdQuery(const Flags& flags) {
   FaultConfig faults;
   st = ParseFaultFlags(flags, &faults);
   if (!st.ok()) return Fail(st.ToString());
+
+  if (flags.count("shards") != 0) {
+    // Sharded path: partition the prepared dataset and run the query as a
+    // one-element batch through the scatter/gather executor.
+    ShardPlanOptions plan;
+    st = ParseShardPlan(flags, &plan);
+    if (!st.ok()) return Fail(st.ToString());
+    auto sharded = ShardedDataset::Partition(*prepared, plan);
+    if (!sharded.ok()) return Fail(sharded.status().ToString());
+
+    ShardedEngineOptions sopts;
+    sopts.engine.num_workers =
+        std::strtoull(FlagOr(flags, "workers", "1").c_str(), nullptr, 10);
+    sopts.engine.rs = opts;
+    sopts.engine.faults = faults;
+    sopts.engine.max_query_retries =
+        std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
+    ShardedQueryEngine engine(*sharded, setup->space, *algo, sopts);
+    auto batch = engine.RunBatch({setup->query});
+    if (!batch.ok()) return Fail(batch.status().ToString());
+    if (!batch->statuses[0].ok()) return Fail(batch->statuses[0].ToString());
+
+    std::printf("RS(Q) via %s over %d %s shards: %zu rows\n",
+                std::string(AlgorithmName(*algo)).c_str(), plan.num_shards,
+                std::string(ShardByName(plan.shard_by)).c_str(),
+                batch->results[0].rows.size());
+    for (RowId r : batch->results[0].rows) {
+      std::printf("  row %llu %s\n", static_cast<unsigned long long>(r),
+                  setup->data.GetObject(r).ToString().c_str());
+    }
+    std::printf("  %s\n", ShardCandidateSummary(batch->breakdown[0]).c_str());
+    PrintStats(batch->results[0].stats);
+    return 0;
+  }
 
   // Standalone replica wiring: with faults or --replicas > 1 the query runs
   // against replica 0's faulty view with the remaining replicas attached
@@ -611,6 +686,87 @@ int CmdBatch(const Flags& flags) {
                  : MemoryBudget::FromFraction(pct / 100.0,
                                               prepared->stored.num_pages())
                        .pages;
+  }
+
+  if (flags.count("shards") != 0) {
+    ShardPlanOptions plan;
+    st = ParseShardPlan(flags, &plan);
+    if (!st.ok()) return Fail(st.ToString());
+    auto sharded = ShardedDataset::Partition(*prepared, plan);
+    if (!sharded.ok()) return Fail(sharded.status().ToString());
+
+    ShardedEngineOptions sopts;
+    sopts.engine = eopts;
+    ShardedQueryEngine engine(*sharded, *space, *algo, sopts);
+    auto batch = engine.RunBatch(queries);
+    if (!batch.ok()) return Fail(batch.status().ToString());
+
+    std::printf("batch of %d %s queries on %zu workers x %d %s shards:\n", k,
+                std::string(AlgorithmName(*algo)).c_str(),
+                engine.num_workers(), plan.num_shards,
+                std::string(ShardByName(plan.shard_by)).c_str());
+    for (int i = 0; i < k; ++i) {
+      const QueryStats& s = batch->results[i].stats;
+      if (batch->statuses[i].ok()) {
+        std::printf("  Q%-3d %-20s |RS|=%-5zu %s\n", i,
+                    queries[i].ToString().c_str(),
+                    batch->results[i].rows.size(),
+                    ShardCandidateSummary(batch->breakdown[i]).c_str());
+      } else {
+        std::printf("  Q%-3d %-20s FAILED: %s (partial io %llu pages)\n", i,
+                    queries[i].ToString().c_str(),
+                    batch->statuses[i].ToString().c_str(),
+                    static_cast<unsigned long long>(s.io.Total()));
+      }
+    }
+    std::printf(
+        "total io: %llu seq + %llu rand pages\n"
+        "exchange: %s (modeled %.2fms)\n"
+        "wall %.1fms, modeled makespan %.1fms, modeled throughput %.2f "
+        "q/s\n",
+        static_cast<unsigned long long>(batch->total_io.TotalSequential()),
+        static_cast<unsigned long long>(batch->total_io.TotalRandom()),
+        batch->total_messages.ToString().c_str(),
+        batch->ExchangeModeledMillis(), batch->wall_millis,
+        batch->ModeledMakespanMillis(), batch->ModeledQps());
+    if (eopts.shared_scan) {
+      if (batch->shared_scan_groups != 0) {
+        std::printf(
+            "shared scans: %llu (group, shard) passes, %llu shared "
+            "batches, %llu shared pages\n",
+            static_cast<unsigned long long>(batch->shared_scan_groups),
+            static_cast<unsigned long long>(batch->shared_scan_batches),
+            static_cast<unsigned long long>(batch->shared_io.Total()));
+      } else {
+        std::printf("shared scans: fell back to per-query execution\n");
+      }
+    }
+    if (batch->total_io.transient_retries != 0 ||
+        batch->total_io.checksum_failures != 0 ||
+        batch->total_io.quarantined_pages != 0 ||
+        batch->total_io.failovers != 0) {
+      std::printf(
+          "faults: %llu transient retries, %llu checksum failures, "
+          "%llu quarantined page reads, %llu failovers\n",
+          static_cast<unsigned long long>(batch->total_io.transient_retries),
+          static_cast<unsigned long long>(batch->total_io.checksum_failures),
+          static_cast<unsigned long long>(batch->total_io.quarantined_pages),
+          static_cast<unsigned long long>(batch->total_io.failovers));
+    }
+    if (batch->total_io.ReplicaReadsTotal() != 0) {
+      std::printf("replica reads: %s\n",
+                  ReplicaReadsSummary(batch->total_io).c_str());
+    }
+    if (batch->tasks_retried != 0) {
+      std::printf("%llu shard tasks recovered via clean-view retry\n",
+                  static_cast<unsigned long long>(batch->tasks_retried));
+    }
+    if (!batch->ok()) {
+      std::fprintf(stderr, "%zu of %d queries failed\n", batch->num_failed(),
+                   k);
+      return 1;
+    }
+    return 0;
   }
 
   QueryEngine engine(*prepared, *space, *algo, eopts);
