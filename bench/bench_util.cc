@@ -186,6 +186,21 @@ void EmitIoFields(JsonWriter* json, const IoStats& io) {
   json->Field("replica_reads_total", io.ReplicaReadsTotal());
 }
 
+void EmitOverlayFields(JsonWriter* json, uint64_t sensitive_rows,
+                       uint64_t invariant_rows, uint64_t recheck_scans,
+                       uint64_t recheck_checks, uint64_t recheck_pair_tests) {
+  json->Field("sensitive_rows", sensitive_rows);
+  json->Field("invariant_rows", invariant_rows);
+  const uint64_t classified = sensitive_rows + invariant_rows;
+  json->Field("sensitive_fraction",
+              classified == 0 ? 0.0
+                              : static_cast<double>(sensitive_rows) /
+                                    static_cast<double>(classified));
+  json->Field("recheck_scans", recheck_scans);
+  json->Field("recheck_checks", recheck_checks);
+  json->Field("recheck_pair_tests", recheck_pair_tests);
+}
+
 void EmitMessageFields(JsonWriter* json, const MessageStats& messages,
                        const MessageCostModel& net) {
   static_assert(sizeof(MessageStats) == 3 * sizeof(uint64_t),

@@ -98,6 +98,19 @@ class JsonWriter {
 /// clean and chaos runs. Call between BeginRun() and the next BeginRun().
 void EmitIoFields(JsonWriter* json, const IoStats& io);
 
+/// Emits the overlay-telemetry block of a multi-tenant run — the
+/// classification split (sensitive_rows / invariant_rows plus the derived
+/// sensitive_fraction) and the re-check work (recheck_scans /
+/// recheck_checks / recheck_pair_tests). The five counters mirror
+/// OverlayBatchResult / ShardedOverlayBatchResult field for field (both
+/// carry the same telemetry surface, so the emitter takes the counters
+/// rather than either struct); extending those structs means extending
+/// this emitter and the schema-pin test together. Zero for
+/// non-overlay runs, keeping one schema across plain and overlay benches.
+void EmitOverlayFields(JsonWriter* json, uint64_t sensitive_rows,
+                       uint64_t invariant_rows, uint64_t recheck_scans,
+                       uint64_t recheck_checks, uint64_t recheck_pair_tests);
+
 /// Emits the exchange-traffic block of a sharded run — net_messages /
 /// net_bytes / net_rounds plus the modeled net_millis under `net` —
 /// sizeof-pinned against MessageStats like EmitIoFields is against

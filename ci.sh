@@ -22,6 +22,11 @@
 #                fails the run if sharded results are not bit-identical to
 #                single-shard or the 4-shard modeled speedup drops
 #                below 2.0x on the scan-heavy workload
+#   9. overlays— bench_overlays --quick, then tools/check_overlay_gate.py
+#                fails the run if incremental overlay results are not
+#                bit-identical to the per-user patched-space rebuild or
+#                the modeled speedup at 256 users / 1% touch drops
+#                below 3.0x
 # Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
 # gtest-free targets to keep every instrumented frame inside nmrs code.
 set -euo pipefail
@@ -63,5 +68,9 @@ python3 tools/check_kernel_gate.py build/BENCH_kernels.json
 echo "=== shard correctness + speedup gate (bench_shards --quick) ==="
 (cd build && ./bench/bench_shards --quick)
 python3 tools/check_shard_gate.py build/BENCH_shards.json
+
+echo "=== overlay correctness + speedup gate (bench_overlays --quick) ==="
+(cd build && ./bench/bench_overlays --quick)
+python3 tools/check_overlay_gate.py build/BENCH_overlays.json
 
 echo "ci: all ok"

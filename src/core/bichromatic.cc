@@ -10,6 +10,7 @@
 #include "core/query_distance_table.h"
 #include "core/tree_traversal.h"
 #include "data/columnar_batch.h"
+#include "sim/matrix_overlay.h"
 
 namespace nmrs {
 
@@ -63,10 +64,14 @@ StatusOr<ReverseSkylineResult> BichromaticBlockRS(
   // The kernels need a table-backed context (cached matrix columns to
   // gather from); the table changes no Prunes outcome or count, but it is
   // only built when asked for, keeping the default path seed-identical.
+  // Overlays also require the table: that is the only path through which
+  // the delta reaches the pruning checks.
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
   std::optional<QueryDistanceTable> qtable;
-  if (opts.use_kernels) qtable.emplace(space, schema, query, selected);
+  if (opts.use_kernels || opts.overlay != nullptr) {
+    qtable.emplace(space, schema, query, selected, opts.overlay);
+  }
   PruneContext ctx(space, schema, query, selected,
                    qtable ? &*qtable : nullptr);
   ReverseSkylineResult result;
@@ -141,6 +146,19 @@ StatusOr<ReverseSkylineResult> BichromaticTreeRS(
     const StoredDataset& candidates, const StoredDataset& competitors,
     const SimilaritySpace& space, const Object& query,
     const RSOptions& opts) {
+  if (opts.overlay != nullptr && !opts.overlay->empty()) {
+    // The tree traversal reads matrix rows directly, so the overlay is
+    // evaluated by materializing the patched space once per query.
+    if (&opts.overlay->base() != &space) {
+      return Status::InvalidArgument(
+          "RSOptions::overlay was built over a different base space");
+    }
+    SimilaritySpace patched = opts.overlay->BuildPatchedSpace();
+    RSOptions materialized = opts;
+    materialized.overlay = nullptr;
+    return BichromaticTreeRS(candidates, competitors, patched, query,
+                             materialized);
+  }
   SimulatedDisk* disk = candidates.disk();
   NMRS_CHECK(competitors.disk() == disk)
       << "candidates and competitors must live on the same disk";

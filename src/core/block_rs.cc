@@ -320,7 +320,8 @@ StatusOr<ReverseSkylineResult> RunBlockAlgorithm(
                      MakeReaderOptions(opts));
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
-  const QueryDistanceTable qtable(space, schema, query, selected);
+  const QueryDistanceTable qtable(space, schema, query, selected,
+                                  opts.overlay);
   PruneContext ctx(space, schema, query, selected, &qtable);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;
@@ -425,8 +426,8 @@ StatusOr<std::vector<ReverseSkylineResult>> SharedScanReverseSkylines(
   };
   std::vector<QueryRun> runs(nq);
   for (size_t q = 0; q < nq; ++q) {
-    runs[q].qtable = std::make_unique<QueryDistanceTable>(space, schema,
-                                                          queries[q], selected);
+    runs[q].qtable = std::make_unique<QueryDistanceTable>(
+        space, schema, queries[q], selected, opts.overlay);
     runs[q].ctx = std::make_unique<PruneContext>(space, schema, queries[q],
                                                  selected, runs[q].qtable.get());
     runs[q].scratch = disk->CreateFile("rs-shared-scratch");

@@ -76,7 +76,7 @@ StatusOr<ReverseSkylineResult> BnlDynamicSkyline(const StoredDataset& data,
 
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
-  const QueryDistanceTable qtable(space, schema, ref, selected);
+  const QueryDistanceTable qtable(space, schema, ref, selected, opts.overlay);
   PagedReader reader(disk, opts.cache_pages ? opts.buffer_pool : nullptr,
                      MakeReaderOptions(opts));
   ReverseSkylineResult result;

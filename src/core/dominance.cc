@@ -1,8 +1,10 @@
 #include "core/dominance.h"
 
+#include <cstring>
 #include <numeric>
 
 #include "core/query_distance_table.h"
+#include "sim/matrix_overlay.h"
 
 namespace nmrs {
 
@@ -41,6 +43,13 @@ PruneContext::PruneContext(const SimilaritySpace& space, const Schema& schema,
     NMRS_CHECK(table_->selected() == selected_)
         << "QueryDistanceTable built for a different selection";
     xcol_.assign(selected_.size(), nullptr);
+    overlay_ = table_->overlay();
+    if (overlay_ != nullptr) {
+      NMRS_CHECK_EQ(&overlay_->base(), space_)
+          << "overlay built over a different base space";
+      patched_cols_.resize(selected_.size());
+      patched_for_.assign(selected_.size(), kInvalidValueId);
+    }
   }
 }
 
@@ -55,8 +64,25 @@ void PruneContext::SetCandidate(const ValueId* x_values,
         NMRS_DCHECK(x_numerics != nullptr);
         qdist_[k] = space_->NumDist(a, query_.numerics[a], x_numerics[a]);
       } else {
-        qdist_[k] = table_->FromQuery(k)[x_values[a]];
-        xcol_[k] = space_->matrix(a).ColumnTo(x_values[a]);
+        const ValueId xv = x_values[a];
+        qdist_[k] = table_->FromQuery(k)[xv];
+        if (overlay_ != nullptr && overlay_->TouchesColumn(a, xv)) {
+          // Touched column: serve a patched scratch copy. The copy is
+          // re-used as long as consecutive candidates share the value.
+          if (patched_for_[k] != xv) {
+            const size_t card = space_->Cardinality(a);
+            patched_cols_[k].resize(card);
+            std::memcpy(patched_cols_[k].data(),
+                        space_->matrix(a).ColumnTo(xv),
+                        card * sizeof(double));
+            overlay_->PatchColumn(a, xv, patched_cols_[k].data());
+            patched_for_[k] = xv;
+          }
+          xcol_[k] = patched_cols_[k].data();
+        } else {
+          // Untouched column: alias the shared base matrix, zero copies.
+          xcol_[k] = space_->matrix(a).ColumnTo(xv);
+        }
       }
     }
     return;

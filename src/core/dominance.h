@@ -11,6 +11,7 @@
 
 namespace nmrs {
 
+class MatrixOverlay;
 class QueryDistanceTable;
 
 /// Resolves an attribute-subset selection: returns `selected` unchanged if
@@ -39,6 +40,16 @@ class PruneContext {
   /// Results are bit-identical either way (the table holds copies of the
   /// very same doubles); only the lookup path changes. The table is
   /// borrowed and must outlive the context.
+  ///
+  /// When the table carries a MatrixOverlay (docs/OVERLAYS.md) the context
+  /// evaluates the *overlaid* space: qdist_ comes pre-patched from the
+  /// table, and SetCandidate serves the candidate column d_a(., x_a) from a
+  /// per-context scratch copy with the touched entries applied — but only
+  /// when the overlay actually touches that column. Untouched columns (and
+  /// every column of an untouched attribute) alias the shared base matrix
+  /// with zero copies, so the SIMD dominance kernels gather from
+  /// CandidateColumn() unchanged. Overlays require the table: a plain
+  /// context always evaluates the base space.
   PruneContext(const SimilaritySpace& space, const Schema& schema,
                const Object& query, const std::vector<AttrId>& selected,
                const QueryDistanceTable* table = nullptr);
@@ -65,7 +76,11 @@ class PruneContext {
 
   /// Distance of value `v` (attr selected_[k]) from the candidate's value —
   /// the left-hand side of a pruning check, exposed for tree traversals.
+  /// Table-backed contexts read the cached candidate column, so overlay
+  /// patches are honored; the doubles are identical to the direct read
+  /// whenever no overlay is attached.
   double CandidateDist(size_t k, ValueId v) const {
+    if (table_ != nullptr && !is_numeric_[k]) return xcol_[k][v];
     const AttrId a = selected_[k];
     return space_->CatDist(a, v, x_values_[a]);
   }
@@ -97,6 +112,7 @@ class PruneContext {
   std::vector<AttrId> selected_;
   std::vector<bool> is_numeric_;  // aligned with selected_
   const QueryDistanceTable* table_;
+  const MatrixOverlay* overlay_ = nullptr;  // the table's overlay, if any
   const ValueId* x_values_ = nullptr;
   const double* x_numerics_ = nullptr;
   std::vector<double> qdist_;
@@ -104,6 +120,12 @@ class PruneContext {
   // the matrix column d_a(., x_a) for the current candidate, so Prunes()
   // is one indexed load per attribute.
   std::vector<const double*> xcol_;
+  // Overlay scratch: per selected position, a dense copy of the candidate
+  // column with the overlay applied, built lazily by SetCandidate for
+  // touched columns only, and the value it currently holds (so consecutive
+  // candidates sharing a value re-use the patch).
+  std::vector<std::vector<double>> patched_cols_;
+  std::vector<ValueId> patched_for_;
 };
 
 }  // namespace nmrs

@@ -27,7 +27,8 @@ StatusOr<ReverseSkylineResult> NaiveReverseSkyline(
                      MakeReaderOptions(opts));
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
-  const QueryDistanceTable qtable(space, schema, query, selected);
+  const QueryDistanceTable qtable(space, schema, query, selected,
+                                  opts.overlay);
   PruneContext ctx(space, schema, query, selected, &qtable);
   ReverseSkylineResult result;
   QueryStats& stats = result.stats;

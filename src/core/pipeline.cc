@@ -7,6 +7,7 @@
 #include "core/naive.h"
 #include "core/trs.h"
 #include "order/attribute_order.h"
+#include "sim/matrix_overlay.h"
 #include "order/multi_sort.h"
 #include "order/zorder.h"
 
@@ -87,6 +88,11 @@ StatusOr<ReverseSkylineResult> RunReverseSkyline(
     const PreparedDataset& prepared, const SimilaritySpace& space,
     const Object& query, Algorithm algo, RSOptions opts) {
   if (opts.attr_order.empty()) opts.attr_order = prepared.attr_order;
+  if (opts.overlay != nullptr && opts.overlay->empty()) opts.overlay = nullptr;
+  if (opts.overlay != nullptr && &opts.overlay->base() != &space) {
+    return Status::InvalidArgument(
+        "RSOptions::overlay was built over a different base space");
+  }
   switch (algo) {
     case Algorithm::kNaive:
       return NaiveReverseSkyline(prepared.stored, space, query, opts);

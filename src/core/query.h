@@ -15,6 +15,7 @@
 namespace nmrs {
 
 class BufferPool;
+class MatrixOverlay;
 class TaskExecutor;
 
 /// Options shared by all reverse-skyline algorithms.
@@ -103,6 +104,18 @@ struct RSOptions {
   /// kernel_block_rows / kernel_promotions). The default came from the
   /// bench_kernels promote-threshold sweep.
   uint32_t kernel_promote_rows = 16;
+
+  /// Per-user preference overlay (docs/OVERLAYS.md): a sparse delta over
+  /// the base space's categorical matrices. When set (and non-empty) the
+  /// query is evaluated against the *overlaid* space — bit-identical rows
+  /// to rebuilding a patched SimilaritySpace and running without an
+  /// overlay. Naive/BRS/SRS (and the bichromatic block variant) apply the
+  /// delta natively through the QueryDistanceTable + PruneContext patched
+  /// arrays; the tree variants materialize the patched space once per
+  /// query (RunReverseSkyline does this under the covers). The overlay
+  /// must have been built over the space passed to the algorithm, and is
+  /// borrowed for the duration of the query.
+  const MatrixOverlay* overlay = nullptr;
 };
 
 /// The PagedReader policy implied by a ResiliencePolicy. Replica handles

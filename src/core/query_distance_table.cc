@@ -3,16 +3,23 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "sim/matrix_overlay.h"
 
 namespace nmrs {
 
 QueryDistanceTable::QueryDistanceTable(const SimilaritySpace& space,
                                        const Schema& schema,
                                        const Object& query,
-                                       const std::vector<AttrId>& selected)
-    : selected_(selected) {
+                                       const std::vector<AttrId>& selected,
+                                       const MatrixOverlay* overlay)
+    : selected_(selected), overlay_(overlay) {
   NMRS_CHECK(!selected_.empty()) << "pass a resolved selection";
   NMRS_CHECK_EQ(query.values.size(), schema.num_attributes());
+  if (overlay_ != nullptr) {
+    NMRS_CHECK_EQ(&overlay_->base(), &space)
+        << "overlay built over a different base space";
+    if (overlay_->empty()) overlay_ = nullptr;  // transparent overlay
+  }
   from_offset_.assign(selected_.size(), -1);
   to_offset_.assign(selected_.size(), -1);
 
@@ -33,10 +40,12 @@ QueryDistanceTable::QueryDistanceTable(const SimilaritySpace& space,
 
     from_offset_[k] = static_cast<ptrdiff_t>(off);
     std::memcpy(dists_.data() + off, m.RowFrom(q), card * sizeof(double));
+    if (overlay_ != nullptr) overlay_->PatchRow(a, q, dists_.data() + off);
     off += card;
 
     to_offset_[k] = static_cast<ptrdiff_t>(off);
     std::memcpy(dists_.data() + off, m.ColumnTo(q), card * sizeof(double));
+    if (overlay_ != nullptr) overlay_->PatchColumn(a, q, dists_.data() + off);
     off += card;
   }
   NMRS_DCHECK(off == total);

@@ -11,6 +11,8 @@
 
 namespace nmrs {
 
+class MatrixOverlay;
+
 /// Per-query memo of the query-side categorical distances. For each selected
 /// categorical attribute a with domain size k_a it copies, once per query,
 ///
@@ -31,16 +33,28 @@ namespace nmrs {
 ///
 /// The table borrows nothing from the matrices — values are copied — so it
 /// stays valid for the whole query regardless of later space mutations.
+///
+/// With an overlay (docs/OVERLAYS.md) the copied arrays are patched in
+/// place after the base memcpy: FromQuery gets the overlay entries whose
+/// source is q_a, ToQuery those whose destination is q_a. Only the touched
+/// entries are rewritten — the build cost over the shared base stays one
+/// memcpy plus O(delta) — and the overlay pointer is kept so PruneContext
+/// can patch per-candidate columns the same way.
 class QueryDistanceTable {
  public:
   /// `selected` must already be resolved (non-empty, validated), as done by
   /// ResolveSelectedAttrs; PruneContext and the algorithms pass their own
-  /// resolved list so the positions line up.
+  /// resolved list so the positions line up. `overlay`, when non-null, must
+  /// have been built over `space` and is borrowed for the table's lifetime.
   QueryDistanceTable(const SimilaritySpace& space, const Schema& schema,
-                     const Object& query, const std::vector<AttrId>& selected);
+                     const Object& query, const std::vector<AttrId>& selected,
+                     const MatrixOverlay* overlay = nullptr);
 
   size_t num_selected() const { return selected_.size(); }
   const std::vector<AttrId>& selected() const { return selected_; }
+
+  /// The overlay the table was patched with; null for a plain base table.
+  const MatrixOverlay* overlay() const { return overlay_; }
 
   /// Dense row d_a(q_a, .) for selected position k; null if numeric.
   const double* FromQuery(size_t k) const {
@@ -54,6 +68,7 @@ class QueryDistanceTable {
 
  private:
   std::vector<AttrId> selected_;
+  const MatrixOverlay* overlay_;
   std::vector<ptrdiff_t> from_offset_;  // -1 for numeric attrs
   std::vector<ptrdiff_t> to_offset_;
   std::vector<double> dists_;  // all rows/columns back to back

@@ -47,7 +47,8 @@ Status PruneCandidatesAgainstShard(const StoredDataset& data,
 
   const std::vector<AttrId> selected =
       ResolveSelectedAttrs(schema, opts.selected_attrs);
-  const QueryDistanceTable qtable(space, schema, query, selected);
+  const QueryDistanceTable qtable(space, schema, query, selected,
+                                  opts.overlay);
   PruneContext ctx(space, schema, query, selected, &qtable);
 
   const uint64_t num_pages = data.num_pages();

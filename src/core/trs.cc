@@ -11,6 +11,7 @@
 #include "core/query_distance_table.h"
 #include "core/tree_traversal.h"
 #include "data/columnar_batch.h"
+#include "sim/matrix_overlay.h"
 #include "storage/paged_reader.h"
 
 namespace nmrs {
@@ -25,6 +26,19 @@ using NodeId = ALTree::NodeId;
 StatusOr<ReverseSkylineResult> TreeReverseSkyline(
     const StoredDataset& sorted_data, const SimilaritySpace& space,
     const Object& query, const RSOptions& opts) {
+  if (opts.overlay != nullptr && !opts.overlay->empty()) {
+    // The tree traversal reads matrix rows directly, so the overlay is
+    // evaluated by materializing the patched space once per query (the
+    // block algorithms apply the delta natively; see docs/OVERLAYS.md).
+    if (&opts.overlay->base() != &space) {
+      return Status::InvalidArgument(
+          "RSOptions::overlay was built over a different base space");
+    }
+    SimilaritySpace patched = opts.overlay->BuildPatchedSpace();
+    RSOptions materialized = opts;
+    materialized.overlay = nullptr;
+    return TreeReverseSkyline(sorted_data, patched, query, materialized);
+  }
   SimulatedDisk* disk = sorted_data.disk();
   const Schema& schema = sorted_data.schema();
   const size_t m = schema.num_attributes();

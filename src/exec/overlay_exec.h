@@ -1,0 +1,90 @@
+#ifndef NMRS_EXEC_OVERLAY_EXEC_H_
+#define NMRS_EXEC_OVERLAY_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "data/object.h"
+#include "data/stored_dataset.h"
+#include "sim/similarity_space.h"
+#include "storage/paged_reader.h"
+
+namespace nmrs {
+
+class MatrixOverlay;
+
+/// Query-independent classification of a dataset against K user overlays
+/// (docs/OVERLAYS.md). A candidate row X is overlay-SENSITIVE for user u iff
+/// some selected categorical attribute a has a delta entry whose destination
+/// is x_a: those are exactly the rows whose pruning checks read a patched
+/// matrix column d_a(., x_a), so every other row ("overlay-invariant") keeps
+/// its base-space reverse-skyline membership verbatim — for any query. The
+/// classification depends only on (dataset, overlays, selection) and is
+/// computed once per batch, then reused by every query.
+struct OverlayClassification {
+  /// Union of the rows sensitive for at least one user, stashed once so the
+  /// re-check scans never have to re-find their candidate rows on disk.
+  RowBatch sensitive{0, false};
+
+  /// user_rows[u] = indices into `sensitive` of user u's sensitive rows, in
+  /// dataset scan order.
+  std::vector<std::vector<uint32_t>> user_rows;
+
+  uint64_t rows_scanned = 0;
+  IoStats io;
+  double classify_millis = 0;
+
+  /// Sum over users of |user_rows[u]| / (rows_scanned - |user_rows[u]|).
+  uint64_t TotalSensitive() const {
+    uint64_t n = 0;
+    for (const auto& v : user_rows) n += v.size();
+    return n;
+  }
+  uint64_t TotalInvariant() const {
+    return rows_scanned * user_rows.size() - TotalSensitive();
+  }
+};
+
+/// One pass over `data` via `reader`, filling `out`. Overlays must all be
+/// built over the same base space; null or empty overlays mark every row
+/// invariant for that user. `selected` must be resolved (non-empty).
+Status ClassifyOverlayRows(const StoredDataset& data, PagedReader* reader,
+                           const std::vector<const MatrixOverlay*>& overlays,
+                           const std::vector<AttrId>& selected,
+                           OverlayClassification* out);
+
+/// Re-checks the sensitive candidates of a GROUP of users for one query in a
+/// single pass over the dataset: page -> user -> alive candidate -> rows,
+/// with the standard early abort (a pruned candidate is never re-checked)
+/// and the identity skip (a row never prunes itself). Each user's checks run
+/// under that user's overlaid distances via an overlay-aware
+/// QueryDistanceTable + PruneContext, so the verdicts are bit-identical to
+/// running any full algorithm over the patched space.
+///
+/// (*alive)[g][j] — for group_users[g]'s j-th sensitive candidate — must
+/// arrive sized and set to 1; pruned candidates are cleared to 0. Check and
+/// pair-test counts plus scan IO land in *stats (io is NOT measured here —
+/// the caller diffs its disk counters around the call).
+Status RecheckOverlayGroup(const StoredDataset& data, PagedReader* reader,
+                           const SimilaritySpace& space, const Object& query,
+                           const std::vector<AttrId>& selected,
+                           const std::vector<const MatrixOverlay*>& overlays,
+                           const std::vector<size_t>& group_users,
+                           const OverlayClassification& cls,
+                           std::vector<std::vector<uint8_t>>* alive,
+                           QueryStats* stats);
+
+/// Final rows of (query, user): the base-space rows minus the user's
+/// sensitive rows, plus the sensitive candidates that survived the
+/// re-check, sorted ascending — exactly the overlaid reverse skyline,
+/// because invariant rows keep their base membership.
+std::vector<RowId> MergeOverlayRows(const std::vector<RowId>& base_rows,
+                                    const OverlayClassification& cls,
+                                    size_t user,
+                                    const std::vector<uint8_t>& alive);
+
+}  // namespace nmrs
+
+#endif  // NMRS_EXEC_OVERLAY_EXEC_H_

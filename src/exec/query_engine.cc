@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
 #include "common/sync.h"
 #include "common/timer.h"
 #include "core/block_rs.h"
+#include "core/dominance.h"
+#include "exec/overlay_exec.h"
+#include "sim/matrix_overlay.h"
 
 namespace nmrs {
 
@@ -21,6 +25,20 @@ double BatchResult::ModeledQps() const {
   const double makespan = ModeledMakespanMillis();
   if (makespan <= 0) return 0;
   return static_cast<double>(results.size()) / (makespan / 1000.0);
+}
+
+double OverlayBatchResult::ModeledMakespanMillis() const {
+  double makespan = 0;
+  for (double w : worker_modeled_millis) makespan = std::max(makespan, w);
+  return makespan;
+}
+
+double OverlayBatchResult::ModeledQps() const {
+  const double makespan = ModeledMakespanMillis();
+  if (makespan <= 0) return 0;
+  double answers = 0;
+  for (const auto& q : results) answers += static_cast<double>(q.size());
+  return answers / (makespan / 1000.0);
 }
 
 QueryEngine::QueryEngine(const PreparedDataset& prepared,
@@ -308,6 +326,171 @@ StatusOr<BatchResult> QueryEngine::RunBatch(
     }
   }
   return batch;
+}
+
+StatusOr<OverlayBatchResult> QueryEngine::RunOverlayBatch(
+    const std::vector<Object>& queries,
+    const std::vector<const MatrixOverlay*>& overlays) {
+  NMRS_RETURN_IF_ERROR(opts_.rs.resilience.Validate());
+  if (opts_.rs.overlay != nullptr) {
+    return Status::InvalidArgument(
+        "RunOverlayBatch: the engine's rs.overlay template must be null — "
+        "the per-user overlays come from the overlays argument");
+  }
+  if (overlays.empty()) {
+    return Status::InvalidArgument("RunOverlayBatch: no overlay users");
+  }
+  for (const MatrixOverlay* o : overlays) {
+    if (o == nullptr) {
+      return Status::InvalidArgument("RunOverlayBatch: null overlay");
+    }
+    if (&o->base() != space_) {
+      return Status::InvalidArgument(
+          "RunOverlayBatch: overlay built over a different base space");
+    }
+  }
+
+  Timer timer;
+  OverlayBatchResult out;
+  out.results.resize(queries.size());
+  for (auto& per_user : out.results) per_user.resize(overlays.size());
+  out.statuses.assign(queries.size(), Status::OK());
+
+  const std::vector<AttrId> selected =
+      ResolveSelectedAttrs(prepared_->stored.schema(),
+                           opts_.rs.selected_attrs);
+
+  // Re-check reads run on clean worker views: faults are a property of the
+  // base run (which keeps its per-query fault streams through RunBatch),
+  // and the sealed-page verification still applies.
+  PagedReaderOptions clean_reader_opts;
+  clean_reader_opts.verify_checksums = prepared_->stored.checksum_pages() ||
+                                       opts_.rs.resilience.checksum_pages;
+
+  // ---- 1. Query-independent classification, once per batch. ----
+  OverlayClassification cls;
+  {
+    DiskView* view = replica_set_->view(0, 0);
+    StoredDataset local(view, prepared_->stored.file(),
+                        prepared_->stored.schema(),
+                        prepared_->stored.num_rows(),
+                        prepared_->stored.checksum_pages());
+    PagedReader reader(view, nullptr, clean_reader_opts);
+    const IoStats before = replica_set_->WorkerStats(0);
+    NMRS_RETURN_IF_ERROR(
+        ClassifyOverlayRows(local, &reader, overlays, selected, &cls));
+    cls.io = replica_set_->WorkerStats(0) - before;
+    reader.FoldStatsInto(&cls.io);
+  }
+  out.sensitive_rows = cls.TotalSensitive();
+  out.invariant_rows = cls.TotalInvariant();
+
+  // ---- 2. One base-space run per query, through the full machinery. ----
+  NMRS_ASSIGN_OR_RETURN(out.base, RunBatch(queries));
+  out.statuses = out.base.statuses;
+  out.worker_modeled_millis = out.base.worker_modeled_millis;
+  // The classification pass is modeled as running on worker 0's spindle.
+  out.worker_modeled_millis[0] +=
+      cls.classify_millis + IoCostModel{}.EstimateMillis(cls.io);
+
+  // ---- 3. Grouped re-check scans: one per (query, user group). ----
+  // Users whose overlay touches no stored row need no scan at all — every
+  // row is invariant for them, so their answer is the base answer.
+  std::vector<size_t> scan_users;
+  for (size_t u = 0; u < overlays.size(); ++u) {
+    if (!cls.user_rows[u].empty()) scan_users.push_back(u);
+  }
+  const size_t group_size = std::max<size_t>(1, opts_.overlay_group);
+  const size_t num_groups =
+      (scan_users.size() + group_size - 1) / group_size;
+
+  ConcurrentIoStats overlay_io;
+  std::atomic<uint64_t> recheck_scans{0};
+  std::atomic<uint64_t> recheck_checks{0};
+  std::atomic<uint64_t> recheck_pair_tests{0};
+  std::mutex status_mu;  // guards statuses[q] overwrites from re-check tasks
+  WaitGroup wg;
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!out.statuses[q].ok()) continue;  // base run failed: no answer
+    // Invariant-only users answer straight from the base rows.
+    for (size_t u = 0; u < overlays.size(); ++u) {
+      if (cls.user_rows[u].empty()) {
+        out.results[q][u].rows = out.base.results[q].rows;
+        out.results[q][u].stats.result_size = out.results[q][u].rows.size();
+      }
+    }
+    for (size_t g = 0; g < num_groups; ++g) {
+      wg.Add(1);
+      pool_.Submit([this, &queries, &overlays, &out, &cls, &selected,
+                    &scan_users, &overlay_io, &recheck_scans, &recheck_checks,
+                    &recheck_pair_tests, &status_mu, &wg, &clean_reader_opts,
+                    group_size, q, g] {
+        const int w = pool_.CurrentWorkerIndex();
+        NMRS_CHECK_GE(w, 0);
+        Timer task_timer;
+        DiskView* view = replica_set_->view(w, 0);
+        StoredDataset local(view, prepared_->stored.file(),
+                            prepared_->stored.schema(),
+                            prepared_->stored.num_rows(),
+                            prepared_->stored.checksum_pages());
+        PagedReader reader(view, nullptr, clean_reader_opts);
+
+        const size_t lo = g * group_size;
+        const size_t hi = std::min(scan_users.size(), lo + group_size);
+        const std::vector<size_t> group(scan_users.begin() + lo,
+                                        scan_users.begin() + hi);
+        std::vector<std::vector<uint8_t>> alive(group.size());
+        for (size_t i = 0; i < group.size(); ++i) {
+          alive[i].assign(cls.user_rows[group[i]].size(), 1);
+        }
+
+        QueryStats scan_stats;
+        const IoStats before = replica_set_->WorkerStats(w);
+        Status st = RecheckOverlayGroup(local, &reader, *space_, queries[q],
+                                        selected, overlays, group, cls,
+                                        &alive, &scan_stats);
+        scan_stats.io = replica_set_->WorkerStats(w) - before;
+        reader.FoldStatsInto(&scan_stats.io);
+        scan_stats.compute_millis = task_timer.ElapsedMillis();
+        overlay_io.Add(scan_stats.io);
+        recheck_scans.fetch_add(1, std::memory_order_relaxed);
+        recheck_checks.fetch_add(scan_stats.checks,
+                                 std::memory_order_relaxed);
+        recheck_pair_tests.fetch_add(scan_stats.pair_tests,
+                                     std::memory_order_relaxed);
+        if (st.ok()) {
+          for (size_t i = 0; i < group.size(); ++i) {
+            const size_t u = group[i];
+            out.results[q][u].rows = MergeOverlayRows(
+                out.base.results[q].rows, cls, u, alive[i]);
+            out.results[q][u].stats.result_size =
+                out.results[q][u].rows.size();
+          }
+        } else {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (out.statuses[q].ok()) out.statuses[q] = st;
+        }
+        // Only this worker's thread touches its slot (same contract as
+        // RunBatch): the scan occupied this worker's spindle.
+        out.worker_modeled_millis[static_cast<size_t>(w)] +=
+            scan_stats.ResponseMillis();
+        wg.Done();
+      });
+    }
+  }
+  wg.Wait();
+
+  out.recheck_scans = recheck_scans.load(std::memory_order_relaxed);
+  out.recheck_checks = recheck_checks.load(std::memory_order_relaxed);
+  out.recheck_pair_tests =
+      recheck_pair_tests.load(std::memory_order_relaxed);
+  out.overlay_io = overlay_io.Snapshot();
+  out.overlay_io += cls.io;
+  out.total_io = out.base.total_io;
+  out.total_io += out.overlay_io;
+  out.wall_millis = timer.ElapsedMillis();
+  return out;
 }
 
 }  // namespace nmrs

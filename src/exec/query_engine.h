@@ -88,6 +88,13 @@ struct QueryEngineOptions {
   /// the algorithm is not BRS/SRS. Default off = per-query execution.
   bool shared_scan = false;
   size_t shared_scan_group = 16;
+
+  /// Multi-tenant overlay re-check grouping (docs/OVERLAYS.md, analogous to
+  /// shared_scan_group): RunOverlayBatch re-checks the overlay-sensitive
+  /// candidates of up to `overlay_group` users per query through ONE pass
+  /// over the dataset instead of one pass per user. Grouping is by user
+  /// index, so results are independent of worker count.
+  size_t overlay_group = 16;
 };
 
 /// Outcome of one RunBatch call.
@@ -173,6 +180,68 @@ struct BatchResult {
   double ModeledQps() const;
 };
 
+/// Outcome of one RunOverlayBatch call: Q queries answered for K overlay
+/// users each, via one base-space run per query plus incremental re-pruning
+/// of the overlay-sensitive candidates (docs/OVERLAYS.md).
+struct OverlayBatchResult {
+  /// results[q][u] answers queries[q] under overlays[u]: rows are
+  /// bit-identical to rebuilding user u's patched SimilaritySpace and
+  /// running the full algorithm over it. Per-(q,u) stats carry only
+  /// result_size — the shared work (base run, classification, re-check
+  /// scans) is reported once in the batch-level fields below, because
+  /// attributing one shared scan to K users would double-count it.
+  std::vector<std::vector<ReverseSkylineResult>> results;
+
+  /// statuses[q] is the outcome of queries[q] (for all of its users: the
+  /// base run and the re-check scans are shared, so they fail together).
+  std::vector<Status> statuses;
+
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+  Status first_error() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  /// The underlying base-space batch (one entry per query): its rows are
+  /// the overlay-invariant answer, its stats/IO the phase the users share.
+  BatchResult base;
+
+  /// Overlay telemetry. `sensitive_rows` / `invariant_rows` sum the
+  /// per-user classification over all users (their sum is rows * users);
+  /// `recheck_scans` counts the grouped re-check passes over the dataset
+  /// (<= queries * ceil(users / overlay_group)); `recheck_checks` /
+  /// `recheck_pair_tests` aggregate the re-check pruning work.
+  uint64_t sensitive_rows = 0;
+  uint64_t invariant_rows = 0;
+  uint64_t recheck_scans = 0;
+  uint64_t recheck_checks = 0;
+  uint64_t recheck_pair_tests = 0;
+
+  /// IO of the classification pass + all re-check scans (excluded from
+  /// base.total_io; total_io below is the whole batch).
+  IoStats overlay_io;
+
+  /// Aggregate IO: base batch + classification + re-check scans.
+  IoStats total_io;
+
+  double wall_millis = 0;
+
+  /// Per-worker modeled busy time including the base batch's: makespan /
+  /// QPS are comparable against running the per-user rebuild through the
+  /// same engine. ModeledQps counts queries * users answers.
+  std::vector<double> worker_modeled_millis;
+
+  double ModeledMakespanMillis() const;
+  double ModeledQps() const;
+};
+
 /// Shared-nothing parallel executor for reverse-skyline query batches: one
 /// immutable PreparedDataset, N pool workers, each worker reading the
 /// dataset through a private DiskView (per-query IO accounting therefore
@@ -205,6 +274,23 @@ class QueryEngine {
   /// call-level StatusOr is an error only for batch-level problems — or,
   /// with fail_fast set, the first per-query error (legacy semantics).
   StatusOr<BatchResult> RunBatch(const std::vector<Object>& queries);
+
+  /// Answers every query for every overlay user with incremental
+  /// re-pruning (docs/OVERLAYS.md): ONE base-space run per query through
+  /// the normal RunBatch machinery (workers, cache, kernels, shared scans,
+  /// faults, failover — everything applies), one query-independent
+  /// classification pass splitting rows into overlay-invariant vs
+  /// overlay-sensitive per user, and one re-check scan per (query, group
+  /// of overlay_group users) deciding only the sensitive candidates under
+  /// that user's overlaid distances. Rows are bit-identical to rebuilding
+  /// each user's patched space and running the batch per user.
+  ///
+  /// Every overlay must be non-null and built over this engine's space;
+  /// the engine's rs.overlay template must be null (the per-user overlays
+  /// come from `overlays`, and the base run must see the base space).
+  StatusOr<OverlayBatchResult> RunOverlayBatch(
+      const std::vector<Object>& queries,
+      const std::vector<const MatrixOverlay*>& overlays);
 
  private:
   const PreparedDataset* prepared_;

@@ -117,6 +117,57 @@ struct ShardedBatchResult {
   double ModeledQps() const;
 };
 
+/// Outcome of one ShardedQueryEngine::RunOverlayBatch: Q queries answered
+/// for K overlay users via one sharded base run per query plus incremental
+/// re-pruning over the base dataset (docs/OVERLAYS.md). Mirrors
+/// OverlayBatchResult with the sharded base batch inside.
+struct ShardedOverlayBatchResult {
+  /// results[q][u]: rows bit-identical to a per-user patched-space rebuild
+  /// run through the same sharded engine (which is itself bit-identical to
+  /// single-shard execution). Per-(q,u) stats carry only result_size; the
+  /// shared phases are reported once below.
+  std::vector<std::vector<ReverseSkylineResult>> results;
+  std::vector<Status> statuses;
+
+  bool ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+  Status first_error() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  /// The sharded base-space batch the users share.
+  ShardedBatchResult base;
+
+  uint64_t sensitive_rows = 0;
+  uint64_t invariant_rows = 0;
+  uint64_t recheck_scans = 0;
+  uint64_t recheck_checks = 0;
+  uint64_t recheck_pair_tests = 0;
+
+  /// IO of the classification pass + re-check scans (over the base file,
+  /// through clean views; not part of base.total_io).
+  IoStats overlay_io;
+  IoStats total_io;
+
+  double wall_millis = 0;
+
+  /// Per-worker modeled busy time of the overlay phases only (the base
+  /// batch models its own lanes); the phases are serialized: base batch,
+  /// then the overlay scans on the same worker lanes.
+  std::vector<double> overlay_worker_modeled_millis;
+
+  /// base.ModeledMakespanMillis() + the busiest overlay lane.
+  double ModeledMakespanMillis() const;
+  double ModeledQps() const;  // queries * users / makespan
+};
+
 /// Scatter/gather executor over a ShardedDataset (docs/SHARDING.md): every
 /// query fans out to all non-empty shards, each shard runs the *complete*
 /// configured algorithm (naive/BRS/SRS/TRS — kernels, adaptive dispatch,
@@ -162,6 +213,18 @@ class ShardedQueryEngine {
   /// blocking until the batch completes. Per-query isolation as in
   /// QueryEngine: a storage fault on any shard fails only that query.
   StatusOr<ShardedBatchResult> RunBatch(const std::vector<Object>& queries);
+
+  /// Answers every query for every overlay user (docs/OVERLAYS.md): one
+  /// sharded base run per query through RunBatch (scatter, exchange,
+  /// verify, faults, failover — everything applies), one classification
+  /// pass over the base dataset, and grouped re-check scans of the
+  /// overlay-sensitive candidates through clean views. Rows are
+  /// bit-identical to rebuilding each user's patched space and running the
+  /// sharded batch per user. Overlays must be non-null, built over this
+  /// engine's space; the engine's rs.overlay template must be null.
+  StatusOr<ShardedOverlayBatchResult> RunOverlayBatch(
+      const std::vector<Object>& queries,
+      const std::vector<const MatrixOverlay*>& overlays);
 
  private:
   uint64_t Stream(size_t query, int shard) const {

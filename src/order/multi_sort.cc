@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/timer.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 
@@ -25,11 +26,14 @@ struct RowLess {
   }
 };
 
-// Streaming cursor over a sorted run, buffering one page at a time.
+// Streaming cursor over a sorted run, buffering one page at a time. Reads
+// go through the sort's verifying reader, so a corrupted spill page
+// surfaces as kCorruption instead of feeding garbage into the merge.
 class RunCursor {
  public:
-  RunCursor(const StoredDataset* run)
+  RunCursor(const StoredDataset* run, PagedReader* reader)
       : run_(run),
+        reader_(reader),
         batch_(run->schema().num_attributes(),
                run->schema().NumNumeric() > 0) {}
 
@@ -55,12 +59,13 @@ class RunCursor {
         exhausted_ = true;
         return Status::OK();
       }
-      NMRS_RETURN_IF_ERROR(run_->ReadPage(next_page_++, &batch_));
+      NMRS_RETURN_IF_ERROR(run_->ReadPageVia(reader_, next_page_++, &batch_));
     }
     return Status::OK();
   }
 
   const StoredDataset* run_;
+  PagedReader* reader_;
   RowBatch batch_;
   size_t idx_ = 0;
   PageId next_page_ = 0;
@@ -71,15 +76,16 @@ class RunCursor {
 StatusOr<StoredDataset> MergeRuns(std::vector<StoredDataset>& inputs,
                                   const std::vector<AttrId>& attr_order,
                                   const Schema& schema, SimulatedDisk* disk,
-                                  std::string name) {
+                                  std::string name, PagedReader* reader,
+                                  bool checksum) {
   FileId out_file = disk->CreateFile(std::move(name));
-  RowWriter writer(disk, out_file, schema);
+  RowWriter writer(disk, out_file, schema, checksum);
 
   std::vector<std::unique_ptr<RunCursor>> cursors;
   uint64_t total_rows = 0;
   for (auto& run : inputs) {
     total_rows += run.num_rows();
-    auto cur = std::make_unique<RunCursor>(&run);
+    auto cur = std::make_unique<RunCursor>(&run, reader);
     NMRS_RETURN_IF_ERROR(cur->Init());
     if (!cur->exhausted()) cursors.push_back(std::move(cur));
   }
@@ -103,7 +109,7 @@ StatusOr<StoredDataset> MergeRuns(std::vector<StoredDataset>& inputs,
     if (!top->exhausted()) heap.push(top);
   }
   NMRS_RETURN_IF_ERROR(writer.Finish());
-  return StoredDataset(disk, out_file, schema, total_rows);
+  return StoredDataset(disk, out_file, schema, total_rows, checksum);
 }
 
 }  // namespace
@@ -132,6 +138,15 @@ StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
   Timer timer;
   const IoStats before = disk->stats();
 
+  // Spill runs inherit the input's seal: when the input is checksummed,
+  // every run and merge output is sealed too, and every spill read is
+  // verified, so a corrupted intermediate page surfaces as kCorruption
+  // instead of silently sorting garbage.
+  const bool checksum = input.checksum_pages();
+  PagedReaderOptions reader_opts;
+  reader_opts.verify_checksums = checksum;
+  PagedReader reader(disk, nullptr, reader_opts);
+
   // --- Run formation: sort mem.pages-page chunks in memory and spill. ---
   std::vector<StoredDataset> runs;
   const uint64_t total_pages = input.num_pages();
@@ -144,7 +159,7 @@ StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
     const PageId end = std::min<PageId>(start + mem.pages, total_pages);
     RowBatch batch(m, numerics);
     for (PageId p = start; p < end; ++p) {
-      NMRS_RETURN_IF_ERROR(input.ReadPage(p, &batch));
+      NMRS_RETURN_IF_ERROR(input.ReadPageVia(&reader, p, &batch));
     }
     std::vector<size_t> idx(batch.size());
     std::iota(idx.begin(), idx.end(), 0);
@@ -154,13 +169,13 @@ StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
     });
     FileId run_file = disk->CreateFile(out_name + ".run" +
                                        std::to_string(run_counter++));
-    RowWriter writer(disk, run_file, schema);
+    RowWriter writer(disk, run_file, schema, checksum);
     for (size_t i : idx) {
       NMRS_RETURN_IF_ERROR(writer.Add(batch.id(i), batch.row_values(i),
                                       batch.row_numerics(i)));
     }
     NMRS_RETURN_IF_ERROR(writer.Finish());
-    runs.emplace_back(disk, run_file, schema, batch.size());
+    runs.emplace_back(disk, run_file, schema, batch.size(), checksum);
   }
 
   const uint64_t initial_runs = runs.size();
@@ -179,7 +194,8 @@ StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
       NMRS_ASSIGN_OR_RETURN(
           StoredDataset merged,
           MergeRuns(group, attr_order, schema, disk,
-                    out_name + ".merge" + std::to_string(merge_counter++)));
+                    out_name + ".merge" + std::to_string(merge_counter++),
+                    &reader, checksum));
       for (auto& r : group) {
         NMRS_RETURN_IF_ERROR(disk->DeleteFile(r.file()));
       }
@@ -193,7 +209,7 @@ StatusOr<ExternalSortResult> ExternalMultiAttributeSort(
     if (runs.empty()) {
       // Empty input: empty output file.
       FileId f = disk->CreateFile(out_name + ".run0");
-      return StoredDataset(disk, f, schema, 0);
+      return StoredDataset(disk, f, schema, 0, checksum);
     }
     return std::move(runs.front());
   }();

@@ -1,0 +1,134 @@
+#ifndef NMRS_SIM_MATRIX_OVERLAY_H_
+#define NMRS_SIM_MATRIX_OVERLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/types.h"
+#include "sim/similarity_space.h"
+
+namespace nmrs {
+
+/// A sparse per-user perturbation of a shared SimilaritySpace: a set of
+/// `(attr, from, to) -> d` replacements over the base categorical matrices
+/// (docs/OVERLAYS.md). The base space stays immutable and shared across all
+/// users; an overlay stores only the entries one user disagrees on, so
+/// "millions of slightly different matrices" costs millions of small deltas
+/// plus one dense base — the multi-tenant reading of the paper's
+/// expert-supplied matrices (Wong et al.'s observation that user preferences
+/// are small perturbations of a shared order, see PAPERS.md).
+///
+/// Validation mirrors SimilaritySpace construction: entries must name a
+/// categorical attribute, in-domain value ids, a non-negative distance, and
+/// must preserve the d(x, x) = 0 convention (diagonal entries are rejected).
+/// Asymmetry is explicitly allowed — patching d(a, b) says nothing about
+/// d(b, a), exactly like the base matrices.
+///
+/// The overlay borrows the base space; the space must outlive it.
+class MatrixOverlay {
+ public:
+  struct Entry {
+    AttrId attr;
+    ValueId from;
+    ValueId to;
+    double d;
+  };
+
+  explicit MatrixOverlay(const SimilaritySpace& base);
+
+  const SimilaritySpace& base() const { return *base_; }
+
+  /// Adds (or overwrites) one delta entry. Fails with InvalidArgument when
+  /// the entry violates the construction rules above.
+  Status Set(AttrId attr, ValueId from, ValueId to, double d);
+
+  bool empty() const { return num_entries_ == 0; }
+  size_t num_entries() const { return num_entries_; }
+
+  /// All entries, in a deterministic (attr, from, to) order.
+  std::vector<Entry> Entries() const;
+
+  /// Patched distance: the overlay entry when present, base otherwise.
+  double Dist(AttrId attr, ValueId from, ValueId to) const;
+
+  /// True if any entry lives on `attr`.
+  bool TouchesAttr(AttrId attr) const {
+    return attr < attrs_.size() && attrs_[attr].entries > 0;
+  }
+
+  /// True if any entry has destination value `to` on `attr` — i.e. the
+  /// dense column d_attr(., to) differs from the base. This is the test
+  /// behind overlay-sensitivity classification: a candidate row X is
+  /// affected by the overlay iff some selected attribute's column x_a is
+  /// touched (its pruning condition only ever reads d_a(., x_a)).
+  bool TouchesColumn(AttrId attr, ValueId to) const {
+    if (attr >= attrs_.size() || attrs_[attr].entries == 0) return false;
+    return !attrs_[attr].by_col[to].empty();
+  }
+
+  /// True if any entry has source value `from` on `attr` (the dense row
+  /// d_attr(from, .) differs from the base).
+  bool TouchesRow(AttrId attr, ValueId from) const {
+    if (attr >= attrs_.size() || attrs_[attr].entries == 0) return false;
+    return !attrs_[attr].by_row[from].empty();
+  }
+
+  /// Applies this overlay's entries with destination `to` onto a dense
+  /// column copy: col[from] = d for every patched (from, to). `col` must
+  /// hold Cardinality(attr) values copied from the base ColumnTo(to).
+  void PatchColumn(AttrId attr, ValueId to, double* col) const;
+
+  /// Applies this overlay's entries with source `from` onto a dense row
+  /// copy: row[to] = d for every patched (from, to).
+  void PatchRow(AttrId attr, ValueId from, double* row) const;
+
+  /// True if a row with the given values is overlay-sensitive for the given
+  /// attribute selection: some selected categorical attribute's column
+  /// values[a] is touched. Rows for which this is false have bit-identical
+  /// reverse-skyline membership under base and overlaid space.
+  bool RowSensitive(const ValueId* values,
+                    const std::vector<AttrId>& selected) const;
+
+  /// Materializes base + delta as a standalone SimilaritySpace (a full
+  /// per-user rebuild). The correctness oracle for every overlay-aware
+  /// path, and the fallback for algorithms that read matrices directly.
+  SimilaritySpace BuildPatchedSpace() const;
+
+  /// Text form, one entry per line: "attr from to d". Stable order.
+  std::string Serialize() const;
+
+  /// Parses the Serialize() format ('#' comments and blank lines allowed),
+  /// validating every entry against `base`.
+  static StatusOr<MatrixOverlay> Parse(const SimilaritySpace& base,
+                                       const std::string& text);
+
+ private:
+  struct AttrPatches {
+    // by_col[to] -> (from, d); by_row[from] -> (to, d). Sized to the
+    // attribute's cardinality on first touch, empty for untouched attrs.
+    std::vector<std::vector<std::pair<ValueId, double>>> by_col;
+    std::vector<std::vector<std::pair<ValueId, double>>> by_row;
+    size_t entries = 0;
+  };
+
+  const SimilaritySpace* base_;
+  std::vector<AttrPatches> attrs_;
+  size_t num_entries_ = 0;
+};
+
+/// A random overlay touching ~`touch_fraction` of each categorical
+/// attribute's off-diagonal entries (at least one entry overall when the
+/// fraction is positive and some categorical attribute exists), with
+/// replacement distances uniform in [0, 1) — the multi-tenant analogue of
+/// MakeRandomMatrix. Deterministic in `rng`.
+MatrixOverlay MakeRandomOverlay(const SimilaritySpace& space, Rng& rng,
+                                double touch_fraction);
+
+}  // namespace nmrs
+
+#endif  // NMRS_SIM_MATRIX_OVERLAY_H_

@@ -44,6 +44,20 @@ TEST(BenchSchemaTest, EmitIoFieldsCoversEveryCounter) {
   EXPECT_EQ(json.RunKeys(0), want);
 }
 
+TEST(BenchSchemaTest, EmitOverlayFieldsCoversEveryCounter) {
+  JsonWriter json("schema_pin");
+  json.BeginRun();
+  EmitOverlayFields(&json, /*sensitive_rows=*/10, /*invariant_rows=*/90,
+                    /*recheck_scans=*/4, /*recheck_checks=*/20,
+                    /*recheck_pair_tests=*/60);
+
+  const std::vector<std::string> want = {
+      "sensitive_rows", "invariant_rows", "sensitive_fraction",
+      "recheck_scans",  "recheck_checks", "recheck_pair_tests",
+  };
+  EXPECT_EQ(json.RunKeys(0), want);
+}
+
 TEST(BenchSchemaTest, EmitMessageFieldsCoversEveryCounter) {
   MessageStats msg;
   msg.messages = 3;
@@ -64,10 +78,11 @@ TEST(BenchSchemaTest, FieldsAccumulatePerRun) {
   json.BeginRun();
   EmitIoFields(&json, IoStats{});
   EmitMessageFields(&json, MessageStats{});
+  EmitOverlayFields(&json, 0, 0, 0, 0, 0);
   json.BeginRun();
   EmitMessageFields(&json, MessageStats{});
   ASSERT_EQ(json.num_runs(), 2u);
-  EXPECT_EQ(json.RunKeys(0).size(), 19u);
+  EXPECT_EQ(json.RunKeys(0).size(), 25u);
   EXPECT_EQ(json.RunKeys(1).size(), 4u);
 }
 

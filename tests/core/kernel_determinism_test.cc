@@ -16,6 +16,7 @@
 #include "core/pipeline.h"
 #include "core/skyline.h"
 #include "data/generators.h"
+#include "sim/matrix_overlay.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_view.h"
 #include "storage/fault_injection.h"
@@ -343,6 +344,68 @@ TEST_P(KernelDeterminismSweep, BichromaticBlockIsBitIdentical) {
       EXPECT_EQ(scalar->stats.pair_tests, kernel->stats.pair_tests) << label;
       ExpectAdaptiveInvariants(kernel->stats, promote, /*trs_hybrid=*/false,
                                label);
+    }
+  }
+}
+
+// Per-user overlays compose with everything above: evaluating with
+// RSOptions::overlay must be bit-identical — rows, pair tests and IO — to
+// rebuilding the patched space and running without an overlay, for every
+// wired algorithm, with kernels off and at both promotion extremes.
+// `checks` matches too except on the TRS kernel fast path, where the
+// kernel-vs-scalar contract itself only promises pair tests (see
+// WiredAlgorithmsAreBitIdentical).
+TEST_P(KernelDeterminismSweep, OverlayMatchesPatchedSpaceRebuild) {
+  Rng master(GetParam() ^ 0x07e1);
+  struct Mode {
+    bool kernels;
+    uint32_t promote;
+  };
+  constexpr Mode kModes[] = {{false, 0u}, {true, 0u}, {true, 16u}};
+  for (int trial = 0; trial < 4; ++trial) {
+    SweepInstance inst(master);
+    Rng orng = master.Fork();
+    const double touch = master.Bernoulli(0.5) ? 0.02 : 0.15;
+    MatrixOverlay overlay = MakeRandomOverlay(inst.space, orng, touch);
+    ASSERT_FALSE(overlay.empty());
+    SimilaritySpace patched = overlay.BuildPatchedSpace();
+
+    SimulatedDisk disk(256 + master.Uniform(700));
+    RSOptions base;
+    base.memory.pages = 2 + master.Uniform(6);
+    base.selected_attrs = inst.selected;
+    for (Algorithm algo : {Algorithm::kNaive, Algorithm::kBRS,
+                           Algorithm::kSRS, Algorithm::kTRS}) {
+      auto prep = PrepareDataset(&disk, inst.data, algo, {});
+      ASSERT_TRUE(prep.ok());
+      auto rebuilt =
+          RunReverseSkyline(*prep, patched, inst.query, algo, base);
+      ASSERT_TRUE(rebuilt.ok()) << AlgorithmName(algo);
+      for (const Mode& mode : kModes) {
+        RSOptions opts = base;
+        opts.overlay = &overlay;
+        opts.use_kernels = mode.kernels;
+        opts.kernel_promote_rows = mode.promote;
+        auto overlaid =
+            RunReverseSkyline(*prep, inst.space, inst.query, algo, opts);
+        ASSERT_TRUE(overlaid.ok()) << AlgorithmName(algo);
+        const std::string label =
+            std::string(AlgorithmName(algo)) + " trial " +
+            std::to_string(trial) +
+            (mode.kernels ? " kernels promote " + std::to_string(mode.promote)
+                          : " scalar") +
+            " seed " + std::to_string(GetParam());
+        EXPECT_EQ(overlaid->rows, rebuilt->rows) << label;
+        EXPECT_EQ(overlaid->stats.pair_tests, rebuilt->stats.pair_tests)
+            << label;
+        EXPECT_EQ(overlaid->stats.io, rebuilt->stats.io) << label;
+        if (!mode.kernels || algo != Algorithm::kTRS) {
+          EXPECT_EQ(overlaid->stats.checks, rebuilt->stats.checks) << label;
+          EXPECT_EQ(overlaid->stats.phase1_survivors,
+                    rebuilt->stats.phase1_survivors)
+              << label;
+        }
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include "core/dominance.h"
 #include "data/generators.h"
+#include "sim/matrix_overlay.h"
 #include "testing/test_util.h"
 
 namespace nmrs {
@@ -202,6 +203,60 @@ TEST(QueryDistanceTableTest, AsymmetricOrientationOfCandidateArrays) {
   }
   // The random matrices must actually distinguish the two orientations.
   EXPECT_TRUE(saw_asymmetry);
+}
+
+// Extends the orientation pin to overlaid tables: every delta patches
+// exactly one direction of a pair, so a transposed overlay read would
+// either miss the patch entirely or apply it to the wrong orientation.
+// Both the patched rows/columns of the table and the per-candidate patched
+// column scratch in PruneContext must agree with the materialized
+// per-user space everywhere.
+TEST(QueryDistanceTableTest, AsymmetricOrientationWithOverlay) {
+  Rng rng(20260807);
+  const std::vector<size_t> cards = {6, 4};
+  SimilaritySpace space = MakeAsymmetricSpace(cards, rng);
+  Schema schema = Schema::Categorical(cards);
+  const Object query({3, 1});
+  const std::vector<AttrId> selected = ResolveSelectedAttrs(schema, {});
+
+  MatrixOverlay overlay(space);
+  ASSERT_TRUE(overlay.Set(0, 2, 5, 7.25).ok());   // transpose (5,2) untouched
+  ASSERT_TRUE(overlay.Set(0, 3, 1, 3.5).ok());    // query row: q_0 == 3
+  ASSERT_TRUE(overlay.Set(1, 1, 0, 9.75).ok());   // query row: q_1 == 1
+  ASSERT_TRUE(overlay.Set(1, 2, 1, 4.125).ok());  // query column
+  SimilaritySpace patched = overlay.BuildPatchedSpace();
+  // The patched directions differ from base and from their transposes,
+  // so a transposed or unpatched read cannot slip through below.
+  ASSERT_NE(patched.CatDist(0, 2, 5), space.CatDist(0, 2, 5));
+  ASSERT_NE(patched.CatDist(0, 2, 5), patched.CatDist(0, 5, 2));
+  ASSERT_NE(patched.CatDist(1, 1, 0), patched.CatDist(1, 0, 1));
+
+  QueryDistanceTable table(space, schema, query, selected, &overlay);
+  ASSERT_EQ(table.overlay(), &overlay);
+  PruneContext ctx(space, schema, query, selected, &table);
+
+  std::vector<ValueId> x = {0, 0};
+  for (x[0] = 0; x[0] < cards[0]; ++x[0]) {
+    for (x[1] = 0; x[1] < cards[1]; ++x[1]) {
+      ctx.SetCandidate(x.data(), nullptr);
+      for (size_t k = 0; k < selected.size(); ++k) {
+        const AttrId a = selected[k];
+        ASSERT_EQ(ctx.QueryDist(k),
+                  patched.CatDist(a, query.values[a], x[a]))
+            << "threshold must be patched d(q, x) — attr " << a;
+        ASSERT_EQ(table.FromQuery(k)[x[a]],
+                  patched.CatDist(a, query.values[a], x[a]));
+        ASSERT_EQ(table.ToQuery(k)[x[a]],
+                  patched.CatDist(a, x[a], query.values[a]));
+        const double* col = ctx.CandidateColumn(k);
+        for (ValueId v = 0; v < cards[a]; ++v) {
+          ASSERT_EQ(col[v], patched.CatDist(a, v, x[a]))
+              << "lhs must be patched d(v, x) — attr " << a << " value "
+              << v << " candidate " << x[a];
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

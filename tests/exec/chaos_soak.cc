@@ -19,6 +19,7 @@
 //
 // Usage: chaos_soak [--configs=N] [--seed=S] [--min-replicas=R]
 // (defaults: 500, 20260807, 1)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include "exec/query_engine.h"
 #include "exec/sharded_engine.h"
 #include "sim/dissimilarity_matrix.h"
+#include "sim/matrix_overlay.h"
 
 namespace nmrs {
 namespace {
@@ -206,6 +208,90 @@ void CheckConfig(int index, uint64_t scenario_seed, int min_replicas) {
       NMRS_CHECK(batch->total_io == reference.total_io);
       NMRS_CHECK(batch->quarantined == reference.quarantined);
       NMRS_CHECK(batch->queries_retried == reference.queries_retried);
+    }
+  }
+
+  // Overlay leg (docs/OVERLAYS.md): the incremental multi-tenant executor
+  // through the same fault config. The base run and the re-check scans all
+  // go through the faulted storage, so the contract mirrors the plain
+  // batch: an ok query must hand every user rows bit-identical to that
+  // user's patched-space clean answer, a failed query reports a storage
+  // fault, and nothing observable depends on the worker count. A small
+  // query subset keeps the per-config cost down (the smoke run does 25
+  // configs).
+  {
+    Rng orng = rng.Fork();
+    std::vector<MatrixOverlay> overlays;
+    overlays.push_back(MakeRandomOverlay(s.space, orng, 0.01));
+    overlays.push_back(MakeRandomOverlay(s.space, orng, 0.10));
+    std::vector<const MatrixOverlay*> optrs;
+    for (const auto& o : overlays) optrs.push_back(&o);
+    const std::vector<Object> oqueries(
+        s.queries.begin(),
+        s.queries.begin() +
+            static_cast<long>(std::min<size_t>(4, s.queries.size())));
+
+    // Per-user clean reference: rebuild each patched space and run the
+    // plain engine over it, no faults.
+    std::vector<std::vector<std::vector<RowId>>> owant(
+        oqueries.size(), std::vector<std::vector<RowId>>(overlays.size()));
+    for (size_t u = 0; u < overlays.size(); ++u) {
+      SimilaritySpace patched = overlays[u].BuildPatchedSpace();
+      QueryEngineOptions copts;
+      copts.num_workers = 1;
+      auto batch =
+          QueryEngine(*prepared, patched, s.algo, copts).RunBatch(oqueries);
+      NMRS_CHECK(batch.ok()) << batch.status();
+      NMRS_CHECK(batch->ok()) << batch->first_error();
+      for (size_t q = 0; q < oqueries.size(); ++q) {
+        owant[q][u] = batch->results[q].rows;
+      }
+    }
+
+    OverlayBatchResult oref;
+    bool have_oref = false;
+    for (size_t workers : {1u, 4u}) {
+      QueryEngineOptions opts = fopts;
+      opts.num_workers = workers;
+      auto ob = QueryEngine(*prepared, s.space, s.algo, opts)
+                    .RunOverlayBatch(oqueries, optrs);
+      NMRS_CHECK(ob.ok()) << "config " << index << " (overlay): "
+                          << ob.status();
+      if (expect_zero_failures) {
+        NMRS_CHECK(ob->ok())
+            << "config " << index << " (overlay, replicas=" << replicas
+            << ", one faulted): " << ob->first_error();
+      }
+      for (size_t q = 0; q < oqueries.size(); ++q) {
+        if (ob->statuses[q].ok()) {
+          for (size_t u = 0; u < overlays.size(); ++u) {
+            NMRS_CHECK(ob->results[q][u].rows == owant[q][u])
+                << "config " << index << " overlay query " << q << " user "
+                << u << ": rows diverged under faults";
+          }
+        } else {
+          NMRS_CHECK(ob->statuses[q].IsStorageFault())
+              << "config " << index << " overlay query " << q
+              << ": non-storage failure " << ob->statuses[q];
+        }
+      }
+      if (!have_oref) {
+        oref = std::move(*ob);
+        have_oref = true;
+      } else {
+        for (size_t q = 0; q < oqueries.size(); ++q) {
+          for (size_t u = 0; u < overlays.size(); ++u) {
+            NMRS_CHECK(ob->results[q][u].rows == oref.results[q][u].rows);
+          }
+          NMRS_CHECK(ob->statuses[q].ToString() ==
+                     oref.statuses[q].ToString());
+        }
+        NMRS_CHECK(ob->sensitive_rows == oref.sensitive_rows);
+        NMRS_CHECK(ob->invariant_rows == oref.invariant_rows);
+        NMRS_CHECK(ob->recheck_scans == oref.recheck_scans)
+            << "config " << index
+            << ": overlay re-check count depends on worker count";
+      }
     }
   }
 

@@ -15,6 +15,7 @@
 #include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
 #include "sim/dissimilarity_matrix.h"
+#include "sim/matrix_overlay.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_view.h"
 #include "storage/paged_reader.h"
@@ -538,6 +539,81 @@ void StressReplicaBatch() {
               static_cast<unsigned long long>(reference.total_io.failovers));
 }
 
+// The overlay executor under contention: 8 workers share the base batch,
+// the classification result and the per-(query, user-group) re-check
+// scans, with a shared page cache underneath. Every (query, user) answer
+// must be bit-identical to rebuilding that user's patched space, and
+// invariant across worker counts and overlay group sizes. This is the
+// TSan workout for the overlay data structures (the shared alive bitmaps,
+// the per-lane modeled-time slots and the fold-in of scan IO).
+void StressOverlayBatch() {
+  Rng rng(20260809);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  Rng orng = rng.Fork();
+  const std::vector<size_t> cards = {6, 7, 8};
+  Dataset data = GenerateNormal(3000, cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  std::vector<Object> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(SampleUniformQuery(data, rng));
+  }
+  constexpr size_t kUsers = 8;
+  std::vector<MatrixOverlay> overlays;
+  overlays.reserve(kUsers);
+  for (size_t u = 0; u < kUsers; ++u) {
+    overlays.push_back(
+        MakeRandomOverlay(space, orng, 0.02 + 0.01 * static_cast<double>(u)));
+  }
+  std::vector<const MatrixOverlay*> ptrs;
+  for (const auto& o : overlays) ptrs.push_back(&o);
+
+  SimulatedDisk disk;
+  auto prepared = PrepareDataset(&disk, data, Algorithm::kBRS);
+  NMRS_CHECK(prepared.ok()) << prepared.status();
+
+  // Per-user patched-space rebuild: the correctness oracle.
+  std::vector<std::vector<std::vector<RowId>>> want(
+      queries.size(), std::vector<std::vector<RowId>>(kUsers));
+  for (size_t u = 0; u < kUsers; ++u) {
+    SimilaritySpace patched = overlays[u].BuildPatchedSpace();
+    QueryEngineOptions opts;
+    opts.num_workers = 1;
+    QueryEngine engine(*prepared, patched, Algorithm::kBRS, opts);
+    auto batch = engine.RunBatch(queries);
+    NMRS_CHECK(batch.ok()) << batch.status();
+    NMRS_CHECK(batch->ok()) << batch->first_error();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      want[q][u] = batch->results[q].rows;
+    }
+  }
+
+  for (size_t workers : {1u, 8u, 8u}) {
+    QueryEngineOptions opts;
+    opts.num_workers = workers;
+    opts.overlay_group = workers == 1 ? 3 : 16;
+    opts.cache_pages = prepared->stored.num_pages();
+    QueryEngine engine(*prepared, space, Algorithm::kBRS, opts);
+    auto ob = engine.RunOverlayBatch(queries, ptrs);
+    NMRS_CHECK(ob.ok()) << ob.status();
+    NMRS_CHECK(ob->ok()) << ob->first_error();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      for (size_t u = 0; u < kUsers; ++u) {
+        NMRS_CHECK(ob->results[q][u].rows == want[q][u])
+            << "workers " << workers << " query " << q << " user " << u;
+      }
+    }
+    NMRS_CHECK_EQ(ob->sensitive_rows + ob->invariant_rows,
+                  data.num_rows() * kUsers);
+  }
+  std::printf("overlay batch: %zu queries x %zu users identical to "
+              "per-user rebuild\n",
+              queries.size(), kUsers);
+}
+
 // Sharded scatter/gather under maximum scheduling pressure: many workers,
 // few queries' worth of (query, shard) tasks per phase, a shared cache per
 // shard, plus a run with a dead replica 0 — every combination must produce
@@ -637,6 +713,7 @@ int main() {
   nmrs::StressFaultBatch();
   nmrs::StressConcurrentFailover();
   nmrs::StressReplicaBatch();
+  nmrs::StressOverlayBatch();
   nmrs::StressShardedBatch();
   std::printf("exec stress: all ok\n");
   return 0;

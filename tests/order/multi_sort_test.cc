@@ -2,11 +2,69 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "data/generators.h"
 #include "order/attribute_order.h"
+#include "storage/paged_reader.h"
 
 namespace nmrs {
 namespace {
+
+// Disk decorator that silently flips one byte of every page read from files
+// with id >= first_faulty (everything else forwards). Pointing it past the
+// input file's id corrupts exactly the sort's spill runs and merge outputs,
+// never the input — only checksum verification of spill reads can catch it.
+class SpillCorruptor final : public SimulatedDisk {
+ public:
+  SpillCorruptor(SimulatedDisk* inner, FileId first_faulty)
+      : SimulatedDisk(inner->page_size()),
+        inner_(inner),
+        first_faulty_(first_faulty) {}
+
+  uint64_t corrupted_reads() const { return corrupted_reads_; }
+
+  Status ReadPage(FileId file, PageId page, Page* out) override {
+    NMRS_RETURN_IF_ERROR(inner_->ReadPage(file, page, out));
+    if (file >= first_faulty_ && out->size() > 0) {
+      (*out)[0] ^= 0x40;
+      ++corrupted_reads_;
+    }
+    return Status::OK();
+  }
+
+  FileId CreateFile(std::string name) override {
+    return inner_->CreateFile(std::move(name));
+  }
+  Status DeleteFile(FileId file) override { return inner_->DeleteFile(file); }
+  Status TruncateFile(FileId file) override {
+    return inner_->TruncateFile(file);
+  }
+  uint64_t NumPages(FileId file) const override {
+    return inner_->NumPages(file);
+  }
+  bool FileExists(FileId file) const override {
+    return inner_->FileExists(file);
+  }
+  Status WritePage(FileId file, PageId page, const Page& in) override {
+    return inner_->WritePage(file, page, in);
+  }
+  const IoStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+  void InvalidateArmPosition() override { inner_->InvalidateArmPosition(); }
+  StatusOr<uint64_t> PagesOf(FileId file) const override {
+    return inner_->PagesOf(file);
+  }
+  std::string FileName(FileId file) const override {
+    return inner_->FileName(file);
+  }
+  uint64_t TotalPages() const override { return inner_->TotalPages(); }
+
+ private:
+  SimulatedDisk* inner_;
+  FileId first_faulty_;
+  uint64_t corrupted_reads_ = 0;
+};
 
 // True if rows appear in non-decreasing lexicographic order along
 // attr_order.
@@ -173,6 +231,57 @@ TEST(ExternalSortTest, PreservesNumericPayload) {
     EXPECT_DOUBLE_EQ(all.numeric(i, 2), d.Numeric(orig, 2));
     EXPECT_EQ(all.value(i, 2), d.Value(orig, 2));  // bucket id intact
   }
+}
+
+TEST(ExternalSortTest, SealedInputSurfacesSpillCorruption) {
+  SimulatedDisk disk(64);  // tiny pages -> guaranteed multi-run merge
+  Rng rng(12);
+  Dataset d = GenerateUniform(300, {6, 6}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in", /*checksum_pages=*/true);
+  ASSERT_TRUE(stored.ok());
+
+  // Corrupt every read of files created *after* the input: exactly the
+  // spill runs and intermediate merges the sort itself writes.
+  SpillCorruptor faulty(&disk, disk.next_file_id());
+  StoredDataset input(&faulty, stored->file(), stored->schema(),
+                      stored->num_rows(), /*checksum_pages=*/true);
+  auto result = ExternalMultiAttributeSort(input, IdentityOrder(d.schema()),
+                                           MemoryBudget{3}, "out");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  EXPECT_GT(faulty.corrupted_reads(), 0u);
+}
+
+TEST(ExternalSortTest, SealedInputSealsSpillsAndOutput) {
+  SimulatedDisk disk(64);
+  Rng rng(13);
+  Dataset d = GenerateUniform(300, {5, 5}, rng);
+  auto stored = StoredDataset::Create(&disk, d, "in", /*checksum_pages=*/true);
+  ASSERT_TRUE(stored.ok());
+  const auto attr_order = IdentityOrder(d.schema());
+  auto result = ExternalMultiAttributeSort(*stored, attr_order,
+                                           MemoryBudget{3}, "out");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->sorted.checksum_pages());
+
+  // The sealed output must verify clean page by page.
+  PagedReaderOptions ro;
+  ro.verify_checksums = true;
+  PagedReader reader(&disk, nullptr, ro);
+  RowBatch all(2, false);
+  for (PageId p = 0; p < result->sorted.num_pages(); ++p) {
+    ASSERT_TRUE(result->sorted.ReadPageVia(&reader, p, &all).ok());
+  }
+  ASSERT_EQ(all.size(), 300u);
+  EXPECT_TRUE(IsLexSorted(all, attr_order));
+
+  // Unsealed input keeps the unsealed fast path: no footer on the output.
+  auto plain = StoredDataset::Create(&disk, d, "in2");
+  ASSERT_TRUE(plain.ok());
+  auto plain_result = ExternalMultiAttributeSort(*plain, attr_order,
+                                                 MemoryBudget{3}, "out2");
+  ASSERT_TRUE(plain_result.ok());
+  EXPECT_FALSE(plain_result->sorted.checksum_pages());
 }
 
 }  // namespace

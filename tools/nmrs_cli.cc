@@ -84,10 +84,26 @@
 //       Per-query output adds the per-shard candidate counts and the
 //       exchange's message/byte/round ledger; the batch summary adds the
 //       total MessageStats and the modeled network cost.
+//
+//       Overlay flags (docs/OVERLAYS.md): --overlay-users=K answers every
+//       batch query for K synthetic per-user preference overlays (sparse
+//       random deltas over the base matrices, each touching
+//       --overlay-touch-pct=P percent of the off-diagonal entries, seeded
+//       by --overlay-seed=S) through the incremental overlay executor —
+//       one base run plus re-pruning of the overlay-sensitive rows, rows
+//       bit-identical to rebuilding each user's patched space.
+//       --overlay-file=path loads one overlay from a serialized delta file
+//       ("attr from to d" lines) as the first user; in query mode the same
+//       flag evaluates the single query under that user's overlay.
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "nmrs.h"
@@ -117,6 +133,31 @@ std::string FlagOr(const Flags& flags, const std::string& key,
                    const std::string& fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// Strict non-negative integer flag parse. strtoull silently wraps "-1" to
+// 18446744073709551615 (so e.g. --promote-rows=-1 used to mean "promote
+// after 4 billion rows"); this rejects signs, junk and overflow instead.
+StatusOr<uint64_t> ParseCount(const Flags& flags, const std::string& key,
+                              uint64_t fallback) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const std::string& s = it->second;
+  if (s.empty()) return Status::InvalidArgument("--" + key + " needs a value");
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          "--" + key + " must be a non-negative integer, got '" + s + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("--" + key + " value '" + s +
+                                   "' is out of range");
+  }
+  return v;
 }
 
 std::vector<uint64_t> ParseUintList(const std::string& csv) {
@@ -151,6 +192,22 @@ StatusOr<SimilaritySpace> LoadSpace(const Schema& schema,
     space.AddCategorical(std::move(m));
   }
   return space;
+}
+
+// Reads a serialized MatrixOverlay ("attr from to d" lines, '#' comments)
+// and validates every entry against `base` (docs/OVERLAYS.md).
+StatusOr<MatrixOverlay> LoadOverlayFile(const SimilaritySpace& base,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto overlay = MatrixOverlay::Parse(base, text.str());
+  if (!overlay.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   overlay.status().ToString());
+  }
+  return overlay;
 }
 
 StatusOr<Object> ParseQuery(const Dataset& data, const std::string& csv) {
@@ -194,12 +251,23 @@ StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
 // --replicas, --replica-seed-base. One parse path so the commands cannot
 // drift apart again (batch had grown resilience flags `query` could not
 // spell).
-Status ParseCommonOptions(const Flags& flags, uint64_t dataset_pages,
-                          RSOptions* rs) {
-  rs->memory = MemoryBudget::FromFraction(
-      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr),
-      dataset_pages);
+Status ParseCommonOptions(const Flags& flags, const Schema& schema,
+                          uint64_t dataset_pages, RSOptions* rs) {
+  const double mem_frac =
+      std::strtod(FlagOr(flags, "mem", "0.1").c_str(), nullptr);
+  if (!(mem_frac > 0)) {
+    return Status::InvalidArgument(
+        "--mem must be a positive fraction of the dataset size, got '" +
+        FlagOr(flags, "mem", "0.1") + "'");
+  }
+  rs->memory = MemoryBudget::FromFraction(mem_frac, dataset_pages);
   for (uint64_t a : ParseUintList(FlagOr(flags, "attrs", ""))) {
+    if (a >= schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "--attrs index " + std::to_string(a) +
+          " out of range: the dataset has " +
+          std::to_string(schema.num_attributes()) + " attributes");
+    }
     rs->selected_attrs.push_back(static_cast<AttrId>(a));
   }
   rs->num_threads = std::atoi(FlagOr(flags, "threads", "1").c_str());
@@ -208,8 +276,12 @@ Status ParseCommonOptions(const Flags& flags, uint64_t dataset_pages,
   }
   rs->use_kernels = flags.count("kernels") != 0;
   if (flags.count("promote-rows") != 0) {
-    rs->kernel_promote_rows = static_cast<uint32_t>(std::strtoul(
-        FlagOr(flags, "promote-rows", "16").c_str(), nullptr, 10));
+    NMRS_ASSIGN_OR_RETURN(const uint64_t promote,
+                          ParseCount(flags, "promote-rows", 16));
+    if (promote > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("--promote-rows is out of range");
+    }
+    rs->kernel_promote_rows = static_cast<uint32_t>(promote);
   }
   rs->resilience.checksum_pages = flags.count("checksum") != 0;
   if (flags.count("retries") != 0) {
@@ -453,9 +525,23 @@ int CmdQuery(const Flags& flags) {
   if (!prepared.ok()) return Fail(prepared.status().ToString());
 
   RSOptions opts;
-  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(), &opts);
+  Status st = ParseCommonOptions(flags, setup->data.schema(),
+                                 prepared->stored.num_pages(), &opts);
   if (!st.ok()) return Fail(st.ToString());
   MaybePrintKernelBanner(opts);
+
+  // --overlay-file evaluates the query under one user's preference overlay
+  // (docs/OVERLAYS.md) — both the standalone and sharded paths read it from
+  // RSOptions.
+  std::optional<MatrixOverlay> overlay;
+  if (flags.count("overlay-file") != 0) {
+    auto loaded = LoadOverlayFile(setup->space,
+                                  FlagOr(flags, "overlay-file", ""));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    overlay.emplace(std::move(*loaded));
+    opts.overlay = &*overlay;
+    std::printf("overlay: %zu delta entries\n", overlay->num_entries());
+  }
 
   FaultConfig faults;
   st = ParseFaultFlags(flags, &faults);
@@ -471,8 +557,10 @@ int CmdQuery(const Flags& flags) {
     if (!sharded.ok()) return Fail(sharded.status().ToString());
 
     ShardedEngineOptions sopts;
-    sopts.engine.num_workers =
-        std::strtoull(FlagOr(flags, "workers", "1").c_str(), nullptr, 10);
+    auto workers = ParseCount(flags, "workers", 1);
+    if (!workers.ok()) return Fail(workers.status().ToString());
+    if (*workers < 1) return Fail("--workers must be at least 1");
+    sopts.engine.num_workers = *workers;
     sopts.engine.rs = opts;
     sopts.engine.faults = faults;
     sopts.engine.max_query_retries =
@@ -548,8 +636,8 @@ int CmdCompare(const Flags& flags) {
     auto prepared = PrepareDataset(&disk, setup->data, algo);
     if (!prepared.ok()) return Fail(prepared.status().ToString());
     RSOptions opts;
-    Status st = ParseCommonOptions(flags, prepared->stored.num_pages(),
-                                   &opts);
+    Status st = ParseCommonOptions(flags, setup->data.schema(),
+                                   prepared->stored.num_pages(), &opts);
     if (!st.ok()) return Fail(st.ToString());
     auto result = RunReverseSkyline(*prepared, setup->space, setup->query,
                                     algo, opts);
@@ -602,7 +690,8 @@ int CmdInfluence(const Flags& flags) {
   auto prepared = PrepareDataset(&disk, *data, Algorithm::kTRS);
   if (!prepared.ok()) return Fail(prepared.status().ToString());
   RSOptions opts;
-  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(), &opts);
+  Status st = ParseCommonOptions(flags, data->schema(),
+                                 prepared->stored.num_pages(), &opts);
   if (!st.ok()) return Fail(st.ToString());
   auto report = AnalyzeInfluence(*prepared, *space, queries, Algorithm::kTRS,
                                  opts);
@@ -649,10 +738,12 @@ int CmdBatch(const Flags& flags) {
   if (!prepared.ok()) return Fail(prepared.status().ToString());
 
   QueryEngineOptions eopts;
-  eopts.num_workers =
-      std::strtoull(FlagOr(flags, "workers", "4").c_str(), nullptr, 10);
-  Status st = ParseCommonOptions(flags, prepared->stored.num_pages(),
-                                 &eopts.rs);
+  auto workers = ParseCount(flags, "workers", 4);
+  if (!workers.ok()) return Fail(workers.status().ToString());
+  if (*workers < 1) return Fail("--workers must be at least 1");
+  eopts.num_workers = *workers;
+  Status st = ParseCommonOptions(flags, data->schema(),
+                                 prepared->stored.num_pages(), &eopts.rs);
   if (!st.ok()) return Fail(st.ToString());
   MaybePrintKernelBanner(eopts.rs);
   st = ParseFaultFlags(flags, &eopts.faults);
@@ -665,18 +756,18 @@ int CmdBatch(const Flags& flags) {
   eopts.fail_fast = flags.count("fail-fast") != 0;
   eopts.shared_scan = flags.count("shared-scan") != 0;
   if (flags.count("shared-group") != 0) {
-    eopts.shared_scan_group = std::strtoull(
-        FlagOr(flags, "shared-group", "16").c_str(), nullptr, 10);
-    if (eopts.shared_scan_group < 1) {
-      return Fail("--shared-group must be at least 1");
-    }
+    auto group = ParseCount(flags, "shared-group", 16);
+    if (!group.ok()) return Fail(group.status().ToString());
+    if (*group < 1) return Fail("--shared-group must be at least 1");
+    eopts.shared_scan_group = *group;
   }
   if (flags.count("cache-pages") != 0 && flags.count("cache-pct") != 0) {
     return Fail("--cache-pages and --cache-pct are mutually exclusive");
   }
   if (flags.count("cache-pages") != 0) {
-    eopts.cache_pages = std::strtoull(
-        FlagOr(flags, "cache-pages", "0").c_str(), nullptr, 10);
+    auto cache = ParseCount(flags, "cache-pages", 0);
+    if (!cache.ok()) return Fail(cache.status().ToString());
+    eopts.cache_pages = *cache;
   } else if (flags.count("cache-pct") != 0) {
     const double pct =
         std::strtod(FlagOr(flags, "cache-pct", "0").c_str(), nullptr);
@@ -686,6 +777,106 @@ int CmdBatch(const Flags& flags) {
                  : MemoryBudget::FromFraction(pct / 100.0,
                                               prepared->stored.num_pages())
                        .pages;
+  }
+
+  // --overlay-users / --overlay-file: answer every query for K per-user
+  // preference overlays through the incremental overlay executor
+  // (docs/OVERLAYS.md) — one base run per query plus re-pruning of the
+  // overlay-sensitive rows, instead of one full batch per user.
+  if (flags.count("overlay-users") != 0 || flags.count("overlay-file") != 0) {
+    auto users = ParseCount(flags, "overlay-users", 0);
+    if (!users.ok()) return Fail(users.status().ToString());
+    const double touch_pct = std::strtod(
+        FlagOr(flags, "overlay-touch-pct", "1").c_str(), nullptr);
+    if (!(touch_pct >= 0) || touch_pct > 100) {
+      return Fail("--overlay-touch-pct must be in [0, 100]");
+    }
+    std::vector<MatrixOverlay> overlays;
+    overlays.reserve(static_cast<size_t>(*users) + 1);
+    if (flags.count("overlay-file") != 0) {
+      auto loaded = LoadOverlayFile(*space, FlagOr(flags, "overlay-file", ""));
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      overlays.push_back(std::move(*loaded));
+    }
+    Rng orng(std::strtoull(FlagOr(flags, "overlay-seed", "7").c_str(),
+                           nullptr, 10));
+    for (uint64_t u = 0; u < *users; ++u) {
+      overlays.push_back(MakeRandomOverlay(*space, orng, touch_pct / 100.0));
+    }
+    if (overlays.empty()) {
+      return Fail("--overlay-users must be at least 1 "
+                  "when no --overlay-file is given");
+    }
+    std::vector<const MatrixOverlay*> ptrs;
+    size_t total_entries = 0;
+    for (const auto& o : overlays) {
+      ptrs.push_back(&o);
+      total_entries += o.num_entries();
+    }
+
+    // OverlayBatchResult and ShardedOverlayBatchResult expose the same
+    // telemetry surface; print either.
+    const auto print_overlay = [&](const auto& ob) -> int {
+      std::printf("overlay batch: %d queries x %zu users "
+                  "(%zu delta entries total)\n",
+                  k, ptrs.size(), total_entries);
+      for (int i = 0; i < k; ++i) {
+        if (!ob.statuses[i].ok()) {
+          std::printf("  Q%-3d %-20s FAILED: %s\n", i,
+                      queries[i].ToString().c_str(),
+                      ob.statuses[i].ToString().c_str());
+          continue;
+        }
+        std::string sizes;
+        const size_t show = std::min<size_t>(ob.results[i].size(), 16);
+        for (size_t u = 0; u < show; ++u) {
+          if (u > 0) sizes += ",";
+          sizes += std::to_string(ob.results[i][u].rows.size());
+        }
+        if (ob.results[i].size() > show) sizes += ",...";
+        std::printf("  Q%-3d %-20s |RS| per user = [%s]\n", i,
+                    queries[i].ToString().c_str(), sizes.c_str());
+      }
+      std::printf(
+          "rows: %llu overlay-sensitive + %llu invariant (user, row) pairs\n"
+          "re-checks: %llu scans, %llu candidate checks, %llu pair tests\n"
+          "overlay io: %llu seq + %llu rand pages  total io: %llu pages\n"
+          "wall %.1fms, modeled makespan %.1fms, modeled throughput %.2f "
+          "answers/s\n",
+          static_cast<unsigned long long>(ob.sensitive_rows),
+          static_cast<unsigned long long>(ob.invariant_rows),
+          static_cast<unsigned long long>(ob.recheck_scans),
+          static_cast<unsigned long long>(ob.recheck_checks),
+          static_cast<unsigned long long>(ob.recheck_pair_tests),
+          static_cast<unsigned long long>(ob.overlay_io.TotalSequential()),
+          static_cast<unsigned long long>(ob.overlay_io.TotalRandom()),
+          static_cast<unsigned long long>(ob.total_io.Total()),
+          ob.wall_millis, ob.ModeledMakespanMillis(), ob.ModeledQps());
+      if (!ob.ok()) {
+        std::fprintf(stderr, "some queries failed: %s\n",
+                     ob.first_error().ToString().c_str());
+        return 1;
+      }
+      return 0;
+    };
+
+    if (flags.count("shards") != 0) {
+      ShardPlanOptions plan;
+      st = ParseShardPlan(flags, &plan);
+      if (!st.ok()) return Fail(st.ToString());
+      auto sharded = ShardedDataset::Partition(*prepared, plan);
+      if (!sharded.ok()) return Fail(sharded.status().ToString());
+      ShardedEngineOptions sopts;
+      sopts.engine = eopts;
+      ShardedQueryEngine engine(*sharded, *space, *algo, sopts);
+      auto ob = engine.RunOverlayBatch(queries, ptrs);
+      if (!ob.ok()) return Fail(ob.status().ToString());
+      return print_overlay(*ob);
+    }
+    QueryEngine engine(*prepared, *space, *algo, eopts);
+    auto ob = engine.RunOverlayBatch(queries, ptrs);
+    if (!ob.ok()) return Fail(ob.status().ToString());
+    return print_overlay(*ob);
   }
 
   if (flags.count("shards") != 0) {
