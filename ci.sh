@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point, eight stages (docs/ROBUSTNESS.md covers asan/chaos/
-# replica, docs/KERNELS.md covers 6-7, docs/SHARDING.md covers 8):
+# CI entry point, ten stages (docs/ROBUSTNESS.md covers asan/chaos/
+# replica, docs/KERNELS.md covers 6-7, docs/SHARDING.md covers 8,
+# docs/MUTABILITY.md covers 10):
 #   1. plain   — RelWithDebInfo build + full ctest suite
 #   2. tsan    — ThreadSanitizer build of the gtest-free concurrency
 #                stress binary (tests/exec/stress_test.cc), including the
@@ -27,6 +28,12 @@
 #                bit-identical to the per-user patched-space rebuild or
 #                the modeled speedup at 256 users / 1% touch drops
 #                below 3.0x
+#  10. mutations— bench_mutations --quick, then
+#                tools/check_mutation_gate.py fails the run if Database
+#                snapshot queries are not bit-identical to re-preparing
+#                the mutated dataset from scratch or the modeled query
+#                slowdown at a 1% delta exceeds 1.3x; plus an nmrs_cli
+#                serve smoke over a scripted mutation workload
 # Sanitizer builds are Debug so NMRS_DCHECKs are active, and only build
 # gtest-free targets to keep every instrumented frame inside nmrs code.
 set -euo pipefail
@@ -48,10 +55,10 @@ echo "=== Address+UBSan build (exec_stress + chaos_soak slice) ==="
 cmake -B build-asan -S . -DNMRS_ASAN=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"${JOBS}" --target exec_stress --target chaos_soak
 ./build-asan/tests/exec_stress
-./build-asan/tests/chaos_soak --configs=50
+./build-asan/tests/chaos_soak --configs=50 --mutations=10
 
-echo "=== chaos soak (full 500-config sweep) ==="
-./build/tests/chaos_soak --configs=500
+echo "=== chaos soak (full 500-config sweep + WAL/compaction faults) ==="
+./build/tests/chaos_soak --configs=500 --mutations=100
 
 echo "=== replica chaos sweep (multi-replica failover contract) ==="
 ./build/tests/chaos_soak --configs=150 --min-replicas=2
@@ -72,5 +79,17 @@ python3 tools/check_shard_gate.py build/BENCH_shards.json
 echo "=== overlay correctness + speedup gate (bench_overlays --quick) ==="
 (cd build && ./bench/bench_overlays --quick)
 python3 tools/check_overlay_gate.py build/BENCH_overlays.json
+
+echo "=== mutation correctness + slowdown gate (bench_mutations --quick) ==="
+(cd build && ./bench/bench_mutations --quick)
+python3 tools/check_mutation_gate.py build/BENCH_mutations.json
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SERVE_DIR}"' EXIT
+./build/tools/nmrs_cli generate --rows=2000 --cards=8,10,6 \
+  --out="${SERVE_DIR}/data.csv" --matrices="${SERVE_DIR}/m" --seed=5
+printf 'query 3,4,2\ninsert 3,4,2\ndelete 0\nquery 3,4,2\ncompact\nquery 3,4,2\nstats\n' \
+  > "${SERVE_DIR}/workload.txt"
+./build/tools/nmrs_cli serve --data="${SERVE_DIR}/data.csv" \
+  --matrices="${SERVE_DIR}/m" --script="${SERVE_DIR}/workload.txt"
 
 echo "ci: all ok"

@@ -1,0 +1,104 @@
+#ifndef NMRS_EXEC_ENGINE_OPTIONS_H_
+#define NMRS_EXEC_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "shard/message_stats.h"
+#include "storage/fault_injection.h"
+
+namespace nmrs {
+
+/// One options vocabulary for every executor — QueryEngine,
+/// ShardedQueryEngine and the Database front door all consume this struct,
+/// so the worker / cache / fault / replica / shared-scan / overlay knobs
+/// cannot drift apart between entry points (they did once: the sharded
+/// engine duplicated every field behind a nested `engine` member).
+///
+/// Field semantics are unchanged from the historical QueryEngineOptions;
+/// `net` is the one sharded-only addition (single-shard executors ignore
+/// it).
+struct EngineOptions {
+  /// Worker threads (0 = std::thread::hardware_concurrency()).
+  size_t num_workers = 0;
+
+  /// Per-query options template. Setting rs.num_threads > 1 additionally
+  /// parallelizes each query's phase-1 candidate checks on the same pool
+  /// (rs.executor is filled in by the engine when left null).
+  RSOptions rs;
+
+  /// Shared page-cache capacity in pages; 0 = no cache (seed-identical
+  /// IO). When > 0 the engine owns one BufferPool over the frozen base
+  /// disk (one per shard for the sharded engine), shared by all workers.
+  /// See docs/CACHING.md.
+  uint64_t cache_pages = 0;
+
+  /// Deterministic storage fault injection (docs/ROBUSTNESS.md). When
+  /// faults.enabled(), every query task reads through its own FaultyDisk
+  /// whose fault stream is the query's batch index — so the faults query i
+  /// sees are a pure function of (faults.seed, i, file, page, attempt),
+  /// independent of worker count and work-stealing order.
+  ///
+  /// With rs.resilience.replicas > 1 this config is the *template* for
+  /// every replica: replica 0 runs it verbatim, replica r runs it under
+  /// seed ReplicaSet::ReplicaSeed(faults.seed, ..., r).
+  FaultConfig faults;
+
+  /// Explicit per-replica fault configs; overrides the `faults` template
+  /// when non-empty (size must then equal rs.resilience.replicas; a
+  /// disabled entry leaves that replica clean).
+  std::vector<FaultConfig> replica_faults;
+
+  /// Legacy error semantics: when true, RunBatch returns the first
+  /// per-query error as a bare error status (after the whole batch has
+  /// run), discarding the batch result. Default false = graceful
+  /// degradation with per-query statuses.
+  bool fail_fast = false;
+
+  /// Extra attempts for a query whose run failed with a storage-fault
+  /// status: the query is re-run on a clean view — no fault wrapper —
+  /// modeling a replica read. Non-storage errors are never retried.
+  int max_query_retries = 0;
+
+  /// Cross-query scan sharing (docs/KERNELS.md): groups of
+  /// `shared_scan_group` consecutive BRS/SRS queries run their phase 1
+  /// through ONE pass over the dataset. Falls back to per-query execution
+  /// under fault injection, replica failover, or other algorithms.
+  bool shared_scan = false;
+  size_t shared_scan_group = 16;
+
+  /// Multi-tenant overlay re-check grouping (docs/OVERLAYS.md): re-check
+  /// the overlay-sensitive candidates of up to `overlay_group` users per
+  /// query through one pass over the dataset.
+  size_t overlay_group = 16;
+
+  /// Network cost model of the cross-shard pruner exchange
+  /// (docs/SHARDING.md). Consumed by the sharded engine and by Database
+  /// when num_shards > 1; the single-shard QueryEngine ignores it.
+  MessageCostModel net;
+};
+
+/// Deprecation shim: the historical name for the single-shard executor's
+/// options. New code should spell EngineOptions.
+using QueryEngineOptions = EngineOptions;
+
+/// Deprecation shim for call sites that built the sharded executor's
+/// nested options struct (`sopts.engine.rs = ...; sopts.net = ...`).
+/// ShardedQueryEngine accepts this alongside EngineOptions and flattens it;
+/// new code should fill EngineOptions (which carries `net`) directly.
+struct ShardedEngineOptions {
+  EngineOptions engine;
+  MessageCostModel net;
+
+  EngineOptions Flatten() const {
+    EngineOptions flat = engine;
+    flat.net = net;
+    return flat;
+  }
+};
+
+}  // namespace nmrs
+
+#endif  // NMRS_EXEC_ENGINE_OPTIONS_H_

@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "core/query.h"
 #include "data/object.h"
+#include "exec/engine_options.h"
 #include "exec/thread_pool.h"
 #include "sim/similarity_space.h"
 #include "storage/buffer_pool.h"
@@ -20,82 +21,9 @@
 
 namespace nmrs {
 
-struct QueryEngineOptions {
-  /// Worker threads (0 = std::thread::hardware_concurrency()).
-  size_t num_workers = 0;
-
-  /// Per-query options template. Setting rs.num_threads > 1 additionally
-  /// parallelizes each query's phase-1 candidate checks on the same pool
-  /// (rs.executor is filled in by the engine when left null).
-  RSOptions rs;
-
-  /// Shared page-cache capacity in pages; 0 = no cache (seed-identical
-  /// IO). When > 0 the engine owns one BufferPool over the frozen base
-  /// disk, shared by all workers: a page any worker fetched is a free hit
-  /// for every other worker until evicted, and rs.cache_pages /
-  /// rs.buffer_pool are filled in per query. See docs/CACHING.md.
-  uint64_t cache_pages = 0;
-
-  /// Deterministic storage fault injection (docs/ROBUSTNESS.md). When
-  /// faults.enabled(), every query task reads through its own FaultyDisk
-  /// whose fault stream is the query's batch index — so the faults query i
-  /// sees are a pure function of (faults.seed, i, file, page, attempt),
-  /// independent of worker count and work-stealing order. Fault batches
-  /// run shared-nothing: the shared page cache is disabled, because one
-  /// query's corrupted fetch landing in a shared frame would leak into
-  /// other queries in a scheduling-dependent way.
-  ///
-  /// With rs.resilience.replicas > 1 this config is the *template* for
-  /// every replica: replica 0 runs it verbatim, replica r runs it under
-  /// seed ReplicaSet::ReplicaSeed(faults.seed, ..., r) — independent fault
-  /// processes over identical data, so page reads fail over
-  /// (docs/ROBUSTNESS.md).
-  FaultConfig faults;
-
-  /// Explicit per-replica fault configs; overrides the `faults` template
-  /// when non-empty (size must then equal rs.resilience.replicas; a
-  /// disabled entry leaves that replica clean). This is how tests model
-  /// asymmetric failures, e.g. one totally dead replica among healthy
-  /// ones.
-  std::vector<FaultConfig> replica_faults;
-
-  /// Legacy error semantics: when true, RunBatch returns the first
-  /// per-query error as a bare error status (after the whole batch has
-  /// run), discarding the BatchResult. Default false = graceful
-  /// degradation with per-query statuses.
-  bool fail_fast = false;
-
-  /// Extra attempts for a query whose run failed with a storage-fault
-  /// status (kUnavailable / kDataLoss / kCorruption): the query is re-run
-  /// on a clean view — no fault wrapper — modeling a replica read.
-  /// Non-storage errors are never retried.
-  int max_query_retries = 0;
-
-  /// Cross-query scan sharing (docs/KERNELS.md): for BRS/SRS batches,
-  /// groups of `shared_scan_group` consecutive queries run their phase 1
-  /// through ONE pass over the dataset (SharedScanReverseSkylines) instead
-  /// of one pass per query — each fetched page feeds every query of the
-  /// group, and with rs.use_kernels the per-candidate attribute gathers are
-  /// shared too. Per-query rows and check accounting are bit-identical to
-  /// per-query execution; the scan's own IO is reported once per group
-  /// (BatchResult::shared_io) instead of once per query. Grouping is by
-  /// query index, so results and totals are independent of worker count.
-  ///
-  /// Falls back to per-query execution — silently, per group of
-  /// eligibility — when the batch runs fault injection (shared frames would
-  /// leak one query's faulted fetch into another's reads), when replica
-  /// failover is configured (failover views are per query task), or when
-  /// the algorithm is not BRS/SRS. Default off = per-query execution.
-  bool shared_scan = false;
-  size_t shared_scan_group = 16;
-
-  /// Multi-tenant overlay re-check grouping (docs/OVERLAYS.md, analogous to
-  /// shared_scan_group): RunOverlayBatch re-checks the overlay-sensitive
-  /// candidates of up to `overlay_group` users per query through ONE pass
-  /// over the dataset instead of one pass per user. Grouping is by user
-  /// index, so results are independent of worker count.
-  size_t overlay_group = 16;
-};
+// The executor options vocabulary (EngineOptions and the QueryEngineOptions
+// alias) lives in exec/engine_options.h, shared with the sharded engine and
+// the Database front door.
 
 /// Outcome of one RunBatch call.
 struct BatchResult {
@@ -255,7 +183,7 @@ struct OverlayBatchResult {
 class QueryEngine {
  public:
   QueryEngine(const PreparedDataset& prepared, const SimilaritySpace& space,
-              Algorithm algo, QueryEngineOptions opts = {});
+              Algorithm algo, EngineOptions opts = {});
 
   size_t num_workers() const { return pool_.num_threads(); }
   Algorithm algorithm() const { return algo_; }
@@ -296,7 +224,7 @@ class QueryEngine {
   const PreparedDataset* prepared_;
   const SimilaritySpace* space_;
   Algorithm algo_;
-  QueryEngineOptions opts_;
+  EngineOptions opts_;
   ThreadPool pool_;
   // Per-(worker, replica) views plus per-replica fault oracles; replaces
   // the old per-worker view list + single injector (a 1-replica set is

@@ -57,13 +57,13 @@ double ShardedOverlayBatchResult::ModeledQps() const {
 ShardedQueryEngine::ShardedQueryEngine(const ShardedDataset& sharded,
                                        const SimilaritySpace& space,
                                        Algorithm algo,
-                                       ShardedEngineOptions opts)
+                                       EngineOptions opts)
     : sharded_(&sharded),
       space_(&space),
       algo_(algo),
       opts_(std::move(opts)),
-      pool_(opts_.engine.num_workers > 0
-                ? opts_.engine.num_workers
+      pool_(opts_.num_workers > 0
+                ? opts_.num_workers
                 : std::max(1u, std::thread::hardware_concurrency())) {
   SimulatedDisk* disk = sharded_->base().stored.disk();
   // Shard files were created by Partition before this constructor ran, so
@@ -71,7 +71,7 @@ ShardedQueryEngine::ShardedQueryEngine(const ShardedDataset& sharded,
   // like base pages, while per-query scratch spills stay exempt.
   fault_ceiling_ = disk->next_file_id();
 
-  const QueryEngineOptions& eng = opts_.engine;
+  const EngineOptions& eng = opts_;
   ReplicaSetOptions rso_template;
   rso_template.num_replicas =
       std::clamp(eng.rs.resilience.replicas, 1,
@@ -109,7 +109,7 @@ ShardedQueryEngine::ShardedQueryEngine(const ShardedDataset& sharded,
 
 StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
     const std::vector<Object>& queries) {
-  NMRS_RETURN_IF_ERROR(opts_.engine.rs.resilience.Validate());
+  NMRS_RETURN_IF_ERROR(opts_.rs.resilience.Validate());
 
   const size_t num_queries = queries.size();
   const int S = sharded_->num_shards();
@@ -170,7 +170,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
   // Builds the per-task RSOptions the way QueryEngine does: shared cache,
   // checksum implication, batch-local quarantine, intra-query threads.
   auto make_rs = [&](int s) {
-    RSOptions rs = opts_.engine.rs;
+    RSOptions rs = opts_.rs;
     if (rs.num_threads > 1 && rs.executor == nullptr) rs.executor = &pool_;
     if (pool_caches_[s] != nullptr) {
       rs.cache_pages = true;
@@ -190,7 +190,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
   // the shard's local rows, then serializes its surviving candidates for
   // the exchange. ----
   const bool shared_eligible =
-      opts_.engine.shared_scan && !replica_sets_[0]->faulted() &&
+      opts_.shared_scan && !replica_sets_[0]->faulted() &&
       replica_sets_[0]->num_replicas() == 1 &&
       (algo_ == Algorithm::kBRS || algo_ == Algorithm::kSRS);
 
@@ -200,7 +200,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
     std::atomic<uint64_t> shared_batches{0};
     std::atomic<uint64_t> shared_groups{0};
     const size_t group_size =
-        std::max<size_t>(1, opts_.engine.shared_scan_group);
+        std::max<size_t>(1, opts_.shared_scan_group);
     const size_t num_groups = (num_queries + group_size - 1) / group_size;
     wg.Add(static_cast<int>(num_groups * active.size()));
     for (size_t g = 0; g < num_groups; ++g) {
@@ -298,7 +298,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
           }
 
           const StoredDataset& shard = sharded_->shard(s);
-          const int attempts = 1 + std::max(0, opts_.engine.max_query_retries);
+          const int attempts = 1 + std::max(0, opts_.max_query_retries);
           StatusOr<ReverseSkylineResult> result =
               Status::Internal("shard task never ran");
           for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -447,7 +447,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
           }
 
           const StoredDataset& shard = sharded_->shard(s);
-          const int attempts = 1 + std::max(0, opts_.engine.max_query_retries);
+          const int attempts = 1 + std::max(0, opts_.max_query_retries);
           Status vstatus = Status::OK();
           for (int attempt = 0; attempt < attempts; ++attempt) {
             SimulatedDisk* attempt_disk = attempt == 0 ? qdisk : view;
@@ -559,7 +559,7 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
     batch.total_messages += b.messages;
   }
 
-  if (opts_.engine.fail_fast) {
+  if (opts_.fail_fast) {
     Status first = batch.first_error();
     if (!first.ok()) return first;
   }
@@ -567,9 +567,9 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
   batch.wall_millis = timer.ElapsedMillis();
   batch.tasks_retried = retried.load(std::memory_order_relaxed);
   batch.quarantined = quarantine.Pages();
-  if (opts_.engine.rs.resilience.quarantine_log != nullptr) {
+  if (opts_.rs.resilience.quarantine_log != nullptr) {
     for (const auto& [file, page] : batch.quarantined) {
-      opts_.engine.rs.resilience.quarantine_log->Report(file, page);
+      opts_.rs.resilience.quarantine_log->Report(file, page);
     }
   }
   return batch;
@@ -578,8 +578,8 @@ StatusOr<ShardedBatchResult> ShardedQueryEngine::RunBatch(
 StatusOr<ShardedOverlayBatchResult> ShardedQueryEngine::RunOverlayBatch(
     const std::vector<Object>& queries,
     const std::vector<const MatrixOverlay*>& overlays) {
-  NMRS_RETURN_IF_ERROR(opts_.engine.rs.resilience.Validate());
-  if (opts_.engine.rs.overlay != nullptr) {
+  NMRS_RETURN_IF_ERROR(opts_.rs.resilience.Validate());
+  if (opts_.rs.overlay != nullptr) {
     return Status::InvalidArgument(
         "RunOverlayBatch: the engine's rs.overlay template must be null — "
         "the per-user overlays come from the overlays argument");
@@ -606,7 +606,7 @@ StatusOr<ShardedOverlayBatchResult> ShardedQueryEngine::RunOverlayBatch(
 
   const StoredDataset& base_data = sharded_->base().stored;
   const std::vector<AttrId> selected =
-      ResolveSelectedAttrs(base_data.schema(), opts_.engine.rs.selected_attrs);
+      ResolveSelectedAttrs(base_data.schema(), opts_.rs.selected_attrs);
 
   // Classification and re-checks read the whole BASE dataset — sensitivity
   // and membership are properties of rows, not of the partitioning — on
@@ -614,7 +614,7 @@ StatusOr<ShardedOverlayBatchResult> ShardedQueryEngine::RunOverlayBatch(
   PagedReaderOptions clean_reader_opts;
   clean_reader_opts.verify_checksums =
       base_data.checksum_pages() ||
-      opts_.engine.rs.resilience.checksum_pages;
+      opts_.rs.resilience.checksum_pages;
   ReplicaSet& rset0 = *replica_sets_[0];
 
   // ---- 1. Query-independent classification, once per batch. ----
@@ -644,7 +644,7 @@ StatusOr<ShardedOverlayBatchResult> ShardedQueryEngine::RunOverlayBatch(
   for (size_t u = 0; u < overlays.size(); ++u) {
     if (!cls.user_rows[u].empty()) scan_users.push_back(u);
   }
-  const size_t group_size = std::max<size_t>(1, opts_.engine.overlay_group);
+  const size_t group_size = std::max<size_t>(1, opts_.overlay_group);
   const size_t num_groups =
       (scan_users.size() + group_size - 1) / group_size;
 

@@ -12,6 +12,7 @@
 #include "core/pipeline.h"
 #include "core/query.h"
 #include "data/object.h"
+#include "exec/engine_options.h"
 #include "exec/query_engine.h"
 #include "exec/thread_pool.h"
 #include "shard/message_stats.h"
@@ -22,15 +23,12 @@
 
 namespace nmrs {
 
-/// Options of the sharded executor: the full QueryEngine vocabulary applied
-/// per shard (every shard is modeled as one machine with `num_workers`
-/// workers, `rs.memory` pages of working memory, its own `cache_pages` page
-/// cache, and — with resilience.replicas > 1 — its own replica set), plus
-/// the network cost model for the pruner exchange.
-struct ShardedEngineOptions {
-  QueryEngineOptions engine;
-  MessageCostModel net;
-};
+// The sharded executor consumes the same EngineOptions as QueryEngine
+// (exec/engine_options.h): every shard is modeled as one machine with
+// `num_workers` workers, `rs.memory` pages of working memory, its own
+// `cache_pages` page cache, and — with resilience.replicas > 1 — its own
+// replica set; `net` is the network cost model of the pruner exchange.
+// ShardedEngineOptions (same header) is the deprecated nested form.
 
 /// Per-query sharding telemetry.
 struct ShardQueryBreakdown {
@@ -198,7 +196,14 @@ class ShardedQueryEngine {
   /// ShardedDataset's files are part of the frozen structure).
   ShardedQueryEngine(const ShardedDataset& sharded,
                      const SimilaritySpace& space, Algorithm algo,
-                     ShardedEngineOptions opts = {});
+                     EngineOptions opts = {});
+
+  /// Deprecation shim for the historical nested-options form; flattens
+  /// into EngineOptions (opts.engine with opts.net grafted on).
+  ShardedQueryEngine(const ShardedDataset& sharded,
+                     const SimilaritySpace& space, Algorithm algo,
+                     const ShardedEngineOptions& opts)
+      : ShardedQueryEngine(sharded, space, algo, opts.Flatten()) {}
 
   size_t num_workers() const { return pool_.num_threads(); }
   int num_shards() const { return sharded_->num_shards(); }
@@ -235,7 +240,7 @@ class ShardedQueryEngine {
   const ShardedDataset* sharded_;
   const SimilaritySpace* space_;
   Algorithm algo_;
-  ShardedEngineOptions opts_;
+  EngineOptions opts_;
   ThreadPool pool_;
   FileId fault_ceiling_;
   // Per-shard replica sets and page caches: per-(worker, shard) DiskViews

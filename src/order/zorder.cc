@@ -21,37 +21,44 @@ uint64_t ZValue(const std::vector<uint32_t>& coords, unsigned bits) {
   return z;
 }
 
+TileZCoder::TileZCoder(const Schema& schema, std::vector<AttrId> attr_order,
+                       size_t tiles_per_dim)
+    : attr_order_(std::move(attr_order)) {
+  NMRS_CHECK_GT(tiles_per_dim, 0u);
+  const size_t m = schema.num_attributes();
+  cardinalities_.reserve(attr_order_.size());
+  for (AttrId attr : attr_order_) {
+    cardinalities_.push_back(schema.attribute(attr).cardinality);
+  }
+  // Bits per dimension, bounded so the interleaved key fits in 64 bits.
+  bits_ = 1;
+  while ((1u << bits_) < tiles_per_dim) ++bits_;
+  const unsigned max_bits = static_cast<unsigned>(64 / std::max<size_t>(m, 1));
+  if (bits_ > max_bits) bits_ = max_bits;
+  effective_tiles_ = std::min<size_t>(tiles_per_dim, 1u << bits_);
+  coords_.resize(attr_order_.size());
+}
+
+uint64_t TileZCoder::Key(const ValueId* row) const {
+  for (size_t d = 0; d < attr_order_.size(); ++d) {
+    // Tile coordinate of a value: value scaled into [0, effective_tiles).
+    const size_t card = cardinalities_[d];
+    const ValueId v = row[attr_order_[d]];
+    uint64_t t = card <= 1 ? 0
+                           : static_cast<uint64_t>(v) * effective_tiles_ / card;
+    if (t >= effective_tiles_) t = effective_tiles_ - 1;
+    coords_[d] = static_cast<uint32_t>(t);
+  }
+  return ZValue(coords_, bits_);
+}
+
 std::vector<RowId> TileZOrder(const Dataset& data,
                               const std::vector<AttrId>& attr_order,
                               size_t tiles_per_dim) {
-  NMRS_CHECK_GT(tiles_per_dim, 0u);
-  const Schema& schema = data.schema();
-  const size_t m = schema.num_attributes();
-
-  // Bits per dimension, bounded so the interleaved key fits in 64 bits.
-  unsigned bits = 1;
-  while ((1u << bits) < tiles_per_dim) ++bits;
-  const unsigned max_bits = static_cast<unsigned>(64 / std::max<size_t>(m, 1));
-  if (bits > max_bits) bits = max_bits;
-  const size_t effective_tiles = std::min<size_t>(tiles_per_dim, 1u << bits);
-
-  // Tile coordinate of a value: value scaled into [0, effective_tiles).
-  auto tile_of = [&](AttrId attr, ValueId v) -> uint32_t {
-    const size_t card = schema.attribute(attr).cardinality;
-    if (card <= 1) return 0;
-    uint64_t t = static_cast<uint64_t>(v) * effective_tiles / card;
-    if (t >= effective_tiles) t = effective_tiles - 1;
-    return static_cast<uint32_t>(t);
-  };
-
+  const TileZCoder coder(data.schema(), attr_order, tiles_per_dim);
   const uint64_t n = data.num_rows();
   std::vector<uint64_t> zvals(n);
-  std::vector<uint32_t> coords(m);
-  for (RowId r = 0; r < n; ++r) {
-    const ValueId* row = data.RowValues(r);
-    for (size_t d = 0; d < m; ++d) coords[d] = tile_of(attr_order[d], row[attr_order[d]]);
-    zvals[r] = ZValue(coords, bits);
-  }
+  for (RowId r = 0; r < n; ++r) zvals[r] = coder.Key(data.RowValues(r));
 
   std::vector<RowId> order(n);
   std::iota(order.begin(), order.end(), 0);

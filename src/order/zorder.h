@@ -14,6 +14,29 @@ namespace nmrs {
 /// standard Z-order / Morton value. Supports up to 64 total bits.
 uint64_t ZValue(const std::vector<uint32_t>& coords, unsigned bits);
 
+/// Computes the per-row tile Z-key TileZOrder sorts by, exposed so
+/// incremental consumers (Database's base+delta merge) can key a single
+/// new row exactly as a full re-sort would. Construction captures the
+/// bits-per-dimension / effective-tile-count derivation; Key() is then a
+/// pure function of the row's value ids.
+class TileZCoder {
+ public:
+  TileZCoder(const Schema& schema, std::vector<AttrId> attr_order,
+             size_t tiles_per_dim);
+
+  uint64_t Key(const ValueId* row) const;
+
+  unsigned bits() const { return bits_; }
+  size_t effective_tiles() const { return effective_tiles_; }
+
+ private:
+  std::vector<AttrId> attr_order_;
+  std::vector<size_t> cardinalities_;  // along attr_order_
+  unsigned bits_;
+  size_t effective_tiles_;
+  mutable std::vector<uint32_t> coords_;  // scratch for Key()
+};
+
 /// Tile-based data ordering (paper §5.6): each attribute's value range (in
 /// its arbitrary id order) is divided into `tiles_per_dim` equal slices;
 /// the resulting hyper-rectangular tiles are ordered by Z-order, and objects

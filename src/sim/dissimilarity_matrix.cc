@@ -5,6 +5,33 @@
 
 namespace nmrs {
 
+ValueId DissimilarityMatrix::AppendValue(const std::vector<double>& to_new,
+                                         const std::vector<double>& from_new,
+                                         double self) {
+  const size_t k = cardinality_;
+  NMRS_CHECK_EQ(to_new.size(), k);
+  NMRS_CHECK_EQ(from_new.size(), k);
+  const size_t k1 = k + 1;
+  std::vector<double> values(k1 * k1);
+  std::vector<double> transposed(k1 * k1);
+  for (ValueId a = 0; a < k; ++a) {
+    for (ValueId b = 0; b < k; ++b) {
+      values[a * k1 + b] = values_[a * k + b];
+      transposed[b * k1 + a] = transposed_[b * k + a];
+    }
+    values[a * k1 + k] = to_new[a];    // d(a, new)
+    values[k * k1 + a] = from_new[a];  // d(new, b)
+    transposed[k * k1 + a] = to_new[a];
+    transposed[a * k1 + k] = from_new[a];
+  }
+  values[k * k1 + k] = self;
+  transposed[k * k1 + k] = self;
+  values_ = std::move(values);
+  transposed_ = std::move(transposed);
+  cardinality_ = k1;
+  return static_cast<ValueId>(k);
+}
+
 Status DissimilarityMatrix::Validate(bool require_zero_diagonal) const {
   for (ValueId a = 0; a < cardinality_; ++a) {
     for (ValueId b = 0; b < cardinality_; ++b) {

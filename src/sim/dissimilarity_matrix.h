@@ -62,6 +62,15 @@ class DissimilarityMatrix {
     Set(b, a, d);
   }
 
+  /// Grows the domain k -> k+1 in place, appending value id k with
+  /// d(a, k) = to_new[a], d(k, b) = from_new[b], d(k, k) = self. Both
+  /// vectors must have size k. O(k^2) relayout of this matrix only — the
+  /// append-only alternative to re-deriving an entire (k+1)^2 matrix from
+  /// scratch when a delta row introduces a fresh domain value.
+  /// Returns the id of the new value.
+  ValueId AppendValue(const std::vector<double>& to_new,
+                      const std::vector<double>& from_new, double self = 0.0);
+
   /// Validates basic sanity: non-negative entries and zero diagonal (the
   /// latter only when `require_zero_diagonal`).
   Status Validate(bool require_zero_diagonal = true) const;

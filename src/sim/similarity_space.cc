@@ -1,6 +1,44 @@
 #include "sim/similarity_space.h"
 
+#include <string>
+
 namespace nmrs {
+
+Status SimilaritySpace::AddObjectValue(
+    const std::vector<ValueId>& values,
+    const std::vector<std::vector<double>>& dists) {
+  if (values.size() != attrs_.size() || dists.size() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "AddObjectValue needs one value and one distance vector per "
+        "attribute");
+  }
+  // Validate everything before mutating anything: either the whole object
+  // becomes representable or the space is untouched.
+  for (AttrId a = 0; a < attrs_.size(); ++a) {
+    if (attrs_[a].is_numeric) continue;
+    const size_t k = attrs_[a].matrix->cardinality();
+    if (values[a] < k) continue;  // already in-domain
+    if (values[a] != k) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(a) + " value " +
+          std::to_string(values[a]) + " skips ids (domain size " +
+          std::to_string(k) + ")");
+    }
+    if (dists[a].size() != k) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(a) + " distance vector has " +
+          std::to_string(dists[a].size()) + " entries, domain has " +
+          std::to_string(k));
+    }
+  }
+  for (AttrId a = 0; a < attrs_.size(); ++a) {
+    if (attrs_[a].is_numeric) continue;
+    if (values[a] == attrs_[a].matrix->cardinality()) {
+      attrs_[a].matrix->AppendValue(dists[a], dists[a]);
+    }
+  }
+  return Status::OK();
+}
 
 SimilaritySpace MakeRandomSpace(const std::vector<size_t>& cardinalities,
                                 Rng& rng, const RandomMatrixOptions& opts) {

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "sim/dissimilarity_matrix.h"
 #include "sim/numeric_dissimilarity.h"
@@ -69,6 +70,34 @@ class SimilaritySpace {
     NMRS_DCHECK(attr < attrs_.size() && attrs_[attr].is_numeric);
     return attrs_[attr].numeric;
   }
+
+  /// Grows categorical attribute `attr`'s domain by one value with the
+  /// given distances to/from the existing values (see
+  /// DissimilarityMatrix::AppendValue). O(k^2) for that one attribute —
+  /// the append-only alternative to rebuilding the whole space when a
+  /// freshly inserted object carries a never-seen domain value. Returns
+  /// the new ValueId. The space must not be shared with a running query.
+  ///
+  /// Numeric attributes never need this: NumericDissimilarity is a pure
+  /// function of the two doubles, and Dataset bucketizers clamp
+  /// out-of-range numerics into the edge buckets, so numeric inserts are
+  /// O(1) with no re-derivation at all.
+  ValueId AppendCategoricalValue(AttrId attr, const std::vector<double>& to_new,
+                                 const std::vector<double>& from_new,
+                                 double self = 0.0) {
+    NMRS_DCHECK(attr < attrs_.size() && !attrs_[attr].is_numeric);
+    return attrs_[attr].matrix->AppendValue(to_new, from_new, self);
+  }
+
+  /// Convenience for the common object-insert flow: for each categorical
+  /// attribute whose value id in `values` is exactly one past the current
+  /// domain, grows that domain by one using `dists[attr]` as the symmetric
+  /// distance vector (d(a,new) == d(new,a) == dists[attr][a]). Attributes
+  /// whose values are already in-domain are untouched; `dists` entries for
+  /// them may be empty. Returns InvalidArgument when a value would skip
+  /// ids or a distance vector has the wrong length.
+  Status AddObjectValue(const std::vector<ValueId>& values,
+                        const std::vector<std::vector<double>>& dists);
 
  private:
   struct Attr {

@@ -1,0 +1,145 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <utility>
+
+namespace nmrs {
+namespace {
+
+constexpr size_t kCountHeaderBytes = sizeof(uint32_t);
+
+template <typename T>
+void PutLE(Page* page, size_t* off, T v) {
+  std::memcpy(page->data() + *off, &v, sizeof(T));
+  *off += sizeof(T);
+}
+
+template <typename T>
+bool GetLE(const Page& page, size_t* off, size_t limit, T* v) {
+  if (*off + sizeof(T) > limit) return false;
+  std::memcpy(v, page.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+void EncodeRecord(const WalRecord& rec, Page* page, size_t* off) {
+  PutLE<uint8_t>(page, off, static_cast<uint8_t>(rec.type));
+  PutLE<uint64_t>(page, off, rec.key);
+  PutLE<uint32_t>(page, off, static_cast<uint32_t>(rec.values.size()));
+  for (uint32_t v : rec.values) PutLE<uint32_t>(page, off, v);
+  PutLE<uint32_t>(page, off, static_cast<uint32_t>(rec.numerics.size()));
+  for (double d : rec.numerics) PutLE<double>(page, off, d);
+}
+
+}  // namespace
+
+size_t WalRecord::EncodedBytes() const {
+  return sizeof(uint8_t) + sizeof(uint64_t) + sizeof(uint32_t) +
+         values.size() * sizeof(uint32_t) + sizeof(uint32_t) +
+         numerics.size() * sizeof(double);
+}
+
+WalWriter::WalWriter(SimulatedDisk* disk, std::string name)
+    : disk_(disk),
+      file_(disk->CreateFile(std::move(name))),
+      tail_(disk->page_size()),
+      tail_used_(kCountHeaderBytes) {}
+
+Status WalWriter::Append(const WalRecord& rec) {
+  if (rec.type == WalRecord::Type::kDelete &&
+      (!rec.values.empty() || !rec.numerics.empty())) {
+    return Status::InvalidArgument("WAL delete record carries a payload");
+  }
+  const size_t capacity = tail_.size() - Page::kChecksumFooterBytes;
+  const size_t need = rec.EncodedBytes();
+  if (kCountHeaderBytes + need > capacity) {
+    return Status::InvalidArgument("WAL record larger than a page");
+  }
+  if (tail_used_ + need > capacity) {
+    // Tail is full (and already durable from the previous Append): start a
+    // fresh page. The old tail is never touched again, which is why a tear
+    // can only ever be at the file's last page.
+    tail_ = Page(disk_->page_size());
+    tail_on_disk_ = false;
+    tail_records_ = 0;
+    tail_used_ = kCountHeaderBytes;
+  }
+  size_t off = tail_used_;
+  EncodeRecord(rec, &tail_, &off);
+  tail_used_ = off;
+  ++tail_records_;
+  size_t count_off = 0;
+  PutLE<uint32_t>(&tail_, &count_off, tail_records_);
+  tail_.Seal();
+  if (tail_on_disk_) {
+    NMRS_RETURN_IF_ERROR(
+        disk_->WritePage(file_, disk_->NumPages(file_) - 1, tail_));
+  } else {
+    NMRS_RETURN_IF_ERROR(disk_->AppendPage(file_, tail_).status());
+    tail_on_disk_ = true;
+  }
+  ++num_records_;
+  return Status::OK();
+}
+
+StatusOr<WalReplay> ReplayWal(SimulatedDisk* disk, FileId file) {
+  NMRS_ASSIGN_OR_RETURN(const uint64_t num_pages, disk->PagesOf(file));
+  WalReplay out;
+  Page page(disk->page_size());
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    NMRS_RETURN_IF_ERROR(disk->ReadPage(file, p, &page));
+    if (!page.VerifySeal()) {
+      if (p + 1 == num_pages) {
+        // Torn tail: the crash hit mid-write of the last page. Everything
+        // before it is durable; the records the torn page would have held
+        // were never acknowledged.
+        out.torn_tail = true;
+        return out;
+      }
+      return Status::Corruption("WAL page " + std::to_string(p) + " of " +
+                                disk->FileName(file) +
+                                " failed checksum verification");
+    }
+    const size_t limit = page.size() - Page::kChecksumFooterBytes;
+    size_t off = 0;
+    uint32_t count = 0;
+    if (!GetLE(page, &off, limit, &count)) {
+      return Status::Corruption("WAL page too small for record count");
+    }
+    for (uint32_t r = 0; r < count; ++r) {
+      WalRecord rec;
+      uint8_t type = 0;
+      uint32_t n = 0;
+      if (!GetLE(page, &off, limit, &type) ||
+          !GetLE(page, &off, limit, &rec.key) ||
+          !GetLE(page, &off, limit, &n)) {
+        return Status::Corruption("WAL record framing truncated");
+      }
+      if (type != static_cast<uint8_t>(WalRecord::Type::kInsert) &&
+          type != static_cast<uint8_t>(WalRecord::Type::kDelete)) {
+        return Status::Corruption("WAL record has unknown type " +
+                                  std::to_string(type));
+      }
+      rec.type = static_cast<WalRecord::Type>(type);
+      rec.values.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!GetLE(page, &off, limit, &rec.values[i])) {
+          return Status::Corruption("WAL record values truncated");
+        }
+      }
+      if (!GetLE(page, &off, limit, &n)) {
+        return Status::Corruption("WAL record framing truncated");
+      }
+      rec.numerics.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!GetLE(page, &off, limit, &rec.numerics[i])) {
+          return Status::Corruption("WAL record numerics truncated");
+        }
+      }
+      out.records.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+}  // namespace nmrs

@@ -1,0 +1,119 @@
+#ifndef NMRS_STORAGE_WAL_H_
+#define NMRS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/disk.h"
+
+namespace nmrs {
+
+/// One logical mutation in the write-ahead log. Records are
+/// schema-agnostic — self-describing value/numeric counts instead of a
+/// Schema reference — so the storage layer stays independent of the data
+/// layer; Database validates counts against its schema before appending
+/// and after replay.
+struct WalRecord {
+  enum class Type : uint8_t { kInsert = 1, kDelete = 2 };
+
+  Type type = Type::kInsert;
+
+  /// Stable user-facing key of the row (assigned by Database::Insert,
+  /// echoed by Database::Delete). Keys never change across compactions,
+  /// unlike RowIds, which are renumbered by every merge.
+  uint64_t key = 0;
+
+  /// Insert payload: one bucketed ValueId per attribute, plus the raw
+  /// doubles for numeric attributes (in schema numeric order). Empty for
+  /// deletes.
+  std::vector<uint32_t> values;
+  std::vector<double> numerics;
+
+  bool operator==(const WalRecord& o) const {
+    return type == o.type && key == o.key && values == o.values &&
+           numerics == o.numerics;
+  }
+
+  /// Bytes this record occupies inside a WAL page.
+  size_t EncodedBytes() const;
+};
+
+/// Append-only write-ahead log over a SimulatedDisk file.
+///
+/// ## Page format
+///
+/// Every page is independently CRC32C-sealed with the PR-3 machinery
+/// (Page::Seal / VerifySeal — 4-byte little-endian footer over the rest of
+/// the page):
+///
+///   [u32 record_count] [record]* ... zero padding ... [crc32c footer]
+///
+/// and each record is
+///
+///   [u8 type] [u64 key] [u32 num_values] [u32 value]*
+///   [u32 num_numerics] [f64 numeric]*
+///
+/// (all little-endian). Records never span pages; a record that cannot fit
+/// in an empty page is rejected as kInvalidArgument (a row of even 256
+/// attributes is ~3 KB against 32 KB pages, so this is a format guard, not
+/// a practical limit).
+///
+/// ## Durability contract
+///
+/// Append() re-seals and rewrites the tail page on every record, so after
+/// the call returns the on-disk file is exactly the sealed image of all
+/// records appended so far. A crash at any record boundary therefore
+/// leaves a fully replayable log — this is what the crash-recovery matrix
+/// in tests/storage/wal_test.cc exercises by snapshotting the disk after
+/// every Append. A crash *mid-write* tears the tail page, which replay
+/// detects via the seal and reports as a truncated (not corrupt) log.
+///
+/// The writer requires exclusive access to the disk during Append, per the
+/// SimulatedDisk structural-mutation contract; Database gives the WAL its
+/// own private disk so appends never race query reads.
+class WalWriter {
+ public:
+  /// Creates a fresh log file named `name` on `disk`.
+  WalWriter(SimulatedDisk* disk, std::string name);
+
+  FileId file() const { return file_; }
+  uint64_t num_records() const { return num_records_; }
+
+  /// Appends one record and makes it durable (tail page sealed and
+  /// rewritten) before returning.
+  Status Append(const WalRecord& rec);
+
+ private:
+  SimulatedDisk* disk_;
+  FileId file_ = 0;
+  Page tail_;
+  bool tail_on_disk_ = false;  // tail page id is NumPages-1 when true
+  uint32_t tail_records_ = 0;
+  size_t tail_used_ = 0;  // bytes used incl. the u32 count header
+  uint64_t num_records_ = 0;
+};
+
+/// Outcome of replaying a WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;
+
+  /// True when the last page failed seal verification: the tail was torn
+  /// by a crash mid-write. `records` then holds the durable prefix (all
+  /// fully-sealed pages before the tear), which is exactly the set of
+  /// Appends that had returned before the crash.
+  bool torn_tail = false;
+};
+
+/// Replays the log at `file`, verifying every page seal. A bad seal on any
+/// page but the last is kCorruption (the log was damaged at rest, not torn
+/// by a crash — no safe prefix exists past the damage, and a tear can only
+/// be at the tail because Append never rewrites earlier pages). Malformed
+/// record framing inside a verified page is likewise kCorruption.
+StatusOr<WalReplay> ReplayWal(SimulatedDisk* disk, FileId file);
+
+}  // namespace nmrs
+
+#endif  // NMRS_STORAGE_WAL_H_

@@ -29,6 +29,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "db/database.h"
 #include "exec/query_engine.h"
 #include "exec/sharded_engine.h"
 #include "sim/dissimilarity_matrix.h"
@@ -362,16 +363,126 @@ void CheckConfig(int index, uint64_t scenario_seed, int min_replicas) {
   }
 }
 
+// Mutable-database fault leg: storage faults injected into the WAL image
+// and into the base generation a compaction streams from. Contract: damage
+// is always *detected* — a torn WAL tail recovers the durable prefix, any
+// earlier WAL damage and any generation-page damage surface as kCorruption
+// — and never crashes, never silently yields a wrong generation.
+void CheckMutationConfig(int index, uint64_t seed) {
+  Rng rng(seed);
+  Rng data_rng = rng.Fork();
+  Rng space_rng = rng.Fork();
+  Rng work_rng = rng.Fork();
+  Rng fault_rng = rng.Fork();
+  const std::vector<size_t> cards = {5, 6, 7};
+  Dataset data = GenerateNormal(120 + work_rng.Uniform(80), cards, data_rng);
+  SimilaritySpace space;
+  for (size_t card : cards) {
+    space.AddCategorical(MakeRandomMatrix(card, space_rng));
+  }
+  DatabaseOptions opts;
+  const Algorithm algos[] = {Algorithm::kBRS, Algorithm::kSRS,
+                             Algorithm::kTRS};
+  opts.algo = algos[work_rng.Uniform(3)];
+  opts.prepare.checksum_pages = true;  // damage must be detectable
+  auto db = Database::Open(data, space, opts);
+  NMRS_CHECK(db.ok());
+
+  std::vector<uint64_t> live;
+  for (uint64_t k = 0; k < data.num_rows(); ++k) live.push_back(k);
+  const int kMutations = 30 + static_cast<int>(work_rng.Uniform(30));
+  for (int i = 0; i < kMutations; ++i) {
+    if (!live.empty() && work_rng.Uniform(3) == 0) {
+      const size_t pick = work_rng.Uniform(live.size());
+      NMRS_CHECK((*db)->Delete(live[pick]).ok());
+      live.erase(live.begin() + pick);
+    } else {
+      std::vector<ValueId> values(cards.size());
+      for (size_t a = 0; a < cards.size(); ++a) {
+        values[a] = static_cast<ValueId>(work_rng.Uniform(cards[a]));
+      }
+      auto key = (*db)->Insert(values);
+      NMRS_CHECK(key.ok());
+      live.push_back(*key);
+    }
+  }
+
+  // Clean recovery first: the undamaged WAL image must replay exactly.
+  auto clean = Database::Recover(data, space, (*db)->wal_disk(),
+                                 (*db)->wal_file(), opts);
+  NMRS_CHECK(clean.ok());
+  NMRS_CHECK(!clean->torn_tail);
+  NMRS_CHECK(clean->db->num_rows() == (*db)->num_rows());
+
+  // WAL fault: corrupt one random byte of one random page of the image.
+  {
+    const SimulatedDisk& src = (*db)->wal_disk();
+    SimulatedDisk image(src.page_size());
+    const FileId file = image.CreateFile("chaos.wal");
+    const uint64_t pages = src.NumPages((*db)->wal_file());
+    NMRS_CHECK(pages > 0);
+    for (PageId p = 0; p < pages; ++p) {
+      NMRS_CHECK(image.AppendPage(file, *src.PeekPage((*db)->wal_file(), p)).ok());
+    }
+    const PageId victim = fault_rng.Uniform(pages);
+    Page bad = *image.PeekPage(file, victim);
+    bad[fault_rng.Uniform(bad.size())] ^=
+        static_cast<uint8_t>(1 + fault_rng.Uniform(255));
+    NMRS_CHECK(image.WritePage(file, victim, bad).ok());
+
+    auto recovered = Database::Recover(data, space, image, file, opts);
+    if (victim + 1 == pages) {
+      // Tail damage == crash mid-append: durable prefix survives.
+      NMRS_CHECK(recovered.ok());
+      NMRS_CHECK(recovered->torn_tail);
+      NMRS_CHECK(recovered->records_replayed <= (*db)->stats().wal_records);
+      auto snap = recovered->db->Snapshot();
+      NMRS_CHECK(snap.ok());
+      NMRS_CHECK(snap->num_rows() == recovered->db->num_rows());
+    } else {
+      NMRS_CHECK(recovered.status().code() == StatusCode::kCorruption);
+    }
+  }
+
+  // Compaction fault: corrupt one sealed page of the base generation the
+  // merge streams from, then force a materialization. It must refuse.
+  {
+    // Fold the delta first so the pinned snapshot IS the base generation —
+    // the file the next compaction/materialization will stream from.
+    NMRS_CHECK((*db)->Compact().ok());
+    auto pin = (*db)->Snapshot();
+    NMRS_CHECK(pin.ok());
+    const StoredDataset& stored = pin->prepared().stored;
+    const PageId victim = fault_rng.Uniform(stored.num_pages());
+    Page bad = *stored.disk()->PeekPage(stored.file(), victim);
+    bad[fault_rng.Uniform(bad.size())] ^=
+        static_cast<uint8_t>(1 + fault_rng.Uniform(255));
+    NMRS_CHECK(stored.disk()->WritePage(stored.file(), victim, bad).ok());
+
+    NMRS_CHECK((*db)->Insert({0, 0, 0}).ok());  // dirty the delta
+    const uint64_t gen_before = (*db)->generation();
+    const Status compact = (*db)->Compact();
+    NMRS_CHECK(compact.code() == StatusCode::kCorruption);
+    NMRS_CHECK((*db)->generation() == gen_before);  // no damaged swap
+    const auto snap = (*db)->Snapshot();  // materialization refuses too
+    NMRS_CHECK(snap.status().code() == StatusCode::kCorruption);
+  }
+  (void)index;
+}
+
 }  // namespace
 }  // namespace nmrs
 
 int main(int argc, char** argv) {
   int configs = 500;
+  int mutation_configs = 50;
   uint64_t seed = 20260807;
   int min_replicas = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--configs=", 10) == 0) {
       configs = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--mutations=", 12) == 0) {
+      mutation_configs = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--min-replicas=", 15) == 0) {
@@ -382,7 +493,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--configs=N] [--seed=S] [--min-replicas=R]\n",
+                   "usage: %s [--configs=N] [--mutations=N] [--seed=S] "
+                   "[--min-replicas=R]\n",
                    argv[0]);
       return 2;
     }
@@ -395,6 +507,15 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  std::printf("chaos soak: all %d configs ok\n", configs);
+  nmrs::Rng mut_master(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < mutation_configs; ++i) {
+    nmrs::CheckMutationConfig(i, mut_master.Next64());
+    if ((i + 1) % 25 == 0 || i + 1 == mutation_configs) {
+      std::printf("chaos soak: %d/%d mutation configs ok\n", i + 1,
+                  mutation_configs);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("chaos soak: all %d configs ok\n", configs + mutation_configs);
   return 0;
 }

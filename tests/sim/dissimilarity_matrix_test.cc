@@ -122,5 +122,52 @@ TEST(MakeRandomMatrixTest, SampledViolationRateForLargeDomains) {
   EXPECT_LT(rate, 1.0);
 }
 
+TEST(DissimilarityMatrixTest, AppendValueMatchesFromScratchBuild) {
+  // Build a 5x5 matrix two ways: all Set() calls, vs a 4x4 matrix grown by
+  // AppendValue. Every accessor must agree.
+  Rng rng(11);
+  std::vector<std::vector<double>> d(5, std::vector<double>(5));
+  for (ValueId a = 0; a < 5; ++a) {
+    for (ValueId b = 0; b < 5; ++b) d[a][b] = a == b ? 0.0 : rng.NextDouble();
+  }
+  DissimilarityMatrix full(5);
+  for (ValueId a = 0; a < 5; ++a) {
+    for (ValueId b = 0; b < 5; ++b) full.Set(a, b, d[a][b]);
+  }
+  DissimilarityMatrix grown(4);
+  for (ValueId a = 0; a < 4; ++a) {
+    for (ValueId b = 0; b < 4; ++b) grown.Set(a, b, d[a][b]);
+  }
+  std::vector<double> to_new, from_new;
+  for (ValueId a = 0; a < 4; ++a) {
+    to_new.push_back(d[a][4]);
+    from_new.push_back(d[4][a]);
+  }
+  EXPECT_EQ(grown.AppendValue(to_new, from_new, 0.0), 4u);
+  ASSERT_EQ(grown.cardinality(), 5u);
+  for (ValueId a = 0; a < 5; ++a) {
+    for (ValueId b = 0; b < 5; ++b) {
+      EXPECT_EQ(grown.Dist(a, b), full.Dist(a, b)) << a << "," << b;
+      EXPECT_EQ(grown.RowFrom(a)[b], full.RowFrom(a)[b]) << a << "," << b;
+      EXPECT_EQ(grown.ColumnTo(b)[a], full.ColumnTo(b)[a]) << a << "," << b;
+    }
+  }
+  EXPECT_TRUE(grown.Validate().ok());
+}
+
+TEST(DissimilarityMatrixTest, AppendValueSupportsAsymmetryAndSelfDistance) {
+  DissimilarityMatrix m(2);
+  m.Set(0, 1, 0.3);
+  m.Set(1, 0, 0.7);  // non-metric: asymmetric
+  m.AppendValue({0.1, 0.2}, {0.4, 0.5}, 0.05);
+  EXPECT_EQ(m.Dist(0, 2), 0.1);
+  EXPECT_EQ(m.Dist(1, 2), 0.2);
+  EXPECT_EQ(m.Dist(2, 0), 0.4);
+  EXPECT_EQ(m.Dist(2, 1), 0.5);
+  EXPECT_EQ(m.Dist(2, 2), 0.05);
+  EXPECT_EQ(m.Dist(0, 1), 0.3);
+  EXPECT_EQ(m.Dist(1, 0), 0.7);
+}
+
 }  // namespace
 }  // namespace nmrs

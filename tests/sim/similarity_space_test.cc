@@ -59,5 +59,51 @@ TEST(MakeRandomSpaceTest, Deterministic) {
   }
 }
 
+TEST(SimilaritySpaceTest, AppendCategoricalValueGrowsOneDomain) {
+  Rng rng(13);
+  SimilaritySpace space = MakeRandomSpace({3, 4}, rng);
+  const ValueId id = space.AppendCategoricalValue(0, {0.1, 0.2, 0.3},
+                                                  {0.4, 0.5, 0.6});
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(space.Cardinality(0), 4u);
+  EXPECT_EQ(space.Cardinality(1), 4u);  // other attrs untouched
+  EXPECT_EQ(space.CatDist(0, 1, 3), 0.2);
+  EXPECT_EQ(space.CatDist(0, 3, 2), 0.6);
+  EXPECT_EQ(space.CatDist(0, 3, 3), 0.0);
+}
+
+TEST(SimilaritySpaceTest, AddObjectValueGrowsExactlyTheNewDomains) {
+  Rng rng(14);
+  SimilaritySpace space = MakeRandomSpace({3, 2}, rng);
+  const double d01 = space.CatDist(0, 0, 1);
+  // Attribute 0 stays in-domain, attribute 1 introduces value 2.
+  ASSERT_TRUE(space.AddObjectValue({1, 2}, {{}, {0.25, 0.75}}).ok());
+  EXPECT_EQ(space.Cardinality(0), 3u);
+  EXPECT_EQ(space.Cardinality(1), 3u);
+  EXPECT_EQ(space.CatDist(0, 0, 1), d01);
+  // Symmetric growth: d(a, new) == d(new, a).
+  EXPECT_EQ(space.CatDist(1, 0, 2), 0.25);
+  EXPECT_EQ(space.CatDist(1, 2, 0), 0.25);
+  EXPECT_EQ(space.CatDist(1, 1, 2), 0.75);
+}
+
+TEST(SimilaritySpaceTest, AddObjectValueValidatesBeforeMutating) {
+  Rng rng(15);
+  SimilaritySpace space = MakeRandomSpace({3, 3}, rng);
+  // Value 4 on attribute 0 would skip id 3 -> rejected, nothing grows,
+  // even though attribute 1's growth request was well-formed.
+  auto s = space.AddObjectValue({4, 3}, {{0.1, 0.2, 0.3}, {0.1, 0.2, 0.3}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.Cardinality(0), 3u);
+  EXPECT_EQ(space.Cardinality(1), 3u);
+  // Wrong distance-vector length: also rejected atomically.
+  s = space.AddObjectValue({3, 0}, {{0.1}, {}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.Cardinality(0), 3u);
+  // Arity mismatch.
+  EXPECT_EQ(space.AddObjectValue({0}, {{}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace nmrs

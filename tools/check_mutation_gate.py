@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Correctness + perf gate on a freshly emitted BENCH_mutations.json.
+
+ci.sh runs `bench_mutations --quick` and then this script. The build fails
+if any of these hold:
+
+  1. Any run says identical=0 — a query batch over a Database snapshot
+     (the incremental base+delta merge) returned different rows than
+     re-preparing the merged dataset from scratch and running the same
+     batch standalone. Bit-identity to the rebuild is the mutable-dataset
+     layer's core contract (docs/MUTABILITY.md), so this gate has no
+     threshold and applies to every delta size, including 0%.
+  2. The 1%-delta run's modeled query slowdown over the frozen-dataset
+     baseline exceeds 1.3x. A snapshot IS a prepared dataset — the merge
+     is paid once per epoch, not per query — so per-query cost should
+     track the merged row count (~1% off the base). 1.3x is a regression
+     floor catching anything that makes queries pay per-delta-row work,
+     not a flake line: the ratio is built from the deterministic cost
+     model, not wall time.
+
+The bench itself reports the same two conditions as shape checks; this
+script re-derives them from the JSON so CI fails even if the bench's
+stdout is lost, and so the committed BENCH_mutations.json can be
+re-audited offline.
+
+Usage: check_mutation_gate.py [path/to/BENCH_mutations.json]
+"""
+
+import json
+import sys
+
+SLOWDOWN_THRESHOLD = 1.3
+GATED_DELTA_PCT = 1.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_mutations.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"mutation-gate: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    runs = doc.get("runs", [])
+    if not runs:
+        print(f"mutation-gate: no runs in {path}", file=sys.stderr)
+        return 1
+    failures = []
+
+    # 1. Correctness: every run must reproduce the from-scratch rebuild.
+    for r in runs:
+        if r.get("identical") == 0:
+            failures.append(f"identical=0 at delta_pct={r.get('delta_pct')}")
+    if not failures:
+        print(f"mutation-gate: bit-identity OK across {len(runs)} runs")
+
+    # 2. Modeled query slowdown at the gated delta size.
+    gated = [r for r in runs if r.get("delta_pct") == GATED_DELTA_PCT]
+    if not gated:
+        print(
+            f"mutation-gate: no delta_pct={GATED_DELTA_PCT} run in {path}",
+            file=sys.stderr,
+        )
+        return 1
+    worst = max(gated, key=lambda r: r.get("slowdown_vs_frozen", 0.0))
+    slowdown = worst.get("slowdown_vs_frozen", 0.0)
+    ok = slowdown <= SLOWDOWN_THRESHOLD
+    print(
+        f"mutation-gate: slowdown {'OK' if ok else 'FAIL'} — "
+        f"delta_pct={GATED_DELTA_PCT} rows={worst.get('num_rows')} "
+        f"mutations={worst.get('mutations')} "
+        f"slowdown={slowdown:.3f} (need <= {SLOWDOWN_THRESHOLD:.1f})"
+    )
+    if not ok:
+        failures.append(f"1%-delta modeled slowdown {slowdown:.3f}")
+
+    if failures:
+        print("mutation-gate: FAIL — " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("mutation-gate: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,23 @@
 //       --overlay-file=path loads one overlay from a serialized delta file
 //       ("attr from to d" lines) as the first user; in query mode the same
 //       flag evaluates the single query under that user's overlay.
+//
+//   nmrs_cli serve --data=data.csv --matrices=prefix --script=workload.txt
+//            [--algo=...] [--workers=W] [--shards=N] [--shard-by=...]
+//            [--mem=0.1] [--threads=T] [--kernels] [--checksum]
+//            [--cache-pages=N] [--max-delta=N] [--seed=S]
+//       Online serving (docs/MUTABILITY.md): opens the dataset as a
+//       mutable nmrs::Database and applies the scripted workload of
+//       interleaved insert / delete / query / batch / compact / snapshot /
+//       stats lines (grammar at CmdServe). Every query runs over an
+//       epoch-pinned snapshot that is bit-identical to re-preparing the
+//       mutated dataset from scratch; --max-delta caps the delta segment
+//       (mutations then fail with the back-pressure status until a
+//       `compact` line runs).
+//
+//       `query` and `batch` also route through the Database front door
+//       (over a read-only generation-0 snapshot); their flags and output
+//       are unchanged from the historical direct-engine wiring.
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -210,29 +227,40 @@ StatusOr<MatrixOverlay> LoadOverlayFile(const SimilaritySpace& base,
   return overlay;
 }
 
-StatusOr<Object> ParseQuery(const Dataset& data, const std::string& csv) {
-  const Schema& schema = data.schema();
+// Parses a "v1,v2,..." row literal against `schema` (numeric attributes
+// take doubles, categorical ones in-domain value ids). Shared by query
+// flags and the serve script's insert/query lines.
+Status ParseRowSpec(const Schema& schema, const std::string& csv,
+                    std::vector<ValueId>* values,
+                    std::vector<double>* numerics) {
   const auto tokens = StrSplit(csv, ',');
   if (tokens.size() != schema.num_attributes()) {
     return Status::InvalidArgument(
-        "query needs " + std::to_string(schema.num_attributes()) +
-        " comma-separated values");
+        "row needs " + std::to_string(schema.num_attributes()) +
+        " comma-separated values, got '" + csv + "'");
   }
-  std::vector<ValueId> values(schema.num_attributes(), 0);
-  std::vector<double> numerics(schema.num_attributes(), 0.0);
+  values->assign(schema.num_attributes(), 0);
+  numerics->assign(schema.num_attributes(), 0.0);
   for (AttrId a = 0; a < schema.num_attributes(); ++a) {
     if (schema.attribute(a).is_numeric) {
-      numerics[a] = std::strtod(tokens[a].c_str(), nullptr);
+      (*numerics)[a] = std::strtod(tokens[a].c_str(), nullptr);
     } else {
       const uint64_t v = std::strtoull(tokens[a].c_str(), nullptr, 10);
       if (v >= schema.attribute(a).cardinality) {
-        return Status::InvalidArgument("query value " + tokens[a] +
+        return Status::InvalidArgument("value " + tokens[a] +
                                        " out of domain for attribute " +
                                        std::to_string(a));
       }
-      values[a] = static_cast<ValueId>(v);
+      (*values)[a] = static_cast<ValueId>(v);
     }
   }
+  return Status::OK();
+}
+
+StatusOr<Object> ParseQuery(const Dataset& data, const std::string& csv) {
+  std::vector<ValueId> values;
+  std::vector<double> numerics;
+  NMRS_RETURN_IF_ERROR(ParseRowSpec(data.schema(), csv, &values, &numerics));
   return data.MakeObject(values, numerics);
 }
 
@@ -518,109 +546,75 @@ int CmdQuery(const Flags& flags) {
   auto algo = ParseAlgorithm(FlagOr(flags, "algo", "trs"));
   if (!algo.ok()) return Fail(algo.status().ToString());
 
-  SimulatedDisk disk;
-  PrepareOptions popts;
-  popts.checksum_pages = flags.count("checksum") != 0;
-  auto prepared = PrepareDataset(&disk, setup->data, *algo, popts);
-  if (!prepared.ok()) return Fail(prepared.status().ToString());
-
-  RSOptions opts;
+  // Everything below routes through the Database front door
+  // (docs/MUTABILITY.md): Open prepares the dataset as generation 0 and
+  // the query runs as a one-element batch over the pinned base snapshot —
+  // bit-identical rows and counters to the historical direct
+  // PrepareDataset + RunReverseSkyline wiring.
+  DatabaseOptions dbopts;
+  dbopts.algo = *algo;
+  dbopts.prepare.checksum_pages = flags.count("checksum") != 0;
+  const RowCodec codec(setup->data.schema(), kDefaultPageSize,
+                       dbopts.prepare.checksum_pages);
   Status st = ParseCommonOptions(flags, setup->data.schema(),
-                                 prepared->stored.num_pages(), &opts);
+                                 codec.PagesFor(setup->data.num_rows()),
+                                 &dbopts.engine.rs);
   if (!st.ok()) return Fail(st.ToString());
-  MaybePrintKernelBanner(opts);
+  MaybePrintKernelBanner(dbopts.engine.rs);
 
   // --overlay-file evaluates the query under one user's preference overlay
-  // (docs/OVERLAYS.md) — both the standalone and sharded paths read it from
-  // RSOptions.
+  // (docs/OVERLAYS.md) — both the single-shard and sharded paths read it
+  // from RSOptions.
   std::optional<MatrixOverlay> overlay;
   if (flags.count("overlay-file") != 0) {
     auto loaded = LoadOverlayFile(setup->space,
                                   FlagOr(flags, "overlay-file", ""));
     if (!loaded.ok()) return Fail(loaded.status().ToString());
     overlay.emplace(std::move(*loaded));
-    opts.overlay = &*overlay;
+    dbopts.engine.rs.overlay = &*overlay;
     std::printf("overlay: %zu delta entries\n", overlay->num_entries());
   }
 
-  FaultConfig faults;
-  st = ParseFaultFlags(flags, &faults);
+  st = ParseFaultFlags(flags, &dbopts.engine.faults);
   if (!st.ok()) return Fail(st.ToString());
-
+  dbopts.engine.max_query_retries =
+      std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
+  auto workers = ParseCount(flags, "workers", 1);
+  if (!workers.ok()) return Fail(workers.status().ToString());
+  if (*workers < 1) return Fail("--workers must be at least 1");
+  dbopts.engine.num_workers = *workers;
   if (flags.count("shards") != 0) {
-    // Sharded path: partition the prepared dataset and run the query as a
-    // one-element batch through the scatter/gather executor.
-    ShardPlanOptions plan;
-    st = ParseShardPlan(flags, &plan);
+    st = ParseShardPlan(flags, &dbopts.shard_plan);
     if (!st.ok()) return Fail(st.ToString());
-    auto sharded = ShardedDataset::Partition(*prepared, plan);
-    if (!sharded.ok()) return Fail(sharded.status().ToString());
+    dbopts.num_shards = dbopts.shard_plan.num_shards;
+  }
 
-    ShardedEngineOptions sopts;
-    auto workers = ParseCount(flags, "workers", 1);
-    if (!workers.ok()) return Fail(workers.status().ToString());
-    if (*workers < 1) return Fail("--workers must be at least 1");
-    sopts.engine.num_workers = *workers;
-    sopts.engine.rs = opts;
-    sopts.engine.faults = faults;
-    sopts.engine.max_query_retries =
-        std::atoi(FlagOr(flags, "max-query-retries", "0").c_str());
-    ShardedQueryEngine engine(*sharded, setup->space, *algo, sopts);
-    auto batch = engine.RunBatch({setup->query});
-    if (!batch.ok()) return Fail(batch.status().ToString());
-    if (!batch->statuses[0].ok()) return Fail(batch->statuses[0].ToString());
+  auto db = Database::Open(setup->data, setup->space, dbopts);
+  if (!db.ok()) return Fail(db.status().ToString());
+  auto batch = (*db)->RunBatch({setup->query});
+  if (!batch.ok()) return Fail(batch.status().ToString());
+  if (!batch->statuses()[0].ok()) return Fail(batch->statuses()[0].ToString());
 
+  if (batch->sharded) {
     std::printf("RS(Q) via %s over %d %s shards: %zu rows\n",
-                std::string(AlgorithmName(*algo)).c_str(), plan.num_shards,
-                std::string(ShardByName(plan.shard_by)).c_str(),
-                batch->results[0].rows.size());
-    for (RowId r : batch->results[0].rows) {
-      std::printf("  row %llu %s\n", static_cast<unsigned long long>(r),
-                  setup->data.GetObject(r).ToString().c_str());
-    }
-    std::printf("  %s\n", ShardCandidateSummary(batch->breakdown[0]).c_str());
-    PrintStats(batch->results[0].stats);
-    return 0;
+                std::string(AlgorithmName(*algo)).c_str(),
+                dbopts.shard_plan.num_shards,
+                std::string(ShardByName(dbopts.shard_plan.shard_by)).c_str(),
+                batch->results()[0].rows.size());
+  } else {
+    std::printf("RS(Q) via %s: %zu rows\n",
+                std::string(AlgorithmName(*algo)).c_str(),
+                batch->results()[0].rows.size());
   }
-
-  // Standalone replica wiring: with faults or --replicas > 1 the query runs
-  // against replica 0's faulty view with the remaining replicas attached
-  // as page-granular failover targets — the same shape the batch engine
-  // builds for each query.
-  PreparedDataset target = *prepared;
-  std::unique_ptr<ReplicaSet> replica_set;
-  std::vector<std::unique_ptr<FaultyDisk>> wrappers;
-  if (faults.enabled() || opts.resilience.replicas > 1) {
-    ReplicaSetOptions rso;
-    rso.num_replicas = opts.resilience.replicas;
-    rso.num_workers = 1;
-    rso.faults = {faults};
-    rso.replica_fault_seed_base = opts.resilience.replica_fault_seed_base;
-    rso.fault_ceiling = disk.next_file_id();
-    replica_set = std::make_unique<ReplicaSet>(&disk, rso);
-    auto disks = replica_set->MakeQueryDisks(0, /*stream=*/0, &wrappers);
-    target.stored =
-        StoredDataset(disks[0], prepared->stored.file(),
-                      prepared->stored.schema(), prepared->stored.num_rows(),
-                      prepared->stored.checksum_pages());
-    if (disks.size() > 1) {
-      opts.failover_disks.assign(disks.begin() + 1, disks.end());
-      opts.failover_limit = disk.next_file_id();
-    }
-  }
-
-  auto result =
-      RunReverseSkyline(target, setup->space, setup->query, *algo, opts);
-  if (!result.ok()) return Fail(result.status().ToString());
-
-  std::printf("RS(Q) via %s: %zu rows\n",
-              std::string(AlgorithmName(*algo)).c_str(),
-              result->rows.size());
-  for (RowId r : result->rows) {
+  for (RowId r : batch->results()[0].rows) {
     std::printf("  row %llu %s\n", static_cast<unsigned long long>(r),
                 setup->data.GetObject(r).ToString().c_str());
   }
-  PrintStats(result->stats);
+  if (batch->sharded) {
+    std::printf("  %s\n",
+                ShardCandidateSummary(batch->sharded->breakdown[0]).c_str());
+  }
+  PrintStats(batch->results()[0].stats);
   return 0;
 }
 
@@ -731,19 +725,24 @@ int CmdBatch(const Flags& flags) {
     queries.push_back(SampleUniformQuery(*data, rng));
   }
 
-  SimulatedDisk disk;
-  PrepareOptions popts;
-  popts.checksum_pages = flags.count("checksum") != 0;
-  auto prepared = PrepareDataset(&disk, *data, *algo, popts);
-  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  // The batch runs through the Database front door (docs/MUTABILITY.md):
+  // Open prepares the dataset as generation 0, the engine options below
+  // shape the snapshot's executor exactly as they shaped the historical
+  // standalone QueryEngine / ShardedQueryEngine wiring.
+  DatabaseOptions dbopts;
+  dbopts.algo = *algo;
+  dbopts.prepare.checksum_pages = flags.count("checksum") != 0;
+  const RowCodec codec(data->schema(), kDefaultPageSize,
+                       dbopts.prepare.checksum_pages);
+  const uint64_t dataset_pages = codec.PagesFor(data->num_rows());
 
-  QueryEngineOptions eopts;
+  EngineOptions& eopts = dbopts.engine;
   auto workers = ParseCount(flags, "workers", 4);
   if (!workers.ok()) return Fail(workers.status().ToString());
   if (*workers < 1) return Fail("--workers must be at least 1");
   eopts.num_workers = *workers;
-  Status st = ParseCommonOptions(flags, data->schema(),
-                                 prepared->stored.num_pages(), &eopts.rs);
+  Status st = ParseCommonOptions(flags, data->schema(), dataset_pages,
+                                 &eopts.rs);
   if (!st.ok()) return Fail(st.ToString());
   MaybePrintKernelBanner(eopts.rs);
   st = ParseFaultFlags(flags, &eopts.faults);
@@ -774,10 +773,22 @@ int CmdBatch(const Flags& flags) {
     if (pct < 0 || pct > 100) return Fail("--cache-pct must be in [0, 100]");
     eopts.cache_pages =
         pct == 0 ? 0
-                 : MemoryBudget::FromFraction(pct / 100.0,
-                                              prepared->stored.num_pages())
+                 : MemoryBudget::FromFraction(pct / 100.0, dataset_pages)
                        .pages;
   }
+
+  if (flags.count("shards") != 0) {
+    st = ParseShardPlan(flags, &dbopts.shard_plan);
+    if (!st.ok()) return Fail(st.ToString());
+    dbopts.num_shards = dbopts.shard_plan.num_shards;
+  }
+
+  auto db = Database::Open(*data, *space, dbopts);
+  if (!db.ok()) return Fail(db.status().ToString());
+  // With no mutations yet the snapshot IS the base generation (free); the
+  // handle gives the printers access to the executor's telemetry.
+  auto snap = (*db)->Snapshot();
+  if (!snap.ok()) return Fail(snap.status().ToString());
 
   // --overlay-users / --overlay-file: answer every query for K per-user
   // preference overlays through the incremental overlay executor
@@ -860,42 +871,22 @@ int CmdBatch(const Flags& flags) {
       return 0;
     };
 
-    if (flags.count("shards") != 0) {
-      ShardPlanOptions plan;
-      st = ParseShardPlan(flags, &plan);
-      if (!st.ok()) return Fail(st.ToString());
-      auto sharded = ShardedDataset::Partition(*prepared, plan);
-      if (!sharded.ok()) return Fail(sharded.status().ToString());
-      ShardedEngineOptions sopts;
-      sopts.engine = eopts;
-      ShardedQueryEngine engine(*sharded, *space, *algo, sopts);
-      auto ob = engine.RunOverlayBatch(queries, ptrs);
-      if (!ob.ok()) return Fail(ob.status().ToString());
-      return print_overlay(*ob);
-    }
-    QueryEngine engine(*prepared, *space, *algo, eopts);
-    auto ob = engine.RunOverlayBatch(queries, ptrs);
+    auto ob = snap->RunOverlayBatch(queries, ptrs);
     if (!ob.ok()) return Fail(ob.status().ToString());
-    return print_overlay(*ob);
+    return ob->sharded ? print_overlay(*ob->sharded)
+                       : print_overlay(*ob->plain);
   }
 
-  if (flags.count("shards") != 0) {
-    ShardPlanOptions plan;
-    st = ParseShardPlan(flags, &plan);
-    if (!st.ok()) return Fail(st.ToString());
-    auto sharded = ShardedDataset::Partition(*prepared, plan);
-    if (!sharded.ok()) return Fail(sharded.status().ToString());
+  auto dbr = snap->RunBatch(queries);
+  if (!dbr.ok()) return Fail(dbr.status().ToString());
 
-    ShardedEngineOptions sopts;
-    sopts.engine = eopts;
-    ShardedQueryEngine engine(*sharded, *space, *algo, sopts);
-    auto batch = engine.RunBatch(queries);
-    if (!batch.ok()) return Fail(batch.status().ToString());
-
+  if (dbr->sharded) {
+    const ShardedBatchResult* batch = &*dbr->sharded;
     std::printf("batch of %d %s queries on %zu workers x %d %s shards:\n", k,
                 std::string(AlgorithmName(*algo)).c_str(),
-                engine.num_workers(), plan.num_shards,
-                std::string(ShardByName(plan.shard_by)).c_str());
+                snap->sharded_engine()->num_workers(),
+                dbopts.shard_plan.num_shards,
+                std::string(ShardByName(dbopts.shard_plan.shard_by)).c_str());
     for (int i = 0; i < k; ++i) {
       const QueryStats& s = batch->results[i].stats;
       if (batch->statuses[i].ok()) {
@@ -960,13 +951,10 @@ int CmdBatch(const Flags& flags) {
     return 0;
   }
 
-  QueryEngine engine(*prepared, *space, *algo, eopts);
-  auto batch = engine.RunBatch(queries);
-  if (!batch.ok()) return Fail(batch.status().ToString());
-
+  const BatchResult* batch = &*dbr->plain;
   std::printf("batch of %d %s queries on %zu workers:\n", k,
               std::string(AlgorithmName(*algo)).c_str(),
-              engine.num_workers());
+              snap->engine()->num_workers());
   for (int i = 0; i < k; ++i) {
     const QueryStats& s = batch->results[i].stats;
     if (batch->statuses[i].ok()) {
@@ -1042,11 +1030,11 @@ int CmdBatch(const Flags& flags) {
     std::printf("%llu queries recovered via clean-view retry\n",
                 static_cast<unsigned long long>(batch->queries_retried));
   }
-  if (engine.buffer_pool() != nullptr) {
+  if (snap->engine()->buffer_pool() != nullptr) {
     std::printf("cache (%llu pages): %s\n",
                 static_cast<unsigned long long>(
-                    engine.buffer_pool()->capacity_pages()),
-                engine.buffer_pool()->stats().ToString().c_str());
+                    snap->engine()->buffer_pool()->capacity_pages()),
+                snap->engine()->buffer_pool()->stats().ToString().c_str());
   }
   if (!batch->ok()) {
     std::fprintf(stderr, "%zu of %d queries failed\n", batch->num_failed(),
@@ -1056,11 +1044,209 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+// `serve` — online serving loop (docs/MUTABILITY.md): opens the CSV
+// dataset as a mutable Database and applies a scripted workload of
+// interleaved mutations and queries. Script grammar, one command per
+// line ('#' starts a comment, blank lines are skipped):
+//
+//   insert v1,v2,...   append a row (numeric attrs take doubles)
+//   delete KEY         remove the live row with that stable key
+//   query v1,v2,...    reverse-skyline query over the current snapshot
+//   batch K            K sampled queries as one engine batch
+//   compact            fold the delta into a new base generation
+//   snapshot           print the pinned epoch (generation, delta, rows)
+//   stats              print cumulative DbStats
+//
+// Output sticks to deterministic fields (keys, row literals, counts) so
+// scripted runs can be diffed; a failing script line aborts with its
+// line number and a non-zero exit.
+int CmdServe(const Flags& flags) {
+  const std::string data_path = FlagOr(flags, "data", "");
+  const std::string prefix = FlagOr(flags, "matrices", "");
+  const std::string script_path = FlagOr(flags, "script", "");
+  if (data_path.empty() || prefix.empty() || script_path.empty()) {
+    return Fail("--data=, --matrices= and --script= are required");
+  }
+  auto data = ReadDatasetCsvFile(data_path);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto space = LoadSpace(data->schema(), prefix);
+  if (!space.ok()) return Fail(space.status().ToString());
+  auto algo = ParseAlgorithm(FlagOr(flags, "algo", "trs"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+
+  DatabaseOptions dbopts;
+  dbopts.algo = *algo;
+  dbopts.prepare.checksum_pages = flags.count("checksum") != 0;
+  const RowCodec codec(data->schema(), kDefaultPageSize,
+                       dbopts.prepare.checksum_pages);
+  Status st = ParseCommonOptions(flags, data->schema(),
+                                 codec.PagesFor(data->num_rows()),
+                                 &dbopts.engine.rs);
+  if (!st.ok()) return Fail(st.ToString());
+  auto workers = ParseCount(flags, "workers", 1);
+  if (!workers.ok()) return Fail(workers.status().ToString());
+  if (*workers < 1) return Fail("--workers must be at least 1");
+  dbopts.engine.num_workers = *workers;
+  if (flags.count("cache-pages") != 0) {
+    auto cache = ParseCount(flags, "cache-pages", 0);
+    if (!cache.ok()) return Fail(cache.status().ToString());
+    dbopts.engine.cache_pages = *cache;
+  }
+  if (flags.count("shards") != 0) {
+    st = ParseShardPlan(flags, &dbopts.shard_plan);
+    if (!st.ok()) return Fail(st.ToString());
+    dbopts.num_shards = dbopts.shard_plan.num_shards;
+  }
+  if (flags.count("max-delta") != 0) {
+    auto max_delta = ParseCount(flags, "max-delta", dbopts.max_delta_mutations);
+    if (!max_delta.ok()) return Fail(max_delta.status().ToString());
+    dbopts.max_delta_mutations = *max_delta;
+  }
+
+  auto db = Database::Open(*data, *space, dbopts);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  // key -> printable row literal, kept in lockstep with the mutations so
+  // query results can show row contents without re-reading pages.
+  std::map<uint64_t, std::string> mirror;
+  for (RowId r = 0; r < data->num_rows(); ++r) {
+    mirror[r] = data->GetObject(r).ToString();
+  }
+
+  std::ifstream in(script_path);
+  if (!in) return Fail("cannot open --script=" + script_path);
+  Rng rng(std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10));
+
+  const auto delta_tag = [](const DeltaVersion& v) {
+    return "+" + std::to_string(v.inserts) + "i/" +
+           std::to_string(v.deletes) + "d";
+  };
+  const auto fail_line = [](int line_no, const std::string& msg) {
+    return Fail("script line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  uint64_t queries_run = 0;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::string cmd, rest;
+    tokens >> cmd;
+    std::getline(tokens, rest);
+    const size_t start = rest.find_first_not_of(" \t");
+    const size_t end = rest.find_last_not_of(" \t");
+    rest = start == std::string::npos ? ""
+                                      : rest.substr(start, end - start + 1);
+    if (cmd.empty()) continue;
+
+    if (cmd == "insert") {
+      std::vector<ValueId> values;
+      std::vector<double> numerics;
+      st = ParseRowSpec((*db)->schema(), rest, &values, &numerics);
+      if (!st.ok()) return fail_line(line_no, st.ToString());
+      auto key = (*db)->Insert(values, numerics);
+      if (!key.ok()) return fail_line(line_no, key.status().ToString());
+      mirror[*key] = (*db)->MakeObject(values, numerics).ToString();
+      std::printf("insert key=%llu %s (%s)\n",
+                  static_cast<unsigned long long>(*key),
+                  mirror[*key].c_str(),
+                  delta_tag((*db)->delta_version()).c_str());
+    } else if (cmd == "delete") {
+      const uint64_t key = std::strtoull(rest.c_str(), nullptr, 10);
+      st = (*db)->Delete(key);
+      if (!st.ok()) return fail_line(line_no, st.ToString());
+      mirror.erase(key);
+      std::printf("delete key=%llu (%s)\n",
+                  static_cast<unsigned long long>(key),
+                  delta_tag((*db)->delta_version()).c_str());
+    } else if (cmd == "query") {
+      std::vector<ValueId> values;
+      std::vector<double> numerics;
+      st = ParseRowSpec((*db)->schema(), rest, &values, &numerics);
+      if (!st.ok()) return fail_line(line_no, st.ToString());
+      auto r = (*db)->Query((*db)->MakeObject(values, numerics));
+      if (!r.ok()) return fail_line(line_no, r.status().ToString());
+      ++queries_run;
+      std::printf("RS(Q=%s) via %s @gen%llu%s: %zu rows\n", rest.c_str(),
+                  std::string(AlgorithmName(*algo)).c_str(),
+                  static_cast<unsigned long long>(r->snapshot_generation),
+                  delta_tag(r->snapshot_version).c_str(),
+                  r->keys.size());
+      for (uint64_t key : r->keys) {
+        const auto it = mirror.find(key);
+        std::printf("  key %llu %s\n", static_cast<unsigned long long>(key),
+                    it == mirror.end() ? "?" : it->second.c_str());
+      }
+    } else if (cmd == "batch") {
+      const int k = std::atoi(rest.c_str());
+      if (k < 1) return fail_line(line_no, "batch needs a positive count");
+      std::vector<Object> queries;
+      queries.reserve(k);
+      for (int i = 0; i < k; ++i) {
+        queries.push_back(SampleUniformQuery(*data, rng));
+      }
+      auto batch = (*db)->RunBatch(queries);
+      if (!batch.ok()) return fail_line(line_no, batch.status().ToString());
+      if (!batch->ok()) {
+        return fail_line(line_no, batch->first_error().ToString());
+      }
+      queries_run += k;
+      std::string sizes;
+      for (int i = 0; i < k; ++i) {
+        if (i > 0) sizes += ",";
+        sizes += std::to_string(batch->results()[i].rows.size());
+      }
+      std::printf("batch of %d @gen%llu%s: |RS| = [%s]\n", k,
+                  static_cast<unsigned long long>(batch->snapshot_generation),
+                  delta_tag(batch->snapshot_version).c_str(), sizes.c_str());
+    } else if (cmd == "compact") {
+      st = (*db)->Compact();
+      if (!st.ok()) return fail_line(line_no, st.ToString());
+      std::printf("compact -> gen%llu, %llu rows\n",
+                  static_cast<unsigned long long>((*db)->generation()),
+                  static_cast<unsigned long long>((*db)->num_rows()));
+    } else if (cmd == "snapshot") {
+      auto snap = (*db)->Snapshot();
+      if (!snap.ok()) return fail_line(line_no, snap.status().ToString());
+      std::printf("snapshot gen%llu%s: %llu rows\n",
+                  static_cast<unsigned long long>(snap->generation()),
+                  delta_tag(snap->delta_version()).c_str(),
+                  static_cast<unsigned long long>(snap->num_rows()));
+    } else if (cmd == "stats") {
+      const DbStats s = (*db)->stats();
+      std::printf("stats: %llu inserts, %llu deletes, %llu wal records, "
+                  "%llu compactions, %llu snapshots built (+%llu reused)\n",
+                  static_cast<unsigned long long>(s.inserts),
+                  static_cast<unsigned long long>(s.deletes),
+                  static_cast<unsigned long long>(s.wal_records),
+                  static_cast<unsigned long long>(s.compactions),
+                  static_cast<unsigned long long>(s.snapshots_built),
+                  static_cast<unsigned long long>(s.snapshots_reused));
+    } else {
+      return fail_line(line_no, "unknown command '" + cmd + "'");
+    }
+  }
+
+  const DbStats s = (*db)->stats();
+  std::printf("served: %llu inserts, %llu deletes, %llu queries, "
+              "%llu compactions; gen%llu holds %llu live rows\n",
+              static_cast<unsigned long long>(s.inserts),
+              static_cast<unsigned long long>(s.deletes),
+              static_cast<unsigned long long>(queries_run),
+              static_cast<unsigned long long>(s.compactions),
+              static_cast<unsigned long long>((*db)->generation()),
+              static_cast<unsigned long long>((*db)->num_rows()));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: nmrs_cli <generate|query|compare|skyline|influence|"
-                 "batch> [--flags]\n"
+                 "batch|serve> [--flags]\n"
                  "see the header comment of tools/nmrs_cli.cc\n");
     return 1;
   }
@@ -1072,6 +1258,7 @@ int Run(int argc, char** argv) {
   if (cmd == "skyline") return CmdSkyline(flags);
   if (cmd == "influence") return CmdInfluence(flags);
   if (cmd == "batch") return CmdBatch(flags);
+  if (cmd == "serve") return CmdServe(flags);
   return Fail("unknown command '" + cmd + "'");
 }
 
